@@ -1,0 +1,187 @@
+// Ablations of FastPR design choices (DESIGN.md §5):
+//  1. swap optimization (Alg. 1 Lines 18-38) on/off → simulated repair time;
+//  2. model-derived migration quota cm = tr/tm vs fixed quotas;
+//  3. paper timing model vs resource-contention timing model;
+//  4. RS generator construction: Cauchy vs column-reduced Vandermonde
+//     (encode throughput sanity, identical repair semantics).
+#include <chrono>
+
+#include "bench_common.h"
+#include "core/placement.h"
+#include "core/recon_sets.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+using namespace fastpr;
+using cluster::NodeId;
+using cluster::StripeLayout;
+
+namespace {
+
+struct World {
+  StripeLayout layout;
+  cluster::ClusterState state;
+  NodeId stf;
+};
+
+World make_world(uint64_t seed) {
+  Rng rng(seed);
+  World w{StripeLayout::random(100, 9, 1000, rng),
+          cluster::ClusterState(
+              100, 3, cluster::BandwidthProfile{MBps(100), Gbps(1)}),
+          0};
+  for (NodeId n = 1; n < 100; ++n) {
+    if (w.layout.load(n) > w.layout.load(w.stf)) w.stf = n;
+  }
+  w.state.set_health(w.stf, cluster::NodeHealth::kSoonToFail);
+  return w;
+}
+
+core::PlannerOptions base_options() {
+  core::PlannerOptions opts;
+  opts.k_repair = 6;
+  opts.chunk_bytes = static_cast<double>(MB(64));
+  return opts;
+}
+
+sim::SimParams sim_params() {
+  sim::SimParams p;
+  p.chunk_bytes = static_cast<double>(MB(64));
+  p.disk_bw = MBps(100);
+  p.net_bw = Gbps(1);
+  p.k_repair = 6;
+  p.hot_standby = 3;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  std::printf("=== Ablations (RS(9,6), M=100, 1000 stripes, scattered) ===\n\n");
+
+  {
+    std::printf("(1) Algorithm 1 swap optimization on/off\n");
+    Table t({"variant", "rounds", "per-chunk (s)"});
+    for (bool optimize : {true, false}) {
+      auto w = make_world(3);
+      auto opts = base_options();
+      opts.recon.optimize = optimize;
+      core::FastPrPlanner planner(w.layout, w.state, opts);
+      const auto plan = planner.plan_fastpr();
+      const auto r = sim::simulate(plan, sim_params());
+      t.add_row({optimize ? "with swap (d_opt)" : "greedy only (d_ini)",
+                 std::to_string(plan.rounds.size()),
+                 Table::fmt(r.per_chunk())});
+    }
+    t.print();
+  }
+
+  {
+    std::printf("\n(2) migration quota: model cm = tr/tm vs fixed\n");
+    Table t({"quota", "rounds", "migrated", "per-chunk (s)"});
+    for (int quota : {-1, 0, 1, 4, 16}) {
+      auto w = make_world(3);
+      auto opts = base_options();
+      opts.sched.fixed_migration_quota = quota;
+      core::FastPrPlanner planner(w.layout, w.state, opts);
+      const auto plan = planner.plan_fastpr();
+      const auto r = sim::simulate(plan, sim_params());
+      t.add_row({quota < 0 ? "model (tr/tm)" : std::to_string(quota),
+                 std::to_string(plan.rounds.size()),
+                 std::to_string(plan.total_migrated()),
+                 Table::fmt(r.per_chunk())});
+    }
+    t.print();
+    std::printf(
+        "the model quota should be at or near the per-chunk minimum: too "
+        "little migration wastes the STF uplink, too much makes it the "
+        "round bottleneck\n");
+  }
+
+  {
+    std::printf("\n(3) timing model: paper (§III serial stages) vs "
+                "resource contention\n");
+    Table t({"strategy", "paper model", "resource model"});
+    auto w = make_world(3);
+    core::FastPrPlanner planner(w.layout, w.state, base_options());
+    const auto plans = {
+        std::pair{std::string("FastPR"), planner.plan_fastpr()},
+        {std::string("Reconstruction"), planner.plan_reconstruction_only()},
+        {std::string("Migration"), planner.plan_migration_only()},
+    };
+    for (const auto& [name, plan] : plans) {
+      auto p = sim_params();
+      const auto paper = sim::simulate(plan, p);
+      p.model = sim::TimingModel::kResourceModel;
+      const auto resource = sim::simulate(plan, p);
+      t.add_row({name, Table::fmt(paper.per_chunk()),
+                 Table::fmt(resource.per_chunk())});
+    }
+    t.print();
+    std::printf(
+        "the ordering (FastPR < Reconstruction < Migration) must hold "
+        "under both models\n");
+  }
+
+  {
+    std::printf("\n(4) destination selection: arbitrary vs load-balanced "
+                "matching\n");
+    Table t({"variant", "per-chunk (s)", "post-repair load spread"});
+    for (bool balanced : {false, true}) {
+      auto w = make_world(3);
+      auto opts = base_options();
+      opts.balance_destinations = balanced;
+      core::FastPrPlanner planner(w.layout, w.state, opts);
+      const auto plan = planner.plan_fastpr();
+      const auto r = sim::simulate(plan, sim_params());
+      for (const auto& round : plan.rounds) {
+        for (const auto& task : round.migrations) {
+          w.layout.move_chunk(task.chunk, task.dst);
+        }
+        for (const auto& task : round.reconstructions) {
+          w.layout.move_chunk(task.chunk, task.dst);
+        }
+      }
+      int max_load = 0, min_load = 1 << 30;
+      for (NodeId n = 0; n < 100; ++n) {
+        if (n == w.stf) continue;
+        max_load = std::max(max_load, w.layout.load(n));
+        min_load = std::min(min_load, w.layout.load(n));
+      }
+      t.add_row({balanced ? "min-cost (by load)" : "arbitrary matching",
+                 Table::fmt(r.per_chunk()),
+                 std::to_string(max_load - min_load)});
+    }
+    t.print();
+    std::printf(
+        "load-aware destinations cost nothing in repair time and leave "
+        "the cluster flatter (less §II-B rebalancing debt)\n");
+  }
+
+  {
+    std::printf("\n(5) RS generator construction: encode 64 MiB stripe\n");
+    Table t({"construction", "encode (ms)", "MB/s"});
+    for (auto construction : {ec::RsCode::Construction::kCauchy,
+                              ec::RsCode::Construction::kVandermonde}) {
+      const ec::RsCode code(9, 6, construction);
+      const size_t chunk = 1 << 20;
+      std::vector<std::vector<uint8_t>> data(
+          6, std::vector<uint8_t>(chunk, 0x5C));
+      std::vector<ec::ConstChunk> dspan(data.begin(), data.end());
+      std::vector<std::vector<uint8_t>> parity(
+          3, std::vector<uint8_t>(chunk));
+      std::vector<ec::MutChunk> pspan(parity.begin(), parity.end());
+      const auto start = std::chrono::steady_clock::now();
+      for (int reps = 0; reps < 10; ++reps) code.encode(dspan, pspan);
+      const double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      const double mb = 10.0 * 6 * chunk / (1 << 20);
+      t.add_row({code.name(), Table::fmt(secs * 100, 2),
+                 Table::fmt(mb / secs, 0)});
+    }
+    t.print();
+  }
+  return 0;
+}

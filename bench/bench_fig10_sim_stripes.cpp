@@ -1,0 +1,39 @@
+// Figure 10 (Experiment A.3): repair time per chunk vs number of
+// stripes — FastPR against the analytic optimum only. More stripes give
+// Algorithm 1 more freedom, closing the gap to the optimum.
+#include "bench_common.h"
+
+using namespace fastpr;
+
+namespace {
+constexpr int kRuns = 3;
+}
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  std::printf("=== Figure 10 (Exp A.3): impact of the number of stripes ===\n");
+  std::printf("repair time per chunk (s), avg over %d runs\n\n", kRuns);
+
+  for (auto scenario :
+       {core::Scenario::kScattered, core::Scenario::kHotStandby}) {
+    std::printf("(%s) %s repair\n",
+                scenario == core::Scenario::kScattered ? "a" : "b",
+                core::to_string(scenario).c_str());
+    Table t({"stripes", "Optimum", "FastPR", "gap"});
+    for (int stripes : {200, 400, 600, 800, 1000}) {
+      auto cfg = bench::sim_defaults();
+      cfg.scenario = scenario;
+      cfg.num_stripes = stripes;
+      const auto r = sim::run_averaged(cfg, kRuns);
+      t.add_row({std::to_string(stripes), Table::fmt(r.optimum),
+                 Table::fmt(r.fastpr),
+                 Table::fmt(100.0 * (r.fastpr / r.optimum - 1.0), 1) + "%"});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "paper: gap within 15%% once >= 400 stripes (scattered); the gap "
+      "shrinks with more stripes in both scenarios\n");
+  return 0;
+}

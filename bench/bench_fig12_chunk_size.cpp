@@ -1,0 +1,38 @@
+// Figure 12 (Experiment B.2): testbed — impact of the chunk size.
+// Paper sweeps 32/64/128 MB with 4 MB packets; scaled 1/16 this is
+// 2/4/8 MB chunks with 256 KB packets.
+#include "bench_common.h"
+
+using namespace fastpr;
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  ec::RsCode code(9, 6);
+  std::printf("=== Figure 12 (Exp B.2): impact of the chunk size ===\n");
+  std::printf(
+      "testbed, RS(9,6), packet 256 KB (paper 4 MB, scaled 1/16)\n"
+      "repair time per chunk (s)\n\n");
+
+  for (auto scenario :
+       {core::Scenario::kScattered, core::Scenario::kHotStandby}) {
+    std::printf("(%s) %s repair\n",
+                scenario == core::Scenario::kScattered ? "a" : "b",
+                core::to_string(scenario).c_str());
+    Table t({"chunk", "FastPR", "Reconstruction", "Migration"});
+    for (int chunk_mb : {2, 4, 8}) {
+      auto opts = bench::testbed_defaults(/*seed=*/12);
+      opts.chunk_bytes = static_cast<uint64_t>(MB(chunk_mb));
+      const auto r = bench::run_testbed_trio(opts, code, scenario);
+      t.add_row({std::to_string(chunk_mb) + "MB", Table::fmt(r.fastpr, 3),
+                 Table::fmt(r.reconstruction, 3),
+                 Table::fmt(r.migration, 3)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape: per-chunk repair time grows with the chunk size; "
+      "FastPR cuts migration-only by 31-48%% and reconstruction-only by "
+      "10-28%% across sizes\n");
+  return 0;
+}

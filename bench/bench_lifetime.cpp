@@ -1,0 +1,64 @@
+// Lifetime evaluation (extension beyond the paper's figures): what the
+// paper's motivation promises, quantified — prediction accuracy vs the
+// window of vulnerability, degraded-stripe exposure and repair traffic
+// over a simulated year of cluster operation.
+#include "bench_common.h"
+
+#include "lifetime/lifetime_sim.h"
+
+using namespace fastpr;
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  std::printf("=== Lifetime simulation: one year, 60 nodes, RS(9,6) ===\n");
+  std::printf(
+      "MTBF 600 days/node (~36 failures/yr), 64 MB chunks, bd=100 MB/s, "
+      "bn=1 Gb/s,\nlead 2-10 days, 2 false alarms/yr\n\n");
+
+  lifetime::LifetimeConfig cfg;
+  cfg.num_nodes = 60;
+  cfg.n = 9;
+  cfg.k = 6;
+  cfg.num_stripes = 400;
+  cfg.chunk_bytes = static_cast<double>(MB(64));
+  cfg.disk_bw = MBps(100);
+  cfg.net_bw = Gbps(1);
+  cfg.sim_days = 365;
+  cfg.node_mtbf_days = 600;
+  cfg.seed = 20260704;
+
+  Table t({"policy / recall", "failures", "in-time", "vuln (s)",
+           "degraded stripe-hrs", "traffic (chunks)", "mean repair (s)"});
+
+  auto row = [&](const std::string& label,
+                 const lifetime::LifetimeReport& r) {
+    t.add_row({label, std::to_string(r.failures),
+               std::to_string(r.completed_in_time),
+               Table::fmt(r.vulnerability_seconds, 1),
+               Table::fmt(r.degraded_stripe_seconds / 3600.0, 1),
+               std::to_string(r.repair_traffic_chunks),
+               r.repair_seconds.empty()
+                   ? "-"
+                   : Table::fmt(r.repair_seconds.mean(), 1)});
+  };
+
+  {
+    auto reactive = cfg;
+    reactive.predictive_enabled = false;
+    row("reactive only", lifetime::simulate_lifetime(reactive));
+  }
+  for (double recall : {0.5, 0.8, 0.95, 1.0}) {
+    auto c = cfg;
+    c.prediction_recall = recall;
+    row("predictive r=" + Table::fmt(recall, 2),
+        lifetime::simulate_lifetime(c));
+  }
+  t.print();
+
+  std::printf(
+      "\nreading: 'vuln' sums seconds during which some node's data had "
+      "reduced redundancy;\npredictive repair with the cited >=95%% "
+      "recall eliminates nearly all of it, and\nits per-failure traffic "
+      "is lower because migrated chunks cost 1x instead of kx\n");
+  return 0;
+}

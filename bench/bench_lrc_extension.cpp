@@ -1,0 +1,127 @@
+// §III "Extension for LRCs" and the §II-A repair-efficient codes: the
+// analysis with k substituted by k' = k/l (LRC) and, for MSR codes, d
+// helpers each shipping 1/(d-k+1) of a chunk; plus end-to-end
+// simulation of the code-aware FastPR planner on LRC(12, 2, 2) vs
+// RS(16, 12) (both n=16).
+#include "bench_common.h"
+
+#include "core/cost_model.h"
+#include "ec/lrc_code.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+using namespace fastpr;
+using core::CostModel;
+using core::ModelParams;
+
+namespace {
+
+ModelParams model(int k_repair, int num_nodes) {
+  ModelParams p;
+  p.num_nodes = num_nodes;
+  p.stf_chunks = 1000;
+  p.chunk_bytes = static_cast<double>(MB(64));
+  p.disk_bw = MBps(100);
+  p.net_bw = Gbps(1);
+  p.k_repair = k_repair;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  std::printf("=== LRC extension of the SIII analysis ===\n");
+  std::printf(
+      "RS(16,12): repairs fetch k=12 chunks; LRC(12,2,2): k'=6 within the "
+      "local group\nrepair time per chunk (s), scattered\n\n");
+
+  {
+    Table t({"M", "RS predictive", "RS reactive", "LRC predictive",
+             "LRC reactive"});
+    for (int m = 40; m <= 100; m += 20) {
+      const CostModel rs(model(12, m));
+      const CostModel lrc(model(6, m));
+      t.add_row({std::to_string(m),
+                 Table::fmt(rs.predictive_time_per_chunk()),
+                 Table::fmt(rs.reactive_time_per_chunk()),
+                 Table::fmt(lrc.predictive_time_per_chunk()),
+                 Table::fmt(lrc.reactive_time_per_chunk())});
+    }
+    t.print();
+  }
+
+  // End-to-end: the code-aware planner on real layouts (one seed,
+  // simulated timing).
+  std::printf("\nplanner + simulator, M=80, 600 stripes of n=16:\n");
+  {
+    ec::RsCode rs(16, 12);
+    ec::LrcCode lrc(12, 2, 2);
+    Table t({"code", "FastPR", "Reconstruction", "Optimum"});
+    struct Row {
+      const ec::ErasureCode* code;
+      int k_repair;
+    };
+    for (const auto& row : {Row{&rs, 12}, Row{&lrc, 6}}) {
+      Rng rng(5);
+      auto layout = cluster::StripeLayout::random(80, 16, 600, rng);
+      cluster::ClusterState state(
+          80, 3, cluster::BandwidthProfile{MBps(100), Gbps(1)});
+      cluster::NodeId stf = 0;
+      for (cluster::NodeId n = 1; n < 80; ++n) {
+        if (layout.load(n) > layout.load(stf)) stf = n;
+      }
+      state.set_health(stf, cluster::NodeHealth::kSoonToFail);
+      core::PlannerOptions popts;
+      popts.k_repair = row.k_repair;
+      popts.chunk_bytes = static_cast<double>(MB(64));
+      popts.code = row.code;
+      core::FastPrPlanner planner(layout, state, popts);
+      sim::SimParams sp;
+      sp.chunk_bytes = popts.chunk_bytes;
+      sp.disk_bw = MBps(100);
+      sp.net_bw = Gbps(1);
+      sp.k_repair = row.k_repair;
+      const auto fast = sim::simulate(planner.plan_fastpr(), sp);
+      const auto recon =
+          sim::simulate(planner.plan_reconstruction_only(), sp);
+      t.add_row({row.code->name(), Table::fmt(fast.per_chunk()),
+                 Table::fmt(recon.per_chunk()),
+                 Table::fmt(planner.cost_model()
+                                .predictive_time_per_chunk())});
+    }
+    t.print();
+  }
+  std::printf(
+      "\nLRC locality halves the repair fetch and roughly halves both "
+      "FastPR and reactive repair times, as the SIII substitution "
+      "predicts\n");
+
+  // MSR extension: d = n-1 helpers, each shipping 1/(d-k+1) of a chunk.
+  std::printf("\nMSR extension (model): RS(14,10) vs MSR(14,10,d=13), "
+              "M=100\n");
+  {
+    Table t({"code", "repair traffic (chunks)", "predictive", "reactive"});
+    {
+      const CostModel rs(model(10, 100));
+      t.add_row({"RS(14,10)", "10.00",
+                 Table::fmt(rs.predictive_time_per_chunk()),
+                 Table::fmt(rs.reactive_time_per_chunk())});
+    }
+    {
+      auto p = model(13, 100);       // d = 13 helpers...
+      p.helper_bytes_fraction = 0.25;  // ...each ships 1/(d-k+1) = 1/4
+      const CostModel msr(p);
+      t.add_row({"MSR(14,10,d=13)", "3.25",
+                 Table::fmt(msr.predictive_time_per_chunk()),
+                 Table::fmt(msr.reactive_time_per_chunk())});
+    }
+    t.print();
+    std::printf(
+        "MSR's minimized repair traffic shrinks the reactive penalty and "
+        "with it FastPR's margin — matching the paper's note that the "
+        "amplification issue persists (traffic 3.25x > 1x migration) but "
+        "is milder\n");
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Predictive-maintenance scenario: the full lifecycle the paper's
+// introduction motivates.
+//
+// A fleet of disks reports SMART telemetry daily. A predictor watches
+// the fleet; the day it flags a soon-to-fail disk, FastPR repairs that
+// node's chunks in advance. We then compare the window of vulnerability
+// (time during which the flagged node's data has reduced redundancy)
+// against the conventional reactive approach that waits for the disk to
+// actually die.
+//
+//   ./examples/predictive_maintenance
+#include <cstdio>
+
+#include "core/fastpr.h"
+#include "predict/predictor.h"
+#include "predict/trace_generator.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+using namespace fastpr;
+
+int main() {
+  const int num_nodes = 80;
+  Rng rng(7);
+
+  // --- Synthesize 90 days of SMART telemetry; one disk degrades. ---
+  predict::TraceConfig tcfg;
+  tcfg.num_disks = num_nodes;
+  tcfg.failure_fraction = 1.0 / num_nodes;
+  tcfg.silent_failure_fraction = 0.0;
+  const auto traces = predict::generate_traces(tcfg, rng);
+
+  double failure_day = 0;
+  for (const auto& t : traces) {
+    if (t.will_fail) failure_day = t.failure_day;
+  }
+  std::printf("ground truth: one disk fails on day %.1f\n", failure_day);
+
+  // --- Daily predictor sweep: when is the STF flag raised? ---
+  const predict::LogisticPredictor predictor;
+  double flag_day = -1;
+  int stf = -1;
+  for (double day = 1; day <= tcfg.horizon_days; day += 1.0) {
+    const int candidate = predict::select_stf_disk(predictor, traces, day);
+    if (candidate >= 0) {
+      flag_day = day;
+      stf = candidate;
+      break;
+    }
+  }
+  if (stf < 0) {
+    std::printf("predictor never fired — no proactive repair possible\n");
+    return 1;
+  }
+  std::printf("predictor flags disk %d on day %.1f (%.1f days of lead)\n",
+              stf, flag_day, failure_day - flag_day);
+
+  // Predictor quality on the whole fleet at flag time.
+  const auto eval = predict::evaluate(predictor, traces, flag_day, 30.0);
+  std::printf("fleet-wide accuracy %.1f%%, false alarm rate %.2f%%\n",
+              100 * eval.accuracy(), 100 * eval.false_alarm_rate());
+
+  // --- Proactive repair of the flagged node. ---
+  auto layout = cluster::StripeLayout::random(num_nodes, 9, 800, rng);
+  cluster::ClusterState state(
+      num_nodes, 3, cluster::BandwidthProfile{MBps(100), Gbps(1)});
+  state.set_health(stf, cluster::NodeHealth::kSoonToFail);
+
+  core::PlannerOptions options;
+  options.k_repair = 6;
+  options.chunk_bytes = static_cast<double>(MB(64));
+  core::FastPrPlanner planner(layout, state, options);
+
+  sim::SimParams sp;
+  sp.chunk_bytes = options.chunk_bytes;
+  sp.disk_bw = MBps(100);
+  sp.net_bw = Gbps(1);
+  sp.k_repair = 6;
+
+  const auto fastpr = sim::simulate(planner.plan_fastpr(), sp);
+  const auto reactive =
+      sim::simulate(planner.plan_reconstruction_only(), sp);
+
+  // --- Window of vulnerability. ---
+  // Predictive: data is fully redundant again fastpr.total_time after
+  // the flag — days before the disk dies. Reactive: redundancy is
+  // reduced from the failure until reconstruction completes.
+  const double lead_seconds = (failure_day - flag_day) * 86400.0;
+  std::printf("\nrepairing %d chunks of node %d:\n",
+              fastpr.repaired(), stf);
+  std::printf("  FastPR (predictive) total time    %.1f s\n",
+              fastpr.total_time);
+  std::printf("  reactive reconstruction total     %.1f s\n",
+              reactive.total_time);
+  if (fastpr.total_time < lead_seconds) {
+    std::printf(
+        "  predictive repair finishes %.1f days BEFORE the failure —\n"
+        "  window of vulnerability: 0 s (vs %.1f s reactive)\n",
+        (lead_seconds - fastpr.total_time) / 86400.0,
+        reactive.total_time);
+  } else {
+    std::printf("  warning: lead time too short, %.1f s exposed\n",
+                fastpr.total_time - lead_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: plan and simulate a predictive repair in ~50 lines.
+//
+// A 60-node cluster stores 500 stripes of RS(9,6). Node health
+// monitoring has flagged one node as soon-to-fail (STF); FastPR builds
+// a coupled migration+reconstruction plan and we compare its simulated
+// repair time against the two single-method baselines and the
+// analytical optimum.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "core/fastpr.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+using namespace fastpr;
+
+int main() {
+  // --- Describe the cluster. ---
+  const int num_nodes = 60;
+  Rng rng(/*seed=*/42);
+  auto layout = cluster::StripeLayout::random(num_nodes, /*n=*/9,
+                                              /*stripes=*/500, rng);
+  cluster::ClusterState state(
+      num_nodes, /*hot_standby=*/3,
+      cluster::BandwidthProfile{MBps(100), Gbps(1)});
+
+  // --- The failure predictor flags an STF node (here: most loaded). ---
+  cluster::NodeId stf = 0;
+  for (cluster::NodeId node = 1; node < num_nodes; ++node) {
+    if (layout.load(node) > layout.load(stf)) stf = node;
+  }
+  state.set_health(stf, cluster::NodeHealth::kSoonToFail);
+  std::printf("STF node %d stores %d chunks\n", stf, layout.load(stf));
+
+  // --- Plan the repair. ---
+  core::PlannerOptions options;
+  options.scenario = core::Scenario::kScattered;
+  options.k_repair = 6;                              // RS(9,6)
+  options.chunk_bytes = static_cast<double>(MB(64));
+  core::FastPrPlanner planner(layout, state, options);
+
+  const auto plan = planner.plan_fastpr();
+  std::printf("FastPR plan: %zu rounds, %d migrated, %d reconstructed\n",
+              plan.rounds.size(), plan.total_migrated(),
+              plan.total_reconstructed());
+  core::validate_plan(plan, layout, state, options.k_repair);
+
+  // --- Simulate it against the baselines. ---
+  sim::SimParams sim_params;
+  sim_params.chunk_bytes = options.chunk_bytes;
+  sim_params.disk_bw = MBps(100);
+  sim_params.net_bw = Gbps(1);
+  sim_params.k_repair = 6;
+  sim_params.scenario = core::Scenario::kScattered;
+
+  const auto fastpr = sim::simulate(plan, sim_params);
+  const auto recon =
+      sim::simulate(planner.plan_reconstruction_only(), sim_params);
+  const auto migr = sim::simulate(planner.plan_migration_only(), sim_params);
+  const auto optimum = planner.cost_model().predictive_time_per_chunk();
+
+  std::printf("\nrepair time per chunk:\n");
+  std::printf("  FastPR               %.3f s\n", fastpr.per_chunk());
+  std::printf("  reconstruction-only  %.3f s  (conventional reactive)\n",
+              recon.per_chunk());
+  std::printf("  migration-only       %.3f s\n", migr.per_chunk());
+  std::printf("  analytic optimum     %.3f s\n", optimum);
+  std::printf("\nFastPR cuts reactive repair by %.1f%%\n",
+              100.0 * (1.0 - fastpr.per_chunk() / recon.per_chunk()));
+  return 0;
+}

@@ -1,0 +1,275 @@
+#include "agent/agent.h"
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+
+#include "gf/gf256.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace fastpr::agent {
+
+using cluster::ChunkRef;
+using cluster::NodeId;
+using net::Message;
+using net::MessageType;
+using net::TransferMode;
+
+Agent::Agent(NodeId id, net::Transport& transport, ChunkStore& store,
+             const AgentOptions& options)
+    : id_(id), transport_(transport), store_(store), options_(options) {
+  FASTPR_CHECK(options.coordinator != cluster::kNoNode);
+  FASTPR_CHECK(options.pipeline_depth >= 1);
+}
+
+Agent::~Agent() { stop(); }
+
+void Agent::start() {
+  FASTPR_CHECK(!started_);
+  started_ = true;
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+void Agent::stop() {
+  if (!started_) return;
+  // A shutdown message to ourselves pops the dispatcher out of recv().
+  Message bye;
+  bye.type = MessageType::kShutdown;
+  bye.from = id_;
+  bye.to = id_;
+  transport_.send(std::move(bye));
+  if (dispatcher_.joinable()) dispatcher_.join();
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  started_ = false;
+}
+
+void Agent::spawn_worker(std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  workers_.emplace_back(std::move(fn));
+}
+
+void Agent::report_failure(uint64_t task_id, const std::string& error) {
+  Message msg;
+  msg.type = MessageType::kTaskFailed;
+  msg.from = id_;
+  msg.to = options_.coordinator;
+  msg.task_id = task_id;
+  msg.error = error;
+  transport_.send(std::move(msg));
+}
+
+void Agent::dispatch_loop() {
+  for (;;) {
+    auto msg = transport_.recv(id_);
+    if (!msg.has_value()) return;  // transport shut down
+    if (msg->type == MessageType::kShutdown) return;
+    if (killed_.load()) continue;  // crashed node: drop silently
+
+    switch (msg->type) {
+      case MessageType::kReconstructCmd:
+        handle_reconstruct_cmd(*msg);
+        break;
+      case MessageType::kMigrateCmd:
+        handle_migrate_cmd(*msg);
+        break;
+      case MessageType::kFetchRequest:
+        handle_fetch_request(*msg);
+        break;
+      case MessageType::kDataPacket:
+        handle_data_packet(std::move(*msg));
+        break;
+      default:
+        LOG_WARN("agent " << id_ << ": unexpected message type "
+                          << static_cast<int>(msg->type));
+    }
+  }
+}
+
+void Agent::handle_reconstruct_cmd(const Message& msg) {
+  // We are the destination. Register the decode state, then ask every
+  // helper to stream its (coefficient-tagged) chunk to us.
+  TransferState state;
+  state.chunk = msg.chunk;
+  state.mode = TransferMode::kDecode;
+  state.expected_streams = static_cast<int>(msg.sources.size());
+  state.chunk_bytes = msg.chunk_bytes;
+  state.packet_bytes = msg.packet_bytes;
+  state.total_packets = static_cast<uint32_t>(
+      (msg.chunk_bytes + msg.packet_bytes - 1) / msg.packet_bytes);
+  state.accumulator.assign(msg.chunk_bytes, 0);
+  state.arrivals.assign(state.total_packets, 0);
+  tasks_[msg.task_id] = std::move(state);
+
+  for (const auto& src : msg.sources) {
+    Message req;
+    req.type = MessageType::kFetchRequest;
+    req.from = id_;
+    req.to = src.node;
+    req.task_id = msg.task_id;
+    req.chunk = src.chunk;
+    req.dst = id_;
+    req.coefficient = src.coefficient;
+    req.packet_bytes = msg.packet_bytes;
+    transport_.send(std::move(req));
+  }
+}
+
+void Agent::handle_migrate_cmd(const Message& msg) {
+  // We are the STF node: stream the chunk to its new home.
+  const uint64_t task_id = msg.task_id;
+  const ChunkRef chunk = msg.chunk;
+  const NodeId dst = msg.dst;
+  const uint64_t packet_bytes = msg.packet_bytes;
+  spawn_worker([this, task_id, chunk, dst, packet_bytes] {
+    stream_chunk(task_id, chunk, dst, TransferMode::kStore, 1, packet_bytes);
+  });
+}
+
+void Agent::handle_fetch_request(const Message& msg) {
+  const uint64_t task_id = msg.task_id;
+  const ChunkRef chunk = msg.chunk;
+  const NodeId dst = msg.dst;
+  const uint8_t coeff = msg.coefficient;
+  const uint64_t packet_bytes = msg.packet_bytes;
+  spawn_worker([this, task_id, chunk, dst, coeff, packet_bytes] {
+    stream_chunk(task_id, chunk, dst, TransferMode::kDecode, coeff,
+                 packet_bytes);
+  });
+}
+
+void Agent::stream_chunk(uint64_t task_id, ChunkRef chunk, NodeId dst,
+                         TransferMode mode, uint8_t coefficient,
+                         uint64_t packet_bytes) {
+  FASTPR_CHECK(packet_bytes >= 1);
+  const auto content = store_.read_unthrottled(chunk);
+  if (!content.has_value()) {
+    report_failure(task_id, "read error on node " +
+                                std::to_string(id_) + " for stripe " +
+                                std::to_string(chunk.stripe));
+    return;
+  }
+  const uint64_t chunk_bytes = content->size();
+  const uint32_t total_packets = static_cast<uint32_t>(
+      (chunk_bytes + packet_bytes - 1) / packet_bytes);
+
+  // Paper §V multi-threading: a reader thread paces the disk and feeds a
+  // bounded queue; the sender thread drains it onto the (shaped) network.
+  struct Pipe {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+    bool done = false;
+  } pipe;
+
+  std::thread sender([&] {
+    for (;;) {
+      Message packet;
+      {
+        std::unique_lock<std::mutex> lock(pipe.mutex);
+        pipe.cv.wait(lock, [&] { return pipe.done || !pipe.queue.empty(); });
+        if (pipe.queue.empty()) return;
+        packet = std::move(pipe.queue.front());
+        pipe.queue.pop_front();
+      }
+      pipe.cv.notify_all();
+      transport_.send(std::move(packet));  // blocks on NIC shaping
+    }
+  });
+
+  for (uint32_t p = 0; p < total_packets; ++p) {
+    const uint64_t offset = static_cast<uint64_t>(p) * packet_bytes;
+    const uint64_t len = std::min(packet_bytes, chunk_bytes - offset);
+    store_.charge_io(static_cast<int64_t>(len));  // disk read time
+
+    Message packet;
+    packet.type = MessageType::kDataPacket;
+    packet.from = id_;
+    packet.to = dst;
+    packet.task_id = task_id;
+    packet.chunk = chunk;
+    packet.mode = mode;
+    packet.coefficient = coefficient;
+    packet.packet_index = p;
+    packet.total_packets = total_packets;
+    packet.chunk_bytes = chunk_bytes;
+    packet.packet_bytes = packet_bytes;
+    packet.payload.assign(
+        content->begin() + static_cast<ptrdiff_t>(offset),
+        content->begin() + static_cast<ptrdiff_t>(offset + len));
+
+    std::unique_lock<std::mutex> lock(pipe.mutex);
+    pipe.cv.wait(lock, [&] {
+      return pipe.queue.size() < options_.pipeline_depth;
+    });
+    pipe.queue.push_back(std::move(packet));
+    lock.unlock();
+    pipe.cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(pipe.mutex);
+    pipe.done = true;
+  }
+  pipe.cv.notify_all();
+  sender.join();
+}
+
+void Agent::handle_data_packet(Message&& msg) {
+  auto it = tasks_.find(msg.task_id);
+  if (it == tasks_.end()) {
+    if (msg.mode != TransferMode::kStore) {
+      LOG_WARN("agent " << id_ << ": decode packet for unknown task "
+                        << msg.task_id);
+      return;
+    }
+    // Migration stream: the first packet creates the state lazily (the
+    // coordinator commanded the STF node, not us).
+    TransferState state;
+    state.chunk = msg.chunk;
+    state.mode = TransferMode::kStore;
+    state.expected_streams = 1;
+    state.chunk_bytes = msg.chunk_bytes;
+    state.packet_bytes = msg.packet_bytes;
+    state.total_packets = msg.total_packets;
+    state.accumulator.assign(msg.chunk_bytes, 0);
+    state.arrivals.assign(msg.total_packets, 0);
+    it = tasks_.emplace(msg.task_id, std::move(state)).first;
+  }
+
+  TransferState& state = it->second;
+  FASTPR_CHECK(msg.packet_index < state.total_packets);
+  const uint64_t offset =
+      static_cast<uint64_t>(msg.packet_index) * state.packet_bytes;
+  FASTPR_CHECK(offset + msg.payload.size() <= state.accumulator.size());
+
+  // Streaming decode: accumulator ^= coeff * payload. For migrations the
+  // coefficient is 1 and this degenerates to a copy-in.
+  gf::mul_region_xor(state.accumulator.data() + offset, msg.payload.data(),
+                     msg.coefficient, msg.payload.size());
+
+  auto& count = state.arrivals[msg.packet_index];
+  ++count;
+  if (count == state.expected_streams) {
+    // This packet of the repaired chunk is final: write it out now
+    // (pipelined disk write), matching the paper's decode-as-you-go.
+    store_.charge_io(static_cast<int64_t>(msg.payload.size()));
+    ++state.packets_complete;
+    if (state.packets_complete == state.total_packets) {
+      store_.write_unthrottled(state.chunk, std::move(state.accumulator));
+      Message done;
+      done.type = MessageType::kTaskDone;
+      done.from = id_;
+      done.to = options_.coordinator;
+      done.task_id = msg.task_id;
+      done.chunk = state.chunk;
+      transport_.send(std::move(done));
+      tasks_.erase(it);
+    }
+  }
+}
+
+}  // namespace fastpr::agent

@@ -1,0 +1,99 @@
+// Storage-node agent of the FastPR prototype (§V).
+//
+// One dispatcher thread services the node's inbox; data-plane work runs
+// on dedicated transfer threads exactly as the paper describes its
+// multi-threading: a sending node pairs a disk-reader thread with a
+// network-sender thread over a bounded packet queue, and a destination
+// node decodes packets as they arrive (per-packet GF multiply-XOR into
+// an accumulator) so reception, decoding and disk writes pipeline.
+//
+// Roles an agent can play in a round, all concurrently:
+//  * helper  — answer kFetchRequest by streaming its chunk, scaled by
+//    the decode coefficient assigned by the destination;
+//  * STF     — answer kMigrateCmd by streaming a chunk to its new home;
+//  * dest    — drive a kReconstructCmd: request k helper streams,
+//    accumulate, store, ack the coordinator; or absorb a migration
+//    stream and ack.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "agent/chunk_store.h"
+#include "cluster/types.h"
+#include "net/transport.h"
+
+namespace fastpr::agent {
+
+struct AgentOptions {
+  cluster::NodeId coordinator = cluster::kNoNode;  // ack target
+  /// Bounded depth of the read→send packet queue (pipeline slack).
+  size_t pipeline_depth = 4;
+};
+
+class Agent {
+ public:
+  Agent(cluster::NodeId id, net::Transport& transport, ChunkStore& store,
+        const AgentOptions& options);
+  ~Agent();
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  void start();
+
+  /// Graceful: drains the dispatcher and joins every transfer thread.
+  void stop();
+
+  /// Failure injection: the agent silently stops acting on messages
+  /// (simulates a crashed DataNode — the coordinator sees a timeout).
+  void kill() { killed_.store(true); }
+
+  cluster::NodeId id() const { return id_; }
+
+ private:
+  /// Destination-side state of one in-flight repair task.
+  struct TransferState {
+    cluster::ChunkRef chunk;  // chunk being repaired
+    net::TransferMode mode = net::TransferMode::kStore;
+    int expected_streams = 1;
+    uint64_t chunk_bytes = 0;
+    uint64_t packet_bytes = 0;
+    uint32_t total_packets = 0;
+    std::vector<uint8_t> accumulator;
+    std::vector<int> arrivals;   // per packet index
+    uint32_t packets_complete = 0;
+  };
+
+  void dispatch_loop();
+  void handle_reconstruct_cmd(const net::Message& msg);
+  void handle_migrate_cmd(const net::Message& msg);
+  void handle_fetch_request(const net::Message& msg);
+  void handle_data_packet(net::Message&& msg);
+
+  /// Runs on a transfer thread: pipelined read→send of one chunk.
+  void stream_chunk(uint64_t task_id, cluster::ChunkRef chunk,
+                    cluster::NodeId dst, net::TransferMode mode,
+                    uint8_t coefficient, uint64_t packet_bytes);
+
+  void report_failure(uint64_t task_id, const std::string& error);
+  void spawn_worker(std::function<void()> fn);
+
+  cluster::NodeId id_;
+  net::Transport& transport_;
+  ChunkStore& store_;
+  AgentOptions options_;
+
+  std::thread dispatcher_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  std::unordered_map<uint64_t, TransferState> tasks_;  // dispatcher-only
+  std::atomic<bool> killed_{false};
+  bool started_ = false;
+};
+
+}  // namespace fastpr::agent

@@ -1,0 +1,159 @@
+#include "agent/chunk_store.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/crc32c.h"
+
+namespace fastpr::agent {
+
+ChunkStore::ChunkStore(const Options& options, const ChunkOracle* oracle)
+    : options_(options),
+      oracle_(oracle),
+      disk_(std::make_unique<TokenBucket>(options.disk_bytes_per_sec)) {
+  if (options_.directory.has_value()) {
+    std::filesystem::create_directories(*options_.directory);
+  }
+}
+
+std::filesystem::path ChunkStore::path_for(cluster::ChunkRef chunk) const {
+  std::ostringstream name;
+  name << "s" << chunk.stripe << "_i" << chunk.index << ".chunk";
+  return *options_.directory / name.str();
+}
+
+void ChunkStore::write(cluster::ChunkRef chunk, std::vector<uint8_t> data) {
+  disk_->acquire(static_cast<int64_t>(data.size()));
+  write_unthrottled(chunk, std::move(data));
+}
+
+std::optional<std::vector<uint8_t>> ChunkStore::read_unthrottled(
+    cluster::ChunkRef chunk) const {
+  std::optional<std::vector<uint8_t>> materialized;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (read_errors_.count(chunk) != 0) return std::nullopt;
+    const auto it = chunks_.find(chunk);
+    if (it != chunks_.end()) materialized = it->second;
+  }
+  if (materialized.has_value()) return materialized;
+
+  // File-backed?
+  if (options_.directory.has_value()) {
+    bool present;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      present = on_disk_.count(chunk) != 0;
+    }
+    if (present) {
+      std::ifstream in(path_for(chunk), std::ios::binary | std::ios::ate);
+      FASTPR_CHECK_MSG(in.good(), "chunk file disappeared");
+      const auto size = static_cast<size_t>(in.tellg());
+      in.seekg(0);
+      std::vector<uint8_t> data(size);
+      in.read(reinterpret_cast<char*>(data.data()),
+              static_cast<std::streamsize>(size));
+      FASTPR_CHECK(in.good());
+      return data;
+    }
+  }
+  // Synthesized content.
+  if (oracle_ != nullptr) return oracle_->generate(chunk);
+  return std::nullopt;
+}
+
+std::optional<std::vector<uint8_t>> ChunkStore::read(
+    cluster::ChunkRef chunk) const {
+  auto data = read_unthrottled(chunk);
+  if (data.has_value()) {
+    disk_->acquire(static_cast<int64_t>(data->size()));
+  }
+  return data;
+}
+
+void ChunkStore::write_unthrottled(cluster::ChunkRef chunk,
+                                   std::vector<uint8_t> data) {
+  const uint32_t checksum = crc32c(data);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    checksums_[chunk] = checksum;
+  }
+  if (options_.directory.has_value()) {
+    std::ofstream out(path_for(chunk), std::ios::binary | std::ios::trunc);
+    FASTPR_CHECK_MSG(out.good(), "cannot open chunk file for write");
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    FASTPR_CHECK(out.good());
+    std::lock_guard<std::mutex> lock(mutex_);
+    on_disk_.insert(chunk);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  chunks_[chunk] = std::move(data);
+}
+
+void ChunkStore::charge_io(int64_t bytes) const { disk_->acquire(bytes); }
+
+bool ChunkStore::has_materialized(cluster::ChunkRef chunk) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return chunks_.count(chunk) != 0 || on_disk_.count(chunk) != 0;
+}
+
+bool ChunkStore::contains(cluster::ChunkRef chunk) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (chunks_.count(chunk) != 0 || on_disk_.count(chunk) != 0) return true;
+  }
+  if (oracle_ != nullptr) {
+    return oracle_->generate(chunk).has_value();
+  }
+  return false;
+}
+
+void ChunkStore::erase(cluster::ChunkRef chunk) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  chunks_.erase(chunk);
+  checksums_.erase(chunk);
+  if (on_disk_.erase(chunk) != 0) {
+    std::filesystem::remove(path_for(chunk));
+  }
+}
+
+void ChunkStore::inject_read_error(cluster::ChunkRef chunk) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  read_errors_.insert(chunk);
+}
+
+void ChunkStore::clear_read_errors() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  read_errors_.clear();
+}
+
+void ChunkStore::corrupt(cluster::ChunkRef chunk, size_t byte_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = chunks_.find(chunk);
+  FASTPR_CHECK_MSG(it != chunks_.end(),
+                   "can only corrupt an in-memory materialized chunk");
+  FASTPR_CHECK(byte_index < it->second.size());
+  it->second[byte_index] ^= 0x01;
+}
+
+std::vector<cluster::ChunkRef> ChunkStore::scrub() const {
+  std::vector<cluster::ChunkRef> damaged;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [ref, data] : chunks_) {
+    const auto it = checksums_.find(ref);
+    if (it == checksums_.end() || crc32c(data) != it->second) {
+      damaged.push_back(ref);
+    }
+  }
+  return damaged;
+}
+
+size_t ChunkStore::materialized_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return chunks_.size() + on_disk_.size();
+}
+
+}  // namespace fastpr::agent

@@ -1,0 +1,177 @@
+#include "agent/coordinator.h"
+
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace fastpr::agent {
+
+using cluster::ChunkRef;
+using cluster::NodeId;
+using net::Message;
+using net::MessageType;
+
+Coordinator::Coordinator(NodeId id, net::Transport& transport,
+                         const ec::ErasureCode& code,
+                         const cluster::StripeLayout& layout,
+                         const CoordinatorOptions& options)
+    : id_(id),
+      transport_(transport),
+      code_(code),
+      layout_(layout),
+      options_(options) {
+  FASTPR_CHECK(options.chunk_bytes >= 1);
+  FASTPR_CHECK(options.packet_bytes >= 1);
+  FASTPR_CHECK(options.packet_bytes <= options.chunk_bytes);
+}
+
+void Coordinator::issue_reconstruction(uint64_t task_id,
+                                       const core::ReconstructionTask& task) {
+  // Decode coefficients for this helper set.
+  std::vector<int> helper_indices;
+  helper_indices.reserve(task.sources.size());
+  for (const auto& src : task.sources) {
+    helper_indices.push_back(src.chunk.index);
+  }
+  const auto coeffs =
+      code_.repair_coefficients(task.chunk.index, helper_indices);
+  FASTPR_CHECK(coeffs.size() == task.sources.size());
+
+  Message cmd;
+  cmd.type = MessageType::kReconstructCmd;
+  cmd.from = id_;
+  cmd.to = task.dst;
+  cmd.task_id = task_id;
+  cmd.chunk = task.chunk;
+  cmd.dst = task.dst;
+  cmd.chunk_bytes = options_.chunk_bytes;
+  cmd.packet_bytes = options_.packet_bytes;
+  for (size_t i = 0; i < task.sources.size(); ++i) {
+    cmd.sources.push_back(net::SourceSpec{task.sources[i].node,
+                                          task.sources[i].chunk, coeffs[i]});
+  }
+  transport_.send(std::move(cmd));
+}
+
+void Coordinator::issue_migration(uint64_t task_id,
+                                  const core::MigrationTask& task) {
+  Message cmd;
+  cmd.type = MessageType::kMigrateCmd;
+  cmd.from = id_;
+  cmd.to = task.src;
+  cmd.task_id = task_id;
+  cmd.chunk = task.chunk;
+  cmd.dst = task.dst;
+  cmd.chunk_bytes = options_.chunk_bytes;
+  cmd.packet_bytes = options_.packet_bytes;
+  transport_.send(std::move(cmd));
+}
+
+core::ReconstructionTask Coordinator::fallback_for(
+    const core::MigrationTask& task, NodeId stf) const {
+  core::ReconstructionTask recon;
+  recon.chunk = task.chunk;
+  recon.dst = task.dst;
+  // k helpers from the stripe's other nodes. We cannot use the STF node
+  // (its read just failed); beyond that any k suffice for RS, and the
+  // code object picks valid helpers for LRC.
+  const auto& nodes = layout_.stripe_nodes(task.chunk.stripe);
+  std::vector<bool> available(nodes.size(), false);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    available[i] = nodes[i] != stf && nodes[i] != task.dst;
+  }
+  const auto helpers = code_.repair_helpers(task.chunk.index, available);
+  for (int h : helpers) {
+    recon.sources.push_back(core::SourceRead{
+        nodes[static_cast<size_t>(h)], ChunkRef{task.chunk.stripe, h}});
+  }
+  return recon;
+}
+
+ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
+  using Clock = std::chrono::steady_clock;
+  ExecutionReport report;
+
+  for (size_t round_idx = 0; round_idx < plan.rounds.size(); ++round_idx) {
+    const auto& round = plan.rounds[round_idx];
+    const auto round_start = Clock::now();
+    const auto deadline = round_start + options_.round_timeout;
+
+    // Pending task bookkeeping; migrations keep their task around for
+    // potential fallback.
+    std::unordered_map<uint64_t, const core::MigrationTask*> migrations;
+    std::unordered_map<uint64_t, bool> pending;  // id → is_fallback
+
+    for (const auto& task : round.reconstructions) {
+      const uint64_t id = next_task_id_++;
+      pending[id] = false;
+      issue_reconstruction(id, task);
+    }
+    for (const auto& task : round.migrations) {
+      const uint64_t id = next_task_id_++;
+      pending[id] = false;
+      migrations[id] = &task;
+      issue_migration(id, task);
+    }
+
+    while (!pending.empty()) {
+      const auto now = Clock::now();
+      if (now >= deadline) {
+        report.success = false;
+        report.errors.push_back("round " + std::to_string(round_idx) +
+                                " timed out with " +
+                                std::to_string(pending.size()) +
+                                " tasks outstanding");
+        break;
+      }
+      const auto budget =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                now);
+      auto msg = transport_.recv(id_, budget);
+      if (!msg.has_value()) continue;  // timeout tick; loop re-checks
+
+      if (msg->type == MessageType::kTaskDone) {
+        const auto it = pending.find(msg->task_id);
+        if (it == pending.end()) continue;  // stale/duplicate ack
+        const bool was_fallback = it->second;
+        if (migrations.count(msg->task_id) != 0 && !was_fallback) {
+          ++report.migrated;
+        } else {
+          ++report.reconstructed;
+        }
+        pending.erase(it);
+      } else if (msg->type == MessageType::kTaskFailed) {
+        const auto mig = migrations.find(msg->task_id);
+        if (mig != migrations.end()) {
+          // Predictive migration failed → reactive reconstruction.
+          LOG_INFO("coordinator: migration task " << msg->task_id
+                                                  << " failed ('"
+                                                  << msg->error
+                                                  << "'); falling back");
+          const auto fallback = fallback_for(*mig->second, plan.stf_node);
+          pending.erase(msg->task_id);
+          migrations.erase(mig);
+          const uint64_t id = next_task_id_++;
+          pending[id] = true;
+          ++report.fallback_reconstructions;
+          issue_reconstruction(id, fallback);
+        } else {
+          report.success = false;
+          report.errors.push_back("task " + std::to_string(msg->task_id) +
+                                  " failed: " + msg->error);
+          pending.erase(msg->task_id);
+        }
+      }
+    }
+
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - round_start).count();
+    report.round_seconds.push_back(secs);
+    report.total_seconds += secs;
+    if (!report.success) break;
+  }
+  return report;
+}
+
+}  // namespace fastpr::agent

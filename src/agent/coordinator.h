@@ -1,0 +1,75 @@
+// The FastPR coordinator (§V): executes a RepairPlan round by round.
+//
+// Per round it issues kReconstructCmd / kMigrateCmd to the agents,
+// computes decode coefficients from the erasure code, then waits for all
+// acknowledgements before starting the next round. A failed migration
+// (e.g. the STF node died or hit a latent sector error) falls back to
+// reconstruction on the fly — the predictive repair degrades gracefully
+// into the reactive path for the affected chunks.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "cluster/stripe_layout.h"
+#include "core/repair_plan.h"
+#include "ec/erasure_code.h"
+#include "net/transport.h"
+
+namespace fastpr::agent {
+
+struct CoordinatorOptions {
+  uint64_t chunk_bytes = 0;
+  uint64_t packet_bytes = 0;
+  std::chrono::milliseconds round_timeout{120000};
+};
+
+struct ExecutionReport {
+  bool success = true;
+  double total_seconds = 0;
+  std::vector<double> round_seconds;
+  int migrated = 0;
+  int reconstructed = 0;
+  /// Migrations that failed and were re-executed as reconstructions.
+  int fallback_reconstructions = 0;
+  /// Repair traffic over the network during this execution (data
+  /// packets only; filled by Testbed::execute for in-process runs).
+  int64_t network_bytes = 0;
+  std::vector<std::string> errors;
+
+  int repaired() const { return migrated + reconstructed; }
+  double per_chunk() const {
+    return repaired() == 0 ? 0.0 : total_seconds / repaired();
+  }
+};
+
+class Coordinator {
+ public:
+  /// `layout` is the pre-repair chunk placement (used for migration
+  /// fallback helper selection); `code` supplies decode coefficients.
+  Coordinator(cluster::NodeId id, net::Transport& transport,
+              const ec::ErasureCode& code,
+              const cluster::StripeLayout& layout,
+              const CoordinatorOptions& options);
+
+  /// Runs the plan to completion (or failure). Blocking.
+  ExecutionReport execute(const core::RepairPlan& plan);
+
+ private:
+  void issue_reconstruction(uint64_t task_id,
+                            const core::ReconstructionTask& task);
+  void issue_migration(uint64_t task_id, const core::MigrationTask& task);
+  /// Builds a reconstruction for a chunk whose migration failed.
+  core::ReconstructionTask fallback_for(const core::MigrationTask& task,
+                                        cluster::NodeId stf) const;
+
+  cluster::NodeId id_;
+  net::Transport& transport_;
+  const ec::ErasureCode& code_;
+  const cluster::StripeLayout& layout_;
+  CoordinatorOptions options_;
+  uint64_t next_task_id_ = 1;
+};
+
+}  // namespace fastpr::agent

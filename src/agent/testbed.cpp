@@ -1,0 +1,227 @@
+#include "agent/testbed.h"
+
+#include "gf/gf256.h"
+#include "net/inproc_transport.h"
+#include "net/tcp_transport.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fastpr::agent {
+
+using cluster::ChunkRef;
+using cluster::NodeId;
+
+namespace {
+
+/// splitmix64: fast deterministic filler for data-chunk contents.
+uint64_t splitmix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// dst[i] ^= c for the whole buffer, word-at-a-time.
+void xor_constant(uint8_t* dst, uint8_t c, size_t len) {
+  uint64_t broadcast = c;
+  broadcast |= broadcast << 8;
+  broadcast |= broadcast << 16;
+  broadcast |= broadcast << 32;
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t w;
+    __builtin_memcpy(&w, dst + i, 8);
+    w ^= broadcast;
+    __builtin_memcpy(dst + i, &w, 8);
+  }
+  for (; i < len; ++i) dst[i] = static_cast<uint8_t>(dst[i] ^ c);
+}
+
+}  // namespace
+
+SyntheticOracle::SyntheticOracle(const ec::ErasureCode& code,
+                                 uint64_t chunk_bytes, int num_stripes,
+                                 uint64_t seed)
+    : code_(code),
+      chunk_bytes_(chunk_bytes),
+      num_stripes_(num_stripes),
+      seed_(seed),
+      pattern_(chunk_bytes) {
+  FASTPR_CHECK(chunk_bytes >= 8);
+  uint64_t state = seed ^ 0xfa57fa57fa57fa57ULL;
+  size_t i = 0;
+  for (; i + 8 <= pattern_.size(); i += 8) {
+    const uint64_t word = splitmix64(state);
+    __builtin_memcpy(pattern_.data() + i, &word, 8);
+  }
+  for (uint64_t word = splitmix64(state); i < pattern_.size(); ++i) {
+    pattern_[i] = static_cast<uint8_t>(word >> (8 * (i % 8)));
+  }
+}
+
+uint8_t SyntheticOracle::chunk_constant(cluster::StripeId stripe,
+                                        int index) const {
+  uint64_t state = seed_ ^ (static_cast<uint64_t>(stripe) << 20) ^
+                   static_cast<uint64_t>(index);
+  return static_cast<uint8_t>(splitmix64(state));
+}
+
+std::optional<std::vector<uint8_t>> SyntheticOracle::generate(
+    ChunkRef chunk) const {
+  if (chunk.stripe < 0 || chunk.stripe >= num_stripes_) return std::nullopt;
+  if (chunk.index < 0 || chunk.index >= code_.n()) return std::nullopt;
+
+  if (chunk.index < code_.k()) {
+    // Data chunk: P ⊕ c(s, j).
+    std::vector<uint8_t> data = pattern_;
+    xor_constant(data.data(), chunk_constant(chunk.stripe, chunk.index),
+                 data.size());
+    return data;
+  }
+
+  // Parity: (⊕_j w_j)·P ⊕ K by GF distributivity over XOR.
+  const auto coeffs = code_.parity_coefficients(chunk.index);
+  uint8_t coeff_sum = 0;
+  uint8_t constant = 0;
+  for (int j = 0; j < code_.k(); ++j) {
+    const uint8_t w = coeffs[static_cast<size_t>(j)];
+    coeff_sum = static_cast<uint8_t>(coeff_sum ^ w);
+    constant = static_cast<uint8_t>(
+        constant ^ gf::mul(w, chunk_constant(chunk.stripe, j)));
+  }
+  std::vector<uint8_t> parity(chunk_bytes_);
+  gf::mul_region(parity.data(), pattern_.data(), coeff_sum,
+                 parity.size());
+  xor_constant(parity.data(), constant, parity.size());
+  return parity;
+}
+
+Testbed::Testbed(const TestbedOptions& options, const ec::ErasureCode& code)
+    : options_(options), code_(code) {
+  FASTPR_CHECK(options.num_storage >= code.n());
+  FASTPR_CHECK(options.chunk_bytes >= 1 && options.packet_bytes >= 1);
+
+  const int num_nodes = options.num_storage + options.num_standby + 1;
+
+  oracle_ = std::make_unique<SyntheticOracle>(
+      code, options.chunk_bytes, options.num_stripes, options.seed);
+
+  if (options.use_tcp) {
+    net::TcpTransport::Options topts;
+    topts.net_bytes_per_sec = options.net_bytes_per_sec;
+    transport_ = std::make_unique<net::TcpTransport>(num_nodes, topts);
+  } else {
+    net::InprocTransport::Options topts;
+    topts.net_bytes_per_sec = options.net_bytes_per_sec;
+    transport_ = std::make_unique<net::InprocTransport>(num_nodes, topts);
+  }
+
+  Rng rng(options.seed);
+  layout_ = std::make_unique<cluster::StripeLayout>(
+      cluster::StripeLayout::random(options.num_storage, code.n(),
+                                    options.num_stripes, rng));
+  // The cluster's bandwidth profile feeds the planner's cost model;
+  // an unthrottled testbed (0 = no shaping) still needs positive model
+  // bandwidths, so fall back to the paper's defaults there.
+  const double model_disk = options.disk_bytes_per_sec > 0
+                                ? options.disk_bytes_per_sec
+                                : 100.0 * (1 << 20);
+  const double model_net = options.net_bytes_per_sec > 0
+                               ? options.net_bytes_per_sec
+                               : 1e9 / 8;
+  cluster_ = std::make_unique<cluster::ClusterState>(
+      options.num_storage, options.num_standby,
+      cluster::BandwidthProfile{model_disk, model_net});
+
+  const NodeId coord = coordinator_id();
+  for (NodeId node = 0; node < coord; ++node) {
+    ChunkStore::Options sopts;
+    sopts.disk_bytes_per_sec = options.disk_bytes_per_sec;
+    stores_.push_back(std::make_unique<ChunkStore>(sopts, oracle_.get()));
+    AgentOptions aopts;
+    aopts.coordinator = coord;
+    agents_.push_back(std::make_unique<Agent>(node, *transport_,
+                                              *stores_.back(), aopts));
+    agents_.back()->start();
+  }
+
+  CoordinatorOptions copts;
+  copts.chunk_bytes = options.chunk_bytes;
+  copts.packet_bytes = options.packet_bytes;
+  copts.round_timeout = options.round_timeout;
+  coordinator_ = std::make_unique<Coordinator>(coord, *transport_, code_,
+                                               *layout_, copts);
+}
+
+Testbed::~Testbed() {
+  for (auto& agent : agents_) agent->stop();
+  transport_->shutdown();
+}
+
+NodeId Testbed::coordinator_id() const {
+  return options_.num_storage + options_.num_standby;
+}
+
+Agent& Testbed::agent(NodeId node) {
+  FASTPR_CHECK(node >= 0 && node < static_cast<int>(agents_.size()));
+  return *agents_[static_cast<size_t>(node)];
+}
+
+ChunkStore& Testbed::store(NodeId node) {
+  FASTPR_CHECK(node >= 0 && node < static_cast<int>(stores_.size()));
+  return *stores_[static_cast<size_t>(node)];
+}
+
+NodeId Testbed::flag_stf() {
+  NodeId best = 0;
+  for (NodeId node = 1; node < layout_->num_nodes(); ++node) {
+    if (layout_->load(node) > layout_->load(best)) best = node;
+  }
+  cluster_->set_health(best, cluster::NodeHealth::kSoonToFail);
+  return best;
+}
+
+core::FastPrPlanner Testbed::make_planner(core::Scenario scenario) {
+  core::PlannerOptions popts;
+  popts.scenario = scenario;
+  popts.k_repair = code_.repair_fetch_count(0);
+  popts.chunk_bytes = static_cast<double>(options_.chunk_bytes);
+  popts.code = &code_;
+  return core::FastPrPlanner(*layout_, *cluster_, popts);
+}
+
+ExecutionReport Testbed::execute(const core::RepairPlan& plan) {
+  auto* inproc = dynamic_cast<net::InprocTransport*>(transport_.get());
+  const int64_t before =
+      inproc != nullptr ? inproc->total_bytes_sent() : 0;
+  auto report = coordinator_->execute(plan);
+  if (inproc != nullptr) {
+    report.network_bytes = inproc->total_bytes_sent() - before;
+  }
+  return report;
+}
+
+bool Testbed::verify(const core::RepairPlan& plan) const {
+  for (const auto& round : plan.rounds) {
+    auto check_chunk = [&](ChunkRef chunk, NodeId dst) {
+      const auto& dst_store = *stores_[static_cast<size_t>(dst)];
+      // The chunk must have been explicitly written to the destination;
+      // oracle-synthesizable content does not count as repaired.
+      if (!dst_store.has_materialized(chunk)) return false;
+      const auto repaired = dst_store.read_unthrottled(chunk);
+      if (!repaired.has_value()) return false;
+      const auto expected = oracle_->generate(chunk);
+      return expected.has_value() && *repaired == *expected;
+    };
+    for (const auto& task : round.migrations) {
+      if (!check_chunk(task.chunk, task.dst)) return false;
+    }
+    for (const auto& task : round.reconstructions) {
+      if (!check_chunk(task.chunk, task.dst)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fastpr::agent

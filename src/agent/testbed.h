@@ -1,0 +1,113 @@
+// The in-process testbed: FastPR's "25 EC2 instances" substitute.
+//
+// Wires together a shaped transport (token-bucket NICs), one throttled
+// ChunkStore per node, one Agent per storage/spare node and a
+// Coordinator, over a randomly generated erasure-coded population whose
+// chunk contents are deterministic (SyntheticOracle) so arbitrarily
+// large clusters fit in RAM. All repaired bytes are real: helpers stream
+// GF-scaled packets, destinations decode and store, and verify() checks
+// the repaired chunks byte-for-byte against the oracle.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "agent/agent.h"
+#include "agent/chunk_store.h"
+#include "agent/coordinator.h"
+#include "cluster/cluster_state.h"
+#include "cluster/stripe_layout.h"
+#include "core/fastpr.h"
+#include "ec/erasure_code.h"
+#include "net/transport.h"
+
+namespace fastpr::agent {
+
+/// Deterministic chunk contents, exactly consistent with the erasure
+/// code yet O(chunk) cheap to synthesize:
+///
+///   data chunk (s, j)  =  P ⊕ c(s, j)
+///
+/// where P is a fixed pseudo-random position pattern (shared by the
+/// oracle instance) and c(s, j) a per-chunk constant byte. Because
+/// GF(2^8) multiplication distributes over XOR, parity row p with
+/// coefficients w_j is
+///
+///   parity = ⊕_j w_j·(P ⊕ c_j) = (⊕_j w_j)·P  ⊕  K,   K = ⊕_j w_j·c_j
+///
+/// — a single table pass instead of a full stripe encode per read.
+/// Contents stay position-dependent (catches packet reorder/offset
+/// bugs) and per-chunk distinct (catches chunk mix-ups), and decoding
+/// any subset reproduces them bit-exactly.
+class SyntheticOracle final : public ChunkOracle {
+ public:
+  SyntheticOracle(const ec::ErasureCode& code, uint64_t chunk_bytes,
+                  int num_stripes, uint64_t seed);
+
+  std::optional<std::vector<uint8_t>> generate(
+      cluster::ChunkRef chunk) const override;
+
+ private:
+  /// Per-chunk constant mixed into the pattern.
+  uint8_t chunk_constant(cluster::StripeId stripe, int index) const;
+
+  const ec::ErasureCode& code_;
+  uint64_t chunk_bytes_;
+  int num_stripes_;
+  uint64_t seed_;
+  std::vector<uint8_t> pattern_;  // P
+};
+
+struct TestbedOptions {
+  int num_storage = 21;          // paper: 21 DataNode instances
+  int num_standby = 3;           // paper: 3 hot-standby instances
+  double disk_bytes_per_sec = 0;
+  double net_bytes_per_sec = 0;
+  uint64_t chunk_bytes = 0;
+  uint64_t packet_bytes = 0;
+  int num_stripes = 120;
+  uint64_t seed = 1;
+  bool use_tcp = false;          // loopback TCP instead of in-process
+  std::chrono::milliseconds round_timeout{120000};
+};
+
+class Testbed {
+ public:
+  Testbed(const TestbedOptions& options, const ec::ErasureCode& code);
+  ~Testbed();
+
+  /// Node ids: [0, storage) storage, [storage, storage+standby) spares,
+  /// coordinator = storage + standby.
+  cluster::NodeId coordinator_id() const;
+
+  cluster::StripeLayout& layout() { return *layout_; }
+  cluster::ClusterState& cluster() { return *cluster_; }
+  net::Transport& transport() { return *transport_; }
+  Agent& agent(cluster::NodeId node);
+  ChunkStore& store(cluster::NodeId node);
+
+  /// Flags the most-loaded storage node as soon-to-fail; returns it.
+  cluster::NodeId flag_stf();
+
+  /// Builds a planner bound to this testbed's layout/cluster.
+  core::FastPrPlanner make_planner(core::Scenario scenario);
+
+  /// Executes a plan with real data movement; wall-clock timed.
+  ExecutionReport execute(const core::RepairPlan& plan);
+
+  /// Byte-exact verification of every repaired chunk against the oracle.
+  bool verify(const core::RepairPlan& plan) const;
+
+ private:
+  TestbedOptions options_;
+  const ec::ErasureCode& code_;
+  std::unique_ptr<SyntheticOracle> oracle_;
+  std::unique_ptr<net::Transport> transport_;
+  std::unique_ptr<cluster::StripeLayout> layout_;
+  std::unique_ptr<cluster::ClusterState> cluster_;
+  std::vector<std::unique_ptr<ChunkStore>> stores_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::unique_ptr<Coordinator> coordinator_;
+};
+
+}  // namespace fastpr::agent

@@ -1,0 +1,76 @@
+#include "cluster/cluster_state.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fastpr::cluster {
+
+ClusterState::ClusterState(int num_storage_nodes, int num_hot_standby,
+                           BandwidthProfile bandwidth)
+    : num_storage_(num_storage_nodes),
+      num_standby_(num_hot_standby),
+      bandwidth_(bandwidth),
+      health_(static_cast<size_t>(num_storage_nodes + num_hot_standby),
+              NodeHealth::kHealthy) {
+  FASTPR_CHECK(num_storage_nodes >= 1);
+  FASTPR_CHECK(num_hot_standby >= 0);
+}
+
+bool ClusterState::is_hot_standby(NodeId node) const {
+  FASTPR_CHECK(node >= 0 && node < num_nodes());
+  return node >= num_storage_;
+}
+
+NodeHealth ClusterState::health(NodeId node) const {
+  FASTPR_CHECK(node >= 0 && node < num_nodes());
+  return health_[static_cast<size_t>(node)];
+}
+
+void ClusterState::set_health(NodeId node, NodeHealth health) {
+  FASTPR_CHECK(node >= 0 && node < num_nodes());
+  if (health == NodeHealth::kSoonToFail) {
+    const NodeId existing = stf_node();
+    FASTPR_CHECK_MSG(existing == kNoNode || existing == node,
+                     "at most one STF node at a time (paper assumption)");
+  }
+  health_[static_cast<size_t>(node)] = health;
+}
+
+NodeId ClusterState::stf_node() const {
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    if (health_[static_cast<size_t>(i)] == NodeHealth::kSoonToFail) {
+      return i;
+    }
+  }
+  return kNoNode;
+}
+
+std::vector<NodeId> ClusterState::healthy_storage_nodes() const {
+  std::vector<NodeId> nodes;
+  for (NodeId i = 0; i < num_storage_; ++i) {
+    if (health_[static_cast<size_t>(i)] == NodeHealth::kHealthy) {
+      nodes.push_back(i);
+    }
+  }
+  return nodes;
+}
+
+std::vector<NodeId> ClusterState::hot_standby_nodes() const {
+  std::vector<NodeId> nodes;
+  for (NodeId i = num_storage_; i < num_nodes(); ++i) {
+    if (health_[static_cast<size_t>(i)] == NodeHealth::kHealthy) {
+      nodes.push_back(i);
+    }
+  }
+  return nodes;
+}
+
+std::string ClusterState::to_string() const {
+  std::ostringstream os;
+  os << "cluster{storage=" << num_storage_ << ", standby=" << num_standby_
+     << ", stf=" << stf_node() << "}";
+  return os.str();
+}
+
+}  // namespace fastpr::cluster

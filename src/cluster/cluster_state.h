@@ -1,0 +1,62 @@
+// Node health and role bookkeeping for a storage cluster.
+//
+// Tracks which nodes are healthy, soon-to-fail (STF), failed, or reserved
+// as hot-standby spares. The FastPR planner consumes this to know the
+// left-side vertex set (healthy nodes) and the repair destinations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/types.h"
+
+namespace fastpr::cluster {
+
+enum class NodeHealth {
+  kHealthy,
+  kSoonToFail,  // flagged by the failure predictor; still serving reads
+  kFailed,      // actually dead; chunks unreadable
+};
+
+struct BandwidthProfile {
+  double disk_bytes_per_sec = 0.0;  // bd
+  double net_bytes_per_sec = 0.0;   // bn
+};
+
+class ClusterState {
+ public:
+  /// `num_storage_nodes` regular nodes plus `num_hot_standby` dedicated
+  /// spares (ids follow the storage nodes).
+  ClusterState(int num_storage_nodes, int num_hot_standby,
+               BandwidthProfile bandwidth);
+
+  int num_storage_nodes() const { return num_storage_; }
+  int num_hot_standby() const { return num_standby_; }
+  int num_nodes() const { return num_storage_ + num_standby_; }
+
+  bool is_hot_standby(NodeId node) const;
+  NodeHealth health(NodeId node) const;
+  void set_health(NodeId node, NodeHealth health);
+
+  /// The single STF node, or kNoNode. (The paper assumes at most one STF
+  /// node at a time; setting a second STF throws.)
+  NodeId stf_node() const;
+
+  /// Storage nodes that are healthy (excludes STF, failed, hot-standby).
+  std::vector<NodeId> healthy_storage_nodes() const;
+
+  /// Hot-standby node ids.
+  std::vector<NodeId> hot_standby_nodes() const;
+
+  const BandwidthProfile& bandwidth() const { return bandwidth_; }
+
+  std::string to_string() const;
+
+ private:
+  int num_storage_;
+  int num_standby_;
+  BandwidthProfile bandwidth_;
+  std::vector<NodeHealth> health_;
+};
+
+}  // namespace fastpr::cluster

@@ -1,0 +1,87 @@
+#include "cluster/rebalancer.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fastpr::cluster {
+
+namespace {
+
+struct LoadExtremes {
+  NodeId max_node = kNoNode;
+  NodeId min_node = kNoNode;
+  int max_load = -1;
+  int min_load = -1;
+};
+
+LoadExtremes find_extremes(const StripeLayout& layout,
+                           const std::vector<NodeId>& nodes) {
+  LoadExtremes ext;
+  for (NodeId node : nodes) {
+    const int load = layout.load(node);
+    if (ext.max_node == kNoNode || load > ext.max_load) {
+      ext.max_node = node;
+      ext.max_load = load;
+    }
+    if (ext.min_node == kNoNode || load < ext.min_load) {
+      ext.min_node = node;
+      ext.min_load = load;
+    }
+  }
+  return ext;
+}
+
+}  // namespace
+
+RebalanceReport rebalance(StripeLayout& layout,
+                          const std::vector<NodeId>& eligible_nodes,
+                          int tolerance) {
+  FASTPR_CHECK(!eligible_nodes.empty());
+  FASTPR_CHECK(tolerance >= 0);
+
+  RebalanceReport report;
+  {
+    const auto ext = find_extremes(layout, eligible_nodes);
+    report.max_load_before = ext.max_load;
+    report.min_load_before = ext.min_load;
+  }
+
+  for (;;) {
+    const auto ext = find_extremes(layout, eligible_nodes);
+    if (ext.max_load - ext.min_load <= tolerance) break;
+
+    // Move any chunk from the most-loaded node whose stripe does not
+    // already touch an underloaded node. Prefer the least-loaded legal
+    // destination to converge fast.
+    const auto chunks = layout.chunks_on(ext.max_node);  // copy-safe ref
+    bool moved = false;
+    for (ChunkRef chunk : std::vector<ChunkRef>(chunks.begin(),
+                                                chunks.end())) {
+      // Candidate destinations sorted by load.
+      std::vector<NodeId> candidates;
+      for (NodeId node : eligible_nodes) {
+        if (node == ext.max_node) continue;
+        if (layout.load(node) >= ext.max_load - 1) continue;
+        if (layout.stripe_uses_node(chunk.stripe, node)) continue;
+        candidates.push_back(node);
+      }
+      if (candidates.empty()) continue;
+      const NodeId dst = *std::min_element(
+          candidates.begin(), candidates.end(),
+          [&](NodeId a, NodeId b) { return layout.load(a) < layout.load(b); });
+      layout.move_chunk(chunk, dst);
+      ++report.moves;
+      moved = true;
+      break;
+    }
+    if (!moved) break;  // no legal move: stuck (tight fault-tolerance)
+  }
+
+  const auto ext = find_extremes(layout, eligible_nodes);
+  report.max_load_after = ext.max_load;
+  report.min_load_after = ext.min_load;
+  return report;
+}
+
+}  // namespace fastpr::cluster

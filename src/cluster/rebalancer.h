@@ -1,0 +1,31 @@
+// Background chunk rebalancer.
+//
+// The paper assumes the cluster "periodically rebalances the chunk
+// distribution in the background" after repairs skew it (§II-B). This
+// greedy rebalancer moves chunks from the most- to the least-loaded node
+// while preserving stripe-distinctness, until the max/min spread is
+// within a threshold or no legal move exists.
+#pragma once
+
+#include "cluster/stripe_layout.h"
+#include "cluster/types.h"
+
+#include <vector>
+
+namespace fastpr::cluster {
+
+struct RebalanceReport {
+  int moves = 0;
+  int max_load_before = 0;
+  int max_load_after = 0;
+  int min_load_before = 0;
+  int min_load_after = 0;
+};
+
+/// Rebalances chunk counts across `eligible_nodes` (typically the healthy
+/// storage nodes). Stops when max-min load <= `tolerance` or when stuck.
+RebalanceReport rebalance(StripeLayout& layout,
+                          const std::vector<NodeId>& eligible_nodes,
+                          int tolerance = 1);
+
+}  // namespace fastpr::cluster

@@ -1,0 +1,35 @@
+// Identifier types shared across cluster metadata, planner and testbed.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace fastpr::cluster {
+
+/// Node index within a cluster, 0-based, dense.
+using NodeId = int32_t;
+
+/// Stripe index, 0-based, dense.
+using StripeId = int32_t;
+
+constexpr NodeId kNoNode = -1;
+
+/// A chunk is identified by its stripe and its index within the stripe
+/// (0..n-1, where indices >= k are parity for systematic codes).
+struct ChunkRef {
+  StripeId stripe = -1;
+  int32_t index = -1;
+
+  auto operator<=>(const ChunkRef&) const = default;
+};
+
+struct ChunkRefHash {
+  size_t operator()(const ChunkRef& c) const {
+    return std::hash<int64_t>()(
+        (static_cast<int64_t>(c.stripe) << 32) |
+        static_cast<uint32_t>(c.index));
+  }
+};
+
+}  // namespace fastpr::cluster

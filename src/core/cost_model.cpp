@@ -1,0 +1,104 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fastpr::core {
+
+std::string to_string(Scenario s) {
+  return s == Scenario::kScattered ? "scattered" : "hot-standby";
+}
+
+CostModel::CostModel(const ModelParams& params) : params_(params) {
+  FASTPR_CHECK(params.num_nodes >= 2);
+  FASTPR_CHECK(params.stf_chunks >= 1);
+  FASTPR_CHECK(params.chunk_bytes > 0);
+  FASTPR_CHECK(params.disk_bw > 0);
+  FASTPR_CHECK(params.net_bw > 0);
+  FASTPR_CHECK(params.k_repair >= 1);
+  FASTPR_CHECK(params.k_repair <= params.num_nodes - 1);
+  FASTPR_CHECK(params.helper_bytes_fraction > 0 &&
+               params.helper_bytes_fraction <= 1.0);
+  if (params.scenario == Scenario::kHotStandby) {
+    FASTPR_CHECK(params.hot_standby >= 1);
+  }
+}
+
+double CostModel::tm() const {
+  const double c = params_.chunk_bytes;
+  return c / params_.disk_bw + c / params_.net_bw + c / params_.disk_bw;
+}
+
+double CostModel::tr(double g) const {
+  const double c = params_.chunk_bytes;
+  // Effective helper traffic: k chunks for RS/LRC; MSR helpers each
+  // ship helper_bytes_fraction of a chunk (sub-chunk reads, §II-A).
+  const double k = params_.k_repair * params_.helper_bytes_fraction;
+  if (params_.scenario == Scenario::kScattered) {
+    // Eq. (5): parallel reads, k (effective) chunks into the
+    // destination NIC, one write — independent of the round size.
+    return c / params_.disk_bw + k * c / params_.net_bw +
+           c / params_.disk_bw;
+  }
+  // Eq. (6): the h spares absorb g·k received chunks and g writes.
+  FASTPR_CHECK(g > 0);
+  const double h = params_.hot_standby;
+  return c / params_.disk_bw + g * k * c / (h * params_.net_bw) +
+         g * c / (h * params_.disk_bw);
+}
+
+double CostModel::max_parallel_groups() const {
+  return static_cast<double>(params_.num_nodes - 1) /
+         static_cast<double>(params_.k_repair);
+}
+
+double CostModel::total_time(double x, double g) const {
+  FASTPR_CHECK(x >= 0 && x <= params_.stf_chunks);
+  const double u = params_.stf_chunks;
+  return std::max(x * tm(), (u - x) / g * tr(g));
+}
+
+double CostModel::optimal_migration_chunks() const {
+  const double g = max_parallel_groups();
+  const double t_r = tr(g);
+  return params_.stf_chunks * t_r / (g * tm() + t_r);
+}
+
+double CostModel::predictive_time() const {
+  // Eq. (2): U·tr·tm / (G·tm + tr).
+  const double g = max_parallel_groups();
+  const double t_r = tr(g);
+  const double t_m = tm();
+  return params_.stf_chunks * t_r * t_m / (g * t_m + t_r);
+}
+
+double CostModel::reactive_time() const {
+  const double g = max_parallel_groups();
+  return params_.stf_chunks * tr(g) / g;
+}
+
+double CostModel::migration_only_time() const {
+  return params_.stf_chunks * tm();
+}
+
+double CostModel::predictive_time_per_chunk() const {
+  return predictive_time() / params_.stf_chunks;
+}
+
+double CostModel::reactive_time_per_chunk() const {
+  return reactive_time() / params_.stf_chunks;
+}
+
+double CostModel::migration_only_time_per_chunk() const {
+  return migration_only_time() / params_.stf_chunks;
+}
+
+int CostModel::migration_quota(int cr) const {
+  if (cr <= 0) return 0;
+  const double quota = tr(static_cast<double>(cr)) / tm();
+  return static_cast<int>(std::floor(quota));
+}
+
+}  // namespace fastpr::core

@@ -1,0 +1,85 @@
+// The paper's repair-time model (§III, Equations 1–6).
+//
+// Times are seconds; sizes bytes; bandwidths bytes/second. A repair
+// operation decomposes into sequential read → transmit → write stages,
+// coding cost and disk interference are neglected (the paper's stated
+// simplifications). Both repair scenarios are covered, and the LRC
+// extension substitutes k' = k/l and G' = (M-1)/k'.
+#pragma once
+
+#include <string>
+
+namespace fastpr::core {
+
+enum class Scenario {
+  kScattered,   // repaired chunks spread over existing healthy nodes
+  kHotStandby,  // repaired chunks written to h dedicated spare nodes
+};
+
+std::string to_string(Scenario s);
+
+/// Inputs of the analysis. `k_repair` is the number of chunks fetched to
+/// repair one chunk: k for RS(n,k); k/l for LRC (§III extension).
+struct ModelParams {
+  int num_nodes = 100;          // M (storage nodes incl. the STF node)
+  int stf_chunks = 1000;        // U, chunks on the STF node
+  double chunk_bytes = 0;      // c
+  double disk_bw = 0;          // bd, bytes/s
+  double net_bw = 0;           // bn, bytes/s
+  int k_repair = 6;             // k (or k' for LRC; d for MSR)
+  /// Fraction of a chunk each helper ships. 1.0 for RS and LRC; MSR
+  /// codes (§II-A) read d = k_repair helpers but each sends only
+  /// 1/(d-k+1) of a chunk, e.g. 0.25 for MSR(n=14, k=10, d=13).
+  double helper_bytes_fraction = 1.0;
+  int hot_standby = 3;          // h (hot-standby scenario only)
+  Scenario scenario = Scenario::kScattered;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const ModelParams& params);
+
+  const ModelParams& params() const { return params_; }
+
+  /// Eq. (4): migrate one chunk = read + transmit + write.
+  double tm() const;
+
+  /// Reconstruction time of a round repairing `g` chunks in parallel.
+  /// Scattered (Eq. 5) is independent of g; hot-standby (Eq. 6) funnels
+  /// g·k transmissions and g writes into the h spares.
+  double tr(double g) const;
+
+  /// The analysis' parallelism bound G = (M-1)/k (continuous, as §III
+  /// assumes the maximum number of non-overlapping groups exists).
+  double max_parallel_groups() const;
+
+  /// Eq. (1): total time when x chunks migrate and U-x reconstruct, both
+  /// streams running in parallel (g groups per reconstruction round).
+  double total_time(double x, double g) const;
+
+  /// Optimal migration share x* = U·tr / (G·tm + tr) at g = G.
+  double optimal_migration_chunks() const;
+
+  /// Eq. (2): minimum predictive repair time T_P.
+  double predictive_time() const;
+
+  /// Eq. (3): reactive (reconstruction-only) repair time T_R = U·tr/G.
+  double reactive_time() const;
+
+  /// Migration-only repair time U·tm (all chunks through the STF node).
+  double migration_only_time() const;
+
+  /// Per-chunk variants (what every paper figure plots).
+  double predictive_time_per_chunk() const;
+  double reactive_time_per_chunk() const;
+  double migration_only_time_per_chunk() const;
+
+  /// Scheduler hook (§IV-C): chunks to migrate during one reconstruction
+  /// round of cr chunks, cm = tr(cr)/tm, floored to whole chunks.
+  int migration_quota(int cr) const;
+
+ private:
+  ModelParams params_;
+};
+
+}  // namespace fastpr::core

@@ -1,0 +1,197 @@
+#include "core/fastpr.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "core/placement.h"
+#include "util/check.h"
+
+namespace fastpr::core {
+
+using cluster::ChunkRef;
+using cluster::NodeId;
+
+FastPrPlanner::FastPrPlanner(const cluster::StripeLayout& layout,
+                             const cluster::ClusterState& cluster,
+                             const PlannerOptions& options)
+    : layout_(layout),
+      cluster_(cluster),
+      options_(options),
+      stf_(cluster.stf_node()) {
+  FASTPR_CHECK_MSG(stf_ != cluster::kNoNode,
+                   "no STF node flagged in the cluster");
+  FASTPR_CHECK(options.k_repair >= 1);
+  FASTPR_CHECK(options.chunk_bytes > 0);
+  if (options.scenario == Scenario::kHotStandby) {
+    FASTPR_CHECK_MSG(cluster.num_hot_standby() >= 1,
+                     "hot-standby repair needs spare nodes");
+  }
+}
+
+std::vector<NodeId> FastPrPlanner::source_nodes() const {
+  return cluster_.healthy_storage_nodes();
+}
+
+std::vector<NodeId> FastPrPlanner::dest_nodes() const {
+  return options_.scenario == Scenario::kScattered
+             ? cluster_.healthy_storage_nodes()
+             : cluster_.hot_standby_nodes();
+}
+
+int FastPrPlanner::scattered_round_capacity() const {
+  const int cap = static_cast<int>(cluster_.healthy_storage_nodes().size()) -
+                  (layout_.chunks_per_stripe() - 1);
+  FASTPR_CHECK_MSG(cap >= 1,
+                   "cluster too small for scattered repair: need M - n >= 1");
+  return cap;
+}
+
+ReconSetOptions FastPrPlanner::effective_recon_options() const {
+  ReconSetOptions opts = options_.recon;
+  if (options_.scenario == Scenario::kScattered) {
+    const int cap = scattered_round_capacity();
+    opts.max_set_size =
+        opts.max_set_size > 0 ? std::min(opts.max_set_size, cap) : cap;
+  }
+  return opts;
+}
+
+CostModel FastPrPlanner::cost_model() const {
+  ModelParams params;
+  params.num_nodes = cluster_.num_storage_nodes();
+  params.stf_chunks =
+      std::max(1, static_cast<int>(layout_.chunks_on(stf_).size()));
+  params.chunk_bytes = options_.chunk_bytes;
+  params.disk_bw = cluster_.bandwidth().disk_bytes_per_sec;
+  params.net_bw = cluster_.bandwidth().net_bytes_per_sec;
+  params.k_repair = options_.k_repair;
+  params.hot_standby = std::max(1, cluster_.num_hot_standby());
+  params.scenario = options_.scenario;
+  return CostModel(params);
+}
+
+void FastPrPlanner::use_reconstruction_sets(
+    std::vector<std::vector<ChunkRef>> sets) {
+  // Exact-cover check against the STF node's chunks.
+  std::unordered_set<ChunkRef, cluster::ChunkRefHash> expected;
+  for (ChunkRef c : layout_.chunks_on(stf_)) expected.insert(c);
+  size_t covered = 0;
+  const size_t cap =
+      options_.scenario == Scenario::kScattered
+          ? static_cast<size_t>(scattered_round_capacity())
+          : std::numeric_limits<size_t>::max();
+  const size_t total = expected.size();
+  for (const auto& set : sets) {
+    FASTPR_CHECK_MSG(set.size() <= cap,
+                     "precomputed set exceeds destination capacity");
+    for (ChunkRef c : set) {
+      FASTPR_CHECK_MSG(expected.erase(c) == 1,
+                       "precomputed sets repeat a chunk or cover a "
+                       "foreign one");
+      ++covered;
+    }
+  }
+  FASTPR_CHECK_MSG(covered == total, "precomputed sets cover "
+                                         << covered << " of " << total
+                                         << " chunks");
+  cached_sets_ = std::move(sets);
+  recon_stats_ = {};
+  sets_ready_ = true;
+}
+
+const std::vector<std::vector<ChunkRef>>& FastPrPlanner::recon_sets() {
+  if (!sets_ready_) {
+    recon_stats_ = {};
+    cached_sets_ = find_reconstruction_sets(
+        layout_, stf_, source_nodes(), options_.k_repair,
+        effective_recon_options(), &recon_stats_, options_.code);
+    sets_ready_ = true;
+  }
+  return cached_sets_;
+}
+
+RepairPlan FastPrPlanner::plan_fastpr() {
+  const auto sources = source_nodes();
+  const auto dests = dest_nodes();
+
+  auto sets = recon_sets();  // copy: the scheduler splits sets
+
+  SchedulerOptions sched = options_.sched;
+  if (options_.scenario == Scenario::kScattered) {
+    sched.max_round_repairs = scattered_round_capacity();
+  }
+  const auto rounds = schedule_repair(std::move(sets), cost_model(), sched);
+
+  RepairPlan plan;
+  plan.stf_node = stf_;
+  int standby_cursor = 0;
+  for (const auto& round : rounds) {
+    plan.rounds.push_back(assign_round(layout_, stf_, sources, dests,
+                                       options_.scenario, options_.k_repair,
+                                       round, &standby_cursor,
+                                       options_.code,
+                                       options_.balance_destinations));
+  }
+  return plan;
+}
+
+RepairPlan FastPrPlanner::plan_reconstruction_only() {
+  const auto sources = source_nodes();
+  const auto dests = dest_nodes();
+  const auto& sets = recon_sets();
+
+  RepairPlan plan;
+  plan.stf_node = stf_;
+  int standby_cursor = 0;
+  for (const auto& set : sets) {
+    ScheduledRound round;
+    round.reconstruct = set;
+    plan.rounds.push_back(assign_round(layout_, stf_, sources, dests,
+                                       options_.scenario, options_.k_repair,
+                                       round, &standby_cursor,
+                                       options_.code,
+                                       options_.balance_destinations));
+  }
+  return plan;
+}
+
+RepairPlan FastPrPlanner::plan_migration_only() {
+  const auto sources = source_nodes();
+  const auto dests = dest_nodes();
+  const auto chunks = layout_.chunks_on(stf_);
+
+  RepairPlan plan;
+  plan.stf_node = stf_;
+  int standby_cursor = 0;
+
+  if (options_.scenario == Scenario::kHotStandby) {
+    ScheduledRound round;
+    round.migrate = chunks;
+    plan.rounds.push_back(assign_round(layout_, stf_, sources, dests,
+                                       options_.scenario, options_.k_repair,
+                                       round, &standby_cursor,
+                                       options_.code,
+                                       options_.balance_destinations));
+    return plan;
+  }
+
+  // Scattered: batch into rounds small enough that every batch admits a
+  // perfect destination matching. (Rounds do not change migration time —
+  // the STF node serializes them anyway.)
+  const size_t batch = static_cast<size_t>(scattered_round_capacity());
+  for (size_t start = 0; start < chunks.size(); start += batch) {
+    ScheduledRound round;
+    const size_t end = std::min(chunks.size(), start + batch);
+    round.migrate.assign(chunks.begin() + static_cast<ptrdiff_t>(start),
+                         chunks.begin() + static_cast<ptrdiff_t>(end));
+    plan.rounds.push_back(assign_round(layout_, stf_, sources, dests,
+                                       options_.scenario, options_.k_repair,
+                                       round, &standby_cursor,
+                                       options_.code,
+                                       options_.balance_destinations));
+  }
+  return plan;
+}
+
+}  // namespace fastpr::core

@@ -1,0 +1,91 @@
+// FastPR planner facade: cluster metadata + STF node in, RepairPlan out.
+//
+// Also builds the two baseline plans the paper evaluates against:
+//  * migration-only — every chunk relocated off the STF node;
+//  * reconstruction-only — every chunk decoded (this is the conventional
+//    reactive repair, executed proactively).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster_state.h"
+#include "cluster/stripe_layout.h"
+#include "core/cost_model.h"
+#include "core/recon_sets.h"
+#include "core/repair_plan.h"
+#include "core/scheduler.h"
+
+namespace fastpr::core {
+
+struct PlannerOptions {
+  Scenario scenario = Scenario::kScattered;
+  /// Helper chunks fetched per repaired chunk (k for RS, k/l for LRC).
+  /// Feeds the cost model; also the matching fetch count when no `code`
+  /// is given.
+  int k_repair = 6;
+  double chunk_bytes = 0;
+  /// Optional erasure code: when set, the matching honors the code's
+  /// per-chunk helper counts and candidate sets (LRC locality). Must
+  /// outlive the planner.
+  const ec::ErasureCode* code = nullptr;
+  /// Load-aware scattered destinations (min-cost matching on current
+  /// chunk counts) instead of an arbitrary maximum matching.
+  bool balance_destinations = false;
+  ReconSetOptions recon;
+  SchedulerOptions sched;
+};
+
+class FastPrPlanner {
+ public:
+  /// The STF node must already be flagged in `cluster`. Both references
+  /// must outlive the planner.
+  FastPrPlanner(const cluster::StripeLayout& layout,
+                const cluster::ClusterState& cluster,
+                const PlannerOptions& options);
+
+  /// The coupled migration+reconstruction plan (Algorithms 1 and 2).
+  RepairPlan plan_fastpr();
+
+  /// Baseline: one reconstruction set per round, no migration.
+  RepairPlan plan_reconstruction_only();
+
+  /// Baseline: migrate everything, destinations spread for balance.
+  RepairPlan plan_migration_only();
+
+  /// The §III analysis instantiated for this cluster (U = chunks on the
+  /// STF node, M = storage-node count, bandwidths from the cluster).
+  CostModel cost_model() const;
+
+  /// §IV-D: seed the planner with precomputed reconstruction sets
+  /// (e.g. from a ReconSetCache) instead of running Algorithm 1 now.
+  /// The sets must exactly cover the STF node's chunks and respect the
+  /// scattered destination capacity; both are checked.
+  void use_reconstruction_sets(
+      std::vector<std::vector<cluster::ChunkRef>> sets);
+
+  /// Stats of the last find_reconstruction_sets run.
+  const ReconSetStats& recon_stats() const { return recon_stats_; }
+
+ private:
+  std::vector<cluster::NodeId> source_nodes() const;
+  std::vector<cluster::NodeId> dest_nodes() const;
+  /// Largest per-round repair count for which a scattered destination
+  /// matching is guaranteed (Hall): |dest| - (n-1).
+  int scattered_round_capacity() const;
+
+  ReconSetOptions effective_recon_options() const;
+
+  /// Algorithm 1 output, computed once and shared by plan_fastpr and
+  /// plan_reconstruction_only (both partition the same chunk set).
+  const std::vector<std::vector<cluster::ChunkRef>>& recon_sets();
+
+  const cluster::StripeLayout& layout_;
+  const cluster::ClusterState& cluster_;
+  PlannerOptions options_;
+  cluster::NodeId stf_;
+  ReconSetStats recon_stats_;
+  std::vector<std::vector<cluster::ChunkRef>> cached_sets_;
+  bool sets_ready_ = false;
+};
+
+}  // namespace fastpr::core

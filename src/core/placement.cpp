@@ -1,0 +1,197 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "matching/bipartite_graph.h"
+#include "matching/hopcroft_karp.h"
+#include "matching/min_cost_matching.h"
+#include "matching/incremental_matching.h"
+#include "util/check.h"
+
+namespace fastpr::core {
+
+namespace {
+
+using cluster::ChunkRef;
+using cluster::NodeId;
+using cluster::StripeLayout;
+
+/// Helper chunk stored by `node` for `stripe` (node must hold exactly
+/// one — stripes never co-locate).
+ChunkRef chunk_of_stripe_on(const StripeLayout& layout,
+                            cluster::StripeId stripe, NodeId node) {
+  const auto& nodes = layout.stripe_nodes(stripe);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] == node) {
+      return ChunkRef{stripe, static_cast<int32_t>(i)};
+    }
+  }
+  FASTPR_CHECK_MSG(false, "node " << node << " holds no chunk of stripe "
+                                  << stripe);
+  return {};
+}
+
+}  // namespace
+
+RepairRound assign_round(const StripeLayout& layout, NodeId stf,
+                         const std::vector<NodeId>& source_nodes,
+                         const std::vector<NodeId>& dest_nodes,
+                         Scenario scenario, int k_repair,
+                         const ScheduledRound& round, int* standby_cursor,
+                         const ec::ErasureCode* code,
+                         bool balance_destinations) {
+  RepairRound out;
+
+  // ---- Source selection (Figure 4(b) matching). ----
+  std::unordered_map<NodeId, int> left_of_node;
+  for (size_t i = 0; i < source_nodes.size(); ++i) {
+    left_of_node[source_nodes[i]] = static_cast<int>(i);
+  }
+  const auto fetch_count = [&](ChunkRef chunk) {
+    return code != nullptr ? code->repair_fetch_count(chunk.index)
+                           : k_repair;
+  };
+  matching::IncrementalMatcher matcher(
+      static_cast<int>(source_nodes.size()));
+  std::deque<std::vector<int>> adjacency_store;  // stable for the matcher
+  for (ChunkRef chunk : round.reconstruct) {
+    const auto& nodes = layout.stripe_nodes(chunk.stripe);
+    std::vector<int> adj;
+    auto consider = [&](NodeId node) {
+      if (node == stf) return;
+      const auto it = left_of_node.find(node);
+      if (it != left_of_node.end()) adj.push_back(it->second);
+    };
+    if (code != nullptr) {
+      for (int idx : code->helper_candidates(chunk.index)) {
+        consider(nodes[static_cast<size_t>(idx)]);
+      }
+    } else {
+      for (NodeId node : nodes) consider(node);
+    }
+    adjacency_store.push_back(std::move(adj));
+    FASTPR_CHECK_MSG(
+        matcher.try_add_group(adjacency_store.back(), fetch_count(chunk)),
+        "scheduled reconstruction set is not matchable — Algorithm 1 "
+        "invariant violated");
+  }
+  // Extract the k helper reads per reconstructed chunk.
+  {
+    int right = 0;
+    for (ChunkRef chunk : round.reconstruct) {
+      ReconstructionTask task;
+      task.chunk = chunk;
+      const int k_this = fetch_count(chunk);
+      for (int t = 0; t < k_this; ++t, ++right) {
+        const int left = matcher.matched_left(right);
+        const NodeId node = source_nodes[static_cast<size_t>(left)];
+        task.sources.push_back(
+            SourceRead{node, chunk_of_stripe_on(layout, chunk.stripe, node)});
+      }
+      out.reconstructions.push_back(std::move(task));
+    }
+  }
+
+  // ---- Migration tasks (destinations filled below). ----
+  for (ChunkRef chunk : round.migrate) {
+    out.migrations.push_back(MigrationTask{chunk, stf, cluster::kNoNode});
+  }
+
+  // ---- Destination selection. ----
+  if (scenario == Scenario::kHotStandby) {
+    FASTPR_CHECK(!dest_nodes.empty());
+    FASTPR_CHECK(standby_cursor != nullptr);
+    auto next_spare = [&]() {
+      const NodeId node =
+          dest_nodes[static_cast<size_t>(*standby_cursor) % dest_nodes.size()];
+      ++*standby_cursor;
+      return node;
+    };
+    for (auto& task : out.reconstructions) task.dst = next_spare();
+    for (auto& task : out.migrations) task.dst = next_spare();
+    return out;
+  }
+
+  if (balance_destinations) {
+    // Load-aware variant: min-cost matching with cost = current chunk
+    // count of the candidate destination.
+    matching::WeightedBipartiteGraph graph;
+    graph.left_count = static_cast<int>(dest_nodes.size());
+    auto weighted_adjacency = [&](cluster::StripeId stripe) {
+      std::vector<std::pair<int, double>> adj;
+      for (size_t i = 0; i < dest_nodes.size(); ++i) {
+        const NodeId node = dest_nodes[i];
+        if (node == stf) continue;
+        if (!layout.stripe_uses_node(stripe, node)) {
+          adj.emplace_back(static_cast<int>(i),
+                           static_cast<double>(layout.load(node)));
+        }
+      }
+      return adj;
+    };
+    for (const auto& task : out.reconstructions) {
+      graph.add_right_vertex(weighted_adjacency(task.chunk.stripe));
+    }
+    for (const auto& task : out.migrations) {
+      graph.add_right_vertex(weighted_adjacency(task.chunk.stripe));
+    }
+    const auto assignment = matching::min_cost_matching(graph);
+    FASTPR_CHECK_MSG(assignment.has_value(),
+                     "no destination assignment exists (balanced)");
+    int right = 0;
+    for (auto& task : out.reconstructions) {
+      task.dst =
+          dest_nodes[static_cast<size_t>((*assignment)[static_cast<size_t>(
+              right++)])];
+    }
+    for (auto& task : out.migrations) {
+      task.dst =
+          dest_nodes[static_cast<size_t>((*assignment)[static_cast<size_t>(
+              right++)])];
+    }
+    return out;
+  }
+
+  // Scattered (Figure 4(c) matching): one stripe vertex per repaired
+  // chunk, adjacent to every destination candidate that holds none of
+  // the stripe's chunks.
+  matching::BipartiteGraph graph;
+  graph.left_count = static_cast<int>(dest_nodes.size());
+  auto stripe_adjacency = [&](cluster::StripeId stripe) {
+    std::vector<int> adj;
+    for (size_t i = 0; i < dest_nodes.size(); ++i) {
+      const NodeId node = dest_nodes[i];
+      if (node == stf) continue;
+      if (!layout.stripe_uses_node(stripe, node)) {
+        adj.push_back(static_cast<int>(i));
+      }
+    }
+    return adj;
+  };
+  for (const auto& task : out.reconstructions) {
+    graph.add_right_vertex(stripe_adjacency(task.chunk.stripe));
+  }
+  for (const auto& task : out.migrations) {
+    graph.add_right_vertex(stripe_adjacency(task.chunk.stripe));
+  }
+  const auto matching = matching::hopcroft_karp(graph);
+  FASTPR_CHECK_MSG(
+      matching.is_perfect_on_right(),
+      "no destination assignment exists: need M - n >= cm + cr (round of "
+          << graph.right_count() << " repairs over " << dest_nodes.size()
+          << " candidates)");
+  int right = 0;
+  for (auto& task : out.reconstructions) {
+    task.dst = dest_nodes[static_cast<size_t>(
+        matching.right_to_left[static_cast<size_t>(right++)])];
+  }
+  for (auto& task : out.migrations) {
+    task.dst = dest_nodes[static_cast<size_t>(
+        matching.right_to_left[static_cast<size_t>(right++)])];
+  }
+  return out;
+}
+
+}  // namespace fastpr::core

@@ -1,0 +1,40 @@
+// Turns a scheduled round into executable tasks (§IV-A):
+//  * source selection — a bipartite matching assigns each reconstructed
+//    chunk k helper reads on k distinct healthy nodes (at most one read
+//    per node per round);
+//  * destination selection — scattered repair matches each repaired
+//    stripe to a healthy node that holds none of its chunks (Hall's
+//    theorem guarantees a perfect matching when M - n >= cm + cr);
+//    hot-standby repair spreads destinations round-robin over the spares.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/stripe_layout.h"
+#include "core/cost_model.h"
+#include "core/repair_plan.h"
+#include "core/scheduler.h"
+#include "ec/erasure_code.h"
+
+namespace fastpr::core {
+
+/// Assigns sources and destinations for one scheduled round.
+/// `source_nodes`: healthy nodes eligible for helper reads.
+/// `dest_nodes`: scattered → healthy storage nodes; hot-standby → spares.
+/// `standby_cursor`: round-robin state across rounds (hot-standby only).
+/// When `code` is given, per-chunk helper counts and candidate indices
+/// come from it (LRC locality); otherwise RS semantics with k_repair.
+/// `balance_destinations`: pick the scattered destination matching that
+/// minimizes total destination load (min-cost matching over current
+/// chunk counts) instead of an arbitrary maximum matching.
+RepairRound assign_round(const cluster::StripeLayout& layout,
+                         cluster::NodeId stf,
+                         const std::vector<cluster::NodeId>& source_nodes,
+                         const std::vector<cluster::NodeId>& dest_nodes,
+                         Scenario scenario, int k_repair,
+                         const ScheduledRound& round, int* standby_cursor,
+                         const ec::ErasureCode* code = nullptr,
+                         bool balance_destinations = false);
+
+}  // namespace fastpr::core

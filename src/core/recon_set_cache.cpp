@@ -1,0 +1,55 @@
+#include "core/recon_set_cache.h"
+
+#include "util/check.h"
+
+namespace fastpr::core {
+
+ReconSetCache::ReconSetCache(const Options& options) : options_(options) {
+  FASTPR_CHECK(options.k_repair >= 1);
+}
+
+void ReconSetCache::precompute(const cluster::StripeLayout& layout,
+                               const cluster::ClusterState& cluster,
+                               cluster::NodeId node) {
+  FASTPR_CHECK(node >= 0 && node < cluster.num_storage_nodes());
+  // Helpers: every healthy storage node except the candidate itself
+  // (exactly the set the planner would use if `node` turned STF).
+  std::vector<cluster::NodeId> sources;
+  for (cluster::NodeId n : cluster.healthy_storage_nodes()) {
+    if (n != node) sources.push_back(n);
+  }
+  Entry entry;
+  entry.layout_version = layout.version();
+  entry.sets =
+      find_reconstruction_sets(layout, node, sources, options_.k_repair,
+                               options_.recon, nullptr, options_.code);
+  entries_[node] = std::move(entry);
+}
+
+void ReconSetCache::precompute_all(const cluster::StripeLayout& layout,
+                                   const cluster::ClusterState& cluster) {
+  for (cluster::NodeId node : cluster.healthy_storage_nodes()) {
+    precompute(layout, cluster, node);
+  }
+}
+
+std::optional<std::vector<std::vector<cluster::ChunkRef>>>
+ReconSetCache::lookup(const cluster::StripeLayout& layout,
+                      cluster::NodeId node) const {
+  const auto it = entries_.find(node);
+  if (it == entries_.end()) return std::nullopt;
+  if (it->second.layout_version != layout.version()) return std::nullopt;
+  return it->second.sets;
+}
+
+void ReconSetCache::evict_stale(const cluster::StripeLayout& layout) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.layout_version != layout.version()) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace fastpr::core

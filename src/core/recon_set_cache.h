@@ -1,0 +1,63 @@
+// §IV-D mitigation #2: "run Algorithm 1 for each possible STF node in
+// advance and store the results when they are required".
+//
+// Algorithm 1 costs seconds-to-minutes for large |C| (Experiment B.5),
+// which is dead time once a predictor flags a node. This cache
+// precomputes the reconstruction sets for every candidate STF node in
+// the background; when the flag arrives, the planner starts from the
+// stored partition immediately. Entries are invalidated by the layout's
+// version counter (any chunk movement changes the matching problem).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/stripe_layout.h"
+#include "core/recon_sets.h"
+
+namespace fastpr::core {
+
+class ReconSetCache {
+ public:
+  struct Options {
+    int k_repair = 6;
+    ReconSetOptions recon;
+    const ec::ErasureCode* code = nullptr;
+  };
+
+  explicit ReconSetCache(const Options& options);
+
+  /// Runs Algorithm 1 for `node` as the hypothetical STF (helpers =
+  /// every healthy storage node except it) and stores the partition.
+  void precompute(const cluster::StripeLayout& layout,
+                  const cluster::ClusterState& cluster,
+                  cluster::NodeId node);
+
+  /// Precomputes every healthy storage node (the background sweep).
+  void precompute_all(const cluster::StripeLayout& layout,
+                      const cluster::ClusterState& cluster);
+
+  /// Stored reconstruction sets for `node`, or nullopt when absent or
+  /// stale (layout changed since precomputation).
+  std::optional<std::vector<std::vector<cluster::ChunkRef>>> lookup(
+      const cluster::StripeLayout& layout, cluster::NodeId node) const;
+
+  /// Drops entries whose layout version is older than `layout`'s.
+  void evict_stale(const cluster::StripeLayout& layout);
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t layout_version = 0;
+    std::vector<std::vector<cluster::ChunkRef>> sets;
+  };
+
+  Options options_;
+  std::unordered_map<cluster::NodeId, Entry> entries_;
+};
+
+}  // namespace fastpr::core

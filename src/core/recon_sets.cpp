@@ -1,0 +1,269 @@
+#include "core/recon_sets.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "matching/incremental_matching.h"
+#include "util/check.h"
+
+namespace fastpr::core {
+
+namespace {
+
+using cluster::ChunkRef;
+using cluster::NodeId;
+using cluster::StripeLayout;
+using matching::IncrementalMatcher;
+
+/// Shared context: node→left-index mapping and per-stripe adjacency.
+class MatchContext {
+ public:
+  MatchContext(const StripeLayout& layout, NodeId stf,
+               const std::vector<NodeId>& healthy, int k_repair,
+               int max_set_size, ReconSetStats* stats,
+               const ec::ErasureCode* code)
+      : layout_(layout),
+        stf_(stf),
+        k_(k_repair),
+        max_set_size_(max_set_size),
+        stats_(stats),
+        code_(code) {
+    left_of_node_.reserve(healthy.size());
+    for (size_t i = 0; i < healthy.size(); ++i) {
+      FASTPR_CHECK(stf == cluster::kNoNode || healthy[i] != stf);
+      left_of_node_[healthy[i]] = static_cast<int>(i);
+    }
+    left_count_ = static_cast<int>(healthy.size());
+  }
+
+  int left_count() const { return left_count_; }
+  int k() const { return k_; }
+
+  /// Helper chunks this particular chunk's repair fetches.
+  int fetch_count(ChunkRef chunk) const {
+    return code_ != nullptr ? code_->repair_fetch_count(chunk.index) : k_;
+  }
+
+  /// Max chunks any reconstruction set can hold: floor((M-1)/k),
+  /// further capped by the planner's destination-feasibility bound.
+  int capacity() const {
+    const int matching_cap = left_count_ / k_;
+    return max_set_size_ > 0 ? std::min(matching_cap, max_set_size_)
+                             : matching_cap;
+  }
+
+  /// Adjacency of one helper slot for `chunk`: left indices of eligible
+  /// nodes storing a VALID helper chunk (code-aware for LRC locality;
+  /// excludes the STF node and nodes outside the healthy source list).
+  const std::vector<int>& slot_adjacency(ChunkRef chunk) {
+    auto it = chunk_adj_.find(chunk);
+    if (it != chunk_adj_.end()) return it->second;
+    const auto& nodes = layout_.stripe_nodes(chunk.stripe);
+    std::vector<int> adj;
+    auto consider = [&](NodeId node) {
+      if (node == stf_) return;
+      const auto li = left_of_node_.find(node);
+      if (li != left_of_node_.end()) adj.push_back(li->second);
+    };
+    if (code_ != nullptr) {
+      for (int idx : code_->helper_candidates(chunk.index)) {
+        consider(nodes[static_cast<size_t>(idx)]);
+      }
+    } else {
+      for (NodeId node : nodes) consider(node);
+    }
+    FASTPR_CHECK_MSG(static_cast<int>(adj.size()) >= fetch_count(chunk),
+                     "stripe " << chunk.stripe
+                               << " has fewer than k' healthy sources");
+    return chunk_adj_.emplace(chunk, std::move(adj)).first->second;
+  }
+
+  /// The MATCH function: can `chunk` join the set held by `matcher`?
+  /// On success the k slot vertices stay committed.
+  bool try_match(IncrementalMatcher& matcher, ChunkRef chunk) {
+    if (stats_ != nullptr) ++stats_->match_calls;
+    const int k_this = fetch_count(chunk);
+    // Arithmetic prune: no room for k' more distinct source nodes.
+    if (matcher.right_count() + k_this > left_count_) return false;
+    // Chunk adjacency is cached in chunk_adj_ (stable storage), so the
+    // matcher may hold it by pointer.
+    return matcher.try_add_group(slot_adjacency(chunk), k_this);
+  }
+
+ private:
+  const StripeLayout& layout_;
+  NodeId stf_;
+  int k_;
+  int max_set_size_;
+  ReconSetStats* stats_;
+  const ec::ErasureCode* code_;
+  int left_count_ = 0;
+  std::unordered_map<NodeId, int> left_of_node_;
+  std::unordered_map<ChunkRef, std::vector<int>, cluster::ChunkRefHash>
+      chunk_adj_;
+};
+
+/// The FIND function of Algorithm 1. Extracts one reconstruction set
+/// from `chunks` (removing its members) and returns it.
+std::vector<ChunkRef> find_one_set(MatchContext& ctx,
+                                   std::vector<ChunkRef>& chunks,
+                                   const ReconSetOptions& options,
+                                   ReconSetStats* stats) {
+  std::vector<ChunkRef> r;
+  IncrementalMatcher matcher(ctx.left_count());
+
+  // Lines 10–17: greedy initial set.
+  {
+    std::vector<ChunkRef> residual;
+    residual.reserve(chunks.size());
+    for (ChunkRef c : chunks) {
+      if (static_cast<int>(r.size()) < ctx.capacity() &&
+          ctx.try_match(matcher, c)) {
+        r.push_back(c);
+      } else {
+        residual.push_back(c);
+      }
+    }
+    chunks.swap(residual);
+  }
+
+  // Lines 18–38: swap optimization. Skipped when the set already has the
+  // maximum conceivable size — no swap can grow it further.
+  while (options.optimize && !chunks.empty() &&
+         static_cast<int>(r.size()) < ctx.capacity()) {
+    const int max_gain = ctx.capacity() - static_cast<int>(r.size());
+    size_t best_i = 0, best_j = 0;
+    std::vector<ChunkRef> best_gain_set;
+
+    for (size_t i = 0; i < r.size(); ++i) {
+      // Base matcher over R − {Ci}, shared by every j (the probe for
+      // R' = R ∪ {Cj} − {Ci} is a copy plus one group insertion).
+      IncrementalMatcher base(ctx.left_count());
+      bool feasible = true;
+      for (size_t t = 0; t < r.size() && feasible; ++t) {
+        if (t == i) continue;
+        feasible = ctx.try_match(base, r[t]);
+      }
+      if (!feasible) continue;  // cannot happen for subsets, defensive
+      for (size_t j = 0; j < chunks.size(); ++j) {
+        IncrementalMatcher probe = base;
+        if (!ctx.try_match(probe, chunks[j])) continue;
+
+        // Grow R' with whatever residual chunks now fit (Lines 24–29).
+        std::vector<ChunkRef> gain_set;
+        for (size_t l = 0; l < chunks.size(); ++l) {
+          if (l == j) continue;
+          // |R'| = |R| + gains; stop once the set-size cap is reached.
+          if (static_cast<int>(r.size() + gain_set.size()) >=
+              ctx.capacity()) {
+            break;
+          }
+          if (ctx.try_match(probe, chunks[l])) {
+            gain_set.push_back(chunks[l]);
+          }
+        }
+        if (gain_set.size() > best_gain_set.size()) {
+          best_i = i;
+          best_j = j;
+          best_gain_set = std::move(gain_set);
+          if (static_cast<int>(best_gain_set.size()) >= max_gain) break;
+        }
+      }
+      if (static_cast<int>(best_gain_set.size()) >= max_gain) break;
+    }
+
+    if (best_gain_set.empty()) break;  // Line 36: no further expansion
+    if (stats != nullptr) ++stats->swaps;
+
+    // Lines 33–35: commit the swap. Ci* returns to the residual pool,
+    // Cj* and the gain set join R.
+    const ChunkRef swapped_out = r[best_i];
+    const ChunkRef swapped_in = chunks[best_j];
+    r.erase(r.begin() + static_cast<ptrdiff_t>(best_i));
+    r.push_back(swapped_in);
+    for (ChunkRef c : best_gain_set) r.push_back(c);
+
+    std::vector<ChunkRef> residual;
+    residual.reserve(chunks.size());
+    for (ChunkRef c : chunks) {
+      if (c == swapped_in) continue;
+      if (std::find(best_gain_set.begin(), best_gain_set.end(), c) !=
+          best_gain_set.end()) {
+        continue;
+      }
+      residual.push_back(c);
+    }
+    residual.push_back(swapped_out);
+    chunks.swap(residual);
+
+    // Rebuild the committed matcher to reflect the new R.
+    matcher.reset();
+    for (ChunkRef c : r) {
+      FASTPR_CHECK_MSG(ctx.try_match(matcher, c),
+                       "swap produced an inconsistent reconstruction set");
+    }
+  }
+
+  FASTPR_CHECK_MSG(!r.empty(),
+                   "FIND produced an empty reconstruction set — some chunk "
+                   "has no k healthy sources");
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::vector<ChunkRef>> find_reconstruction_sets(
+    const StripeLayout& layout, NodeId stf,
+    const std::vector<NodeId>& healthy_sources, int k_repair,
+    const ReconSetOptions& options, ReconSetStats* stats,
+    const ec::ErasureCode* code) {
+  return find_reconstruction_sets_for(layout.chunks_on(stf), layout,
+                                      healthy_sources, k_repair, options,
+                                      stats, code);
+}
+
+std::vector<std::vector<ChunkRef>> find_reconstruction_sets_for(
+    std::vector<ChunkRef> all_chunks, const StripeLayout& layout,
+    const std::vector<NodeId>& healthy_sources, int k_repair,
+    const ReconSetOptions& options, ReconSetStats* stats,
+    const ec::ErasureCode* code) {
+  FASTPR_CHECK(k_repair >= 1);
+  FASTPR_CHECK_MSG(static_cast<int>(healthy_sources.size()) >= k_repair,
+                   "need at least k healthy source nodes");
+
+  MatchContext ctx(layout, cluster::kNoNode, healthy_sources, k_repair,
+                   options.max_set_size, stats, code);
+
+  std::vector<std::vector<ChunkRef>> sets;
+
+  // §IV-D mitigation: operate on chunk groups independently.
+  const int group_size = options.chunk_group_size > 0
+                             ? options.chunk_group_size
+                             : static_cast<int>(all_chunks.size());
+  for (size_t start = 0; start < all_chunks.size();
+       start += static_cast<size_t>(group_size)) {
+    const size_t end =
+        std::min(all_chunks.size(), start + static_cast<size_t>(group_size));
+    std::vector<ChunkRef> group(all_chunks.begin() + static_cast<ptrdiff_t>(start),
+                                all_chunks.begin() + static_cast<ptrdiff_t>(end));
+    while (!group.empty()) {
+      sets.push_back(find_one_set(ctx, group, options, stats));
+    }
+  }
+  return sets;
+}
+
+bool is_valid_reconstruction_set(const StripeLayout& layout, NodeId stf,
+                                 const std::vector<NodeId>& healthy,
+                                 int k_repair,
+                                 const std::vector<ChunkRef>& set,
+                                 const ec::ErasureCode* code) {
+  MatchContext ctx(layout, stf, healthy, k_repair, 0, nullptr, code);
+  IncrementalMatcher matcher(ctx.left_count());
+  for (ChunkRef c : set) {
+    if (!ctx.try_match(matcher, c)) return false;
+  }
+  return true;
+}
+
+}  // namespace fastpr::core

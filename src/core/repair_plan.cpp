@@ -1,0 +1,110 @@
+#include "core/repair_plan.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace fastpr::core {
+
+int RepairPlan::total_migrated() const {
+  int total = 0;
+  for (const auto& round : rounds) {
+    total += static_cast<int>(round.migrations.size());
+  }
+  return total;
+}
+
+int RepairPlan::total_reconstructed() const {
+  int total = 0;
+  for (const auto& round : rounds) {
+    total += static_cast<int>(round.reconstructions.size());
+  }
+  return total;
+}
+
+std::string RepairPlan::to_string() const {
+  std::ostringstream os;
+  os << "plan{stf=" << stf_node << ", rounds=" << rounds.size()
+     << ", migrated=" << total_migrated()
+     << ", reconstructed=" << total_reconstructed() << "}";
+  return os.str();
+}
+
+void validate_plan(const RepairPlan& plan,
+                   const cluster::StripeLayout& layout,
+                   const cluster::ClusterState& cluster, int k_repair,
+                   const ec::ErasureCode* code) {
+  using cluster::ChunkRef;
+  using cluster::ChunkRefHash;
+  using cluster::NodeId;
+
+  const NodeId stf = plan.stf_node;
+  FASTPR_CHECK(stf != cluster::kNoNode);
+
+  // Every chunk of the STF node repaired exactly once.
+  std::unordered_set<ChunkRef, ChunkRefHash> expected;
+  for (ChunkRef c : layout.chunks_on(stf)) expected.insert(c);
+  std::unordered_set<ChunkRef, ChunkRefHash> seen;
+
+  for (const auto& round : plan.rounds) {
+    std::unordered_set<NodeId> round_sources;
+    std::unordered_set<NodeId> round_destinations;
+
+    for (const auto& task : round.migrations) {
+      FASTPR_CHECK_MSG(task.src == stf, "migration source must be the STF");
+      FASTPR_CHECK_MSG(layout.node_of(task.chunk) == stf,
+                       "migrated chunk not on STF node");
+      FASTPR_CHECK_MSG(seen.insert(task.chunk).second,
+                       "chunk repaired twice");
+      FASTPR_CHECK(task.dst != stf && task.dst != cluster::kNoNode);
+      if (cluster.is_hot_standby(task.dst)) continue;
+      FASTPR_CHECK_MSG(!layout.stripe_uses_node(task.chunk.stripe, task.dst),
+                       "migration breaks stripe distinctness");
+      FASTPR_CHECK_MSG(round_destinations.insert(task.dst).second,
+                       "scattered destination reused within a round");
+    }
+
+    for (const auto& task : round.reconstructions) {
+      FASTPR_CHECK_MSG(layout.node_of(task.chunk) == stf,
+                       "reconstructed chunk not on STF node");
+      FASTPR_CHECK_MSG(seen.insert(task.chunk).second,
+                       "chunk repaired twice");
+      const int expected_sources =
+          code != nullptr ? code->repair_fetch_count(task.chunk.index)
+                          : k_repair;
+      FASTPR_CHECK_MSG(
+          static_cast<int>(task.sources.size()) == expected_sources,
+          "reconstruction must fetch exactly k (or k') chunks");
+      for (const auto& src : task.sources) {
+        FASTPR_CHECK(src.node != stf);
+        FASTPR_CHECK_MSG(cluster.health(src.node) ==
+                             cluster::NodeHealth::kHealthy,
+                         "source node not healthy");
+        FASTPR_CHECK_MSG(src.chunk.stripe == task.chunk.stripe,
+                         "helper from a different stripe");
+        FASTPR_CHECK_MSG(src.chunk.index != task.chunk.index,
+                         "helper equals the lost chunk");
+        FASTPR_CHECK_MSG(layout.node_of(src.chunk) == src.node,
+                         "helper not stored on claimed node");
+        FASTPR_CHECK_MSG(round_sources.insert(src.node).second,
+                         "node reads two chunks in one round");
+      }
+      FASTPR_CHECK(task.dst != stf && task.dst != cluster::kNoNode);
+      if (cluster.is_hot_standby(task.dst)) continue;
+      FASTPR_CHECK_MSG(!layout.stripe_uses_node(task.chunk.stripe, task.dst),
+                       "reconstruction breaks stripe distinctness");
+      FASTPR_CHECK_MSG(round_destinations.insert(task.dst).second,
+                       "scattered destination reused within a round");
+    }
+  }
+
+  FASTPR_CHECK_MSG(seen.size() == expected.size(),
+                   "plan repairs " << seen.size() << " chunks, STF holds "
+                                   << expected.size());
+  for (const ChunkRef& c : seen) {
+    FASTPR_CHECK_MSG(expected.count(c) == 1, "plan repairs a foreign chunk");
+  }
+}
+
+}  // namespace fastpr::core

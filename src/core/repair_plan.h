@@ -1,0 +1,73 @@
+// Repair-plan data model: the output of the FastPR planner and the input
+// of both the simulator and the testbed coordinator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_state.h"
+#include "cluster/stripe_layout.h"
+#include "cluster/types.h"
+#include "ec/erasure_code.h"
+
+namespace fastpr::core {
+
+/// Move one chunk off the STF node.
+struct MigrationTask {
+  cluster::ChunkRef chunk;
+  cluster::NodeId src = cluster::kNoNode;  // the STF node
+  cluster::NodeId dst = cluster::kNoNode;
+};
+
+/// One helper read feeding a reconstruction.
+struct SourceRead {
+  cluster::NodeId node = cluster::kNoNode;
+  cluster::ChunkRef chunk;  // the helper chunk stored on `node`
+};
+
+/// Decode one chunk of the STF node from k helper chunks on k distinct
+/// healthy nodes.
+struct ReconstructionTask {
+  cluster::ChunkRef chunk;  // the chunk being repaired
+  std::vector<SourceRead> sources;
+  cluster::NodeId dst = cluster::kNoNode;
+};
+
+/// One repair round: its migrations and reconstructions run in parallel;
+/// rounds execute sequentially (§IV-A).
+struct RepairRound {
+  std::vector<ReconstructionTask> reconstructions;
+  std::vector<MigrationTask> migrations;
+
+  int repaired_chunks() const {
+    return static_cast<int>(reconstructions.size() + migrations.size());
+  }
+};
+
+struct RepairPlan {
+  cluster::NodeId stf_node = cluster::kNoNode;
+  std::vector<RepairRound> rounds;
+
+  int total_migrated() const;
+  int total_reconstructed() const;
+  int total_repaired() const { return total_migrated() + total_reconstructed(); }
+
+  std::string to_string() const;
+};
+
+/// Structural validation of a plan against the layout it was built from
+/// (pre-repair state). Throws CheckFailure when an invariant is violated:
+///  * every chunk of the STF node repaired exactly once;
+///  * migration sources are the STF node; reconstruction sources are k
+///    distinct healthy nodes holding chunks of the right stripe;
+///  * within a round, no healthy node serves more than one source read;
+///  * scattered destinations do not already hold a chunk of the stripe
+///    and are used at most once per round; hot-standby destinations are
+///    spare nodes.
+/// `code`, when given, supplies per-chunk helper counts (LRC).
+void validate_plan(const RepairPlan& plan,
+                   const cluster::StripeLayout& layout,
+                   const cluster::ClusterState& cluster, int k_repair,
+                   const ec::ErasureCode* code = nullptr);
+
+}  // namespace fastpr::core

@@ -1,0 +1,91 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fastpr::core {
+
+std::vector<ScheduledRound> schedule_repair(
+    std::vector<std::vector<cluster::ChunkRef>> recon_sets,
+    const CostModel& model, const SchedulerOptions& options) {
+  std::vector<ScheduledRound> rounds;
+  if (recon_sets.empty()) return rounds;
+  for (const auto& set : recon_sets) FASTPR_CHECK(!set.empty());
+
+  // Line 1: sort by size, descending (stable for determinism).
+  std::stable_sort(recon_sets.begin(), recon_sets.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.size() > b.size();
+                   });
+
+  // Line 2: l points at the largest unscheduled set, u at the smallest.
+  size_t l = 0;
+  size_t u = recon_sets.size() - 1;
+
+  for (;;) {
+    ScheduledRound round;
+    round.reconstruct = recon_sets[l];
+    const int cr = static_cast<int>(round.reconstruct.size());
+    int cm = options.fixed_migration_quota >= 0
+                 ? options.fixed_migration_quota
+                 : model.migration_quota(cr);
+    if (options.max_round_repairs > 0) {
+      // Keep cr + cm within the destination-matching guarantee.
+      cm = std::min(cm, std::max(0, options.max_round_repairs - cr));
+    }
+
+    // Chunks remaining in sets l+1..u.
+    size_t remaining = 0;
+    for (size_t i = l + 1; i <= u && u >= l + 1; ++i) {
+      remaining += recon_sets[i].size();
+    }
+
+    if (remaining <= static_cast<size_t>(cm)) {
+      // Lines 5–8: everything left fits in this round's migration quota.
+      for (size_t i = l + 1; i <= u && u >= l + 1; ++i) {
+        for (auto c : recon_sets[i]) round.migrate.push_back(c);
+      }
+      rounds.push_back(std::move(round));
+      break;
+    }
+
+    // Line 9: largest x with sum_{i=x..u} |R_i| > cm. Scanning from the
+    // smallest set upward, stop as soon as the suffix total exceeds cm.
+    size_t suffix = 0;
+    size_t x = u;
+    for (size_t i = u; i > l; --i) {
+      suffix += recon_sets[i].size();
+      if (suffix > static_cast<size_t>(cm)) {
+        x = i;
+        break;
+      }
+    }
+
+    // Lines 10–12: move all of R_{x+1..u} plus a top-up slice of R_x.
+    size_t below_x = 0;
+    for (size_t i = x + 1; i <= u && u >= x + 1; ++i) {
+      below_x += recon_sets[i].size();
+      for (auto c : recon_sets[i]) round.migrate.push_back(c);
+    }
+    const size_t slice = static_cast<size_t>(cm) - below_x;
+    FASTPR_CHECK(slice < recon_sets[x].size());
+    auto& rx = recon_sets[x];
+    for (size_t t = 0; t < slice; ++t) {
+      round.migrate.push_back(rx.back());
+      rx.pop_back();
+    }
+
+    rounds.push_back(std::move(round));
+
+    // Lines 13–14.
+    l += 1;
+    u = x;
+    FASTPR_CHECK(l < recon_sets.size());
+    if (l > u) break;  // defensive; the break above should fire first
+  }
+
+  return rounds;
+}
+
+}  // namespace fastpr::core

@@ -1,0 +1,38 @@
+// Algorithm 2 of the paper: schedule repair rounds.
+//
+// Given the reconstruction sets from Algorithm 1, each round reconstructs
+// the largest remaining set R_l while concurrently migrating cm chunks
+// drawn from the smallest sets (cm = tr/tm — migration and
+// reconstruction finish a round together). Larger sets go to
+// reconstruction because they parallelize; smaller sets migrate because
+// their parallelism is poor and migration costs no extra traffic.
+#pragma once
+
+#include <vector>
+
+#include "cluster/types.h"
+#include "core/cost_model.h"
+
+namespace fastpr::core {
+
+struct ScheduledRound {
+  std::vector<cluster::ChunkRef> reconstruct;  // R_l
+  std::vector<cluster::ChunkRef> migrate;      // M_l
+};
+
+struct SchedulerOptions {
+  /// Ablation: override the model-derived quota with a constant
+  /// (negative = use cm = tr(cr)/tm from the cost model).
+  int fixed_migration_quota = -1;
+  /// Cap on cr + cm per round so the scattered destination matching is
+  /// always feasible (|healthy dests| - (n-1)). 0 = no cap (hot-standby).
+  int max_round_repairs = 0;
+};
+
+/// Runs Algorithm 2. `recon_sets` is consumed by value (the algorithm
+/// splits sets). The model supplies the per-round migration quota.
+std::vector<ScheduledRound> schedule_repair(
+    std::vector<std::vector<cluster::ChunkRef>> recon_sets,
+    const CostModel& model, const SchedulerOptions& options = {});
+
+}  // namespace fastpr::core

@@ -1,0 +1,29 @@
+#include "ec/erasure_code.h"
+
+#include "util/check.h"
+
+namespace fastpr::ec {
+
+std::vector<std::vector<uint8_t>> encode_stripe(
+    const ErasureCode& code, const std::vector<std::vector<uint8_t>>& data) {
+  FASTPR_CHECK(static_cast<int>(data.size()) == code.k());
+  const size_t chunk_size = data.front().size();
+  for (const auto& d : data) FASTPR_CHECK(d.size() == chunk_size);
+
+  std::vector<std::vector<uint8_t>> stripe = data;
+  stripe.resize(static_cast<size_t>(code.n()),
+                std::vector<uint8_t>(chunk_size, 0));
+
+  std::vector<ConstChunk> data_spans;
+  data_spans.reserve(data.size());
+  for (const auto& d : data) data_spans.emplace_back(d);
+
+  std::vector<MutChunk> parity_spans;
+  for (int i = code.k(); i < code.n(); ++i) {
+    parity_spans.emplace_back(stripe[static_cast<size_t>(i)]);
+  }
+  code.encode(data_spans, parity_spans);
+  return stripe;
+}
+
+}  // namespace fastpr::ec

@@ -1,0 +1,201 @@
+#include "ec/matrix.h"
+
+#include <sstream>
+
+#include "gf/gf256.h"
+#include "util/check.h"
+
+namespace fastpr::ec {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, 0) {
+  FASTPR_CHECK(rows >= 0 && cols >= 0);
+}
+
+Matrix::Matrix(int rows, int cols, std::initializer_list<uint8_t> values)
+    : Matrix(rows, cols) {
+  FASTPR_CHECK(values.size() == data_.size());
+  size_t i = 0;
+  for (uint8_t v : values) data_[i++] = v;
+}
+
+uint8_t Matrix::at(int r, int c) const {
+  FASTPR_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+uint8_t& Matrix::at(int r, int c) {
+  FASTPR_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<size_t>(r) * cols_ + c];
+}
+
+Matrix Matrix::identity(int order) {
+  Matrix m(order, order);
+  for (int i = 0; i < order; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::vandermonde(int rows, int cols) {
+  FASTPR_CHECK_MSG(rows <= gf::kFieldSize,
+                   "Vandermonde needs distinct field elements per row");
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      m.at(r, c) = gf::pow(static_cast<uint8_t>(r), static_cast<unsigned>(c));
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::cauchy(int rows, int cols) {
+  FASTPR_CHECK_MSG(rows + cols <= gf::kFieldSize,
+                   "Cauchy needs rows+cols distinct field elements");
+  Matrix m(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const uint8_t x = static_cast<uint8_t>(r);
+      const uint8_t y = static_cast<uint8_t>(rows + c);
+      m.at(r, c) = gf::inv(x ^ y);  // addition in GF(2^w) is XOR
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::mul(const Matrix& rhs) const {
+  FASTPR_CHECK(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < rhs.cols_; ++c) {
+      uint8_t acc = 0;
+      for (int t = 0; t < cols_; ++t) {
+        acc = static_cast<uint8_t>(acc ^ gf::mul(at(r, t), rhs.at(t, c)));
+      }
+      out.at(r, c) = acc;
+    }
+  }
+  return out;
+}
+
+std::optional<Matrix> Matrix::inverted() const {
+  FASTPR_CHECK(rows_ == cols_);
+  const int n = rows_;
+  Matrix a = *this;
+  Matrix inv = identity(n);
+
+  for (int col = 0; col < n; ++col) {
+    // Find a pivot row at or below `col`.
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (a.at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return std::nullopt;  // singular
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    // Normalize pivot row.
+    const uint8_t piv_inv = gf::inv(a.at(col, col));
+    for (int c = 0; c < n; ++c) {
+      a.at(col, c) = gf::mul(a.at(col, c), piv_inv);
+      inv.at(col, c) = gf::mul(inv.at(col, c), piv_inv);
+    }
+    // Eliminate every other row.
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const uint8_t factor = a.at(r, col);
+      if (factor == 0) continue;
+      for (int c = 0; c < n; ++c) {
+        a.at(r, c) =
+            static_cast<uint8_t>(a.at(r, c) ^ gf::mul(factor, a.at(col, c)));
+        inv.at(r, c) = static_cast<uint8_t>(inv.at(r, c) ^
+                                            gf::mul(factor, inv.at(col, c)));
+      }
+    }
+  }
+  return inv;
+}
+
+int Matrix::rank() const {
+  Matrix a = *this;
+  int rank = 0;
+  for (int col = 0; col < cols_ && rank < rows_; ++col) {
+    int pivot = -1;
+    for (int r = rank; r < rows_; ++r) {
+      if (a.at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    if (pivot != rank) {
+      for (int c = 0; c < cols_; ++c) std::swap(a.at(pivot, c), a.at(rank, c));
+    }
+    const uint8_t piv_inv = gf::inv(a.at(rank, col));
+    for (int c = 0; c < cols_; ++c) {
+      a.at(rank, c) = gf::mul(a.at(rank, c), piv_inv);
+    }
+    for (int r = 0; r < rows_; ++r) {
+      if (r == rank) continue;
+      const uint8_t factor = a.at(r, col);
+      if (factor == 0) continue;
+      for (int c = 0; c < cols_; ++c) {
+        a.at(r, c) =
+            static_cast<uint8_t>(a.at(r, c) ^ gf::mul(factor, a.at(rank, c)));
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+Matrix Matrix::select_rows(const std::vector<int>& row_indices) const {
+  Matrix out(static_cast<int>(row_indices.size()), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    const int r = row_indices[i];
+    FASTPR_CHECK(r >= 0 && r < rows_);
+    for (int c = 0; c < cols_; ++c) {
+      out.at(static_cast<int>(i), c) = at(r, c);
+    }
+  }
+  return out;
+}
+
+void Matrix::swap_cols(int a, int b) {
+  FASTPR_CHECK(a >= 0 && a < cols_ && b >= 0 && b < cols_);
+  if (a == b) return;
+  for (int r = 0; r < rows_; ++r) std::swap(at(r, a), at(r, b));
+}
+
+void Matrix::scale_col(int c, uint8_t scalar) {
+  FASTPR_CHECK(scalar != 0);
+  for (int r = 0; r < rows_; ++r) at(r, c) = gf::mul(at(r, c), scalar);
+}
+
+void Matrix::add_scaled_col(int dst, int src, uint8_t scalar) {
+  for (int r = 0; r < rows_; ++r) {
+    at(r, dst) =
+        static_cast<uint8_t>(at(r, dst) ^ gf::mul(at(r, src), scalar));
+  }
+}
+
+bool Matrix::operator==(const Matrix& rhs) const {
+  return rows_ == rhs.rows_ && cols_ == rhs.cols_ && data_ == rhs.data_;
+}
+
+std::string Matrix::to_string() const {
+  std::ostringstream os;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      os << static_cast<int>(at(r, c)) << (c + 1 == cols_ ? "" : " ");
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace fastpr::ec

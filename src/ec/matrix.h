@@ -1,0 +1,68 @@
+// Dense matrices over GF(2^8): the linear-algebra substrate for the
+// Reed–Solomon and LRC codecs (generator construction, decode-matrix
+// inversion, rank checks in tests).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fastpr::ec {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols);
+  Matrix(int rows, int cols, std::initializer_list<uint8_t> values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  uint8_t at(int r, int c) const;
+  uint8_t& at(int r, int c);
+
+  /// Identity of the given order.
+  static Matrix identity(int order);
+
+  /// rows×cols Vandermonde: entry (r, c) = r^c (alpha-powers of row index).
+  static Matrix vandermonde(int rows, int cols);
+
+  /// rows×cols Cauchy: entry (r, c) = 1 / (x_r + y_c) with
+  /// x_r = r and y_c = rows + c (all distinct, so every entry is defined
+  /// and every square submatrix is invertible).
+  static Matrix cauchy(int rows, int cols);
+
+  /// Matrix product (this × rhs).
+  Matrix mul(const Matrix& rhs) const;
+
+  /// Gauss–Jordan inverse; nullopt if singular.
+  std::optional<Matrix> inverted() const;
+
+  /// Rank via Gaussian elimination (on a copy).
+  int rank() const;
+
+  /// Returns a new matrix consisting of the selected rows, in order.
+  Matrix select_rows(const std::vector<int>& row_indices) const;
+
+  /// Swaps columns in place (used by the systematic-Vandermonde build).
+  void swap_cols(int a, int b);
+
+  /// Multiplies column c by a nonzero scalar in place.
+  void scale_col(int c, uint8_t scalar);
+
+  /// Adds scalar × column src into column dst in place.
+  void add_scaled_col(int dst, int src, uint8_t scalar);
+
+  bool operator==(const Matrix& rhs) const;
+
+  std::string to_string() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<uint8_t> data_;  // row-major
+};
+
+}  // namespace fastpr::ec

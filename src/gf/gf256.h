@@ -1,0 +1,54 @@
+// GF(2^8) arithmetic over the AES/Rijndael-compatible field used by most
+// storage erasure coders (primitive polynomial x^8+x^4+x^3+x^2+1, 0x11D).
+//
+// This replaces Jerasure v1.2 in the original FastPR prototype: element
+// ops are log/exp-table driven, and the hot region ops (multiply a buffer
+// by a constant and XOR into an accumulator) use a per-constant 256-entry
+// product row from a full 64 KiB multiplication table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fastpr::gf {
+
+/// Field order and primitive polynomial.
+constexpr int kFieldSize = 256;
+constexpr uint16_t kPrimitivePoly = 0x11D;
+
+/// Element product a*b in GF(2^8).
+uint8_t mul(uint8_t a, uint8_t b);
+
+/// Element quotient a/b; b must be nonzero.
+uint8_t div(uint8_t a, uint8_t b);
+
+/// Multiplicative inverse; a must be nonzero.
+uint8_t inv(uint8_t a);
+
+/// alpha^e where alpha = 2 is a generator. e may be any non-negative int.
+uint8_t exp(unsigned e);
+
+/// Discrete log base alpha; a must be nonzero. Result in [0, 254].
+uint8_t log(uint8_t a);
+
+/// a^e by repeated squaring in the field.
+uint8_t pow(uint8_t a, unsigned e);
+
+/// dst[i] ^= c * src[i] for i in [0, len). The accumulate step of
+/// encode/decode inner loops.
+void mul_region_xor(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len);
+
+/// dst[i] = c * src[i].
+void mul_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len);
+
+/// dst[i] ^= src[i]; plain XOR region (c == 1 fast path).
+void xor_region(uint8_t* dst, const uint8_t* src, size_t len);
+
+/// Span-based conveniences used by the codecs.
+void mul_region_xor(std::span<uint8_t> dst, std::span<const uint8_t> src,
+                    uint8_t c);
+void mul_region(std::span<uint8_t> dst, std::span<const uint8_t> src,
+                uint8_t c);
+
+}  // namespace fastpr::gf

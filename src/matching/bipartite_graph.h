@@ -1,0 +1,37 @@
+// Bipartite graph representation shared by the matching algorithms.
+//
+// Convention across the codebase: the LEFT side holds resource vertices
+// (healthy storage nodes) and the RIGHT side holds demand vertices (chunk
+// copies to fetch, or stripes needing a destination). Adjacency is stored
+// from right vertices to left vertices because demands are created and
+// destroyed dynamically while the node set is fixed.
+#pragma once
+
+#include <vector>
+
+namespace fastpr::matching {
+
+struct BipartiteGraph {
+  int left_count = 0;
+  /// right_adj[r] lists the left vertices right-vertex r may match with.
+  std::vector<std::vector<int>> right_adj;
+
+  int right_count() const { return static_cast<int>(right_adj.size()); }
+
+  int add_right_vertex(std::vector<int> adjacency) {
+    right_adj.push_back(std::move(adjacency));
+    return right_count() - 1;
+  }
+};
+
+/// A matching as right-to-left assignment; -1 means unmatched.
+struct MatchingResult {
+  std::vector<int> right_to_left;
+  int size = 0;
+
+  bool is_perfect_on_right() const {
+    return size == static_cast<int>(right_to_left.size());
+  }
+};
+
+}  // namespace fastpr::matching

@@ -1,0 +1,108 @@
+#include "matching/hopcroft_karp.h"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fastpr::matching {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max();
+}
+
+MatchingResult hopcroft_karp(const BipartiteGraph& graph) {
+  const int nl = graph.left_count;
+  const int nr = graph.right_count();
+  std::vector<int> match_l(static_cast<size_t>(nl), -1);
+  std::vector<int> match_r(static_cast<size_t>(nr), -1);
+  std::vector<int> dist(static_cast<size_t>(nr), kInf);
+
+  // BFS layers free right vertices; returns true if an augmenting path
+  // exists.
+  auto bfs = [&]() {
+    std::queue<int> q;
+    for (int r = 0; r < nr; ++r) {
+      if (match_r[static_cast<size_t>(r)] == -1) {
+        dist[static_cast<size_t>(r)] = 0;
+        q.push(r);
+      } else {
+        dist[static_cast<size_t>(r)] = kInf;
+      }
+    }
+    bool found = false;
+    while (!q.empty()) {
+      const int r = q.front();
+      q.pop();
+      for (int l : graph.right_adj[static_cast<size_t>(r)]) {
+        const int next = match_l[static_cast<size_t>(l)];
+        if (next == -1) {
+          found = true;
+        } else if (dist[static_cast<size_t>(next)] == kInf) {
+          dist[static_cast<size_t>(next)] =
+              dist[static_cast<size_t>(r)] + 1;
+          q.push(next);
+        }
+      }
+    }
+    return found;
+  };
+
+  // DFS along layered graph.
+  auto dfs = [&](auto&& self, int r) -> bool {
+    for (int l : graph.right_adj[static_cast<size_t>(r)]) {
+      const int next = match_l[static_cast<size_t>(l)];
+      if (next == -1 ||
+          (dist[static_cast<size_t>(next)] ==
+               dist[static_cast<size_t>(r)] + 1 &&
+           self(self, next))) {
+        match_l[static_cast<size_t>(l)] = r;
+        match_r[static_cast<size_t>(r)] = l;
+        return true;
+      }
+    }
+    dist[static_cast<size_t>(r)] = kInf;
+    return false;
+  };
+
+  int size = 0;
+  while (bfs()) {
+    for (int r = 0; r < nr; ++r) {
+      if (match_r[static_cast<size_t>(r)] == -1 && dfs(dfs, r)) ++size;
+    }
+  }
+
+  MatchingResult result;
+  result.right_to_left = std::move(match_r);
+  result.size = size;
+  return result;
+}
+
+bool is_valid_matching(const BipartiteGraph& graph, const MatchingResult& m) {
+  if (static_cast<int>(m.right_to_left.size()) != graph.right_count()) {
+    return false;
+  }
+  std::vector<bool> used(static_cast<size_t>(graph.left_count), false);
+  int size = 0;
+  for (int r = 0; r < graph.right_count(); ++r) {
+    const int l = m.right_to_left[static_cast<size_t>(r)];
+    if (l == -1) continue;
+    if (l < 0 || l >= graph.left_count) return false;
+    if (used[static_cast<size_t>(l)]) return false;
+    used[static_cast<size_t>(l)] = true;
+    const auto& adj = graph.right_adj[static_cast<size_t>(r)];
+    bool edge_exists = false;
+    for (int cand : adj) {
+      if (cand == l) {
+        edge_exists = true;
+        break;
+      }
+    }
+    if (!edge_exists) return false;
+    ++size;
+  }
+  return size == m.size;
+}
+
+}  // namespace fastpr::matching

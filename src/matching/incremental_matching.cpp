@@ -1,0 +1,72 @@
+#include "matching/incremental_matching.h"
+
+#include "util/check.h"
+
+namespace fastpr::matching {
+
+IncrementalMatcher::IncrementalMatcher(int left_count)
+    : left_count_(left_count),
+      match_l_(static_cast<size_t>(left_count), -1) {
+  FASTPR_CHECK(left_count >= 0);
+}
+
+bool IncrementalMatcher::augment(int r, std::vector<char>& visited_left) {
+  for (int l : *right_adj_[static_cast<size_t>(r)]) {
+    if (visited_left[static_cast<size_t>(l)]) continue;
+    visited_left[static_cast<size_t>(l)] = 1;
+    const int occupant = match_l_[static_cast<size_t>(l)];
+    if (occupant == -1 || augment(occupant, visited_left)) {
+      match_l_[static_cast<size_t>(l)] = r;
+      match_r_[static_cast<size_t>(r)] = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IncrementalMatcher::try_add_group(const std::vector<int>& adjacency,
+                                       int copies) {
+  FASTPR_CHECK(copies >= 1);
+  for (int l : adjacency) {
+    FASTPR_CHECK_MSG(l >= 0 && l < left_count_,
+                     "adjacency to nonexistent left vertex " << l);
+  }
+  // A failed single augmentation leaves the matching untouched, so a
+  // failure after t successes only needs the t successes undone — each
+  // recorded as (right vertex, matched left) and unwound directly.
+  const size_t saved_right = right_adj_.size();
+  std::vector<char> visited_left(static_cast<size_t>(left_count_), 0);
+  for (int copy = 0; copy < copies; ++copy) {
+    right_adj_.push_back(&adjacency);
+    match_r_.push_back(-1);
+    std::fill(visited_left.begin(), visited_left.end(), 0);
+    if (!augment(right_count() - 1, visited_left)) {
+      // Roll back: every augmentation in this group flipped some edges,
+      // but the net effect on match_l_ is fully described by match_r_ of
+      // the group's vertices... except intermediate reroutes. Restore by
+      // re-deriving match_l_ from match_r_ after truncation.
+      right_adj_.resize(saved_right);
+      match_r_.resize(saved_right);
+      std::fill(match_l_.begin(), match_l_.end(), -1);
+      for (size_t r = 0; r < match_r_.size(); ++r) {
+        const int l = match_r_[r];
+        if (l >= 0) match_l_[static_cast<size_t>(l)] = static_cast<int>(r);
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+int IncrementalMatcher::matched_left(int r) const {
+  FASTPR_CHECK(r >= 0 && r < right_count());
+  return match_r_[static_cast<size_t>(r)];
+}
+
+void IncrementalMatcher::reset() {
+  right_adj_.clear();
+  match_r_.clear();
+  match_l_.assign(static_cast<size_t>(left_count_), -1);
+}
+
+}  // namespace fastpr::matching

@@ -1,0 +1,53 @@
+// Incremental bipartite matcher (Kuhn augmenting paths) with rollback.
+//
+// Algorithm 1 of the paper probes MATCH(R ∪ {Ci}) thousands of times,
+// each probe differing from the previous accepted state by one stripe's
+// k chunk vertices. Instead of recomputing a maximum matching from
+// scratch per probe (the paper's Ford–Fulkerson formulation), this
+// matcher keeps the accepted matching and tries to augment once per new
+// right vertex; a failed group insertion is rolled back. The result is
+// equivalent — a matching saturating all right vertices exists iff the
+// augmenting paths exist — but a probe costs O(k·E) instead of O(V·E).
+//
+// Adjacency is held BY POINTER: group insertions record a pointer to the
+// caller's adjacency vector, which must stay valid for the matcher's
+// lifetime (Algorithm 1 caches one adjacency vector per stripe, so this
+// also makes copying a matcher — the swap-optimization probe — cheap).
+#pragma once
+
+#include <vector>
+
+namespace fastpr::matching {
+
+class IncrementalMatcher {
+ public:
+  explicit IncrementalMatcher(int left_count);
+
+  /// Attempts to add `copies` right vertices sharing `adjacency`
+  /// (all-or-nothing). On success they are committed and true returns;
+  /// on failure the state is unchanged. `adjacency` must outlive the
+  /// matcher (and any copies of it).
+  bool try_add_group(const std::vector<int>& adjacency, int copies);
+
+  /// Number of committed right vertices (all matched).
+  int right_count() const { return static_cast<int>(right_adj_.size()); }
+
+  int left_count() const { return left_count_; }
+
+  /// Left vertex matched to committed right vertex r.
+  int matched_left(int r) const;
+
+  /// Drops all committed vertices, keeping the left side.
+  void reset();
+
+ private:
+  /// Kuhn DFS: find augmenting path from right vertex r.
+  bool augment(int r, std::vector<char>& visited_left);
+
+  int left_count_;
+  std::vector<const std::vector<int>*> right_adj_;
+  std::vector<int> match_l_;  // left → right (-1 free)
+  std::vector<int> match_r_;  // right → left (always matched once committed)
+};
+
+}  // namespace fastpr::matching

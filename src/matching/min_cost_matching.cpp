@@ -1,0 +1,107 @@
+#include "matching/min_cost_matching.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace fastpr::matching {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::optional<std::vector<int>> min_cost_matching(
+    const WeightedBipartiteGraph& graph) {
+  const int nl = graph.left_count;
+  const int nr = graph.right_count();
+  std::vector<int> match_l(static_cast<size_t>(nl), -1);
+  std::vector<int> match_r(static_cast<size_t>(nr), -1);
+
+  // Successive shortest augmenting paths. The residual graph has a
+  // forward edge r→l (cost c) for every unmatched candidate edge and a
+  // backward edge l→r (cost -c) for every matched one. One Bellman–Ford
+  // per augmentation (sizes are tiny; negative backward edges make
+  // Dijkstra-without-potentials incorrect).
+  for (int iteration = 0; iteration < nr; ++iteration) {
+    std::vector<double> dist_r(static_cast<size_t>(nr), kInf);
+    std::vector<double> dist_l(static_cast<size_t>(nl), kInf);
+    // Right vertex on the shortest path that reaches this left vertex.
+    std::vector<int> parent_of_left(static_cast<size_t>(nl), -1);
+
+    for (int r = 0; r < nr; ++r) {
+      if (match_r[static_cast<size_t>(r)] == -1) {
+        dist_r[static_cast<size_t>(r)] = 0;
+      }
+    }
+    for (int pass = 0; pass <= nr + nl; ++pass) {
+      bool changed = false;
+      // Forward edges r → l (unmatched candidates).
+      for (int r = 0; r < nr; ++r) {
+        const double dr = dist_r[static_cast<size_t>(r)];
+        if (dr == kInf) continue;
+        for (const auto& [l, cost] :
+             graph.right_adj[static_cast<size_t>(r)]) {
+          FASTPR_CHECK(l >= 0 && l < nl);
+          if (match_r[static_cast<size_t>(r)] == l) continue;
+          if (dr + cost < dist_l[static_cast<size_t>(l)] - 1e-12) {
+            dist_l[static_cast<size_t>(l)] = dr + cost;
+            parent_of_left[static_cast<size_t>(l)] = r;
+            changed = true;
+          }
+        }
+      }
+      // Backward edges l → r along matched pairs.
+      for (int r = 0; r < nr; ++r) {
+        const int l = match_r[static_cast<size_t>(r)];
+        if (l == -1) continue;
+        const double dl = dist_l[static_cast<size_t>(l)];
+        if (dl == kInf) continue;
+        double cost = 0;
+        for (const auto& [cl, c] : graph.right_adj[static_cast<size_t>(r)]) {
+          if (cl == l) {
+            cost = c;
+            break;
+          }
+        }
+        if (dl - cost < dist_r[static_cast<size_t>(r)] - 1e-12) {
+          dist_r[static_cast<size_t>(r)] = dl - cost;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+
+    // Cheapest reachable FREE left vertex ends the augmenting path.
+    int best_left = -1;
+    for (int l = 0; l < nl; ++l) {
+      if (match_l[static_cast<size_t>(l)] != -1) continue;
+      if (dist_l[static_cast<size_t>(l)] == kInf) continue;
+      if (best_left == -1 || dist_l[static_cast<size_t>(l)] <
+                                 dist_l[static_cast<size_t>(best_left)]) {
+        best_left = l;
+      }
+    }
+    if (best_left == -1) break;  // cannot saturate more right vertices
+
+    // Flip matches along the path: parent_of_left gives the incoming
+    // right vertex; the right vertex's previous partner continues the
+    // alternating walk until a free right vertex is absorbed.
+    int cur_l = best_left;
+    for (;;) {
+      const int r = parent_of_left[static_cast<size_t>(cur_l)];
+      FASTPR_CHECK(r >= 0 && r < nr);
+      const int old_l = match_r[static_cast<size_t>(r)];
+      match_r[static_cast<size_t>(r)] = cur_l;
+      match_l[static_cast<size_t>(cur_l)] = r;
+      if (old_l == -1) break;  // r was the free path start
+      cur_l = old_l;
+    }
+  }
+
+  for (int r = 0; r < nr; ++r) {
+    if (match_r[static_cast<size_t>(r)] == -1) return std::nullopt;
+  }
+  return match_r;
+}
+
+}  // namespace fastpr::matching

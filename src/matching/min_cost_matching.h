@@ -1,0 +1,36 @@
+// Minimum-cost perfect bipartite matching (successive shortest paths).
+//
+// The paper's destination selection takes ANY maximum matching (Hall
+// guarantees one exists). A production cluster prefers the matching that
+// balances load: this solver minimizes the total destination cost (e.g.
+// current chunk count) subject to saturating every right vertex. Sizes
+// here are tiny (≤ M vertices), so a Bellman–Ford-based successive
+// shortest path implementation is plenty.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace fastpr::matching {
+
+struct WeightedBipartiteGraph {
+  int left_count = 0;
+  /// right_adj[r] = (left vertex, edge cost) candidates for r.
+  std::vector<std::vector<std::pair<int, double>>> right_adj;
+
+  int right_count() const { return static_cast<int>(right_adj.size()); }
+
+  int add_right_vertex(std::vector<std::pair<int, double>> adjacency) {
+    right_adj.push_back(std::move(adjacency));
+    return right_count() - 1;
+  }
+};
+
+/// Returns right→left assignment saturating every right vertex with
+/// minimum total cost, or nullopt when no perfect (on the right)
+/// matching exists. Costs may be any finite doubles.
+std::optional<std::vector<int>> min_cost_matching(
+    const WeightedBipartiteGraph& graph);
+
+}  // namespace fastpr::matching

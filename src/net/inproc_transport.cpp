@@ -1,0 +1,112 @@
+#include "net/inproc_transport.h"
+
+#include "util/check.h"
+
+namespace fastpr::net {
+
+InprocTransport::InprocTransport(int num_nodes, const Options& options)
+    : options_(options) {
+  FASTPR_CHECK(num_nodes >= 1);
+  endpoints_.reserve(static_cast<size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    auto ep = std::make_unique<Endpoint>();
+    ep->tx = std::make_unique<TokenBucket>(options.net_bytes_per_sec,
+                                           options.burst_bytes);
+    ep->rx = std::make_unique<TokenBucket>(options.net_bytes_per_sec,
+                                           options.burst_bytes);
+    endpoints_.push_back(std::move(ep));
+  }
+}
+
+void InprocTransport::send(Message msg) {
+  FASTPR_CHECK(msg.from >= 0 &&
+               msg.from < static_cast<int>(endpoints_.size()));
+  FASTPR_CHECK(msg.to >= 0 && msg.to < static_cast<int>(endpoints_.size()));
+
+  if (msg.type == MessageType::kDataPacket) {
+    const auto bytes = static_cast<int64_t>(msg.encoded_size());
+    endpoints_[static_cast<size_t>(msg.from)]->data_tx.fetch_add(
+        bytes, std::memory_order_relaxed);
+    endpoints_[static_cast<size_t>(msg.to)]->data_rx.fetch_add(
+        bytes, std::memory_order_relaxed);
+  }
+  const bool shaped = options_.shape_control_messages ||
+                      msg.type == MessageType::kDataPacket;
+  if (shaped) {
+    const auto bytes = static_cast<int64_t>(msg.encoded_size());
+    // Sender's uplink first, then receiver's downlink: a saturated
+    // receiver back-pressures all of its senders, which is exactly the
+    // hot-standby bottleneck of Eq. (6).
+    endpoints_[static_cast<size_t>(msg.from)]->tx->acquire(bytes);
+    endpoints_[static_cast<size_t>(msg.to)]->rx->acquire(bytes);
+  }
+
+  auto& ep = *endpoints_[static_cast<size_t>(msg.to)];
+  {
+    std::lock_guard<std::mutex> lock(ep.mutex);
+    if (closed_.load(std::memory_order_acquire)) return;
+    bytes_sent_.fetch_add(static_cast<int64_t>(msg.encoded_size()),
+                          std::memory_order_relaxed);
+    ep.inbox.push_back(std::move(msg));
+  }
+  ep.cv.notify_one();
+}
+
+std::optional<Message> InprocTransport::recv(
+    cluster::NodeId node, std::optional<std::chrono::milliseconds> timeout) {
+  FASTPR_CHECK(node >= 0 && node < static_cast<int>(endpoints_.size()));
+  auto& ep = *endpoints_[static_cast<size_t>(node)];
+  std::unique_lock<std::mutex> lock(ep.mutex);
+  const auto ready = [&] {
+    return closed_.load(std::memory_order_acquire) || !ep.inbox.empty();
+  };
+  if (timeout.has_value()) {
+    if (!ep.cv.wait_for(lock, *timeout, ready)) return std::nullopt;
+  } else {
+    ep.cv.wait(lock, ready);
+  }
+  if (ep.inbox.empty()) return std::nullopt;  // closed
+  Message msg = std::move(ep.inbox.front());
+  ep.inbox.pop_front();
+  return msg;
+}
+
+void InprocTransport::shutdown() {
+  closed_.store(true, std::memory_order_release);
+  for (auto& ep : endpoints_) {
+    {
+      // Acquire the lock so a racing recv() observes closed_ before it
+      // starts an indefinite wait.
+      std::lock_guard<std::mutex> lock(ep->mutex);
+    }
+    ep->cv.notify_all();
+    // Unlimit buckets so senders blocked on tokens drain out.
+    ep->tx->set_rate(0);
+    ep->rx->set_rate(0);
+  }
+}
+
+void InprocTransport::set_node_bandwidth(cluster::NodeId node,
+                                         double bytes_per_sec) {
+  FASTPR_CHECK(node >= 0 && node < static_cast<int>(endpoints_.size()));
+  endpoints_[static_cast<size_t>(node)]->tx->set_rate(bytes_per_sec);
+  endpoints_[static_cast<size_t>(node)]->rx->set_rate(bytes_per_sec);
+}
+
+int64_t InprocTransport::total_bytes_sent() const {
+  return bytes_sent_.load(std::memory_order_relaxed);
+}
+
+int64_t InprocTransport::data_bytes_tx(cluster::NodeId node) const {
+  FASTPR_CHECK(node >= 0 && node < static_cast<int>(endpoints_.size()));
+  return endpoints_[static_cast<size_t>(node)]->data_tx.load(
+      std::memory_order_relaxed);
+}
+
+int64_t InprocTransport::data_bytes_rx(cluster::NodeId node) const {
+  FASTPR_CHECK(node >= 0 && node < static_cast<int>(endpoints_.size()));
+  return endpoints_[static_cast<size_t>(node)]->data_rx.load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace fastpr::net

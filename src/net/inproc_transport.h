@@ -1,0 +1,72 @@
+// In-process transport with token-bucket NIC emulation.
+//
+// Each node has a TX bucket and an RX bucket refilling at the configured
+// per-node bandwidth bn. A send charges the sender's TX bucket and the
+// receiver's RX bucket for the message's encoded size, then delivers to
+// the receiver's inbox. Control messages can optionally ride for free
+// (the paper's model charges only chunk transfers; commands/acks are
+// negligible next to 64 MB chunks).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/token_bucket.h"
+
+namespace fastpr::net {
+
+class InprocTransport final : public Transport {
+ public:
+  struct Options {
+    double net_bytes_per_sec = 0;  // <=0: unlimited
+    /// Charge bandwidth only for kDataPacket messages (default), or for
+    /// every message.
+    bool shape_control_messages = false;
+    int64_t burst_bytes = 1 << 20;
+  };
+
+  InprocTransport(int num_nodes, const Options& options);
+
+  void send(Message msg) override;
+  std::optional<Message> recv(
+      cluster::NodeId node,
+      std::optional<std::chrono::milliseconds> timeout) override;
+  void shutdown() override;
+
+  /// Changes one node's NIC rate (Experiment B.4's Wonder Shaper role).
+  void set_node_bandwidth(cluster::NodeId node, double bytes_per_sec);
+
+  /// Total bytes ever accepted for delivery (testing/teardown aid).
+  int64_t total_bytes_sent() const;
+
+  /// Bytes of kDataPacket payloadful traffic sent by / received by a
+  /// node so far (repair-traffic accounting for experiments).
+  int64_t data_bytes_tx(cluster::NodeId node) const;
+  int64_t data_bytes_rx(cluster::NodeId node) const;
+
+ private:
+  // Per-endpoint lock + condition variable: a packet delivery wakes only
+  // its addressee's dispatcher, not every agent in the cluster (on a
+  // small host the all-wakeup pattern costs more than the data copies).
+  struct Endpoint {
+    std::unique_ptr<TokenBucket> tx;
+    std::unique_ptr<TokenBucket> rx;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> inbox;
+    std::atomic<int64_t> data_tx{0};
+    std::atomic<int64_t> data_rx{0};
+  };
+
+  Options options_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::atomic<bool> closed_{false};
+  std::atomic<int64_t> bytes_sent_{0};
+};
+
+}  // namespace fastpr::net

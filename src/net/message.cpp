@@ -1,0 +1,139 @@
+#include "net/message.h"
+
+#include <cstring>
+
+namespace fastpr::net {
+
+namespace {
+
+/// Append a little-endian integral value.
+template <typename T>
+void put(std::vector<uint8_t>& out, T value) {
+  const size_t offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+/// Cursor-based reader; all reads bounds-checked.
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  bool read(T& value) {
+    if (pos_ + sizeof(T) > bytes_.size()) return false;
+    std::memcpy(&value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool read_bytes(std::vector<uint8_t>& out, size_t len) {
+    if (pos_ + len > bytes_.size()) return false;
+    out.assign(bytes_.begin() + static_cast<ptrdiff_t>(pos_),
+               bytes_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return true;
+  }
+
+  bool read_string(std::string& out, size_t len) {
+    if (pos_ + len > bytes_.size()) return false;
+    out.assign(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+};
+
+constexpr size_t kFixedHeaderBytes =
+    1 +                 // type
+    4 + 4 +             // from, to
+    8 +                 // task_id
+    4 + 4 +             // chunk.stripe, chunk.index
+    4 +                 // dst
+    1 + 1 +             // mode, coefficient
+    4 + 4 +             // packet_index, total_packets
+    8 + 8 +             // chunk_bytes, packet_bytes
+    4 + 4 + 4;          // sources count, error length, payload length
+
+}  // namespace
+
+size_t Message::encoded_size() const {
+  return kFixedHeaderBytes + sources.size() * (4 + 4 + 4 + 1) +
+         error.size() + payload.size();
+}
+
+std::vector<uint8_t> serialize(const Message& msg) {
+  std::vector<uint8_t> out;
+  out.reserve(msg.encoded_size());
+  put<uint8_t>(out, static_cast<uint8_t>(msg.type));
+  put<int32_t>(out, msg.from);
+  put<int32_t>(out, msg.to);
+  put<uint64_t>(out, msg.task_id);
+  put<int32_t>(out, msg.chunk.stripe);
+  put<int32_t>(out, msg.chunk.index);
+  put<int32_t>(out, msg.dst);
+  put<uint8_t>(out, static_cast<uint8_t>(msg.mode));
+  put<uint8_t>(out, msg.coefficient);
+  put<uint32_t>(out, msg.packet_index);
+  put<uint32_t>(out, msg.total_packets);
+  put<uint64_t>(out, msg.chunk_bytes);
+  put<uint64_t>(out, msg.packet_bytes);
+  put<uint32_t>(out, static_cast<uint32_t>(msg.sources.size()));
+  put<uint32_t>(out, static_cast<uint32_t>(msg.error.size()));
+  put<uint32_t>(out, static_cast<uint32_t>(msg.payload.size()));
+  for (const auto& s : msg.sources) {
+    put<int32_t>(out, s.node);
+    put<int32_t>(out, s.chunk.stripe);
+    put<int32_t>(out, s.chunk.index);
+    put<uint8_t>(out, s.coefficient);
+  }
+  out.insert(out.end(), msg.error.begin(), msg.error.end());
+  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  return out;
+}
+
+std::optional<Message> deserialize(const std::vector<uint8_t>& bytes) {
+  Reader reader(bytes);
+  Message msg;
+  uint8_t type = 0, mode = 0;
+  uint32_t num_sources = 0, error_len = 0, payload_len = 0;
+  if (!reader.read(type) || !reader.read(msg.from) || !reader.read(msg.to) ||
+      !reader.read(msg.task_id) || !reader.read(msg.chunk.stripe) ||
+      !reader.read(msg.chunk.index) || !reader.read(msg.dst) ||
+      !reader.read(mode) || !reader.read(msg.coefficient) ||
+      !reader.read(msg.packet_index) || !reader.read(msg.total_packets) ||
+      !reader.read(msg.chunk_bytes) || !reader.read(msg.packet_bytes) ||
+      !reader.read(num_sources) || !reader.read(error_len) ||
+      !reader.read(payload_len)) {
+    return std::nullopt;
+  }
+  if (type < 1 || type > 7) return std::nullopt;
+  msg.type = static_cast<MessageType>(type);
+  if (mode > 1) return std::nullopt;
+  msg.mode = static_cast<TransferMode>(mode);
+
+  // Bound the declared sizes by the actual frame length before any
+  // allocation — corrupted counts must not trigger huge resizes.
+  const uint64_t declared = static_cast<uint64_t>(num_sources) * 13 +
+                            error_len + payload_len;
+  if (declared > bytes.size()) return std::nullopt;
+
+  msg.sources.resize(num_sources);
+  for (auto& s : msg.sources) {
+    if (!reader.read(s.node) || !reader.read(s.chunk.stripe) ||
+        !reader.read(s.chunk.index) || !reader.read(s.coefficient)) {
+      return std::nullopt;
+    }
+  }
+  if (!reader.read_string(msg.error, error_len)) return std::nullopt;
+  if (!reader.read_bytes(msg.payload, payload_len)) return std::nullopt;
+  if (!reader.exhausted()) return std::nullopt;
+  return msg;
+}
+
+}  // namespace fastpr::net

@@ -1,0 +1,72 @@
+// Wire messages of the FastPR prototype (coordinator ⇄ agents).
+//
+// A fixed header plus an opaque payload. Messages carry everything an
+// agent needs to act without consulting global state, mirroring the
+// paper's coordinator/agent command protocol (§V). The binary encoding
+// is used verbatim by the TCP transport; the in-process transport moves
+// Message objects but accounts for encoded_size() against the shaped
+// bandwidth, so both transports price traffic identically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/types.h"
+
+namespace fastpr::net {
+
+enum class MessageType : uint8_t {
+  kReconstructCmd = 1,  // coordinator → destination agent
+  kMigrateCmd = 2,      // coordinator → STF agent
+  kFetchRequest = 3,    // destination agent → helper agent
+  kDataPacket = 4,      // helper/STF agent → destination agent
+  kTaskDone = 5,        // destination agent → coordinator
+  kTaskFailed = 6,      // any agent → coordinator
+  kShutdown = 7,        // coordinator → agent
+};
+
+/// How a destination handles incoming data packets of a task.
+enum class TransferMode : uint8_t {
+  kStore = 0,   // migration: write payload verbatim
+  kDecode = 1,  // reconstruction: multiply by coeff and XOR-accumulate
+};
+
+/// One helper source of a reconstruction task.
+struct SourceSpec {
+  cluster::NodeId node = cluster::kNoNode;
+  cluster::ChunkRef chunk;   // helper chunk on that node
+  uint8_t coefficient = 0;   // GF(256) decode coefficient
+};
+
+struct Message {
+  MessageType type = MessageType::kShutdown;
+  cluster::NodeId from = cluster::kNoNode;
+  cluster::NodeId to = cluster::kNoNode;
+
+  uint64_t task_id = 0;
+  cluster::ChunkRef chunk;       // the chunk being repaired / fetched
+  cluster::NodeId dst = cluster::kNoNode;  // final destination (commands)
+  TransferMode mode = TransferMode::kStore;
+  uint8_t coefficient = 0;       // decode coefficient (packets)
+  uint32_t packet_index = 0;
+  uint32_t total_packets = 0;
+  uint64_t chunk_bytes = 0;
+  uint64_t packet_bytes = 0;
+  std::vector<SourceSpec> sources;   // kReconstructCmd only
+  std::string error;                 // kTaskFailed only
+  std::vector<uint8_t> payload;      // kDataPacket only
+
+  /// Size of the serialized form; the unit charged against bandwidth.
+  size_t encoded_size() const;
+};
+
+/// Length-prefixed binary encoding (little-endian).
+std::vector<uint8_t> serialize(const Message& msg);
+
+/// Parses one message from `bytes` (the full frame, without the length
+/// prefix). Returns nullopt on malformed input.
+std::optional<Message> deserialize(const std::vector<uint8_t>& bytes);
+
+}  // namespace fastpr::net

@@ -1,0 +1,216 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace fastpr::net {
+
+namespace {
+
+bool write_all(int fd, const uint8_t* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, data + done, len - done);
+    if (n <= 0) return false;
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, uint8_t* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, data + done, len - done);
+    if (n <= 0) return false;
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int num_nodes, const Options& options)
+    : options_(options) {
+  FASTPR_CHECK(num_nodes >= 1);
+  endpoints_.reserve(static_cast<size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    auto ep = std::make_unique<Endpoint>();
+    ep->tx = std::make_unique<TokenBucket>(options.net_bytes_per_sec,
+                                           options.burst_bytes);
+    ep->rx = std::make_unique<TokenBucket>(options.net_bytes_per_sec,
+                                           options.burst_bytes);
+
+    ep->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    FASTPR_CHECK_MSG(ep->listen_fd >= 0, "socket() failed");
+    int yes = 1;
+    ::setsockopt(ep->listen_fd, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof(yes));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    FASTPR_CHECK_MSG(::bind(ep->listen_fd,
+                            reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr)) == 0,
+                     "bind() failed");
+    socklen_t len = sizeof(addr);
+    FASTPR_CHECK(::getsockname(ep->listen_fd,
+                               reinterpret_cast<sockaddr*>(&addr),
+                               &len) == 0);
+    ep->port = ntohs(addr.sin_port);
+    FASTPR_CHECK_MSG(::listen(ep->listen_fd, 64) == 0, "listen() failed");
+    endpoints_.push_back(std::move(ep));
+  }
+  for (int i = 0; i < num_nodes; ++i) {
+    endpoints_[static_cast<size_t>(i)]->accept_thread =
+        std::thread([this, i] { accept_loop(i); });
+  }
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::accept_loop(int node) {
+  auto& ep = *endpoints_[static_cast<size_t>(node)];
+  for (;;) {
+    const int fd = ::accept(ep.listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // listen socket closed: shutting down
+    std::lock_guard<std::mutex> lock(ep.reader_mutex);
+    ep.reader_threads.emplace_back(
+        [this, node, fd] { reader_loop(node, fd); });
+  }
+}
+
+void TcpTransport::reader_loop(int node, int fd) {
+  auto& ep = *endpoints_[static_cast<size_t>(node)];
+  for (;;) {
+    uint32_t frame_len = 0;
+    if (!read_all(fd, reinterpret_cast<uint8_t*>(&frame_len),
+                  sizeof(frame_len))) {
+      break;
+    }
+    if (frame_len > (256u << 20)) break;  // sanity cap
+    std::vector<uint8_t> frame(frame_len);
+    if (!read_all(fd, frame.data(), frame.size())) break;
+    auto msg = deserialize(frame);
+    if (!msg.has_value()) {
+      LOG_WARN("tcp: malformed frame dropped on node " << node);
+      continue;
+    }
+    const bool shaped = options_.shape_control_messages ||
+                        msg->type == MessageType::kDataPacket;
+    if (shaped) ep.rx->acquire(static_cast<int64_t>(frame.size()));
+    {
+      std::lock_guard<std::mutex> lock(inbox_mutex_);
+      if (closed_) break;
+      ep.inbox.push_back(std::move(*msg));
+    }
+    inbox_cv_.notify_all();
+  }
+  ::close(fd);
+}
+
+int TcpTransport::connect_to(int src, int dst) {
+  auto& ep = *endpoints_[static_cast<size_t>(src)];
+  // Caller holds ep.conn_mutex.
+  const auto it = ep.conns.find(dst);
+  if (it != ep.conns.end()) return it->second;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  FASTPR_CHECK_MSG(fd >= 0, "socket() failed");
+  int yes = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof(yes));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(endpoints_[static_cast<size_t>(dst)]->port);
+  FASTPR_CHECK_MSG(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) == 0,
+                   "connect() to node " << dst << " failed");
+  ep.conns[dst] = fd;
+  return fd;
+}
+
+void TcpTransport::send(Message msg) {
+  FASTPR_CHECK(msg.from >= 0 &&
+               msg.from < static_cast<int>(endpoints_.size()));
+  FASTPR_CHECK(msg.to >= 0 && msg.to < static_cast<int>(endpoints_.size()));
+  auto& ep = *endpoints_[static_cast<size_t>(msg.from)];
+
+  const auto frame = serialize(msg);
+  const bool shaped = options_.shape_control_messages ||
+                      msg.type == MessageType::kDataPacket;
+  if (shaped) ep.tx->acquire(static_cast<int64_t>(frame.size()));
+
+  std::lock_guard<std::mutex> lock(ep.conn_mutex);
+  if (closed_) return;
+  const int fd = connect_to(msg.from, msg.to);
+  const uint32_t frame_len = static_cast<uint32_t>(frame.size());
+  if (!write_all(fd, reinterpret_cast<const uint8_t*>(&frame_len),
+                 sizeof(frame_len)) ||
+      !write_all(fd, frame.data(), frame.size())) {
+    ::close(fd);
+    ep.conns.erase(msg.to);
+    FASTPR_CHECK_MSG(false, "tcp send to node " << msg.to << " failed");
+  }
+}
+
+std::optional<Message> TcpTransport::recv(
+    cluster::NodeId node, std::optional<std::chrono::milliseconds> timeout) {
+  FASTPR_CHECK(node >= 0 && node < static_cast<int>(endpoints_.size()));
+  auto& ep = *endpoints_[static_cast<size_t>(node)];
+  std::unique_lock<std::mutex> lock(inbox_mutex_);
+  const auto ready = [&] { return closed_ || !ep.inbox.empty(); };
+  if (timeout.has_value()) {
+    if (!inbox_cv_.wait_for(lock, *timeout, ready)) return std::nullopt;
+  } else {
+    inbox_cv_.wait(lock, ready);
+  }
+  if (ep.inbox.empty()) return std::nullopt;
+  Message msg = std::move(ep.inbox.front());
+  ep.inbox.pop_front();
+  return msg;
+}
+
+void TcpTransport::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  inbox_cv_.notify_all();
+  for (auto& ep : endpoints_) {
+    ep->tx->set_rate(0);
+    ep->rx->set_rate(0);
+    ::shutdown(ep->listen_fd, SHUT_RDWR);
+    ::close(ep->listen_fd);
+    {
+      std::lock_guard<std::mutex> lock(ep->conn_mutex);
+      for (auto& [dst, fd] : ep->conns) {
+        (void)dst;
+        ::shutdown(fd, SHUT_RDWR);
+      }
+    }
+  }
+  for (auto& ep : endpoints_) {
+    if (ep->accept_thread.joinable()) ep->accept_thread.join();
+    std::lock_guard<std::mutex> lock(ep->reader_mutex);
+    for (auto& t : ep->reader_threads) {
+      if (t.joinable()) t.join();
+    }
+    std::lock_guard<std::mutex> conn_lock(ep->conn_mutex);
+    for (auto& [dst, fd] : ep->conns) {
+      (void)dst;
+      ::close(fd);
+    }
+    ep->conns.clear();
+  }
+}
+
+}  // namespace fastpr::net

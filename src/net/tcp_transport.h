@@ -1,0 +1,68 @@
+// TCP transport over loopback sockets.
+//
+// Every node binds an ephemeral 127.0.0.1 port; an accept thread plus
+// per-connection reader threads parse length-prefixed frames into the
+// node's inbox. Senders keep one persistent connection per (src, dst)
+// pair. Optional token buckets shape per-node bandwidth exactly like the
+// in-process transport, so the agent protocol can be exercised over a
+// real network stack with the same timing semantics.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/transport.h"
+#include "util/token_bucket.h"
+
+namespace fastpr::net {
+
+class TcpTransport final : public Transport {
+ public:
+  struct Options {
+    double net_bytes_per_sec = 0;  // <=0: unlimited
+    bool shape_control_messages = false;
+    int64_t burst_bytes = 1 << 20;
+  };
+
+  TcpTransport(int num_nodes, const Options& options);
+  ~TcpTransport() override;
+
+  void send(Message msg) override;
+  std::optional<Message> recv(
+      cluster::NodeId node,
+      std::optional<std::chrono::milliseconds> timeout) override;
+  void shutdown() override;
+
+ private:
+  struct Endpoint {
+    int listen_fd = -1;
+    uint16_t port = 0;
+    std::thread accept_thread;
+    std::vector<std::thread> reader_threads;
+    std::mutex reader_mutex;  // guards reader_threads
+    std::deque<Message> inbox;
+    std::unique_ptr<TokenBucket> tx;
+    std::unique_ptr<TokenBucket> rx;
+    // Outgoing connection cache: dst → fd, with a mutex per entry to
+    // serialize frame writes.
+    std::mutex conn_mutex;
+    std::map<cluster::NodeId, int> conns;
+  };
+
+  void accept_loop(int node);
+  void reader_loop(int node, int fd);
+  int connect_to(int src, int dst);
+
+  Options options_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::mutex inbox_mutex_;
+  std::condition_variable inbox_cv_;
+  bool closed_ = false;
+};
+
+}  // namespace fastpr::net

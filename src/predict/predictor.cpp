@@ -1,0 +1,142 @@
+#include "predict/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fastpr::predict {
+
+namespace {
+
+/// Latest sample with day <= as_of_day, or nullptr if none.
+const SmartSample* latest_sample(const DiskTrace& trace, double as_of_day) {
+  const SmartSample* best = nullptr;
+  for (const auto& s : trace.samples) {
+    if (s.day <= as_of_day) best = &s;
+  }
+  return best;
+}
+
+/// Slope (per day) of an attribute over the last `window_days` before
+/// as_of_day; 0 when insufficient samples.
+double recent_slope(const DiskTrace& trace, SmartAttr attr,
+                    double as_of_day, double window_days) {
+  const SmartSample* last = nullptr;
+  const SmartSample* first = nullptr;
+  for (const auto& s : trace.samples) {
+    if (s.day > as_of_day) break;
+    if (s.day >= as_of_day - window_days) {
+      if (first == nullptr) first = &s;
+      last = &s;
+    }
+  }
+  if (first == nullptr || last == nullptr || last->day <= first->day) {
+    return 0.0;
+  }
+  return (last->values[attr] - first->values[attr]) /
+         (last->day - first->day);
+}
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+Features extract_features(const DiskTrace& trace, double as_of_day) {
+  Features f;
+  const SmartSample* s = latest_sample(trace, as_of_day);
+  if (s == nullptr) return f;
+  f.values[0] = std::log1p(s->values[kReallocatedSectors]);
+  f.values[1] = std::log1p(s->values[kCurrentPendingSectors]);
+  f.values[2] = std::log1p(s->values[kReportedUncorrectable]);
+  f.values[3] = recent_slope(trace, kReallocatedSectors, as_of_day, 7.0);
+  f.values[4] = recent_slope(trace, kCurrentPendingSectors, as_of_day, 7.0);
+  return f;
+}
+
+ThresholdPredictor::ThresholdPredictor(double reallocated_threshold)
+    : threshold_(reallocated_threshold) {
+  FASTPR_CHECK(reallocated_threshold > 0);
+}
+
+double ThresholdPredictor::score(const DiskTrace& trace,
+                                 double as_of_day) const {
+  const SmartSample* s = latest_sample(trace, as_of_day);
+  if (s == nullptr) return 0.0;
+  // Saturating ratio: 0 at zero sectors, 0.5 exactly at the threshold.
+  const double v = s->values[kReallocatedSectors];
+  return v / (v + threshold_);
+}
+
+LogisticPredictor::LogisticPredictor() = default;
+
+double LogisticPredictor::score(const DiskTrace& trace,
+                                double as_of_day) const {
+  // Fixed weights calibrated to the trace generator's ramp scales; they
+  // stand in for a trained model. Levels are log-compressed (SMART
+  // counts span decades), slopes are linear.
+  const Features f = extract_features(trace, as_of_day);
+  const double z = -6.0 + 1.1 * f.values[0] + 0.9 * f.values[1] +
+                   0.8 * f.values[2] + 0.08 * f.values[3] +
+                   0.08 * f.values[4];
+  return sigmoid(z);
+}
+
+double EvalResult::precision() const {
+  const int denom = true_positives + false_positives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+}
+
+double EvalResult::recall() const {
+  const int denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+}
+
+double EvalResult::false_alarm_rate() const {
+  const int denom = false_positives + true_negatives;
+  return denom == 0 ? 0.0 : static_cast<double>(false_positives) / denom;
+}
+
+double EvalResult::accuracy() const {
+  const int total = true_positives + false_positives + true_negatives +
+                    false_negatives;
+  return total == 0
+             ? 0.0
+             : static_cast<double>(true_positives + true_negatives) / total;
+}
+
+EvalResult evaluate(const FailurePredictor& predictor,
+                    const std::vector<DiskTrace>& traces, double as_of_day,
+                    double lookahead_days) {
+  EvalResult r;
+  for (const auto& trace : traces) {
+    // A disk already dead by as_of_day is not a prediction target.
+    if (trace.will_fail && trace.failure_day <= as_of_day) continue;
+    const bool positive = trace.will_fail &&
+                          trace.failure_day <= as_of_day + lookahead_days;
+    const bool predicted = predictor.predicts_failure(trace, as_of_day);
+    if (positive && predicted) ++r.true_positives;
+    if (positive && !predicted) ++r.false_negatives;
+    if (!positive && predicted) ++r.false_positives;
+    if (!positive && !predicted) ++r.true_negatives;
+  }
+  return r;
+}
+
+int select_stf_disk(const FailurePredictor& predictor,
+                    const std::vector<DiskTrace>& traces,
+                    double as_of_day) {
+  int best = -1;
+  double best_score = 0.0;
+  for (const auto& trace : traces) {
+    if (trace.will_fail && trace.failure_day <= as_of_day) continue;
+    const double s = predictor.score(trace, as_of_day);
+    if (s >= predictor.decision_threshold() && s > best_score) {
+      best = trace.disk_id;
+      best_score = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace fastpr::predict

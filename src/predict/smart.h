@@ -1,0 +1,52 @@
+// SMART attribute model.
+//
+// The paper takes accurate disk-failure prediction as an input (cited ML
+// work reaches >=95% accuracy on SMART data). We do not have production
+// SMART telemetry, so this module defines the attribute schema that the
+// synthetic trace generator emits and the predictors consume — the same
+// attributes the cited predictors use (reallocated sectors, pending
+// sectors, uncorrectable errors, command timeouts, temperature,
+// power-on hours).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace fastpr::predict {
+
+/// Indices into SmartSample::values. Named after the standard SMART ids.
+enum SmartAttr : int {
+  kReallocatedSectors = 0,   // SMART 5
+  kReportedUncorrectable,    // SMART 187
+  kCommandTimeout,           // SMART 188
+  kCurrentPendingSectors,    // SMART 197
+  kOfflineUncorrectable,     // SMART 198
+  kTemperatureCelsius,       // SMART 194
+  kPowerOnHours,             // SMART 9
+  kNumSmartAttrs,
+};
+
+constexpr std::array<std::string_view, kNumSmartAttrs> kSmartAttrNames = {
+    "reallocated_sectors", "reported_uncorrectable", "command_timeout",
+    "current_pending_sectors", "offline_uncorrectable",
+    "temperature_celsius", "power_on_hours",
+};
+
+/// One SMART poll of one disk.
+struct SmartSample {
+  double day = 0.0;  // time of the sample, in days since trace start
+  std::array<double, kNumSmartAttrs> values{};
+};
+
+/// A disk's SMART history plus ground truth for evaluation.
+struct DiskTrace {
+  int disk_id = -1;
+  bool will_fail = false;
+  /// Day the disk actually fails; only meaningful when will_fail.
+  double failure_day = 0.0;
+  std::vector<SmartSample> samples;
+};
+
+}  // namespace fastpr::predict

@@ -1,0 +1,107 @@
+#include "predict/trace_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fastpr::predict {
+
+namespace {
+
+/// Occasional benign blip: most samples zero, rare small positives.
+double benign_error_count(fastpr::Rng& rng) {
+  if (rng.chance(0.01)) return std::floor(rng.uniform_real(1.0, 4.0));
+  return 0.0;
+}
+
+/// Degradation ramp value at `days_into_ramp` (>=0): accelerating
+/// (quadratic) growth with multiplicative noise, in sectors.
+double ramp_value(double days_into_ramp, double scale, fastpr::Rng& rng) {
+  if (days_into_ramp <= 0) return 0.0;
+  const double base = scale * days_into_ramp * days_into_ramp;
+  return std::max(0.0, base * rng.uniform_real(0.8, 1.25));
+}
+
+}  // namespace
+
+DiskTrace generate_trace(int disk_id, bool will_fail, bool silent,
+                         double failure_day, const TraceConfig& config,
+                         fastpr::Rng& rng) {
+  DiskTrace trace;
+  trace.disk_id = disk_id;
+  trace.will_fail = will_fail;
+  trace.failure_day = will_fail ? failure_day : 0.0;
+
+  const double lead =
+      rng.uniform_real(config.min_lead_days, config.max_lead_days);
+  const double onset_day = failure_day - lead;
+  const double base_temp = rng.uniform_real(28.0, 38.0);
+  const double initial_poh = rng.uniform_real(1000.0, 30000.0);
+
+  // Cumulative counters (SMART error counts are monotone).
+  double realloc = 0.0, uncorrect = 0.0, timeouts = 0.0, pending = 0.0,
+         offline_unc = 0.0;
+
+  const double end_day =
+      will_fail ? std::min(failure_day, config.horizon_days)
+                : config.horizon_days;
+  for (double day = 0.0; day <= end_day;
+       day += config.sample_interval_days) {
+    const bool degrading = will_fail && !silent && day >= onset_day;
+    if (degrading) {
+      const double into = day - onset_day;
+      realloc = std::max(realloc, ramp_value(into, 2.0, rng));
+      pending = std::max(pending, ramp_value(into, 1.2, rng));
+      uncorrect = std::max(uncorrect, ramp_value(into, 0.6, rng));
+      offline_unc = std::max(offline_unc, ramp_value(into, 0.4, rng));
+      timeouts = std::max(timeouts, ramp_value(into, 0.2, rng));
+    } else {
+      realloc += benign_error_count(rng);
+      pending += benign_error_count(rng) * 0.5;
+    }
+
+    SmartSample sample;
+    sample.day = day;
+    sample.values[kReallocatedSectors] = std::floor(realloc);
+    sample.values[kReportedUncorrectable] = std::floor(uncorrect);
+    sample.values[kCommandTimeout] = std::floor(timeouts);
+    sample.values[kCurrentPendingSectors] = std::floor(pending);
+    sample.values[kOfflineUncorrectable] = std::floor(offline_unc);
+    sample.values[kTemperatureCelsius] =
+        base_temp + rng.normal(0.0, 1.5) + (degrading ? 2.0 : 0.0);
+    sample.values[kPowerOnHours] = initial_poh + day * 24.0;
+    trace.samples.push_back(sample);
+  }
+  return trace;
+}
+
+std::vector<DiskTrace> generate_traces(const TraceConfig& config,
+                                       fastpr::Rng& rng) {
+  FASTPR_CHECK(config.num_disks >= 1);
+  FASTPR_CHECK(config.failure_fraction >= 0.0 &&
+               config.failure_fraction <= 1.0);
+  const int num_failing = static_cast<int>(
+      std::lround(config.failure_fraction * config.num_disks));
+  const auto failing_ids =
+      rng.sample_distinct(config.num_disks, num_failing);
+  std::vector<bool> fails(static_cast<size_t>(config.num_disks), false);
+  for (int id : failing_ids) fails[static_cast<size_t>(id)] = true;
+
+  std::vector<DiskTrace> traces;
+  traces.reserve(static_cast<size_t>(config.num_disks));
+  for (int id = 0; id < config.num_disks; ++id) {
+    const bool will_fail = fails[static_cast<size_t>(id)];
+    const bool silent =
+        will_fail && rng.chance(config.silent_failure_fraction);
+    const double failure_day =
+        will_fail
+            ? rng.uniform_real(config.horizon_days / 2, config.horizon_days)
+            : 0.0;
+    traces.push_back(
+        generate_trace(id, will_fail, silent, failure_day, config, rng));
+  }
+  return traces;
+}
+
+}  // namespace fastpr::predict

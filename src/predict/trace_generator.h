@@ -1,0 +1,43 @@
+// Synthetic SMART trace generator.
+//
+// Models the empirical shape reported by the disk-failure-prediction
+// literature the paper cites: healthy disks show near-zero error counts
+// with rare benign blips; failing disks develop an accelerating ramp of
+// reallocated/pending/uncorrectable sectors starting days-to-weeks
+// before the failure event. Temperature and power-on hours evolve
+// benignly on both populations so a predictor must key on error counts.
+#pragma once
+
+#include "predict/smart.h"
+#include "util/rng.h"
+
+#include <vector>
+
+namespace fastpr::predict {
+
+struct TraceConfig {
+  int num_disks = 100;
+  double failure_fraction = 0.05;  // fraction of disks that fail
+  double horizon_days = 90.0;      // trace length
+  double sample_interval_days = 1.0;
+  /// Degradation onset precedes failure by Uniform[min, max] days.
+  double min_lead_days = 5.0;
+  double max_lead_days = 20.0;
+  /// Fraction of failing disks that fail with NO SMART symptoms at all
+  /// (field studies report many failures show no SMART errors — these
+  /// bound achievable recall).
+  double silent_failure_fraction = 0.1;
+};
+
+/// Generates traces for a disk population. Failing disks are chosen
+/// uniformly; failure day is Uniform[horizon/2, horizon] so every failing
+/// trace contains its onset.
+std::vector<DiskTrace> generate_traces(const TraceConfig& config,
+                                       fastpr::Rng& rng);
+
+/// Generates a single trace with explicit ground truth (used by tests).
+DiskTrace generate_trace(int disk_id, bool will_fail, bool silent,
+                         double failure_day, const TraceConfig& config,
+                         fastpr::Rng& rng);
+
+}  // namespace fastpr::predict

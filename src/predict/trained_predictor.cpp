@@ -1,0 +1,85 @@
+#include "predict/trained_predictor.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fastpr::predict {
+
+namespace {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+struct Sample {
+  Features features;
+  bool positive = false;
+};
+
+}  // namespace
+
+void TrainedLogisticPredictor::train(const std::vector<DiskTrace>& traces,
+                                     const TrainConfig& config) {
+  FASTPR_CHECK(config.epochs >= 1);
+  FASTPR_CHECK(config.learning_rate > 0);
+  FASTPR_CHECK(config.sample_stride_days > 0);
+
+  // Build the training set: one sample per (disk, sampled day), labeled
+  // by whether the disk fails within the lookahead.
+  std::vector<Sample> samples;
+  for (const auto& trace : traces) {
+    if (trace.samples.empty()) continue;
+    const double last_day = trace.samples.back().day;
+    for (double day = config.sample_stride_days; day <= last_day;
+         day += config.sample_stride_days) {
+      if (trace.will_fail && trace.failure_day <= day) break;  // dead
+      Sample s;
+      s.features = extract_features(trace, day);
+      s.positive = trace.will_fail &&
+                   trace.failure_day <= day + config.lookahead_days;
+      samples.push_back(s);
+    }
+  }
+  FASTPR_CHECK_MSG(!samples.empty(), "no training samples extracted");
+
+  weights_.fill(0.0);
+  Rng rng(config.seed);
+  std::vector<size_t> order(samples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (size_t idx : order) {
+      const Sample& s = samples[idx];
+      double z = weights_[0];
+      for (int f = 0; f < Features::kCount; ++f) {
+        z += weights_[static_cast<size_t>(f) + 1] * s.features.values[f];
+      }
+      const double prediction = sigmoid(z);
+      const double target = s.positive ? 1.0 : 0.0;
+      // Class-weighted log-loss gradient with L2 decay.
+      const double scale = s.positive ? config.positive_weight : 1.0;
+      const double grad = scale * (prediction - target);
+      weights_[0] -= config.learning_rate * grad;
+      for (int f = 0; f < Features::kCount; ++f) {
+        auto& w = weights_[static_cast<size_t>(f) + 1];
+        w -= config.learning_rate *
+             (grad * s.features.values[f] + config.weight_decay * w);
+      }
+    }
+  }
+  trained_ = true;
+}
+
+double TrainedLogisticPredictor::score(const DiskTrace& trace,
+                                       double as_of_day) const {
+  FASTPR_CHECK_MSG(trained_, "call train() before score()");
+  const Features f = extract_features(trace, as_of_day);
+  double z = weights_[0];
+  for (int i = 0; i < Features::kCount; ++i) {
+    z += weights_[static_cast<size_t>(i) + 1] * f.values[i];
+  }
+  return sigmoid(z);
+}
+
+}  // namespace fastpr::predict

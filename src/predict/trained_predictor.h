@@ -1,0 +1,52 @@
+// Logistic-regression STF predictor TRAINED by stochastic gradient
+// descent on a labeled SMART population — the "machine learning"
+// counterpart to the fixed-weight LogisticPredictor, standing in for
+// the CART/NN classifiers of the work the paper cites [18], [23], [45].
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "predict/predictor.h"
+
+namespace fastpr::predict {
+
+class TrainedLogisticPredictor final : public FailurePredictor {
+ public:
+  struct TrainConfig {
+    int epochs = 30;
+    double learning_rate = 0.05;
+    /// L2 regularization strength.
+    double weight_decay = 1e-4;
+    /// A sample (disk, day) is positive if the disk fails within this
+    /// many days after `day`.
+    double lookahead_days = 15.0;
+    /// Sampling stride through each trace.
+    double sample_stride_days = 5.0;
+    /// Positive class is rare; weight its gradient up by this factor.
+    double positive_weight = 8.0;
+    uint64_t seed = 1;
+  };
+
+  TrainedLogisticPredictor() = default;
+
+  /// Fits the weights on a labeled population (ground truth comes from
+  /// DiskTrace::will_fail / failure_day). Call before score().
+  void train(const std::vector<DiskTrace>& traces,
+             const TrainConfig& config);
+
+  std::string name() const override { return "trained-logistic"; }
+  double score(const DiskTrace& trace, double as_of_day) const override;
+
+  bool trained() const { return trained_; }
+  /// Bias followed by the per-feature weights.
+  const std::array<double, Features::kCount + 1>& weights() const {
+    return weights_;
+  }
+
+ private:
+  std::array<double, Features::kCount + 1> weights_{};
+  bool trained_ = false;
+};
+
+}  // namespace fastpr::predict

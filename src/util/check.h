@@ -1,0 +1,47 @@
+// Lightweight invariant-checking macros.
+//
+// FASTPR_CHECK is always on (release builds included): these guard
+// invariants whose violation means the repair plan would be wrong, and
+// correctness matters more than the branch cost on these paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace fastpr {
+
+/// Thrown when a FASTPR_CHECK fails. Carries the failing expression and
+/// source location in what().
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace fastpr
+
+#define FASTPR_CHECK(expr)                                               \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::fastpr::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
+  } while (0)
+
+#define FASTPR_CHECK_MSG(expr, msg)                                      \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream os_;                                            \
+      os_ << msg;                                                        \
+      ::fastpr::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                     os_.str());                         \
+    }                                                                    \
+  } while (0)

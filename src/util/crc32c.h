@@ -1,0 +1,19 @@
+// CRC-32C (Castagnoli) — the checksum storage systems use for on-disk
+// chunk integrity (latent sector errors are a core motivation of
+// predictive repair: disks go bad gradually, not atomically).
+//
+// Software implementation with an 8-way slicing table; no hardware
+// dependency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fastpr {
+
+/// CRC-32C of `data`, seeded by `crc` (pass 0 for a fresh checksum;
+/// chain calls to checksum streamed data).
+uint32_t crc32c(std::span<const uint8_t> data, uint32_t crc = 0);
+
+}  // namespace fastpr

@@ -1,0 +1,55 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace fastpr {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& msg) {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const auto tt = system_clock::to_time_t(now);
+  const auto ms = duration_cast<milliseconds>(now.time_since_epoch()) % 1000;
+  std::tm tm_buf{};
+  localtime_r(&tt, &tm_buf);
+  char ts[32];
+  std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm_buf);
+
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s.%03d %s] %s\n", ts, static_cast<int>(ms.count()),
+               level_name(level), msg.c_str());
+}
+
+}  // namespace detail
+}  // namespace fastpr

@@ -1,0 +1,41 @@
+// Minimal thread-safe leveled logger.
+//
+// Usage:
+//   LOG_INFO("repaired " << n << " chunks");
+// Levels are filtered by a process-global threshold (default kInfo);
+// benches raise it to kWarn to keep figure output clean.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace fastpr {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+/// Writes one formatted line to stderr under a global mutex.
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace fastpr
+
+#define FASTPR_LOG(level, expr)                                   \
+  do {                                                            \
+    if (static_cast<int>(level) >=                                \
+        static_cast<int>(::fastpr::log_level())) {                \
+      std::ostringstream os_;                                     \
+      os_ << expr;                                                \
+      ::fastpr::detail::log_line(level, os_.str());               \
+    }                                                             \
+  } while (0)
+
+#define LOG_DEBUG(expr) FASTPR_LOG(::fastpr::LogLevel::kDebug, expr)
+#define LOG_INFO(expr) FASTPR_LOG(::fastpr::LogLevel::kInfo, expr)
+#define LOG_WARN(expr) FASTPR_LOG(::fastpr::LogLevel::kWarn, expr)
+#define LOG_ERROR(expr) FASTPR_LOG(::fastpr::LogLevel::kError, expr)

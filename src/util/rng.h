@@ -1,0 +1,67 @@
+// Deterministic random-number helper used across placement, workload
+// generation and tests. Every simulation takes an explicit seed so runs
+// are reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fastpr {
+
+/// Seeded RNG wrapper with the sampling helpers the codebase needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eedULL) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniform(int64_t lo, int64_t hi) {
+    FASTPR_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Normal sample.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Chooses `count` distinct values uniformly from [0, universe).
+  std::vector<int> sample_distinct(int universe, int count) {
+    FASTPR_CHECK_MSG(count <= universe,
+                     "cannot sample " << count << " from " << universe);
+    // Partial Fisher–Yates over an index vector.
+    std::vector<int> idx(universe);
+    for (int i = 0; i < universe; ++i) idx[i] = i;
+    for (int i = 0; i < count; ++i) {
+      const int j = static_cast<int>(uniform(i, universe - 1));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(count);
+    return idx;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace fastpr

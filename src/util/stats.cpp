@@ -1,0 +1,49 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fastpr {
+
+void Summary::add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+}
+
+double Summary::mean() const {
+  FASTPR_CHECK(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  FASTPR_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  FASTPR_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::stddev() const {
+  FASTPR_CHECK(!samples_.empty());
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Summary::percentile(double p) const {
+  FASTPR_CHECK(!samples_.empty());
+  FASTPR_CHECK(p >= 0.0 && p <= 1.0);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  const size_t idx = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace fastpr

@@ -1,0 +1,31 @@
+// Small numeric summary used when averaging repair times over runs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fastpr {
+
+/// Accumulates samples and reports mean / min / max / stddev / percentiles.
+class Summary {
+ public:
+  void add(double sample);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  /// p in [0,1]; nearest-rank percentile.
+  double percentile(double p) const;
+  double sum() const { return sum_; }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+}  // namespace fastpr

@@ -1,0 +1,34 @@
+// Plain-text table printer for the benchmark harness.
+//
+// Every bench binary prints the series a paper figure plots; this keeps
+// the output format uniform (aligned columns, one header row) so
+// EXPERIMENTS.md can quote it directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fastpr {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string fmt(double v, int precision = 4);
+
+  /// Renders the aligned table (ends with a newline).
+  std::string render() const;
+
+  /// Renders to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fastpr

@@ -1,0 +1,63 @@
+#include "util/token_bucket.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fastpr {
+
+TokenBucket::TokenBucket(double rate_bytes_per_sec, int64_t burst_bytes)
+    : rate_(rate_bytes_per_sec),
+      burst_(burst_bytes),
+      tokens_(static_cast<double>(burst_bytes)),
+      last_refill_(Clock::now()) {
+  FASTPR_CHECK(burst_bytes > 0);
+}
+
+void TokenBucket::refill_locked(Clock::time_point now) {
+  const double elapsed =
+      std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  tokens_ = std::min(static_cast<double>(burst_),
+                     tokens_ + elapsed * rate_);
+}
+
+void TokenBucket::acquire(int64_t bytes) {
+  FASTPR_CHECK(bytes >= 0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (rate_ <= 0) return;  // unlimited
+  // Large requests are consumed in burst-sized slices so that several
+  // streams sharing one bucket interleave fairly instead of one stream
+  // draining minutes of tokens at once.
+  int64_t remaining = bytes;
+  while (remaining > 0) {
+    const int64_t slice = std::min(remaining, burst_);
+    refill_locked(Clock::now());
+    while (tokens_ < static_cast<double>(slice)) {
+      const double deficit = static_cast<double>(slice) - tokens_;
+      const auto wait = std::chrono::duration<double>(deficit / rate_);
+      cv_.wait_for(lock,
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(wait));
+      if (rate_ <= 0) return;  // became unlimited while waiting
+      refill_locked(Clock::now());
+    }
+    tokens_ -= static_cast<double>(slice);
+    remaining -= slice;
+  }
+}
+
+void TokenBucket::set_rate(double rate_bytes_per_sec) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    refill_locked(Clock::now());
+    rate_ = rate_bytes_per_sec;
+  }
+  cv_.notify_all();
+}
+
+double TokenBucket::rate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rate_;
+}
+
+}  // namespace fastpr

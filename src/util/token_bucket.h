@@ -1,0 +1,45 @@
+// Blocking token-bucket rate limiter.
+//
+// Used by the testbed substrate to emulate bounded disk bandwidth (one
+// bucket per chunk store) and bounded NIC bandwidth (one bucket per node),
+// playing the role Wonder Shaper plays in the paper's EC2 experiments.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace fastpr {
+
+/// Thread-safe token bucket. acquire(n) blocks the caller until n tokens
+/// (bytes) are available at the configured rate. A burst capacity bounds
+/// how far the bucket can fill while idle.
+class TokenBucket {
+ public:
+  /// rate_bytes_per_sec <= 0 means unlimited (acquire never blocks).
+  explicit TokenBucket(double rate_bytes_per_sec,
+                       int64_t burst_bytes = 4 << 20);
+
+  /// Blocks until `bytes` tokens are consumed.
+  void acquire(int64_t bytes);
+
+  /// Changes the rate; takes effect for subsequent acquisitions.
+  void set_rate(double rate_bytes_per_sec);
+
+  double rate() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  void refill_locked(Clock::time_point now);
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  double rate_;          // bytes per second; <=0 => unlimited
+  int64_t burst_;        // max accumulated tokens
+  double tokens_;        // current tokens
+  Clock::time_point last_refill_;
+};
+
+}  // namespace fastpr

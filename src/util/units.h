@@ -1,0 +1,23 @@
+// Unit helpers. All bandwidths inside the codebase are bytes/second and
+// all sizes are bytes; these helpers keep bench/test setup readable and
+// mirror the units the paper quotes (MB chunks, MB/s disks, Gb/s NICs).
+#pragma once
+
+#include <cstdint>
+
+namespace fastpr {
+
+constexpr int64_t kKiB = 1024;
+constexpr int64_t kMiB = 1024 * kKiB;
+constexpr int64_t kGiB = 1024 * kMiB;
+
+/// Megabytes (binary, as chunk sizes are typically 64 MiB) to bytes.
+constexpr int64_t MB(int64_t v) { return v * kMiB; }
+
+/// Disk bandwidth quoted in MB/s to bytes/s.
+constexpr double MBps(double v) { return v * static_cast<double>(kMiB); }
+
+/// Network bandwidth quoted in Gb/s (decimal gigabits) to bytes/s.
+constexpr double Gbps(double v) { return v * 1e9 / 8.0; }
+
+}  // namespace fastpr

@@ -1,0 +1,252 @@
+// Testbed integration: full plans executed with real bytes over the
+// shaped transport, byte-exact verification, failure injection.
+#include "agent/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/repair_plan.h"
+#include "ec/lrc_code.h"
+#include "ec/rs_code.h"
+#include "util/units.h"
+
+namespace fastpr::agent {
+namespace {
+
+TestbedOptions small_options(uint64_t seed) {
+  TestbedOptions opts;
+  opts.num_storage = 12;
+  opts.num_standby = 2;
+  opts.disk_bytes_per_sec = 0;  // unthrottled: tests check bytes, not time
+  opts.net_bytes_per_sec = 0;
+  opts.chunk_bytes = 64 << 10;
+  opts.packet_bytes = 16 << 10;
+  opts.num_stripes = 30;
+  opts.seed = seed;
+  opts.round_timeout = std::chrono::milliseconds(30000);
+  return opts;
+}
+
+struct Param {
+  core::Scenario scenario;
+  const char* strategy;
+};
+
+class TestbedExecutionTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(TestbedExecutionTest, ExecutesAndVerifies) {
+  const auto p = GetParam();
+  ec::RsCode code(6, 4);
+  Testbed tb(small_options(21), code);
+  tb.flag_stf();
+  auto planner = tb.make_planner(p.scenario);
+
+  core::RepairPlan plan;
+  if (std::string(p.strategy) == "fastpr") {
+    plan = planner.plan_fastpr();
+  } else if (std::string(p.strategy) == "reconstruction") {
+    plan = planner.plan_reconstruction_only();
+  } else {
+    plan = planner.plan_migration_only();
+  }
+  validate_plan(plan, tb.layout(), tb.cluster(), 4);
+
+  const auto report = tb.execute(plan);
+  EXPECT_TRUE(report.success) << (report.errors.empty()
+                                      ? ""
+                                      : report.errors.front());
+  EXPECT_EQ(report.repaired(), plan.total_repaired());
+  EXPECT_EQ(report.fallback_reconstructions, 0);
+  EXPECT_TRUE(tb.verify(plan));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, TestbedExecutionTest,
+    ::testing::Values(Param{core::Scenario::kScattered, "fastpr"},
+                      Param{core::Scenario::kScattered, "reconstruction"},
+                      Param{core::Scenario::kScattered, "migration"},
+                      Param{core::Scenario::kHotStandby, "fastpr"},
+                      Param{core::Scenario::kHotStandby, "reconstruction"},
+                      Param{core::Scenario::kHotStandby, "migration"}),
+    [](const auto& info) {
+      return std::string(info.param.scenario == core::Scenario::kScattered
+                             ? "scattered_"
+                             : "hotstandby_") +
+             info.param.strategy;
+    });
+
+TEST(Testbed, LrcPlansExecuteWithLocalRepairFanIn) {
+  // LRC(4,2,2): data/local-parity chunks repair from k' = 2 helpers.
+  ec::LrcCode code(4, 2, 2);
+  auto opts = small_options(33);
+  Testbed tb(opts, code);
+  tb.flag_stf();
+  auto planner = tb.make_planner(core::Scenario::kScattered);
+  const auto plan = planner.plan_fastpr();
+  validate_plan(plan, tb.layout(), tb.cluster(), 2, &code);
+  bool saw_local = false;
+  for (const auto& round : plan.rounds) {
+    for (const auto& task : round.reconstructions) {
+      const size_t expected = static_cast<size_t>(
+          code.repair_fetch_count(task.chunk.index));
+      ASSERT_EQ(task.sources.size(), expected);
+      if (expected == 2) {
+        saw_local = true;
+        // Locality: both helpers come from the lost chunk's candidates.
+        const auto cands = code.helper_candidates(task.chunk.index);
+        for (const auto& src : task.sources) {
+          EXPECT_NE(std::find(cands.begin(), cands.end(),
+                              src.chunk.index),
+                    cands.end());
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_local);
+  const auto report = tb.execute(plan);
+  EXPECT_TRUE(report.success);
+  EXPECT_TRUE(tb.verify(plan));
+}
+
+TEST(Testbed, StfReadErrorFallsBackToReconstruction) {
+  ec::RsCode code(6, 4);
+  Testbed tb(small_options(44), code);
+  const auto stf = tb.flag_stf();
+  auto planner = tb.make_planner(core::Scenario::kScattered);
+  const auto plan = planner.plan_migration_only();
+
+  // The STF node's disk develops read errors on two chunks mid-plan —
+  // the coordinator must transparently reconstruct them instead.
+  const auto chunks = tb.layout().chunks_on(stf);
+  ASSERT_GE(chunks.size(), 2u);
+  tb.store(stf).inject_read_error(chunks[0]);
+  tb.store(stf).inject_read_error(chunks[1]);
+
+  const auto report = tb.execute(plan);
+  EXPECT_TRUE(report.success) << (report.errors.empty()
+                                      ? ""
+                                      : report.errors.front());
+  EXPECT_EQ(report.fallback_reconstructions, 2);
+  EXPECT_EQ(report.repaired(), plan.total_repaired());
+  EXPECT_TRUE(tb.verify(plan));
+}
+
+TEST(Testbed, KilledDestinationTimesOut) {
+  ec::RsCode code(6, 4);
+  auto opts = small_options(55);
+  opts.round_timeout = std::chrono::milliseconds(1500);
+  Testbed tb(opts, code);
+  tb.flag_stf();
+  auto planner = tb.make_planner(core::Scenario::kScattered);
+  const auto plan = planner.plan_fastpr();
+  ASSERT_FALSE(plan.rounds.empty());
+  ASSERT_FALSE(plan.rounds[0].reconstructions.empty());
+  tb.agent(plan.rounds[0].reconstructions[0].dst).kill();
+
+  const auto report = tb.execute(plan);
+  EXPECT_FALSE(report.success);
+  ASSERT_FALSE(report.errors.empty());
+  EXPECT_NE(report.errors[0].find("timed out"), std::string::npos);
+}
+
+TEST(Testbed, TcpTransportEndToEnd) {
+  ec::RsCode code(6, 4);
+  auto opts = small_options(66);
+  opts.use_tcp = true;
+  opts.num_stripes = 15;
+  Testbed tb(opts, code);
+  tb.flag_stf();
+  auto planner = tb.make_planner(core::Scenario::kScattered);
+  const auto plan = planner.plan_fastpr();
+  const auto report = tb.execute(plan);
+  EXPECT_TRUE(report.success) << (report.errors.empty()
+                                      ? ""
+                                      : report.errors.front());
+  EXPECT_TRUE(tb.verify(plan));
+}
+
+TEST(Testbed, ShapedRunRespectsBandwidthFloor) {
+  // With disk 50 MB/s, net 50 MB/s and ~1 MB chunks, migrating U chunks
+  // cannot beat U × c/bn on the STF uplink (plus disk time).
+  ec::RsCode code(6, 4);
+  auto opts = small_options(77);
+  opts.disk_bytes_per_sec = 50e6;
+  opts.net_bytes_per_sec = 50e6;
+  opts.chunk_bytes = 1 << 20;
+  opts.packet_bytes = 256 << 10;
+  opts.num_stripes = 20;
+  Testbed tb(opts, code);
+  const auto stf = tb.flag_stf();
+  const int u = tb.layout().load(stf);
+  auto planner = tb.make_planner(core::Scenario::kScattered);
+  const auto plan = planner.plan_migration_only();
+  const auto report = tb.execute(plan);
+  ASSERT_TRUE(report.success);
+  const double uplink_floor =
+      static_cast<double>(u) * (1 << 20) / 50e6;
+  // Allow generous slack under the floor for burst tokens.
+  EXPECT_GT(report.total_seconds, uplink_floor * 0.5);
+  EXPECT_TRUE(tb.verify(plan));
+}
+
+TEST(Testbed, OddChunkPacketDivisionStillExact) {
+  // chunk size not a multiple of the packet size: the tail packet is
+  // short and every byte must still land in the right offset.
+  ec::RsCode code(6, 4);
+  auto opts = small_options(99);
+  opts.chunk_bytes = 100 * 1000 + 7;  // deliberately odd
+  opts.packet_bytes = 17 * 1000;
+  opts.num_stripes = 12;
+  Testbed tb(opts, code);
+  tb.flag_stf();
+  auto planner = tb.make_planner(core::Scenario::kScattered);
+  const auto plan = planner.plan_fastpr();
+  const auto report = tb.execute(plan);
+  EXPECT_TRUE(report.success) << (report.errors.empty()
+                                      ? ""
+                                      : report.errors.front());
+  EXPECT_TRUE(tb.verify(plan));
+}
+
+TEST(Testbed, TrafficAmplificationMatchesTheory) {
+  // The paper's core premise in bytes: migrating U chunks moves ~U*c
+  // over the network, reconstructing them moves ~k*U*c.
+  ec::RsCode code(6, 4);
+  auto opts = small_options(88);
+  const double c = static_cast<double>(opts.chunk_bytes);
+
+  int64_t migration_bytes = 0, reconstruction_bytes = 0;
+  int repaired = 0;
+  {
+    agent::Testbed tb(opts, code);
+    tb.flag_stf();
+    auto planner = tb.make_planner(core::Scenario::kScattered);
+    const auto plan = planner.plan_migration_only();
+    const auto report = tb.execute(plan);
+    ASSERT_TRUE(report.success);
+    migration_bytes = report.network_bytes;
+    repaired = report.repaired();
+  }
+  {
+    agent::Testbed tb(opts, code);
+    tb.flag_stf();
+    auto planner = tb.make_planner(core::Scenario::kScattered);
+    const auto plan = planner.plan_reconstruction_only();
+    const auto report = tb.execute(plan);
+    ASSERT_TRUE(report.success);
+    reconstruction_bytes = report.network_bytes;
+  }
+  ASSERT_GT(repaired, 0);
+  // Small slack for packet headers.
+  EXPECT_NEAR(static_cast<double>(migration_bytes), repaired * c,
+              repaired * c * 0.05);
+  EXPECT_NEAR(static_cast<double>(reconstruction_bytes),
+              4.0 * repaired * c, repaired * c * 0.2);
+  EXPECT_NEAR(static_cast<double>(reconstruction_bytes) /
+                  static_cast<double>(migration_bytes),
+              4.0, 0.2);
+}
+
+}  // namespace
+}  // namespace fastpr::agent

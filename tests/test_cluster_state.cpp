@@ -1,0 +1,80 @@
+// Cluster health/role bookkeeping, incl. the single-STF assumption.
+#include "cluster/cluster_state.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fastpr::cluster {
+namespace {
+
+ClusterState make_cluster(int storage = 10, int standby = 3) {
+  return ClusterState(storage, standby, BandwidthProfile{100.0, 125.0});
+}
+
+TEST(ClusterState, InitialHealthAllHealthy) {
+  const auto c = make_cluster();
+  EXPECT_EQ(c.num_nodes(), 13);
+  EXPECT_EQ(c.stf_node(), kNoNode);
+  EXPECT_EQ(c.healthy_storage_nodes().size(), 10u);
+  EXPECT_EQ(c.hot_standby_nodes().size(), 3u);
+}
+
+TEST(ClusterState, HotStandbyIdsFollowStorage) {
+  const auto c = make_cluster(4, 2);
+  EXPECT_FALSE(c.is_hot_standby(3));
+  EXPECT_TRUE(c.is_hot_standby(4));
+  EXPECT_TRUE(c.is_hot_standby(5));
+  const auto spares = c.hot_standby_nodes();
+  EXPECT_EQ(spares, (std::vector<NodeId>{4, 5}));
+}
+
+TEST(ClusterState, StfExcludedFromHealthy) {
+  auto c = make_cluster();
+  c.set_health(3, NodeHealth::kSoonToFail);
+  EXPECT_EQ(c.stf_node(), 3);
+  const auto healthy = c.healthy_storage_nodes();
+  EXPECT_EQ(healthy.size(), 9u);
+  for (NodeId n : healthy) EXPECT_NE(n, 3);
+}
+
+TEST(ClusterState, SecondStfRejected) {
+  auto c = make_cluster();
+  c.set_health(3, NodeHealth::kSoonToFail);
+  EXPECT_THROW(c.set_health(4, NodeHealth::kSoonToFail), CheckFailure);
+  // Re-flagging the same node is idempotent.
+  c.set_health(3, NodeHealth::kSoonToFail);
+  EXPECT_EQ(c.stf_node(), 3);
+}
+
+TEST(ClusterState, StfCanTransitionToFailedThenNewStfAllowed) {
+  auto c = make_cluster();
+  c.set_health(3, NodeHealth::kSoonToFail);
+  c.set_health(3, NodeHealth::kFailed);
+  EXPECT_EQ(c.stf_node(), kNoNode);
+  c.set_health(5, NodeHealth::kSoonToFail);
+  EXPECT_EQ(c.stf_node(), 5);
+}
+
+TEST(ClusterState, FailedNodeNotHealthy) {
+  auto c = make_cluster();
+  c.set_health(0, NodeHealth::kFailed);
+  const auto healthy = c.healthy_storage_nodes();
+  EXPECT_EQ(healthy.size(), 9u);
+  EXPECT_EQ(c.health(0), NodeHealth::kFailed);
+}
+
+TEST(ClusterState, FailedSpareExcluded) {
+  auto c = make_cluster(4, 2);
+  c.set_health(5, NodeHealth::kFailed);
+  EXPECT_EQ(c.hot_standby_nodes(), (std::vector<NodeId>{4}));
+}
+
+TEST(ClusterState, BoundsChecked) {
+  auto c = make_cluster();
+  EXPECT_THROW(c.health(13), CheckFailure);
+  EXPECT_THROW(c.set_health(-1, NodeHealth::kFailed), CheckFailure);
+}
+
+}  // namespace
+}  // namespace fastpr::cluster

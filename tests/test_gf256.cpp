@@ -1,0 +1,167 @@
+// GF(2^8) arithmetic: field axioms, table consistency, region kernels.
+#include "gf/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fastpr::gf {
+namespace {
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(mul(static_cast<uint8_t>(a), 1), a);
+    EXPECT_EQ(mul(1, static_cast<uint8_t>(a)), a);
+    EXPECT_EQ(mul(static_cast<uint8_t>(a), 0), 0);
+    EXPECT_EQ(mul(0, static_cast<uint8_t>(a)), 0);
+  }
+}
+
+TEST(Gf256, MulCommutative) {
+  std::mt19937 rng(42);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const uint8_t a = static_cast<uint8_t>(rng());
+    const uint8_t b = static_cast<uint8_t>(rng());
+    EXPECT_EQ(mul(a, b), mul(b, a));
+  }
+}
+
+TEST(Gf256, MulAssociative) {
+  std::mt19937 rng(43);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const uint8_t a = static_cast<uint8_t>(rng());
+    const uint8_t b = static_cast<uint8_t>(rng());
+    const uint8_t c = static_cast<uint8_t>(rng());
+    EXPECT_EQ(mul(mul(a, b), c), mul(a, mul(b, c)));
+  }
+}
+
+TEST(Gf256, DistributesOverXor) {
+  // a*(b^c) == a*b ^ a*c — addition in GF(2^8) is XOR.
+  std::mt19937 rng(44);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const uint8_t a = static_cast<uint8_t>(rng());
+    const uint8_t b = static_cast<uint8_t>(rng());
+    const uint8_t c = static_cast<uint8_t>(rng());
+    EXPECT_EQ(mul(a, b ^ c), mul(a, b) ^ mul(a, c));
+  }
+}
+
+TEST(Gf256, InverseRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    const uint8_t ai = inv(static_cast<uint8_t>(a));
+    EXPECT_EQ(mul(static_cast<uint8_t>(a), ai), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, DivMatchesMulByInverse) {
+  std::mt19937 rng(45);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const uint8_t a = static_cast<uint8_t>(rng());
+    const uint8_t b = static_cast<uint8_t>(rng() | 1);  // nonzero-ish
+    if (b == 0) continue;
+    EXPECT_EQ(div(a, b), mul(a, inv(b)));
+  }
+}
+
+TEST(Gf256, DivByZeroThrows) {
+  EXPECT_THROW(div(5, 0), CheckFailure);
+  EXPECT_THROW(inv(0), CheckFailure);
+  EXPECT_THROW(log(0), CheckFailure);
+}
+
+TEST(Gf256, ExpLogRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(exp(log(static_cast<uint8_t>(a))), a);
+  }
+  // alpha = 2 is a generator: powers enumerate all nonzero elements.
+  std::vector<bool> seen(256, false);
+  for (unsigned e = 0; e < 255; ++e) {
+    const uint8_t v = exp(e);
+    EXPECT_NE(v, 0);
+    EXPECT_FALSE(seen[v]) << "exp not injective at e=" << e;
+    seen[v] = true;
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  std::mt19937 rng(46);
+  for (int trial = 0; trial < 500; ++trial) {
+    const uint8_t a = static_cast<uint8_t>(rng());
+    const unsigned e = rng() % 20;
+    uint8_t expected = 1;
+    for (unsigned i = 0; i < e; ++i) expected = mul(expected, a);
+    EXPECT_EQ(pow(a, e), expected) << "a=" << int(a) << " e=" << e;
+  }
+}
+
+TEST(Gf256, PowZeroExponent) {
+  EXPECT_EQ(pow(0, 0), 1);  // 0^0 == 1 by convention (Vandermonde row 0)
+  EXPECT_EQ(pow(0, 5), 0);
+  EXPECT_EQ(pow(7, 0), 1);
+}
+
+class RegionOpTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(RegionOpTest, MulRegionXorMatchesScalar) {
+  const size_t len = GetParam();
+  std::mt19937 rng(100 + len);
+  std::vector<uint8_t> src(len), dst(len), expected(len);
+  for (size_t i = 0; i < len; ++i) {
+    src[i] = static_cast<uint8_t>(rng());
+    dst[i] = static_cast<uint8_t>(rng());
+  }
+  for (int c : {0, 1, 2, 37, 255}) {
+    auto d = dst;
+    for (size_t i = 0; i < len; ++i) {
+      expected[i] = d[i] ^ mul(static_cast<uint8_t>(c), src[i]);
+    }
+    mul_region_xor(d.data(), src.data(), static_cast<uint8_t>(c), len);
+    EXPECT_EQ(d, expected) << "c=" << c << " len=" << len;
+  }
+}
+
+TEST_P(RegionOpTest, MulRegionMatchesScalar) {
+  const size_t len = GetParam();
+  std::mt19937 rng(200 + len);
+  std::vector<uint8_t> src(len), dst(len, 0xAA), expected(len);
+  for (size_t i = 0; i < len; ++i) src[i] = static_cast<uint8_t>(rng());
+  for (int c : {0, 1, 3, 129}) {
+    auto d = dst;
+    for (size_t i = 0; i < len; ++i) {
+      expected[i] = mul(static_cast<uint8_t>(c), src[i]);
+    }
+    mul_region(d.data(), src.data(), static_cast<uint8_t>(c), len);
+    EXPECT_EQ(d, expected) << "c=" << c;
+  }
+}
+
+TEST_P(RegionOpTest, XorRegionWordAndTail) {
+  const size_t len = GetParam();
+  std::mt19937 rng(300 + len);
+  std::vector<uint8_t> src(len), dst(len), expected(len);
+  for (size_t i = 0; i < len; ++i) {
+    src[i] = static_cast<uint8_t>(rng());
+    dst[i] = static_cast<uint8_t>(rng());
+    expected[i] = dst[i] ^ src[i];
+  }
+  xor_region(dst.data(), src.data(), len);
+  EXPECT_EQ(dst, expected);
+}
+
+// Lengths chosen to hit the 8-byte word loop, its tail, and empty input.
+INSTANTIATE_TEST_SUITE_P(Lengths, RegionOpTest,
+                         ::testing::Values(0, 1, 7, 8, 9, 63, 64, 65, 1000));
+
+TEST(Gf256, SpanOverloadsCheckSizes) {
+  std::vector<uint8_t> a(8), b(9);
+  EXPECT_THROW(mul_region_xor(std::span<uint8_t>(a),
+                              std::span<const uint8_t>(b), 3),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace fastpr::gf

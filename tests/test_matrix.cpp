@@ -1,0 +1,138 @@
+// GF(2^8) matrix algebra: inversion, rank, the MDS-enabling properties
+// of Vandermonde and Cauchy constructions.
+#include "ec/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gf/gf256.h"
+#include "util/check.h"
+
+namespace fastpr::ec {
+namespace {
+
+Matrix random_matrix(int order, std::mt19937& rng) {
+  Matrix m(order, order);
+  for (int r = 0; r < order; ++r) {
+    for (int c = 0; c < order; ++c) {
+      m.at(r, c) = static_cast<uint8_t>(rng());
+    }
+  }
+  return m;
+}
+
+TEST(Matrix, IdentityInvertsToItself) {
+  const Matrix id = Matrix::identity(5);
+  const auto inv = id.inverted();
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(*inv, id);
+}
+
+class MatrixInverseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatrixInverseTest, InverseRoundTrip) {
+  const int order = GetParam();
+  std::mt19937 rng(77 + order);
+  int inverted_count = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Matrix m = random_matrix(order, rng);
+    const auto inv = m.inverted();
+    if (!inv.has_value()) {
+      EXPECT_LT(m.rank(), order);  // singularity agrees with rank
+      continue;
+    }
+    ++inverted_count;
+    EXPECT_EQ(m.mul(*inv), Matrix::identity(order));
+    EXPECT_EQ(inv->mul(m), Matrix::identity(order));
+    EXPECT_EQ(m.rank(), order);
+  }
+  // Random matrices over GF(256) are invertible with probability ~0.996.
+  EXPECT_GT(inverted_count, 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MatrixInverseTest,
+                         ::testing::Values(1, 2, 3, 6, 10, 16));
+
+TEST(Matrix, SingularDetected) {
+  Matrix m(2, 2, {1, 2, 1, 2});  // duplicate rows
+  EXPECT_FALSE(m.inverted().has_value());
+  EXPECT_EQ(m.rank(), 1);
+}
+
+TEST(Matrix, ZeroMatrixRank) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rank(), 0);
+}
+
+TEST(Matrix, MulDimensionsChecked) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.mul(b), CheckFailure);
+}
+
+TEST(Matrix, VandermondeAnyKRowsInvertible) {
+  // Every k-subset of rows of an n×k Vandermonde (distinct evaluation
+  // points) must be invertible — this is what makes column-reduced
+  // Vandermonde a valid RS generator.
+  const int n = 10, k = 4;
+  const Matrix v = Matrix::vandermonde(n, k);
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<int> rows(n);
+    for (int i = 0; i < n; ++i) rows[i] = i;
+    std::shuffle(rows.begin(), rows.end(), rng);
+    rows.resize(k);
+    EXPECT_TRUE(v.select_rows(rows).inverted().has_value());
+  }
+}
+
+TEST(Matrix, CauchyEverySquareSubmatrixInvertible) {
+  const int rows = 4, cols = 6;
+  const Matrix c = Matrix::cauchy(rows, cols);
+  // All 2x2 submatrices (exhaustive).
+  for (int r1 = 0; r1 < rows; ++r1) {
+    for (int r2 = r1 + 1; r2 < rows; ++r2) {
+      for (int c1 = 0; c1 < cols; ++c1) {
+        for (int c2 = c1 + 1; c2 < cols; ++c2) {
+          Matrix sub(2, 2, {c.at(r1, c1), c.at(r1, c2), c.at(r2, c1),
+                            c.at(r2, c2)});
+          EXPECT_TRUE(sub.inverted().has_value())
+              << r1 << "," << r2 << "/" << c1 << "," << c2;
+        }
+      }
+    }
+  }
+}
+
+TEST(Matrix, CauchyEntriesNonzero) {
+  const Matrix c = Matrix::cauchy(8, 8);
+  for (int r = 0; r < 8; ++r) {
+    for (int col = 0; col < 8; ++col) EXPECT_NE(c.at(r, col), 0);
+  }
+}
+
+TEST(Matrix, SelectRowsPreservesContent) {
+  Matrix m(3, 2, {1, 2, 3, 4, 5, 6});
+  const Matrix s = m.select_rows({2, 0});
+  EXPECT_EQ(s.at(0, 0), 5);
+  EXPECT_EQ(s.at(0, 1), 6);
+  EXPECT_EQ(s.at(1, 0), 1);
+}
+
+TEST(Matrix, ColumnOperationsPreserveRank) {
+  std::mt19937 rng(9);
+  Matrix m = random_matrix(6, rng);
+  const int before = m.rank();
+  m.swap_cols(0, 3);
+  m.scale_col(1, 7);
+  m.add_scaled_col(2, 4, 19);
+  EXPECT_EQ(m.rank(), before);
+}
+
+TEST(Matrix, ScaleColRejectsZero) {
+  Matrix m = Matrix::identity(2);
+  EXPECT_THROW(m.scale_col(0, 0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace fastpr::ec

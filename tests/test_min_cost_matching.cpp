@@ -1,0 +1,156 @@
+// Min-cost perfect matching vs an exhaustive oracle, plus the
+// load-balanced destination selection built on it.
+#include "matching/min_cost_matching.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/fastpr.h"
+#include "core/repair_plan.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace fastpr::matching {
+namespace {
+
+/// Exhaustive minimum-cost assignment (or nullopt if not saturable).
+std::optional<double> brute_force_min_cost(
+    const WeightedBipartiteGraph& g) {
+  std::optional<double> best;
+  std::vector<bool> used(static_cast<size_t>(g.left_count), false);
+  const auto recurse = [&](auto&& self, int r, double cost) -> void {
+    if (r == g.right_count()) {
+      if (!best.has_value() || cost < *best) best = cost;
+      return;
+    }
+    for (const auto& [l, c] : g.right_adj[static_cast<size_t>(r)]) {
+      if (used[static_cast<size_t>(l)]) continue;
+      used[static_cast<size_t>(l)] = true;
+      self(self, r + 1, cost + c);
+      used[static_cast<size_t>(l)] = false;
+    }
+  };
+  recurse(recurse, 0, 0);
+  return best;
+}
+
+double assignment_cost(const WeightedBipartiteGraph& g,
+                       const std::vector<int>& assignment) {
+  double total = 0;
+  for (int r = 0; r < g.right_count(); ++r) {
+    for (const auto& [l, c] : g.right_adj[static_cast<size_t>(r)]) {
+      if (l == assignment[static_cast<size_t>(r)]) {
+        total += c;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+TEST(MinCostMatching, TrivialCases) {
+  WeightedBipartiteGraph g;
+  g.left_count = 2;
+  g.add_right_vertex({{0, 5.0}, {1, 1.0}});
+  const auto m = min_cost_matching(g);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ((*m)[0], 1);  // cheaper left vertex
+}
+
+TEST(MinCostMatching, ForcedReroute) {
+  // r0 prefers l0 (cost 1), but r1 can ONLY use l0: the solver must
+  // reroute r0 to its pricier option.
+  WeightedBipartiteGraph g;
+  g.left_count = 2;
+  g.add_right_vertex({{0, 1.0}, {1, 10.0}});
+  g.add_right_vertex({{0, 2.0}});
+  const auto m = min_cost_matching(g);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ((*m)[0], 1);
+  EXPECT_EQ((*m)[1], 0);
+  EXPECT_DOUBLE_EQ(assignment_cost(g, *m), 12.0);
+}
+
+TEST(MinCostMatching, InfeasibleReturnsNullopt) {
+  WeightedBipartiteGraph g;
+  g.left_count = 1;
+  g.add_right_vertex({{0, 1.0}});
+  g.add_right_vertex({{0, 1.0}});
+  EXPECT_FALSE(min_cost_matching(g).has_value());
+}
+
+TEST(MinCostMatching, MatchesBruteForceOnRandomGraphs) {
+  std::mt19937 rng(314);
+  for (int trial = 0; trial < 200; ++trial) {
+    WeightedBipartiteGraph g;
+    g.left_count = 6;
+    const int right = 1 + static_cast<int>(rng() % 5);
+    for (int r = 0; r < right; ++r) {
+      std::vector<std::pair<int, double>> adj;
+      for (int l = 0; l < 6; ++l) {
+        if (rng() % 2 == 0) {
+          adj.emplace_back(l, static_cast<double>(rng() % 20));
+        }
+      }
+      g.add_right_vertex(std::move(adj));
+    }
+    const auto oracle = brute_force_min_cost(g);
+    const auto solved = min_cost_matching(g);
+    ASSERT_EQ(oracle.has_value(), solved.has_value()) << "trial " << trial;
+    if (!oracle.has_value()) continue;
+    // Valid assignment...
+    std::vector<bool> used(6, false);
+    for (int r = 0; r < g.right_count(); ++r) {
+      const int l = (*solved)[static_cast<size_t>(r)];
+      ASSERT_GE(l, 0);
+      ASSERT_FALSE(used[static_cast<size_t>(l)]);
+      used[static_cast<size_t>(l)] = true;
+    }
+    // ...with optimal cost.
+    EXPECT_NEAR(assignment_cost(g, *solved), *oracle, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(BalancedPlacement, ReducesPostRepairLoadSpread) {
+  // Same cluster, FastPR with and without load-aware destinations: the
+  // balanced variant must end with an equal-or-tighter load spread.
+  auto spread_after = [](bool balanced) {
+    Rng rng(99);
+    auto layout = cluster::StripeLayout::random(30, 6, 300, rng);
+    cluster::ClusterState state(
+        30, 2, cluster::BandwidthProfile{MBps(100), Gbps(1)});
+    cluster::NodeId stf = 0;
+    for (cluster::NodeId n = 1; n < 30; ++n) {
+      if (layout.load(n) > layout.load(stf)) stf = n;
+    }
+    state.set_health(stf, cluster::NodeHealth::kSoonToFail);
+    core::PlannerOptions opts;
+    opts.k_repair = 4;
+    opts.chunk_bytes = static_cast<double>(MB(64));
+    opts.balance_destinations = balanced;
+    core::FastPrPlanner planner(layout, state, opts);
+    const auto plan = planner.plan_fastpr();
+    core::validate_plan(plan, layout, state, 4);
+    for (const auto& round : plan.rounds) {
+      for (const auto& t : round.migrations) {
+        layout.move_chunk(t.chunk, t.dst);
+      }
+      for (const auto& t : round.reconstructions) {
+        layout.move_chunk(t.chunk, t.dst);
+      }
+    }
+    int max_load = 0, min_load = 1 << 30;
+    for (cluster::NodeId n = 0; n < 30; ++n) {
+      if (n == stf) continue;
+      max_load = std::max(max_load, layout.load(n));
+      min_load = std::min(min_load, layout.load(n));
+    }
+    return max_load - min_load;
+  };
+  EXPECT_LE(spread_after(true), spread_after(false));
+}
+
+}  // namespace
+}  // namespace fastpr::matching

@@ -1,0 +1,162 @@
+// Reactive multi-failure repair: coverage, survivor-only sourcing,
+// degraded LRC paths, unrecoverable detection.
+#include "core/reactive.h"
+
+#include "core/fastpr.h"
+
+#include <gtest/gtest.h>
+
+#include "ec/lrc_code.h"
+#include "ec/rs_code.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace fastpr::core {
+namespace {
+
+using cluster::ClusterState;
+using cluster::NodeId;
+using cluster::StripeLayout;
+
+struct World {
+  StripeLayout layout;
+  ClusterState state;
+};
+
+World make_world(int nodes, int n, int stripes, uint64_t seed) {
+  Rng rng(seed);
+  return World{StripeLayout::random(nodes, n, stripes, rng),
+               ClusterState(nodes, 2,
+                            cluster::BandwidthProfile{MBps(100), Gbps(1)})};
+}
+
+ReactiveOptions rs_options(int k) {
+  ReactiveOptions opts;
+  opts.k_repair = k;
+  opts.chunk_bytes = static_cast<double>(MB(64));
+  return opts;
+}
+
+void fail_nodes(World& w, const std::vector<NodeId>& failed) {
+  for (NodeId n : failed) {
+    w.state.set_health(n, cluster::NodeHealth::kFailed);
+  }
+}
+
+TEST(ReactivePlanner, SingleFailureFullCover) {
+  auto w = make_world(30, 9, 300, 1);
+  fail_nodes(w, {4});
+  ReactivePlanner planner(w.layout, w.state, rs_options(6));
+  const auto result = planner.plan({4});
+  EXPECT_TRUE(result.unrecoverable.empty());
+  EXPECT_EQ(result.plan.total_migrated(), 0);
+  EXPECT_EQ(result.plan.total_reconstructed(), w.layout.load(4));
+  validate_reactive_plan(result, w.layout, w.state, {4});
+}
+
+TEST(ReactivePlanner, DoubleFailureSharedStripes) {
+  auto w = make_world(25, 9, 300, 2);
+  fail_nodes(w, {1, 2});
+  ReactivePlanner planner(w.layout, w.state, rs_options(6));
+  const auto result = planner.plan({1, 2});
+  // RS(9,6) tolerates 3 losses: everything is recoverable.
+  EXPECT_TRUE(result.unrecoverable.empty());
+  EXPECT_EQ(result.plan.total_reconstructed(),
+            w.layout.load(1) + w.layout.load(2));
+  validate_reactive_plan(result, w.layout, w.state, {1, 2});
+}
+
+TEST(ReactivePlanner, BeyondToleranceReportsUnrecoverable) {
+  // n=3, k=2 tolerates one loss; kill two nodes that share stripes.
+  StripeLayout layout(6, 3);
+  layout.add_stripe({0, 1, 2});  // loses 2 chunks → unrecoverable
+  layout.add_stripe({0, 3, 4});  // loses 1 → recoverable
+  layout.add_stripe({3, 4, 5});  // untouched
+  ClusterState state(6, 0, cluster::BandwidthProfile{MBps(100), Gbps(1)});
+  state.set_health(0, cluster::NodeHealth::kFailed);
+  state.set_health(1, cluster::NodeHealth::kFailed);
+
+  ReactivePlanner planner(layout, state, rs_options(2));
+  const auto result = planner.plan({0, 1});
+  EXPECT_EQ(result.unrecoverable.size(), 2u);  // both chunks of stripe 0
+  for (const auto& c : result.unrecoverable) EXPECT_EQ(c.stripe, 0);
+  EXPECT_EQ(result.plan.total_reconstructed(), 1);
+  validate_reactive_plan(result, layout, state, {0, 1});
+}
+
+TEST(ReactivePlanner, LrcDegradedGroupUsesGlobalParity) {
+  // LRC(4,2,2): losing a data chunk AND its local parity forces the
+  // degraded path through the global parities.
+  ec::LrcCode code(4, 2, 2);  // n = 8
+  StripeLayout layout(10, 8);
+  layout.add_stripe({0, 2, 3, 4, 1, 5, 6, 7});  // index 0 on node0,
+                                                // local parity (idx 4) on node1
+  ClusterState state(10, 0, cluster::BandwidthProfile{MBps(100), Gbps(1)});
+  state.set_health(0, cluster::NodeHealth::kFailed);
+  state.set_health(1, cluster::NodeHealth::kFailed);
+
+  ReactiveOptions opts;
+  opts.k_repair = 2;
+  opts.chunk_bytes = static_cast<double>(MB(64));
+  opts.code = &code;
+  ReactivePlanner planner(layout, state, opts);
+  const auto result = planner.plan({0, 1});
+  EXPECT_TRUE(result.unrecoverable.empty());
+  EXPECT_EQ(result.plan.total_reconstructed(), 2);
+  EXPECT_GE(result.degraded_repairs, 1);
+  validate_reactive_plan(result, layout, state, {0, 1});
+}
+
+TEST(ReactivePlanner, HotStandbyDestinations) {
+  auto w = make_world(20, 6, 150, 3);
+  fail_nodes(w, {7});
+  ReactiveOptions opts = rs_options(4);
+  opts.scenario = Scenario::kHotStandby;
+  ReactivePlanner planner(w.layout, w.state, opts);
+  const auto result = planner.plan({7});
+  validate_reactive_plan(result, w.layout, w.state, {7});
+  for (const auto& round : result.plan.rounds) {
+    for (const auto& task : round.reconstructions) {
+      EXPECT_TRUE(w.state.is_hot_standby(task.dst));
+    }
+  }
+}
+
+TEST(ReactivePlanner, SimulatedTimeMatchesReconstructionOnly) {
+  // A reactive plan for node X equals a predictive reconstruction-only
+  // plan in simulated cost (same rounds structure, same traffic).
+  auto w = make_world(40, 9, 400, 4);
+  const NodeId victim = 11;
+
+  sim::SimParams sp;
+  sp.chunk_bytes = static_cast<double>(MB(64));
+  sp.disk_bw = MBps(100);
+  sp.net_bw = Gbps(1);
+  sp.k_repair = 6;
+
+  // Reactive.
+  auto w1 = w;
+  fail_nodes(w1, {victim});
+  ReactivePlanner reactive(w1.layout, w1.state, rs_options(6));
+  const auto r = reactive.plan({victim});
+  const auto reactive_time = sim::simulate(r.plan, sp);
+
+  // Predictive reconstruction-only on the same layout.
+  auto w2 = w;
+  w2.state.set_health(victim, cluster::NodeHealth::kSoonToFail);
+  PlannerOptions popts;
+  popts.k_repair = 6;
+  popts.chunk_bytes = sp.chunk_bytes;
+  FastPrPlanner predictive(w2.layout, w2.state, popts);
+  const auto p_time =
+      sim::simulate(predictive.plan_reconstruction_only(), sp);
+
+  EXPECT_EQ(reactive_time.repair_traffic_chunks,
+            p_time.repair_traffic_chunks);
+  EXPECT_NEAR(reactive_time.total_time, p_time.total_time,
+              p_time.total_time * 0.25);
+}
+
+}  // namespace
+}  // namespace fastpr::core

@@ -1,0 +1,132 @@
+// §IV-D precompute cache: correctness, staleness, planner integration.
+#include "core/recon_set_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fastpr.h"
+#include "core/repair_plan.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace fastpr::core {
+namespace {
+
+using cluster::ClusterState;
+using cluster::NodeId;
+using cluster::StripeLayout;
+
+struct World {
+  StripeLayout layout;
+  ClusterState state;
+};
+
+World make_world(uint64_t seed) {
+  Rng rng(seed);
+  return World{StripeLayout::random(30, 6, 200, rng),
+               ClusterState(30, 2,
+                            cluster::BandwidthProfile{MBps(100), Gbps(1)})};
+}
+
+ReconSetCache::Options cache_options() {
+  ReconSetCache::Options opts;
+  opts.k_repair = 4;
+  return opts;
+}
+
+TEST(ReconSetCache, PrecomputedSetsCoverNode) {
+  auto w = make_world(1);
+  ReconSetCache cache(cache_options());
+  cache.precompute(w.layout, w.state, 5);
+  const auto sets = cache.lookup(w.layout, 5);
+  ASSERT_TRUE(sets.has_value());
+  size_t covered = 0;
+  for (const auto& set : *sets) covered += set.size();
+  EXPECT_EQ(covered, w.layout.chunks_on(5).size());
+}
+
+TEST(ReconSetCache, MissReturnsNullopt) {
+  auto w = make_world(2);
+  ReconSetCache cache(cache_options());
+  EXPECT_FALSE(cache.lookup(w.layout, 3).has_value());
+}
+
+TEST(ReconSetCache, LayoutMutationInvalidates) {
+  auto w = make_world(3);
+  ReconSetCache cache(cache_options());
+  cache.precompute_all(w.layout, w.state);
+  EXPECT_EQ(cache.size(), 30u);
+  ASSERT_TRUE(cache.lookup(w.layout, 0).has_value());
+
+  // Move any chunk: every entry is stale.
+  const auto chunks = w.layout.chunks_on(0);
+  ASSERT_FALSE(chunks.empty());
+  for (NodeId dst = 0; dst < 30; ++dst) {
+    if (dst != 0 && !w.layout.stripe_uses_node(chunks[0].stripe, dst)) {
+      w.layout.move_chunk(chunks[0], dst);
+      break;
+    }
+  }
+  EXPECT_FALSE(cache.lookup(w.layout, 0).has_value());
+  cache.evict_stale(w.layout);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ReconSetCache, PlannerConsumesPrecomputedSets) {
+  auto w = make_world(4);
+  // Precompute for node 7 BEFORE it is flagged (the whole point).
+  ReconSetCache cache(cache_options());
+  cache.precompute(w.layout, w.state, 7);
+
+  w.state.set_health(7, cluster::NodeHealth::kSoonToFail);
+  PlannerOptions popts;
+  popts.k_repair = 4;
+  popts.chunk_bytes = static_cast<double>(MB(64));
+  FastPrPlanner planner(w.layout, w.state, popts);
+  auto sets = cache.lookup(w.layout, 7);
+  ASSERT_TRUE(sets.has_value());
+  planner.use_reconstruction_sets(*sets);
+
+  const auto plan = planner.plan_fastpr();
+  validate_plan(plan, w.layout, w.state, 4);
+  // Algorithm 1 did not run inside the planner.
+  EXPECT_EQ(planner.recon_stats().match_calls, 0);
+}
+
+TEST(ReconSetCache, PlannerRejectsBadPrecomputedSets) {
+  auto w = make_world(5);
+  w.state.set_health(2, cluster::NodeHealth::kSoonToFail);
+  PlannerOptions popts;
+  popts.k_repair = 4;
+  popts.chunk_bytes = static_cast<double>(MB(64));
+  FastPrPlanner planner(w.layout, w.state, popts);
+
+  // Wrong node's chunks → foreign-chunk rejection.
+  std::vector<std::vector<cluster::ChunkRef>> wrong = {
+      w.layout.chunks_on(3)};
+  EXPECT_THROW(planner.use_reconstruction_sets(wrong), CheckFailure);
+
+  // Partial cover → rejection.
+  auto partial = w.layout.chunks_on(2);
+  ASSERT_GT(partial.size(), 1u);
+  partial.pop_back();
+  EXPECT_THROW(planner.use_reconstruction_sets({partial}), CheckFailure);
+}
+
+TEST(ReconSetCache, CachedEqualsFreshComputation) {
+  // Determinism: the cache stores exactly what a fresh Algorithm 1 run
+  // would produce for the same layout.
+  auto w = make_world(6);
+  ReconSetCache cache(cache_options());
+  cache.precompute(w.layout, w.state, 9);
+  std::vector<NodeId> sources;
+  for (NodeId n : w.state.healthy_storage_nodes()) {
+    if (n != 9) sources.push_back(n);
+  }
+  const auto fresh =
+      find_reconstruction_sets(w.layout, 9, sources, 4, ReconSetOptions{});
+  EXPECT_EQ(*cache.lookup(w.layout, 9), fresh);
+}
+
+}  // namespace
+}  // namespace fastpr::core

@@ -1,0 +1,180 @@
+// Cross-cutting simulation properties over a parameter grid: strategy
+// orderings, bandwidth monotonicity, traffic accounting, and the MSR
+// helper-fraction behaviour — the invariants DESIGN.md §7 lists, swept.
+#include <gtest/gtest.h>
+
+#include "core/fastpr.h"
+#include "sim/simulator.h"
+#include "sim/strategies.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace fastpr::sim {
+namespace {
+
+struct GridParam {
+  int num_nodes;
+  int n;
+  int k;
+  core::Scenario scenario;
+  uint64_t seed;
+};
+
+ExperimentConfig config_from(const GridParam& p) {
+  ExperimentConfig cfg;
+  cfg.num_nodes = p.num_nodes;
+  cfg.num_stripes = 250;
+  cfg.n = p.n;
+  cfg.k = p.k;
+  cfg.chunk_bytes = static_cast<double>(MB(64));
+  cfg.disk_bw = MBps(100);
+  cfg.net_bw = Gbps(1);
+  cfg.hot_standby = 3;
+  cfg.scenario = p.scenario;
+  cfg.seed = p.seed;
+  return cfg;
+}
+
+class SimGridTest : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(SimGridTest, OrderingInvariantsHold) {
+  const auto t = run_experiment(config_from(GetParam()));
+  // DESIGN.md §7.5: T_opt <= T_fastpr <= min(T_migration, T_recon).
+  EXPECT_GT(t.stf_chunks, 0);
+  EXPECT_LE(t.optimum, t.fastpr * 1.001);
+  EXPECT_LE(t.fastpr, t.reconstruction_only * 1.001);
+  EXPECT_LE(t.fastpr, t.migration_only * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimGridTest,
+    ::testing::Values(GridParam{30, 6, 4, core::Scenario::kScattered, 1},
+                      GridParam{50, 9, 6, core::Scenario::kScattered, 2},
+                      GridParam{80, 9, 6, core::Scenario::kScattered, 3},
+                      GridParam{40, 14, 10, core::Scenario::kScattered, 4},
+                      GridParam{30, 6, 4, core::Scenario::kHotStandby, 5},
+                      GridParam{50, 9, 6, core::Scenario::kHotStandby, 6},
+                      GridParam{40, 16, 12, core::Scenario::kHotStandby, 7}),
+    [](const auto& info) {
+      return "M" + std::to_string(info.param.num_nodes) + "_n" +
+             std::to_string(info.param.n) + "_k" +
+             std::to_string(info.param.k) +
+             (info.param.scenario == core::Scenario::kScattered ? "_sc"
+                                                                : "_hs");
+    });
+
+TEST(SimProperties, FasterBandwidthNeverSlowsRepair) {
+  auto base = config_from({50, 9, 6, core::Scenario::kScattered, 11});
+  double prev = 1e100;
+  for (double bn : {0.5, 1.0, 2.0, 5.0}) {
+    auto cfg = base;
+    cfg.net_bw = Gbps(bn);
+    const auto t = run_experiment(cfg);
+    EXPECT_LE(t.fastpr, prev * 1.001) << "bn=" << bn;
+    prev = t.fastpr;
+  }
+  prev = 1e100;
+  for (double bd : {50.0, 100.0, 200.0, 400.0}) {
+    auto cfg = base;
+    cfg.disk_bw = MBps(bd);
+    const auto t = run_experiment(cfg);
+    EXPECT_LE(t.fastpr, prev * 1.001) << "bd=" << bd;
+    prev = t.fastpr;
+  }
+}
+
+TEST(SimProperties, TrafficAccountingMatchesComposition) {
+  // Simulated repair traffic: migrations cost 1 chunk, reconstructions
+  // k chunks — exact bookkeeping, any plan.
+  Rng rng(21);
+  auto layout = cluster::StripeLayout::random(40, 9, 300, rng);
+  cluster::ClusterState state(
+      40, 3, cluster::BandwidthProfile{MBps(100), Gbps(1)});
+  cluster::NodeId stf = 0;
+  for (cluster::NodeId n = 1; n < 40; ++n) {
+    if (layout.load(n) > layout.load(stf)) stf = n;
+  }
+  state.set_health(stf, cluster::NodeHealth::kSoonToFail);
+  core::PlannerOptions popts;
+  popts.k_repair = 6;
+  popts.chunk_bytes = static_cast<double>(MB(64));
+  core::FastPrPlanner planner(layout, state, popts);
+  const auto plan = planner.plan_fastpr();
+
+  SimParams sp;
+  sp.chunk_bytes = popts.chunk_bytes;
+  sp.disk_bw = MBps(100);
+  sp.net_bw = Gbps(1);
+  sp.k_repair = 6;
+  const auto r = simulate(plan, sp);
+  EXPECT_EQ(r.repair_traffic_chunks,
+            plan.total_migrated() + 6L * plan.total_reconstructed());
+}
+
+TEST(SimProperties, MsrFractionSpeedsReconstructionRounds) {
+  // Same plan, smaller per-helper traffic → strictly faster rounds
+  // whenever reconstruction is the round bottleneck.
+  Rng rng(22);
+  auto layout = cluster::StripeLayout::random(40, 14, 250, rng);
+  cluster::ClusterState state(
+      40, 3, cluster::BandwidthProfile{MBps(100), Gbps(1)});
+  cluster::NodeId stf = 0;
+  for (cluster::NodeId n = 1; n < 40; ++n) {
+    if (layout.load(n) > layout.load(stf)) stf = n;
+  }
+  state.set_health(stf, cluster::NodeHealth::kSoonToFail);
+  core::PlannerOptions popts;
+  popts.k_repair = 13;  // MSR: d = n - 1
+  popts.chunk_bytes = static_cast<double>(MB(64));
+  core::FastPrPlanner planner(layout, state, popts);
+  const auto plan = planner.plan_reconstruction_only();
+
+  SimParams sp;
+  sp.chunk_bytes = popts.chunk_bytes;
+  sp.disk_bw = MBps(100);
+  sp.net_bw = Gbps(1);
+  sp.k_repair = 13;
+  const auto rs_like = simulate(plan, sp);
+  sp.helper_bytes_fraction = 0.25;  // 1/(d-k+1) with k=10
+  const auto msr_like = simulate(plan, sp);
+  EXPECT_LT(msr_like.total_time, rs_like.total_time);
+  // Resource model agrees on the direction.
+  sp.model = TimingModel::kResourceModel;
+  const auto msr_resource = simulate(plan, sp);
+  sp.helper_bytes_fraction = 1.0;
+  const auto rs_resource = simulate(plan, sp);
+  EXPECT_LT(msr_resource.total_time, rs_resource.total_time);
+}
+
+TEST(SimProperties, RoundTimesSumToTotal) {
+  const auto cfg = config_from({30, 6, 4, core::Scenario::kScattered, 31});
+  Rng rng(cfg.seed);
+  auto layout = cluster::StripeLayout::random(cfg.num_nodes, cfg.n,
+                                              cfg.num_stripes, rng);
+  cluster::ClusterState state(
+      cfg.num_nodes, 3,
+      cluster::BandwidthProfile{cfg.disk_bw, cfg.net_bw});
+  cluster::NodeId stf = 0;
+  for (cluster::NodeId n = 1; n < cfg.num_nodes; ++n) {
+    if (layout.load(n) > layout.load(stf)) stf = n;
+  }
+  state.set_health(stf, cluster::NodeHealth::kSoonToFail);
+  core::PlannerOptions popts;
+  popts.k_repair = cfg.k;
+  popts.chunk_bytes = cfg.chunk_bytes;
+  core::FastPrPlanner planner(layout, state, popts);
+  const auto plan = planner.plan_fastpr();
+  SimParams sp;
+  sp.chunk_bytes = cfg.chunk_bytes;
+  sp.disk_bw = cfg.disk_bw;
+  sp.net_bw = cfg.net_bw;
+  sp.k_repair = cfg.k;
+  const auto r = simulate(plan, sp);
+  ASSERT_EQ(r.round_times.size(), plan.rounds.size());
+  double sum = 0;
+  for (double t : r.round_times) sum += t;
+  EXPECT_NEAR(sum, r.total_time, 1e-9);
+}
+
+}  // namespace
+}  // namespace fastpr::sim

@@ -1,0 +1,109 @@
+// Stripe placement metadata: distinctness invariant, indices, moves.
+#include "cluster/stripe_layout.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fastpr::cluster {
+namespace {
+
+TEST(StripeLayout, AddStripeAndQueries) {
+  StripeLayout layout(6, 3);
+  const StripeId s = layout.add_stripe({1, 3, 5});
+  EXPECT_EQ(layout.num_stripes(), 1);
+  EXPECT_EQ(layout.node_of({s, 0}), 1);
+  EXPECT_EQ(layout.node_of({s, 1}), 3);
+  EXPECT_EQ(layout.node_of({s, 2}), 5);
+  EXPECT_TRUE(layout.stripe_uses_node(s, 3));
+  EXPECT_FALSE(layout.stripe_uses_node(s, 0));
+  EXPECT_EQ(layout.load(3), 1);
+  EXPECT_EQ(layout.load(0), 0);
+  layout.check_invariants();
+}
+
+TEST(StripeLayout, RejectsDuplicateNodes) {
+  StripeLayout layout(5, 3);
+  EXPECT_THROW(layout.add_stripe({0, 0, 1}), CheckFailure);
+}
+
+TEST(StripeLayout, RejectsWrongWidth) {
+  StripeLayout layout(5, 3);
+  EXPECT_THROW(layout.add_stripe({0, 1}), CheckFailure);
+}
+
+TEST(StripeLayout, RejectsStripeWiderThanCluster) {
+  EXPECT_THROW(StripeLayout(2, 3), CheckFailure);
+}
+
+class RandomLayoutTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLayoutTest, RandomPlacementInvariants) {
+  const int num_nodes = GetParam();
+  Rng rng(9 + num_nodes);
+  const auto layout = StripeLayout::random(num_nodes, 5, 200, rng);
+  layout.check_invariants();
+  EXPECT_EQ(layout.total_chunks(), 1000);
+  // Load is roughly balanced: binomial placement keeps every node
+  // within mean ± 6σ (σ ≈ sqrt(mean)) with overwhelming probability.
+  const double expected = 1000.0 / num_nodes;
+  const double slack = 6.0 * std::sqrt(expected);
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    EXPECT_GT(layout.load(node), expected - slack);
+    EXPECT_LT(layout.load(node), expected + slack);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomLayoutTest,
+                         ::testing::Values(10, 25, 60, 100));
+
+TEST(StripeLayout, MoveChunkUpdatesBothIndices) {
+  StripeLayout layout(6, 3);
+  const StripeId s = layout.add_stripe({0, 1, 2});
+  layout.move_chunk({s, 1}, 4);
+  EXPECT_EQ(layout.node_of({s, 1}), 4);
+  EXPECT_EQ(layout.load(1), 0);
+  EXPECT_EQ(layout.load(4), 1);
+  EXPECT_TRUE(layout.stripe_uses_node(s, 4));
+  EXPECT_FALSE(layout.stripe_uses_node(s, 1));
+  layout.check_invariants();
+}
+
+TEST(StripeLayout, MoveChunkRefusesColocation) {
+  StripeLayout layout(6, 3);
+  const StripeId s = layout.add_stripe({0, 1, 2});
+  EXPECT_THROW(layout.move_chunk({s, 0}, 2), CheckFailure);
+}
+
+TEST(StripeLayout, MoveChunkToSameNodeIsNoop) {
+  StripeLayout layout(6, 3);
+  const StripeId s = layout.add_stripe({0, 1, 2});
+  layout.move_chunk({s, 0}, 0);
+  EXPECT_EQ(layout.load(0), 1);
+  layout.check_invariants();
+}
+
+TEST(StripeLayout, ChunksOnNodeTracksMembership) {
+  StripeLayout layout(4, 2);
+  const StripeId a = layout.add_stripe({0, 1});
+  const StripeId b = layout.add_stripe({0, 2});
+  const auto& on0 = layout.chunks_on(0);
+  ASSERT_EQ(on0.size(), 2u);
+  EXPECT_TRUE((on0[0] == ChunkRef{a, 0} && on0[1] == ChunkRef{b, 0}) ||
+              (on0[0] == ChunkRef{b, 0} && on0[1] == ChunkRef{a, 0}));
+}
+
+TEST(StripeLayout, RandomIsDeterministicPerSeed) {
+  Rng rng1(42), rng2(42);
+  const auto a = StripeLayout::random(20, 4, 50, rng1);
+  const auto b = StripeLayout::random(20, 4, 50, rng2);
+  for (StripeId s = 0; s < 50; ++s) {
+    EXPECT_EQ(a.stripe_nodes(s), b.stripe_nodes(s));
+  }
+}
+
+}  // namespace
+}  // namespace fastpr::cluster

@@ -1,0 +1,212 @@
+// Utility substrate: stats, RNG helpers, token bucket timing, thread
+// pool, table rendering, check macros.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+
+#include "util/check.h"
+#include "util/crc32c.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/token_bucket.h"
+#include "util/units.h"
+
+namespace fastpr {
+namespace {
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    FASTPR_CHECK_MSG(1 == 2, "custom detail " << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckFailure& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom detail 42"), std::string::npos);
+  }
+}
+
+TEST(Summary, BasicStatistics) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.stddev(), 1.1180, 1e-3);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 4.0);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), CheckFailure);
+}
+
+TEST(Rng, SampleDistinctProperties) {
+  Rng rng(1);
+  const auto sample = rng.sample_distinct(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<int> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 20u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+}
+
+TEST(Rng, SampleDistinctFullUniverse) {
+  Rng rng(2);
+  const auto sample = rng.sample_distinct(5, 5);
+  std::set<int> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 5u);
+  EXPECT_THROW(rng.sample_distinct(3, 4), CheckFailure);
+}
+
+TEST(Rng, UniformBoundsInclusive) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(MB(64), 64 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(MBps(100), 100.0 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(Gbps(1), 1e9 / 8);
+}
+
+TEST(TokenBucket, UnlimitedNeverBlocks) {
+  TokenBucket bucket(0);  // unlimited
+  const auto start = std::chrono::steady_clock::now();
+  bucket.acquire(100'000'000);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 0.05);
+}
+
+TEST(TokenBucket, RateApproximatelyEnforced) {
+  // 10 MB/s with a 64 KiB burst: acquiring 2 MB beyond the burst should
+  // take roughly 0.2 s.
+  TokenBucket bucket(10e6, 64 << 10);
+  bucket.acquire(64 << 10);  // drain the initial burst
+  const auto start = std::chrono::steady_clock::now();
+  bucket.acquire(2'000'000);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GT(secs, 0.12);
+  EXPECT_LT(secs, 0.6);
+}
+
+TEST(TokenBucket, SetRateUnblocksWaiters) {
+  TokenBucket bucket(1.0, 16);  // 1 byte/s: effectively frozen
+  bucket.acquire(16);
+  std::atomic<bool> done{false};
+  std::thread waiter([&] {
+    bucket.acquire(1'000'000);
+    done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(done.load());
+  bucket.set_rate(0);  // unlimited
+  waiter.join();
+  EXPECT_TRUE(done.load());
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter, i] {
+      counter.fetch_add(1);
+      return i * 2;
+    }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * 2);
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2.5"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ArityChecked) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckFailure);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(2.0, 3), "2.000");
+}
+
+TEST(Crc32c, KnownVectors) {
+  // RFC 3720 / common test vectors for CRC-32C.
+  const uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32c(std::span<const uint8_t>(digits, 9)), 0xE3069283u);
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  std::vector<uint8_t> ffs(32, 0xFF);
+  EXPECT_EQ(crc32c(ffs), 0x62A8AB43u);
+  EXPECT_EQ(crc32c(std::span<const uint8_t>()), 0u);
+}
+
+TEST(Crc32c, StreamingMatchesOneShot) {
+  std::vector<uint8_t> data(1000);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(i * 7);
+  }
+  const uint32_t whole = crc32c(data);
+  uint32_t chained = 0;
+  for (size_t off = 0; off < data.size(); off += 137) {
+    const size_t len = std::min<size_t>(137, data.size() - off);
+    chained = crc32c(std::span<const uint8_t>(data.data() + off, len),
+                     chained);
+  }
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32c, DetectsSingleBitFlips) {
+  std::vector<uint8_t> data(4096, 0x5A);
+  const uint32_t good = crc32c(data);
+  for (size_t i : {size_t{0}, size_t{17}, size_t{4095}}) {
+    auto bad = data;
+    bad[i] ^= 0x01;
+    EXPECT_NE(crc32c(bad), good) << "flip at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fastpr

@@ -1,0 +1,329 @@
+// fastpr_cli — plan, simulate and explore FastPR repairs from a plain
+// text cluster description.
+//
+// Usage:
+//   fastpr_cli analyze  <spec>   # §III cost-model summary
+//   fastpr_cli plan     <spec>   # build and print a FastPR repair plan
+//   fastpr_cli simulate <spec>   # strategy comparison (simulated times)
+//   fastpr_cli lifetime <spec>   # one simulated year of failures
+//
+// Spec format (one `key value...` pair per line; '#' starts a comment):
+//   nodes 100          # storage nodes
+//   standby 3          # hot-standby spares
+//   code rs 9 6        # or: code lrc 12 2 2
+//   chunk_mb 64
+//   disk_mbps 100
+//   net_gbps 1
+//   stripes 1000
+//   scenario scattered # or hotstandby
+//   stf auto           # or an explicit node id
+//   seed 1
+//   # lifetime-only:
+//   sim_days 365
+//   mtbf_days 1000
+//   recall 0.95
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/fastpr.h"
+#include "ec/lrc_code.h"
+#include "ec/rs_code.h"
+#include "lifetime/lifetime_sim.h"
+#include "sim/simulator.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/units.h"
+
+using namespace fastpr;
+
+namespace {
+
+struct Spec {
+  int nodes = 100;
+  int standby = 3;
+  std::unique_ptr<ec::ErasureCode> code =
+      std::make_unique<ec::RsCode>(9, 6);
+  double chunk_bytes = static_cast<double>(MB(64));
+  double disk_bw = MBps(100);
+  double net_bw = Gbps(1);
+  int stripes = 1000;
+  core::Scenario scenario = core::Scenario::kScattered;
+  int stf = -1;  // -1 = auto (most loaded)
+  uint64_t seed = 1;
+  double sim_days = 365;
+  double mtbf_days = 1000;
+  double recall = 0.95;
+};
+
+bool parse_spec(const std::string& path, Spec& spec, std::string& error) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    error = "cannot open spec file: " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string key;
+    if (!(tokens >> key)) continue;  // blank
+    auto fail = [&](const std::string& why) {
+      error = path + ":" + std::to_string(lineno) + ": " + why;
+      return false;
+    };
+    if (key == "nodes") {
+      if (!(tokens >> spec.nodes)) return fail("nodes <int>");
+    } else if (key == "standby") {
+      if (!(tokens >> spec.standby)) return fail("standby <int>");
+    } else if (key == "code") {
+      std::string kind;
+      if (!(tokens >> kind)) return fail("code rs|lrc ...");
+      if (kind == "rs") {
+        int n = 0, k = 0;
+        if (!(tokens >> n >> k)) return fail("code rs <n> <k>");
+        spec.code = std::make_unique<ec::RsCode>(n, k);
+      } else if (kind == "lrc") {
+        int k = 0, l = 0, g = 0;
+        if (!(tokens >> k >> l >> g)) return fail("code lrc <k> <l> <g>");
+        spec.code = std::make_unique<ec::LrcCode>(k, l, g);
+      } else {
+        return fail("unknown code kind '" + kind + "'");
+      }
+    } else if (key == "chunk_mb") {
+      double v = 0;
+      if (!(tokens >> v) || v <= 0) return fail("chunk_mb <num>");
+      spec.chunk_bytes = v * (1 << 20);
+    } else if (key == "disk_mbps") {
+      double v = 0;
+      if (!(tokens >> v) || v <= 0) return fail("disk_mbps <num>");
+      spec.disk_bw = MBps(v);
+    } else if (key == "net_gbps") {
+      double v = 0;
+      if (!(tokens >> v) || v <= 0) return fail("net_gbps <num>");
+      spec.net_bw = Gbps(v);
+    } else if (key == "stripes") {
+      if (!(tokens >> spec.stripes)) return fail("stripes <int>");
+    } else if (key == "scenario") {
+      std::string v;
+      tokens >> v;
+      if (v == "scattered") {
+        spec.scenario = core::Scenario::kScattered;
+      } else if (v == "hotstandby") {
+        spec.scenario = core::Scenario::kHotStandby;
+      } else {
+        return fail("scenario scattered|hotstandby");
+      }
+    } else if (key == "stf") {
+      std::string v;
+      tokens >> v;
+      spec.stf = v == "auto" ? -1 : std::atoi(v.c_str());
+    } else if (key == "seed") {
+      if (!(tokens >> spec.seed)) return fail("seed <int>");
+    } else if (key == "sim_days") {
+      if (!(tokens >> spec.sim_days)) return fail("sim_days <num>");
+    } else if (key == "mtbf_days") {
+      if (!(tokens >> spec.mtbf_days)) return fail("mtbf_days <num>");
+    } else if (key == "recall") {
+      if (!(tokens >> spec.recall)) return fail("recall <num>");
+    } else {
+      return fail("unknown key '" + key + "'");
+    }
+  }
+  return true;
+}
+
+struct World {
+  cluster::StripeLayout layout;
+  cluster::ClusterState state;
+  cluster::NodeId stf;
+};
+
+World build_world(const Spec& spec) {
+  Rng rng(spec.seed);
+  World w{cluster::StripeLayout::random(spec.nodes, spec.code->n(),
+                                        spec.stripes, rng),
+          cluster::ClusterState(
+              spec.nodes, spec.standby,
+              cluster::BandwidthProfile{spec.disk_bw, spec.net_bw}),
+          0};
+  if (spec.stf >= 0) {
+    w.stf = spec.stf;
+  } else {
+    for (cluster::NodeId n = 1; n < spec.nodes; ++n) {
+      if (w.layout.load(n) > w.layout.load(w.stf)) w.stf = n;
+    }
+  }
+  w.state.set_health(w.stf, cluster::NodeHealth::kSoonToFail);
+  return w;
+}
+
+core::FastPrPlanner make_planner(const Spec& spec, World& w) {
+  core::PlannerOptions opts;
+  opts.scenario = spec.scenario;
+  opts.k_repair = spec.code->repair_fetch_count(0);
+  opts.chunk_bytes = spec.chunk_bytes;
+  opts.code = spec.code.get();
+  return core::FastPrPlanner(w.layout, w.state, opts);
+}
+
+int cmd_analyze(const Spec& spec) {
+  core::ModelParams p;
+  p.num_nodes = spec.nodes;
+  p.stf_chunks = std::max(
+      1, spec.stripes * spec.code->n() / std::max(1, spec.nodes));
+  p.chunk_bytes = spec.chunk_bytes;
+  p.disk_bw = spec.disk_bw;
+  p.net_bw = spec.net_bw;
+  p.k_repair = spec.code->repair_fetch_count(0);
+  p.hot_standby = std::max(1, spec.standby);
+  p.scenario = spec.scenario;
+  const core::CostModel m(p);
+  std::printf("cost model (%s, %s, U=%d chunks):\n",
+              spec.code->name().c_str(),
+              core::to_string(spec.scenario).c_str(), p.stf_chunks);
+  std::printf("  tm (migrate one chunk)            %.4f s\n", m.tm());
+  std::printf("  tr (reconstruction round)         %.4f s\n",
+              m.tr(m.max_parallel_groups()));
+  std::printf("  optimal predictive repair (Eq.2)  %.2f s total, %.4f "
+              "s/chunk\n",
+              m.predictive_time(), m.predictive_time_per_chunk());
+  std::printf("  reactive repair (Eq.3)            %.2f s total, %.4f "
+              "s/chunk\n",
+              m.reactive_time(), m.reactive_time_per_chunk());
+  std::printf("  migration-only                    %.2f s total\n",
+              m.migration_only_time());
+  std::printf("  predictive reduction              %.1f %%\n",
+              100.0 * (1.0 - m.predictive_time() / m.reactive_time()));
+  return 0;
+}
+
+int cmd_plan(const Spec& spec) {
+  World w = build_world(spec);
+  auto planner = make_planner(spec, w);
+  const auto plan = planner.plan_fastpr();
+  core::validate_plan(plan, w.layout, w.state,
+                      spec.code->repair_fetch_count(0), spec.code.get());
+  std::printf("STF node %d holds %d chunks; %s\n\n", w.stf,
+              w.layout.load(w.stf), plan.to_string().c_str());
+  Table t({"round", "reconstructed", "migrated", "example task"});
+  for (size_t i = 0; i < plan.rounds.size(); ++i) {
+    const auto& round = plan.rounds[i];
+    std::string example = "-";
+    if (!round.reconstructions.empty()) {
+      const auto& task = round.reconstructions.front();
+      std::ostringstream os;
+      os << "stripe " << task.chunk.stripe << " -> node " << task.dst
+         << " (" << task.sources.size() << " helpers)";
+      example = os.str();
+    } else if (!round.migrations.empty()) {
+      const auto& task = round.migrations.front();
+      std::ostringstream os;
+      os << "stripe " << task.chunk.stripe << " moved to node "
+         << task.dst;
+      example = os.str();
+    }
+    t.add_row({std::to_string(i + 1),
+               std::to_string(round.reconstructions.size()),
+               std::to_string(round.migrations.size()), example});
+  }
+  t.print();
+  return 0;
+}
+
+int cmd_simulate(const Spec& spec) {
+  World w = build_world(spec);
+  auto planner = make_planner(spec, w);
+  sim::SimParams sp;
+  sp.chunk_bytes = spec.chunk_bytes;
+  sp.disk_bw = spec.disk_bw;
+  sp.net_bw = spec.net_bw;
+  sp.k_repair = spec.code->repair_fetch_count(0);
+  sp.hot_standby = std::max(1, spec.standby);
+  sp.scenario = spec.scenario;
+
+  Table t({"strategy", "total (s)", "per chunk (s)", "traffic (chunks)"});
+  auto row = [&](const std::string& name, const core::RepairPlan& plan) {
+    const auto r = sim::simulate(plan, sp);
+    t.add_row({name, Table::fmt(r.total_time, 2),
+               Table::fmt(r.per_chunk(), 4),
+               std::to_string(r.repair_traffic_chunks)});
+  };
+  row("FastPR", planner.plan_fastpr());
+  row("reconstruction-only", planner.plan_reconstruction_only());
+  row("migration-only", planner.plan_migration_only());
+  std::printf("STF node %d, %d chunks, %s repair:\n", w.stf,
+              w.layout.load(w.stf),
+              core::to_string(spec.scenario).c_str());
+  t.print();
+  std::printf("analytic optimum: %.4f s/chunk\n",
+              planner.cost_model().predictive_time_per_chunk());
+  return 0;
+}
+
+int cmd_lifetime(const Spec& spec) {
+  lifetime::LifetimeConfig cfg;
+  cfg.num_nodes = spec.nodes;
+  cfg.n = spec.code->n();
+  cfg.k = spec.code->repair_fetch_count(0);
+  cfg.num_stripes = spec.stripes;
+  cfg.chunk_bytes = spec.chunk_bytes;
+  cfg.disk_bw = spec.disk_bw;
+  cfg.net_bw = spec.net_bw;
+  cfg.sim_days = spec.sim_days;
+  cfg.node_mtbf_days = spec.mtbf_days;
+  cfg.prediction_recall = spec.recall;
+  cfg.seed = spec.seed;
+  const auto report = lifetime::simulate_lifetime(cfg);
+  std::printf("%.0f simulated days, recall %.2f:\n", spec.sim_days,
+              spec.recall);
+  std::printf("  failures                 %d (%d predicted, %d repaired "
+              "in time)\n",
+              report.failures, report.predicted,
+              report.completed_in_time);
+  std::printf("  false alarms repaired    %d\n", report.false_alarms);
+  std::printf("  vulnerability            %.1f s total\n",
+              report.vulnerability_seconds);
+  std::printf("  degraded stripe-hours    %.2f\n",
+              report.degraded_stripe_seconds / 3600.0);
+  std::printf("  repair traffic           %ld chunks\n",
+              report.repair_traffic_chunks);
+  std::printf("  data-loss stripes        %d\n", report.data_loss_stripes);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fastpr_cli analyze|plan|simulate|lifetime "
+               "<spec-file>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return usage();
+  set_log_level(LogLevel::kWarn);
+  Spec spec;
+  std::string error;
+  if (!parse_spec(argv[2], spec, error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  try {
+    if (std::strcmp(argv[1], "analyze") == 0) return cmd_analyze(spec);
+    if (std::strcmp(argv[1], "plan") == 0) return cmd_plan(spec);
+    if (std::strcmp(argv[1], "simulate") == 0) return cmd_simulate(spec);
+    if (std::strcmp(argv[1], "lifetime") == 0) return cmd_lifetime(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
