@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sim_stripes.dir/bench_fig10_sim_stripes.cpp.o"
+  "CMakeFiles/bench_fig10_sim_stripes.dir/bench_fig10_sim_stripes.cpp.o.d"
+  "bench_fig10_sim_stripes"
+  "bench_fig10_sim_stripes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sim_stripes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

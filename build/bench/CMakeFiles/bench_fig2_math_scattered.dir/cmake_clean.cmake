@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_math_scattered.dir/bench_fig2_math_scattered.cpp.o"
+  "CMakeFiles/bench_fig2_math_scattered.dir/bench_fig2_math_scattered.cpp.o.d"
+  "bench_fig2_math_scattered"
+  "bench_fig2_math_scattered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_math_scattered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

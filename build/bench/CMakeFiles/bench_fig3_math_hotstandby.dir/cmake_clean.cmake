@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_math_hotstandby.dir/bench_fig3_math_hotstandby.cpp.o"
+  "CMakeFiles/bench_fig3_math_hotstandby.dir/bench_fig3_math_hotstandby.cpp.o.d"
+  "bench_fig3_math_hotstandby"
+  "bench_fig3_math_hotstandby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_math_hotstandby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sim_scattered.dir/bench_fig8_sim_scattered.cpp.o"
+  "CMakeFiles/bench_fig8_sim_scattered.dir/bench_fig8_sim_scattered.cpp.o.d"
+  "bench_fig8_sim_scattered"
+  "bench_fig8_sim_scattered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sim_scattered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_sim_hotstandby.dir/bench_fig9_sim_hotstandby.cpp.o"
+  "CMakeFiles/bench_fig9_sim_hotstandby.dir/bench_fig9_sim_hotstandby.cpp.o.d"
+  "bench_fig9_sim_hotstandby"
+  "bench_fig9_sim_hotstandby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_sim_hotstandby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lrc_extension.dir/bench_lrc_extension.cpp.o"
+  "CMakeFiles/bench_lrc_extension.dir/bench_lrc_extension.cpp.o.d"
+  "bench_lrc_extension"
+  "bench_lrc_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lrc_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

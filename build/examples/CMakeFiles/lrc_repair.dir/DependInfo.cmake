@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/lrc_repair.cpp" "examples/CMakeFiles/lrc_repair.dir/lrc_repair.cpp.o" "gcc" "examples/CMakeFiles/lrc_repair.dir/lrc_repair.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agent/CMakeFiles/fastpr_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fastpr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fastpr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fastpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/fastpr_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fastpr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/fastpr_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/fastpr_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/fastpr_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fastpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

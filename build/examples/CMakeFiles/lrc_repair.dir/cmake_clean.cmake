@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrc_repair.dir/lrc_repair.cpp.o"
+  "CMakeFiles/lrc_repair.dir/lrc_repair.cpp.o.d"
+  "lrc_repair"
+  "lrc_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrc_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testbed_cluster.dir/testbed_cluster.cpp.o"
+  "CMakeFiles/testbed_cluster.dir/testbed_cluster.cpp.o.d"
+  "testbed_cluster"
+  "testbed_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testbed_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/agent.cpp" "src/agent/CMakeFiles/fastpr_agent.dir/agent.cpp.o" "gcc" "src/agent/CMakeFiles/fastpr_agent.dir/agent.cpp.o.d"
+  "/root/repo/src/agent/chunk_store.cpp" "src/agent/CMakeFiles/fastpr_agent.dir/chunk_store.cpp.o" "gcc" "src/agent/CMakeFiles/fastpr_agent.dir/chunk_store.cpp.o.d"
+  "/root/repo/src/agent/coordinator.cpp" "src/agent/CMakeFiles/fastpr_agent.dir/coordinator.cpp.o" "gcc" "src/agent/CMakeFiles/fastpr_agent.dir/coordinator.cpp.o.d"
+  "/root/repo/src/agent/testbed.cpp" "src/agent/CMakeFiles/fastpr_agent.dir/testbed.cpp.o" "gcc" "src/agent/CMakeFiles/fastpr_agent.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/fastpr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fastpr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/fastpr_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fastpr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fastpr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/fastpr_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/fastpr_matching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastpr_agent.dir/agent.cpp.o"
+  "CMakeFiles/fastpr_agent.dir/agent.cpp.o.d"
+  "CMakeFiles/fastpr_agent.dir/chunk_store.cpp.o"
+  "CMakeFiles/fastpr_agent.dir/chunk_store.cpp.o.d"
+  "CMakeFiles/fastpr_agent.dir/coordinator.cpp.o"
+  "CMakeFiles/fastpr_agent.dir/coordinator.cpp.o.d"
+  "CMakeFiles/fastpr_agent.dir/testbed.cpp.o"
+  "CMakeFiles/fastpr_agent.dir/testbed.cpp.o.d"
+  "libfastpr_agent.a"
+  "libfastpr_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastpr_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

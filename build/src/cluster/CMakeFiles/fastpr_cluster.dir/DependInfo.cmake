@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster_state.cpp" "src/cluster/CMakeFiles/fastpr_cluster.dir/cluster_state.cpp.o" "gcc" "src/cluster/CMakeFiles/fastpr_cluster.dir/cluster_state.cpp.o.d"
+  "/root/repo/src/cluster/rebalancer.cpp" "src/cluster/CMakeFiles/fastpr_cluster.dir/rebalancer.cpp.o" "gcc" "src/cluster/CMakeFiles/fastpr_cluster.dir/rebalancer.cpp.o.d"
+  "/root/repo/src/cluster/stripe_layout.cpp" "src/cluster/CMakeFiles/fastpr_cluster.dir/stripe_layout.cpp.o" "gcc" "src/cluster/CMakeFiles/fastpr_cluster.dir/stripe_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fastpr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/fastpr_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/fastpr_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastpr_cluster.dir/cluster_state.cpp.o"
+  "CMakeFiles/fastpr_cluster.dir/cluster_state.cpp.o.d"
+  "CMakeFiles/fastpr_cluster.dir/rebalancer.cpp.o"
+  "CMakeFiles/fastpr_cluster.dir/rebalancer.cpp.o.d"
+  "CMakeFiles/fastpr_cluster.dir/stripe_layout.cpp.o"
+  "CMakeFiles/fastpr_cluster.dir/stripe_layout.cpp.o.d"
+  "libfastpr_cluster.a"
+  "libfastpr_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastpr_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

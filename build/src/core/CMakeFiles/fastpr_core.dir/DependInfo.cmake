@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/fastpr_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/fastpr_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/fastpr.cpp" "src/core/CMakeFiles/fastpr_core.dir/fastpr.cpp.o" "gcc" "src/core/CMakeFiles/fastpr_core.dir/fastpr.cpp.o.d"
+  "/root/repo/src/core/placement.cpp" "src/core/CMakeFiles/fastpr_core.dir/placement.cpp.o" "gcc" "src/core/CMakeFiles/fastpr_core.dir/placement.cpp.o.d"
+  "/root/repo/src/core/reactive.cpp" "src/core/CMakeFiles/fastpr_core.dir/reactive.cpp.o" "gcc" "src/core/CMakeFiles/fastpr_core.dir/reactive.cpp.o.d"
+  "/root/repo/src/core/recon_set_cache.cpp" "src/core/CMakeFiles/fastpr_core.dir/recon_set_cache.cpp.o" "gcc" "src/core/CMakeFiles/fastpr_core.dir/recon_set_cache.cpp.o.d"
+  "/root/repo/src/core/recon_sets.cpp" "src/core/CMakeFiles/fastpr_core.dir/recon_sets.cpp.o" "gcc" "src/core/CMakeFiles/fastpr_core.dir/recon_sets.cpp.o.d"
+  "/root/repo/src/core/repair_plan.cpp" "src/core/CMakeFiles/fastpr_core.dir/repair_plan.cpp.o" "gcc" "src/core/CMakeFiles/fastpr_core.dir/repair_plan.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/fastpr_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/fastpr_core.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fastpr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fastpr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/fastpr_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/fastpr_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/fastpr_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

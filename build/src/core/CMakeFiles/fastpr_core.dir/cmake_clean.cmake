@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastpr_core.dir/cost_model.cpp.o"
+  "CMakeFiles/fastpr_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/fastpr_core.dir/fastpr.cpp.o"
+  "CMakeFiles/fastpr_core.dir/fastpr.cpp.o.d"
+  "CMakeFiles/fastpr_core.dir/placement.cpp.o"
+  "CMakeFiles/fastpr_core.dir/placement.cpp.o.d"
+  "CMakeFiles/fastpr_core.dir/reactive.cpp.o"
+  "CMakeFiles/fastpr_core.dir/reactive.cpp.o.d"
+  "CMakeFiles/fastpr_core.dir/recon_set_cache.cpp.o"
+  "CMakeFiles/fastpr_core.dir/recon_set_cache.cpp.o.d"
+  "CMakeFiles/fastpr_core.dir/recon_sets.cpp.o"
+  "CMakeFiles/fastpr_core.dir/recon_sets.cpp.o.d"
+  "CMakeFiles/fastpr_core.dir/repair_plan.cpp.o"
+  "CMakeFiles/fastpr_core.dir/repair_plan.cpp.o.d"
+  "CMakeFiles/fastpr_core.dir/scheduler.cpp.o"
+  "CMakeFiles/fastpr_core.dir/scheduler.cpp.o.d"
+  "libfastpr_core.a"
+  "libfastpr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastpr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ec/erasure_code.cpp" "src/ec/CMakeFiles/fastpr_ec.dir/erasure_code.cpp.o" "gcc" "src/ec/CMakeFiles/fastpr_ec.dir/erasure_code.cpp.o.d"
+  "/root/repo/src/ec/lrc_code.cpp" "src/ec/CMakeFiles/fastpr_ec.dir/lrc_code.cpp.o" "gcc" "src/ec/CMakeFiles/fastpr_ec.dir/lrc_code.cpp.o.d"
+  "/root/repo/src/ec/matrix.cpp" "src/ec/CMakeFiles/fastpr_ec.dir/matrix.cpp.o" "gcc" "src/ec/CMakeFiles/fastpr_ec.dir/matrix.cpp.o.d"
+  "/root/repo/src/ec/rs_code.cpp" "src/ec/CMakeFiles/fastpr_ec.dir/rs_code.cpp.o" "gcc" "src/ec/CMakeFiles/fastpr_ec.dir/rs_code.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gf/CMakeFiles/fastpr_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fastpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

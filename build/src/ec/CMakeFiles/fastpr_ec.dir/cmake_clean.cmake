@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastpr_ec.dir/erasure_code.cpp.o"
+  "CMakeFiles/fastpr_ec.dir/erasure_code.cpp.o.d"
+  "CMakeFiles/fastpr_ec.dir/lrc_code.cpp.o"
+  "CMakeFiles/fastpr_ec.dir/lrc_code.cpp.o.d"
+  "CMakeFiles/fastpr_ec.dir/matrix.cpp.o"
+  "CMakeFiles/fastpr_ec.dir/matrix.cpp.o.d"
+  "CMakeFiles/fastpr_ec.dir/rs_code.cpp.o"
+  "CMakeFiles/fastpr_ec.dir/rs_code.cpp.o.d"
+  "libfastpr_ec.a"
+  "libfastpr_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastpr_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

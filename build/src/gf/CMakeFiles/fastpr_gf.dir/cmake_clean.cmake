@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastpr_gf.dir/gf256.cpp.o"
+  "CMakeFiles/fastpr_gf.dir/gf256.cpp.o.d"
+  "libfastpr_gf.a"
+  "libfastpr_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastpr_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

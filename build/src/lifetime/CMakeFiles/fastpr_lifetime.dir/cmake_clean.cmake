@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastpr_lifetime.dir/lifetime_sim.cpp.o"
+  "CMakeFiles/fastpr_lifetime.dir/lifetime_sim.cpp.o.d"
+  "libfastpr_lifetime.a"
+  "libfastpr_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastpr_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

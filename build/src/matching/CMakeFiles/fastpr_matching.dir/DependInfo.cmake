@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/brute_force.cpp" "src/matching/CMakeFiles/fastpr_matching.dir/brute_force.cpp.o" "gcc" "src/matching/CMakeFiles/fastpr_matching.dir/brute_force.cpp.o.d"
+  "/root/repo/src/matching/hopcroft_karp.cpp" "src/matching/CMakeFiles/fastpr_matching.dir/hopcroft_karp.cpp.o" "gcc" "src/matching/CMakeFiles/fastpr_matching.dir/hopcroft_karp.cpp.o.d"
+  "/root/repo/src/matching/incremental_matching.cpp" "src/matching/CMakeFiles/fastpr_matching.dir/incremental_matching.cpp.o" "gcc" "src/matching/CMakeFiles/fastpr_matching.dir/incremental_matching.cpp.o.d"
+  "/root/repo/src/matching/min_cost_matching.cpp" "src/matching/CMakeFiles/fastpr_matching.dir/min_cost_matching.cpp.o" "gcc" "src/matching/CMakeFiles/fastpr_matching.dir/min_cost_matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fastpr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastpr_matching.dir/brute_force.cpp.o"
+  "CMakeFiles/fastpr_matching.dir/brute_force.cpp.o.d"
+  "CMakeFiles/fastpr_matching.dir/hopcroft_karp.cpp.o"
+  "CMakeFiles/fastpr_matching.dir/hopcroft_karp.cpp.o.d"
+  "CMakeFiles/fastpr_matching.dir/incremental_matching.cpp.o"
+  "CMakeFiles/fastpr_matching.dir/incremental_matching.cpp.o.d"
+  "CMakeFiles/fastpr_matching.dir/min_cost_matching.cpp.o"
+  "CMakeFiles/fastpr_matching.dir/min_cost_matching.cpp.o.d"
+  "libfastpr_matching.a"
+  "libfastpr_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastpr_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

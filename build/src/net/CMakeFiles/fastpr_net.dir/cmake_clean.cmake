@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastpr_net.dir/inproc_transport.cpp.o"
+  "CMakeFiles/fastpr_net.dir/inproc_transport.cpp.o.d"
+  "CMakeFiles/fastpr_net.dir/message.cpp.o"
+  "CMakeFiles/fastpr_net.dir/message.cpp.o.d"
+  "CMakeFiles/fastpr_net.dir/tcp_transport.cpp.o"
+  "CMakeFiles/fastpr_net.dir/tcp_transport.cpp.o.d"
+  "libfastpr_net.a"
+  "libfastpr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastpr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

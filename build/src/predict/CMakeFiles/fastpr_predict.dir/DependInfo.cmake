@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/predictor.cpp" "src/predict/CMakeFiles/fastpr_predict.dir/predictor.cpp.o" "gcc" "src/predict/CMakeFiles/fastpr_predict.dir/predictor.cpp.o.d"
+  "/root/repo/src/predict/trace_generator.cpp" "src/predict/CMakeFiles/fastpr_predict.dir/trace_generator.cpp.o" "gcc" "src/predict/CMakeFiles/fastpr_predict.dir/trace_generator.cpp.o.d"
+  "/root/repo/src/predict/trained_predictor.cpp" "src/predict/CMakeFiles/fastpr_predict.dir/trained_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/fastpr_predict.dir/trained_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fastpr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fastpr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/fastpr_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/fastpr_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastpr_predict.dir/predictor.cpp.o"
+  "CMakeFiles/fastpr_predict.dir/predictor.cpp.o.d"
+  "CMakeFiles/fastpr_predict.dir/trace_generator.cpp.o"
+  "CMakeFiles/fastpr_predict.dir/trace_generator.cpp.o.d"
+  "CMakeFiles/fastpr_predict.dir/trained_predictor.cpp.o"
+  "CMakeFiles/fastpr_predict.dir/trained_predictor.cpp.o.d"
+  "libfastpr_predict.a"
+  "libfastpr_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastpr_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

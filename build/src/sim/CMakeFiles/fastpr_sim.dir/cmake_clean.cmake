@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastpr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/fastpr_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/fastpr_sim.dir/strategies.cpp.o"
+  "CMakeFiles/fastpr_sim.dir/strategies.cpp.o.d"
+  "libfastpr_sim.a"
+  "libfastpr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastpr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

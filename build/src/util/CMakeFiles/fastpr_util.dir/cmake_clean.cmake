@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastpr_util.dir/crc32c.cpp.o"
+  "CMakeFiles/fastpr_util.dir/crc32c.cpp.o.d"
+  "CMakeFiles/fastpr_util.dir/logging.cpp.o"
+  "CMakeFiles/fastpr_util.dir/logging.cpp.o.d"
+  "CMakeFiles/fastpr_util.dir/stats.cpp.o"
+  "CMakeFiles/fastpr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/fastpr_util.dir/table.cpp.o"
+  "CMakeFiles/fastpr_util.dir/table.cpp.o.d"
+  "CMakeFiles/fastpr_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/fastpr_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/fastpr_util.dir/token_bucket.cpp.o"
+  "CMakeFiles/fastpr_util.dir/token_bucket.cpp.o.d"
+  "libfastpr_util.a"
+  "libfastpr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastpr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfastpr_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agent_testbed.dir/test_agent_testbed.cpp.o"
+  "CMakeFiles/test_agent_testbed.dir/test_agent_testbed.cpp.o.d"
+  "test_agent_testbed"
+  "test_agent_testbed.pdb"
+  "test_agent_testbed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agent_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

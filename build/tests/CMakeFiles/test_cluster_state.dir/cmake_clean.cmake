@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_state.dir/test_cluster_state.cpp.o"
+  "CMakeFiles/test_cluster_state.dir/test_cluster_state.cpp.o.d"
+  "test_cluster_state"
+  "test_cluster_state.pdb"
+  "test_cluster_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

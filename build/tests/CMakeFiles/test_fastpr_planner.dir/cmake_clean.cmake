@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fastpr_planner.dir/test_fastpr_planner.cpp.o"
+  "CMakeFiles/test_fastpr_planner.dir/test_fastpr_planner.cpp.o.d"
+  "test_fastpr_planner"
+  "test_fastpr_planner.pdb"
+  "test_fastpr_planner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fastpr_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

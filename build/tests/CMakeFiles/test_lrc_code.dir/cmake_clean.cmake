@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lrc_code.dir/test_lrc_code.cpp.o"
+  "CMakeFiles/test_lrc_code.dir/test_lrc_code.cpp.o.d"
+  "test_lrc_code"
+  "test_lrc_code.pdb"
+  "test_lrc_code[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lrc_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_min_cost_matching.dir/test_min_cost_matching.cpp.o"
+  "CMakeFiles/test_min_cost_matching.dir/test_min_cost_matching.cpp.o.d"
+  "test_min_cost_matching"
+  "test_min_cost_matching.pdb"
+  "test_min_cost_matching[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_min_cost_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

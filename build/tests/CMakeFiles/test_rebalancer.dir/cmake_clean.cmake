@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rebalancer.dir/test_rebalancer.cpp.o"
+  "CMakeFiles/test_rebalancer.dir/test_rebalancer.cpp.o.d"
+  "test_rebalancer"
+  "test_rebalancer.pdb"
+  "test_rebalancer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rebalancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recon_set_cache.dir/test_recon_set_cache.cpp.o"
+  "CMakeFiles/test_recon_set_cache.dir/test_recon_set_cache.cpp.o.d"
+  "test_recon_set_cache"
+  "test_recon_set_cache.pdb"
+  "test_recon_set_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recon_set_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

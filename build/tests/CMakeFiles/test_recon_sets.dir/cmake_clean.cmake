@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recon_sets.dir/test_recon_sets.cpp.o"
+  "CMakeFiles/test_recon_sets.dir/test_recon_sets.cpp.o.d"
+  "test_recon_sets"
+  "test_recon_sets.pdb"
+  "test_recon_sets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recon_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

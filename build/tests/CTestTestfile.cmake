@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_gf256[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_rs_code[1]_include.cmake")
+include("/root/repo/build/tests/test_lrc_code[1]_include.cmake")
+include("/root/repo/build/tests/test_matching[1]_include.cmake")
+include("/root/repo/build/tests/test_min_cost_matching[1]_include.cmake")
+include("/root/repo/build/tests/test_stripe_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster_state[1]_include.cmake")
+include("/root/repo/build/tests/test_rebalancer[1]_include.cmake")
+include("/root/repo/build/tests/test_predict[1]_include.cmake")
+include("/root/repo/build/tests/test_cost_model[1]_include.cmake")
+include("/root/repo/build/tests/test_recon_sets[1]_include.cmake")
+include("/root/repo/build/tests/test_recon_set_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_placement[1]_include.cmake")
+include("/root/repo/build/tests/test_fastpr_planner[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_message[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_chunk_store[1]_include.cmake")
+include("/root/repo/build/tests/test_agent_testbed[1]_include.cmake")
+include("/root/repo/build/tests/test_reactive[1]_include.cmake")
+include("/root/repo/build/tests/test_lifetime[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

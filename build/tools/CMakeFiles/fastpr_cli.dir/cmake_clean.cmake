@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastpr_cli.dir/fastpr_cli.cpp.o"
+  "CMakeFiles/fastpr_cli.dir/fastpr_cli.cpp.o.d"
+  "fastpr_cli"
+  "fastpr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastpr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
