@@ -51,7 +51,7 @@ inline agent::TestbedOptions testbed_defaults(uint64_t seed) {
   opts.disk_bytes_per_sec = MBps(142) / 4;
   opts.net_bytes_per_sec = Gbps(5) / 4;
   opts.chunk_bytes = static_cast<uint64_t>(MB(4));
-  opts.packet_bytes = 256 << 10;
+  opts.packet_bytes = 256 * kKiB;
   // ~50 repaired chunks on the STF node, as in the paper's runs.
   opts.num_stripes = 110;
   opts.seed = seed;

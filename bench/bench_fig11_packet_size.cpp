@@ -23,7 +23,7 @@ int main() {
     Table t({"packet", "FastPR", "Reconstruction", "Migration", "U"});
     for (uint64_t packet_kb : {64, 256, 1024, 4096}) {
       auto opts = bench::testbed_defaults(/*seed=*/11);
-      opts.packet_bytes = packet_kb << 10;
+      opts.packet_bytes = packet_kb * static_cast<uint64_t>(kKiB);
       const auto r = bench::run_testbed_trio(opts, code, scenario);
       t.add_row({std::to_string(packet_kb) + "KB", Table::fmt(r.fastpr, 3),
                  Table::fmt(r.reconstruction, 3), Table::fmt(r.migration, 3),

@@ -1,6 +1,5 @@
 #include "agent/agent.h"
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 
@@ -40,7 +39,7 @@ void Agent::stop() {
   bye.to = id_;
   transport_.send(std::move(bye));
   if (dispatcher_.joinable()) dispatcher_.join();
-  std::lock_guard<std::mutex> lock(workers_mutex_);
+  MutexLock lock(workers_mutex_);
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -49,7 +48,7 @@ void Agent::stop() {
 }
 
 void Agent::spawn_worker(std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(workers_mutex_);
+  MutexLock lock(workers_mutex_);
   workers_.emplace_back(std::move(fn));
 }
 
@@ -160,18 +159,18 @@ void Agent::stream_chunk(uint64_t task_id, ChunkRef chunk, NodeId dst,
   // Paper §V multi-threading: a reader thread paces the disk and feeds a
   // bounded queue; the sender thread drains it onto the (shaped) network.
   struct Pipe {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Message> queue;
-    bool done = false;
+    Mutex mutex;
+    CondVar cv;
+    std::deque<Message> queue FASTPR_GUARDED_BY(mutex);
+    bool done FASTPR_GUARDED_BY(mutex) = false;
   } pipe;
 
   std::thread sender([&] {
     for (;;) {
       Message packet;
       {
-        std::unique_lock<std::mutex> lock(pipe.mutex);
-        pipe.cv.wait(lock, [&] { return pipe.done || !pipe.queue.empty(); });
+        MutexLock lock(pipe.mutex);
+        while (!pipe.done && pipe.queue.empty()) pipe.cv.wait(pipe.mutex);
         if (pipe.queue.empty()) return;
         packet = std::move(pipe.queue.front());
         pipe.queue.pop_front();
@@ -202,16 +201,17 @@ void Agent::stream_chunk(uint64_t task_id, ChunkRef chunk, NodeId dst,
         content->begin() + static_cast<ptrdiff_t>(offset),
         content->begin() + static_cast<ptrdiff_t>(offset + len));
 
-    std::unique_lock<std::mutex> lock(pipe.mutex);
-    pipe.cv.wait(lock, [&] {
-      return pipe.queue.size() < options_.pipeline_depth;
-    });
-    pipe.queue.push_back(std::move(packet));
-    lock.unlock();
+    {
+      MutexLock lock(pipe.mutex);
+      while (pipe.queue.size() >= options_.pipeline_depth) {
+        pipe.cv.wait(pipe.mutex);
+      }
+      pipe.queue.push_back(std::move(packet));
+    }
     pipe.cv.notify_all();
   }
   {
-    std::lock_guard<std::mutex> lock(pipe.mutex);
+    MutexLock lock(pipe.mutex);
     pipe.done = true;
   }
   pipe.cv.notify_all();

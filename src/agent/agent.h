@@ -18,7 +18,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +25,7 @@
 #include "agent/chunk_store.h"
 #include "cluster/types.h"
 #include "net/transport.h"
+#include "util/mutex.h"
 
 namespace fastpr::agent {
 
@@ -81,7 +81,8 @@ class Agent {
                     uint8_t coefficient, uint64_t packet_bytes);
 
   void report_failure(uint64_t task_id, const std::string& error);
-  void spawn_worker(std::function<void()> fn);
+  void spawn_worker(std::function<void()> fn)
+      FASTPR_EXCLUDES(workers_mutex_);
 
   cluster::NodeId id_;
   net::Transport& transport_;
@@ -89,8 +90,8 @@ class Agent {
   AgentOptions options_;
 
   std::thread dispatcher_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
+  Mutex workers_mutex_;
+  std::vector<std::thread> workers_ FASTPR_GUARDED_BY(workers_mutex_);
   std::unordered_map<uint64_t, TransferState> tasks_;  // dispatcher-only
   std::atomic<bool> killed_{false};
   bool started_ = false;

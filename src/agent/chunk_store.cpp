@@ -32,7 +32,7 @@ std::optional<std::vector<uint8_t>> ChunkStore::read_unthrottled(
     cluster::ChunkRef chunk) const {
   std::optional<std::vector<uint8_t>> materialized;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (read_errors_.count(chunk) != 0) return std::nullopt;
     const auto it = chunks_.find(chunk);
     if (it != chunks_.end()) materialized = it->second;
@@ -43,7 +43,7 @@ std::optional<std::vector<uint8_t>> ChunkStore::read_unthrottled(
   if (options_.directory.has_value()) {
     bool present;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       present = on_disk_.count(chunk) != 0;
     }
     if (present) {
@@ -76,7 +76,7 @@ void ChunkStore::write_unthrottled(cluster::ChunkRef chunk,
                                    std::vector<uint8_t> data) {
   const uint32_t checksum = crc32c(data);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     checksums_[chunk] = checksum;
   }
   if (options_.directory.has_value()) {
@@ -85,24 +85,24 @@ void ChunkStore::write_unthrottled(cluster::ChunkRef chunk,
     out.write(reinterpret_cast<const char*>(data.data()),
               static_cast<std::streamsize>(data.size()));
     FASTPR_CHECK(out.good());
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     on_disk_.insert(chunk);
     return;
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   chunks_[chunk] = std::move(data);
 }
 
 void ChunkStore::charge_io(int64_t bytes) const { disk_->acquire(bytes); }
 
 bool ChunkStore::has_materialized(cluster::ChunkRef chunk) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return chunks_.count(chunk) != 0 || on_disk_.count(chunk) != 0;
 }
 
 bool ChunkStore::contains(cluster::ChunkRef chunk) const {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (chunks_.count(chunk) != 0 || on_disk_.count(chunk) != 0) return true;
   }
   if (oracle_ != nullptr) {
@@ -112,7 +112,7 @@ bool ChunkStore::contains(cluster::ChunkRef chunk) const {
 }
 
 void ChunkStore::erase(cluster::ChunkRef chunk) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   chunks_.erase(chunk);
   checksums_.erase(chunk);
   if (on_disk_.erase(chunk) != 0) {
@@ -121,17 +121,17 @@ void ChunkStore::erase(cluster::ChunkRef chunk) {
 }
 
 void ChunkStore::inject_read_error(cluster::ChunkRef chunk) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   read_errors_.insert(chunk);
 }
 
 void ChunkStore::clear_read_errors() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   read_errors_.clear();
 }
 
 void ChunkStore::corrupt(cluster::ChunkRef chunk, size_t byte_index) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = chunks_.find(chunk);
   FASTPR_CHECK_MSG(it != chunks_.end(),
                    "can only corrupt an in-memory materialized chunk");
@@ -141,7 +141,7 @@ void ChunkStore::corrupt(cluster::ChunkRef chunk, size_t byte_index) {
 
 std::vector<cluster::ChunkRef> ChunkStore::scrub() const {
   std::vector<cluster::ChunkRef> damaged;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& [ref, data] : chunks_) {
     const auto it = checksums_.find(ref);
     if (it == checksums_.end() || crc32c(data) != it->second) {
@@ -152,7 +152,7 @@ std::vector<cluster::ChunkRef> ChunkStore::scrub() const {
 }
 
 size_t ChunkStore::materialized_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return chunks_.size() + on_disk_.size();
 }
 

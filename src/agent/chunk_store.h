@@ -13,13 +13,13 @@
 #include <cstdint>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "cluster/types.h"
+#include "util/mutex.h"
 #include "util/token_bucket.h"
 
 namespace fastpr::agent {
@@ -99,14 +99,16 @@ class ChunkStore {
   Options options_;
   const ChunkOracle* oracle_;
   mutable std::unique_ptr<TokenBucket> disk_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::unordered_map<cluster::ChunkRef, std::vector<uint8_t>,
                      cluster::ChunkRefHash>
-      chunks_;
+      chunks_ FASTPR_GUARDED_BY(mutex_);
   std::unordered_map<cluster::ChunkRef, uint32_t, cluster::ChunkRefHash>
-      checksums_;
-  std::unordered_set<cluster::ChunkRef, cluster::ChunkRefHash> on_disk_;
-  std::unordered_set<cluster::ChunkRef, cluster::ChunkRefHash> read_errors_;
+      checksums_ FASTPR_GUARDED_BY(mutex_);
+  std::unordered_set<cluster::ChunkRef, cluster::ChunkRefHash> on_disk_
+      FASTPR_GUARDED_BY(mutex_);
+  std::unordered_set<cluster::ChunkRef, cluster::ChunkRefHash> read_errors_
+      FASTPR_GUARDED_BY(mutex_);
 };
 
 }  // namespace fastpr::agent

@@ -44,6 +44,11 @@ struct ExecutionReport {
   }
 };
 
+// Thread-confinement note: a Coordinator is driven by exactly one thread
+// (execute() is blocking and owns all bookkeeping state), so it needs no
+// mutex — concurrency lives in the agents and the transport it talks to.
+// If execute() ever fans out onto a ThreadPool, next_task_id_ and the
+// pending maps must move behind a fastpr::Mutex with FASTPR_GUARDED_BY.
 class Coordinator {
  public:
   /// `layout` is the pre-repair chunk placement (used for migration

@@ -5,6 +5,7 @@
 #include "net/tcp_transport.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/units.h"
 
 namespace fastpr::agent {
 
@@ -126,10 +127,10 @@ Testbed::Testbed(const TestbedOptions& options, const ec::ErasureCode& code)
   // bandwidths, so fall back to the paper's defaults there.
   const double model_disk = options.disk_bytes_per_sec > 0
                                 ? options.disk_bytes_per_sec
-                                : 100.0 * (1 << 20);
+                                : MBps(100);
   const double model_net = options.net_bytes_per_sec > 0
                                ? options.net_bytes_per_sec
-                               : 1e9 / 8;
+                               : Gbps(1);
   cluster_ = std::make_unique<cluster::ClusterState>(
       options.num_storage, options.num_standby,
       cluster::BandwidthProfile{model_disk, model_net});

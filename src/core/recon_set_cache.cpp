@@ -23,6 +23,7 @@ void ReconSetCache::precompute(const cluster::StripeLayout& layout,
   entry.sets =
       find_reconstruction_sets(layout, node, sources, options_.k_repair,
                                options_.recon, nullptr, options_.code);
+  MutexLock lock(mutex_);
   entries_[node] = std::move(entry);
 }
 
@@ -36,6 +37,7 @@ void ReconSetCache::precompute_all(const cluster::StripeLayout& layout,
 std::optional<std::vector<std::vector<cluster::ChunkRef>>>
 ReconSetCache::lookup(const cluster::StripeLayout& layout,
                       cluster::NodeId node) const {
+  MutexLock lock(mutex_);
   const auto it = entries_.find(node);
   if (it == entries_.end()) return std::nullopt;
   if (it->second.layout_version != layout.version()) return std::nullopt;
@@ -43,6 +45,7 @@ ReconSetCache::lookup(const cluster::StripeLayout& layout,
 }
 
 void ReconSetCache::evict_stale(const cluster::StripeLayout& layout) {
+  MutexLock lock(mutex_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.layout_version != layout.version()) {
       it = entries_.erase(it);

@@ -17,6 +17,7 @@
 #include "cluster/cluster_state.h"
 #include "cluster/stripe_layout.h"
 #include "core/recon_sets.h"
+#include "util/mutex.h"
 
 namespace fastpr::core {
 
@@ -32,23 +33,32 @@ class ReconSetCache {
 
   /// Runs Algorithm 1 for `node` as the hypothetical STF (helpers =
   /// every healthy storage node except it) and stores the partition.
+  /// Thread-safe: the sweep runs on a background thread while a flagged
+  /// planner may already be calling lookup(). Algorithm 1 itself runs
+  /// outside the lock; only the entry install is serialized.
   void precompute(const cluster::StripeLayout& layout,
-                  const cluster::ClusterState& cluster,
-                  cluster::NodeId node);
+                  const cluster::ClusterState& cluster, cluster::NodeId node)
+      FASTPR_EXCLUDES(mutex_);
 
   /// Precomputes every healthy storage node (the background sweep).
   void precompute_all(const cluster::StripeLayout& layout,
-                      const cluster::ClusterState& cluster);
+                      const cluster::ClusterState& cluster)
+      FASTPR_EXCLUDES(mutex_);
 
   /// Stored reconstruction sets for `node`, or nullopt when absent or
   /// stale (layout changed since precomputation).
   std::optional<std::vector<std::vector<cluster::ChunkRef>>> lookup(
-      const cluster::StripeLayout& layout, cluster::NodeId node) const;
+      const cluster::StripeLayout& layout, cluster::NodeId node) const
+      FASTPR_EXCLUDES(mutex_);
 
   /// Drops entries whose layout version is older than `layout`'s.
-  void evict_stale(const cluster::StripeLayout& layout);
+  void evict_stale(const cluster::StripeLayout& layout)
+      FASTPR_EXCLUDES(mutex_);
 
-  size_t size() const { return entries_.size(); }
+  size_t size() const FASTPR_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return entries_.size();
+  }
 
  private:
   struct Entry {
@@ -57,7 +67,9 @@ class ReconSetCache {
   };
 
   Options options_;
-  std::unordered_map<cluster::NodeId, Entry> entries_;
+  mutable Mutex mutex_;
+  std::unordered_map<cluster::NodeId, Entry> entries_
+      FASTPR_GUARDED_BY(mutex_);
 };
 
 }  // namespace fastpr::core

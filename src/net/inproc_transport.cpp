@@ -43,7 +43,7 @@ void InprocTransport::send(Message msg) {
 
   auto& ep = *endpoints_[static_cast<size_t>(msg.to)];
   {
-    std::lock_guard<std::mutex> lock(ep.mutex);
+    MutexLock lock(ep.mutex);
     if (closed_.load(std::memory_order_acquire)) return;
     bytes_sent_.fetch_add(static_cast<int64_t>(msg.encoded_size()),
                           std::memory_order_relaxed);
@@ -56,14 +56,14 @@ std::optional<Message> InprocTransport::recv(
     cluster::NodeId node, std::optional<std::chrono::milliseconds> timeout) {
   FASTPR_CHECK(node >= 0 && node < static_cast<int>(endpoints_.size()));
   auto& ep = *endpoints_[static_cast<size_t>(node)];
-  std::unique_lock<std::mutex> lock(ep.mutex);
-  const auto ready = [&] {
+  MutexLock lock(ep.mutex);
+  const auto ready = [&]() FASTPR_REQUIRES(ep.mutex) {
     return closed_.load(std::memory_order_acquire) || !ep.inbox.empty();
   };
   if (timeout.has_value()) {
-    if (!ep.cv.wait_for(lock, *timeout, ready)) return std::nullopt;
+    if (!ep.cv.wait_for(ep.mutex, *timeout, ready)) return std::nullopt;
   } else {
-    ep.cv.wait(lock, ready);
+    ep.cv.wait(ep.mutex, ready);
   }
   if (ep.inbox.empty()) return std::nullopt;  // closed
   Message msg = std::move(ep.inbox.front());
@@ -77,7 +77,7 @@ void InprocTransport::shutdown() {
     {
       // Acquire the lock so a racing recv() observes closed_ before it
       // starts an indefinite wait.
-      std::lock_guard<std::mutex> lock(ep->mutex);
+      MutexLock lock(ep->mutex);
     }
     ep->cv.notify_all();
     // Unlimit buckets so senders blocked on tokens drain out.

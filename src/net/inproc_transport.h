@@ -9,14 +9,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "net/transport.h"
+#include "util/mutex.h"
 #include "util/token_bucket.h"
+#include "util/units.h"
 
 namespace fastpr::net {
 
@@ -27,7 +27,7 @@ class InprocTransport final : public Transport {
     /// Charge bandwidth only for kDataPacket messages (default), or for
     /// every message.
     bool shape_control_messages = false;
-    int64_t burst_bytes = 1 << 20;
+    int64_t burst_bytes = 1 * kMiB;
   };
 
   InprocTransport(int num_nodes, const Options& options);
@@ -56,9 +56,9 @@ class InprocTransport final : public Transport {
   struct Endpoint {
     std::unique_ptr<TokenBucket> tx;
     std::unique_ptr<TokenBucket> rx;
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Message> inbox;
+    Mutex mutex;
+    CondVar cv;
+    std::deque<Message> inbox FASTPR_GUARDED_BY(mutex);
     std::atomic<int64_t> data_tx{0};
     std::atomic<int64_t> data_rx{0};
   };

@@ -1,0 +1,68 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// These annotate which mutex guards which state so `clang -Wthread-safety`
+// proves lock discipline at compile time (the root CMakeLists turns the
+// analysis into an error on Clang builds). On compilers without the
+// attributes (GCC) every macro expands to nothing, so annotated code
+// stays portable. Use them through the fastpr::Mutex / MutexLock /
+// CondVar wrappers in util/mutex.h — std::mutex itself carries no
+// capability attribute, so the analysis cannot see through it.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FASTPR_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FASTPR_THREAD_ANNOTATION
+#define FASTPR_THREAD_ANNOTATION(x)  // not supported by this compiler
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define FASTPR_CAPABILITY(name) FASTPR_THREAD_ANNOTATION(capability(name))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define FASTPR_SCOPED_CAPABILITY FASTPR_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a member is protected by the given mutex.
+#define FASTPR_GUARDED_BY(mutex) FASTPR_THREAD_ANNOTATION(guarded_by(mutex))
+
+/// Declares that the pointed-to data is protected by the given mutex.
+#define FASTPR_PT_GUARDED_BY(mutex) \
+  FASTPR_THREAD_ANNOTATION(pt_guarded_by(mutex))
+
+/// Declares that a function may only be called with the mutexes held.
+#define FASTPR_REQUIRES(...) \
+  FASTPR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Declares that a function must NOT be called with the mutexes held
+/// (it acquires them itself; calling with them held would deadlock).
+#define FASTPR_EXCLUDES(...) \
+  FASTPR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it.
+#define FASTPR_ACQUIRE(...) \
+  FASTPR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define FASTPR_RELEASE(...) \
+  FASTPR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define FASTPR_TRY_ACQUIRE(result, ...) \
+  FASTPR_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Asserts (to the analysis, not at runtime) that the capability is held.
+#define FASTPR_ASSERT_CAPABILITY(x) \
+  FASTPR_THREAD_ANNOTATION(assert_capability(x))
+
+/// Returns the capability that guards the annotated function's result.
+#define FASTPR_RETURN_CAPABILITY(x) \
+  FASTPR_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Use only for
+/// code the analysis cannot express (e.g. lock handoff across threads),
+/// with a comment explaining why it is sound.
+#define FASTPR_NO_THREAD_SAFETY_ANALYSIS \
+  FASTPR_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -11,11 +11,34 @@
 
 namespace fastpr {
 
-/// Thrown when a FASTPR_CHECK fails. Carries the failing expression and
-/// source location in what().
+/// Thrown when a FASTPR_CHECK fails. what() carries the formatted
+/// message; the failing expression and source location are also exposed
+/// as structured fields so handlers (test harnesses, crash reporters)
+/// can match on them without parsing the string.
 class CheckFailure : public std::logic_error {
  public:
-  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+  CheckFailure(std::string what, std::string expression, std::string file,
+               int line, std::string message)
+      : std::logic_error(std::move(what)),
+        expression_(std::move(expression)),
+        file_(std::move(file)),
+        line_(line),
+        message_(std::move(message)) {}
+
+  /// The failing expression text, e.g. "bytes >= 0".
+  const std::string& expression() const noexcept { return expression_; }
+  /// Source file of the failing check.
+  const std::string& file() const noexcept { return file_; }
+  /// Source line of the failing check.
+  int line() const noexcept { return line_; }
+  /// The extra FASTPR_CHECK_MSG message (empty for plain FASTPR_CHECK).
+  const std::string& message() const noexcept { return message_; }
+
+ private:
+  std::string expression_;
+  std::string file_;
+  int line_;
+  std::string message_;
 };
 
 namespace detail {
@@ -24,7 +47,7 @@ namespace detail {
   std::ostringstream os;
   os << "CHECK failed: " << expr << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw CheckFailure(os.str());
+  throw CheckFailure(os.str(), expr, file, line, msg);
 }
 }  // namespace detail
 
@@ -36,6 +59,9 @@ namespace detail {
       ::fastpr::detail::check_failed(#expr, __FILE__, __LINE__, "");     \
   } while (0)
 
+// The message expression is only streamed when the check fails, so an
+// expensive msg (string concatenation, map lookups) costs nothing on the
+// passing path.
 #define FASTPR_CHECK_MSG(expr, msg)                                      \
   do {                                                                   \
     if (!(expr)) {                                                       \

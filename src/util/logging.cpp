@@ -5,11 +5,14 @@
 #include <cstdio>
 #include <ctime>
 
+#include "util/mutex.h"
+
 namespace fastpr {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_mutex;
+// Serializes stderr writes so concurrent agents emit whole lines.
+Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -46,7 +49,7 @@ void log_line(LogLevel level, const std::string& msg) {
   char ts[32];
   std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm_buf);
 
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s.%03d %s] %s\n", ts, static_cast<int>(ms.count()),
                level_name(level), msg.c_str());
 }

@@ -6,7 +6,6 @@
 // benches raise it to kWarn to keep figure output clean.
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string>
 

@@ -1,0 +1,99 @@
+// Annotated mutex / scoped-lock / condition-variable wrappers.
+//
+// Thin, zero-overhead shims over std::mutex and std::condition_variable
+// that carry the Clang thread-safety capability attributes from
+// util/annotations.h, so `-Wthread-safety` can verify that every access
+// to a FASTPR_GUARDED_BY member happens under its lock. CondVar waits on
+// a fastpr::Mutex directly (via adopt/release of the underlying
+// std::mutex), keeping the plain std::condition_variable fast path —
+// no condition_variable_any indirection.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.h"
+
+namespace fastpr {
+
+class CondVar;
+
+/// std::mutex annotated as a thread-safety capability.
+class FASTPR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FASTPR_ACQUIRE() { mu_.lock(); }
+  void unlock() FASTPR_RELEASE() { mu_.unlock(); }
+  bool try_lock() FASTPR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock, the annotated analogue of std::lock_guard<std::mutex>.
+class FASTPR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FASTPR_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FASTPR_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable that waits on a fastpr::Mutex the caller holds.
+/// All wait overloads require the mutex held (and hold it again on
+/// return), exactly like std::condition_variable with unique_lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(Mutex& mu) FASTPR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) FASTPR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& dur)
+      FASTPR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const auto status = cv_.wait_for(lock, dur);
+    lock.release();
+    return status;
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& dur,
+                Pred pred) FASTPR_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const bool satisfied = cv_.wait_for(lock, dur, std::move(pred));
+    lock.release();
+    return satisfied;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace fastpr

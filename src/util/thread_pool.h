@@ -4,13 +4,13 @@
 // the pool bounds thread churn while keeping rounds fully parallel.
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace fastpr {
 
@@ -22,15 +22,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Schedules fn and returns a future for its result.
+  /// Schedules fn and returns a future for its result. Safe to call from
+  /// worker tasks; tasks queued before the destructor drains are run.
   template <typename Fn>
-  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>>
+      FASTPR_EXCLUDES(mutex_) {
     using Result = std::invoke_result_t<Fn>;
     auto task = std::make_shared<std::packaged_task<Result()>>(
         std::forward<Fn>(fn));
     auto future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -40,13 +42,13 @@ class ThreadPool {
   size_t size() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() FASTPR_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> queue_ FASTPR_GUARDED_BY(mutex_);
+  bool stopping_ FASTPR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace fastpr

@@ -24,7 +24,7 @@ void TokenBucket::refill_locked(Clock::time_point now) {
 
 void TokenBucket::acquire(int64_t bytes) {
   FASTPR_CHECK(bytes >= 0);
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (rate_ <= 0) return;  // unlimited
   // Large requests are consumed in burst-sized slices so that several
   // streams sharing one bucket interleave fairly instead of one stream
@@ -36,7 +36,7 @@ void TokenBucket::acquire(int64_t bytes) {
     while (tokens_ < static_cast<double>(slice)) {
       const double deficit = static_cast<double>(slice) - tokens_;
       const auto wait = std::chrono::duration<double>(deficit / rate_);
-      cv_.wait_for(lock,
+      cv_.wait_for(mutex_,
                    std::chrono::duration_cast<std::chrono::nanoseconds>(wait));
       if (rate_ <= 0) return;  // became unlimited while waiting
       refill_locked(Clock::now());
@@ -48,7 +48,7 @@ void TokenBucket::acquire(int64_t bytes) {
 
 void TokenBucket::set_rate(double rate_bytes_per_sec) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     refill_locked(Clock::now());
     rate_ = rate_bytes_per_sec;
   }
@@ -56,7 +56,7 @@ void TokenBucket::set_rate(double rate_bytes_per_sec) {
 }
 
 double TokenBucket::rate() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return rate_;
 }
 

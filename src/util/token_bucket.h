@@ -6,9 +6,10 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "util/mutex.h"
+#include "util/units.h"
 
 namespace fastpr {
 
@@ -19,27 +20,28 @@ class TokenBucket {
  public:
   /// rate_bytes_per_sec <= 0 means unlimited (acquire never blocks).
   explicit TokenBucket(double rate_bytes_per_sec,
-                       int64_t burst_bytes = 4 << 20);
+                       int64_t burst_bytes = 4 * kMiB);
 
   /// Blocks until `bytes` tokens are consumed.
-  void acquire(int64_t bytes);
+  void acquire(int64_t bytes) FASTPR_EXCLUDES(mutex_);
 
-  /// Changes the rate; takes effect for subsequent acquisitions.
-  void set_rate(double rate_bytes_per_sec);
+  /// Changes the rate; takes effect for subsequent acquisitions and
+  /// wakes waiters (so flipping to unlimited releases them).
+  void set_rate(double rate_bytes_per_sec) FASTPR_EXCLUDES(mutex_);
 
-  double rate() const;
+  double rate() const FASTPR_EXCLUDES(mutex_);
 
  private:
   using Clock = std::chrono::steady_clock;
 
-  void refill_locked(Clock::time_point now);
+  void refill_locked(Clock::time_point now) FASTPR_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  double rate_;          // bytes per second; <=0 => unlimited
-  int64_t burst_;        // max accumulated tokens
-  double tokens_;        // current tokens
-  Clock::time_point last_refill_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  double rate_ FASTPR_GUARDED_BY(mutex_);  // bytes/s; <=0 => unlimited
+  const int64_t burst_;                    // max accumulated tokens
+  double tokens_ FASTPR_GUARDED_BY(mutex_);
+  Clock::time_point last_refill_ FASTPR_GUARDED_BY(mutex_);
 };
 
 }  // namespace fastpr

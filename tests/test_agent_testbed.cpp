@@ -20,8 +20,8 @@ TestbedOptions small_options(uint64_t seed) {
   opts.num_standby = 2;
   opts.disk_bytes_per_sec = 0;  // unthrottled: tests check bytes, not time
   opts.net_bytes_per_sec = 0;
-  opts.chunk_bytes = 64 << 10;
-  opts.packet_bytes = 16 << 10;
+  opts.chunk_bytes = 64 * kKiB;
+  opts.packet_bytes = 16 * kKiB;
   opts.num_stripes = 30;
   opts.seed = seed;
   opts.round_timeout = std::chrono::milliseconds(30000);
@@ -171,10 +171,10 @@ TEST(Testbed, ShapedRunRespectsBandwidthFloor) {
   // cannot beat U × c/bn on the STF uplink (plus disk time).
   ec::RsCode code(6, 4);
   auto opts = small_options(77);
-  opts.disk_bytes_per_sec = 50e6;
-  opts.net_bytes_per_sec = 50e6;
-  opts.chunk_bytes = 1 << 20;
-  opts.packet_bytes = 256 << 10;
+  opts.disk_bytes_per_sec = MBps(50);
+  opts.net_bytes_per_sec = MBps(50);
+  opts.chunk_bytes = 1 * kMiB;
+  opts.packet_bytes = 256 * kKiB;
   opts.num_stripes = 20;
   Testbed tb(opts, code);
   const auto stf = tb.flag_stf();
@@ -184,7 +184,7 @@ TEST(Testbed, ShapedRunRespectsBandwidthFloor) {
   const auto report = tb.execute(plan);
   ASSERT_TRUE(report.success);
   const double uplink_floor =
-      static_cast<double>(u) * (1 << 20) / 50e6;
+      static_cast<double>(u) * static_cast<double>(1 * kMiB) / MBps(50);
   // Allow generous slack under the floor for burst tokens.
   EXPECT_GT(report.total_seconds, uplink_floor * 0.5);
   EXPECT_TRUE(tb.verify(plan));

@@ -95,10 +95,10 @@ TEST(Integration, TestbedFastPrBeatsMigrationOnlyWallClock) {
   agent::TestbedOptions opts;
   opts.num_storage = 20;
   opts.num_standby = 2;
-  opts.disk_bytes_per_sec = 40e6;
-  opts.net_bytes_per_sec = 400e6;
-  opts.chunk_bytes = 2 << 20;
-  opts.packet_bytes = 256 << 10;
+  opts.disk_bytes_per_sec = MBps(40);
+  opts.net_bytes_per_sec = MBps(400);
+  opts.chunk_bytes = 2 * kMiB;
+  opts.packet_bytes = 256 * kKiB;
   opts.num_stripes = 60;
   opts.seed = 9;
 
@@ -122,7 +122,17 @@ TEST(Integration, TestbedFastPrBeatsMigrationOnlyWallClock) {
     ASSERT_TRUE(report.success);
     migration_secs = report.total_seconds;
   }
+#ifdef FASTPR_SANITIZERS_ENABLED
+  // Sanitizer overhead scales with thread count, so FastPR's parallel
+  // pipeline slows far more than the serial migration path and the
+  // wall-clock ordering inverts. Both repairs above still ran (and were
+  // verified) for sanitizer coverage; only the timing claim is void.
+  GTEST_SKIP() << "wall-clock comparison is meaningless under sanitizers "
+               << "(fastpr=" << fastpr_secs << "s migration="
+               << migration_secs << "s)";
+#else
   EXPECT_LT(fastpr_secs, migration_secs);
+#endif
 }
 
 TEST(Integration, FalseAlarmStillRepairsSafely) {
@@ -133,8 +143,8 @@ TEST(Integration, FalseAlarmStillRepairsSafely) {
   agent::TestbedOptions opts;
   opts.num_storage = 12;
   opts.num_standby = 2;
-  opts.chunk_bytes = 64 << 10;
-  opts.packet_bytes = 16 << 10;
+  opts.chunk_bytes = 64 * kKiB;
+  opts.packet_bytes = 16 * kKiB;
   opts.num_stripes = 25;
   opts.seed = 10;
   agent::Testbed tb(opts, code);

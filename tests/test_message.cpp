@@ -6,6 +6,8 @@
 
 #include <random>
 
+#include "util/units.h"
+
 namespace fastpr::net {
 namespace {
 
@@ -21,8 +23,8 @@ Message sample_message() {
   m.coefficient = 0x1D;
   m.packet_index = 5;
   m.total_packets = 16;
-  m.chunk_bytes = 1 << 20;
-  m.packet_bytes = 64 << 10;
+  m.chunk_bytes = 1 * kMiB;
+  m.packet_bytes = 64 * kKiB;
   m.sources = {{1, {42, 0}, 10}, {2, {42, 1}, 20}, {4, {42, 3}, 0}};
   m.error = "nothing";
   m.payload = {0x00, 0xFF, 0x10, 0x20};

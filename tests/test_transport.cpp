@@ -7,6 +7,7 @@
 
 #include "net/inproc_transport.h"
 #include "net/tcp_transport.h"
+#include "util/units.h"
 
 namespace fastpr::net {
 namespace {
@@ -146,7 +147,7 @@ TEST(InprocTransport, PerNodeBandwidthOverride) {
   InprocTransport::Options opts;
   opts.net_bytes_per_sec = 0;  // unlimited default
   InprocTransport t(3, opts);
-  t.set_node_bandwidth(1, 1e6);  // throttle node 1 only
+  t.set_node_bandwidth(1, MBps(1));  // throttle node 1 only
   // Node 0 → 2 stays fast.
   const auto start = std::chrono::steady_clock::now();
   t.send(data_packet(0, 2, 4'000'000));

@@ -29,6 +29,43 @@ TEST(Check, ThrowsWithContext) {
   }
 }
 
+TEST(Check, CarriesStructuredFields) {
+  try {
+    FASTPR_CHECK_MSG(2 + 2 == 5, "math " << "broke");
+    FAIL() << "expected throw";
+  } catch (const CheckFailure& e) {
+    EXPECT_EQ(e.expression(), "2 + 2 == 5");
+    EXPECT_NE(e.file().find("test_util.cpp"), std::string::npos);
+    EXPECT_GT(e.line(), 0);
+    EXPECT_EQ(e.message(), "math broke");
+  }
+}
+
+TEST(Check, PlainCheckHasEmptyMessage) {
+  try {
+    FASTPR_CHECK(false);
+    FAIL() << "expected throw";
+  } catch (const CheckFailure& e) {
+    EXPECT_EQ(e.expression(), "false");
+    EXPECT_TRUE(e.message().empty());
+  }
+}
+
+TEST(Check, MessageExpressionIsLazy) {
+  // The streamed message must not be evaluated when the check passes:
+  // FASTPR_CHECK_MSG sits on hot paths and an eager message would turn
+  // every call into a string build.
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("pricey");
+  };
+  FASTPR_CHECK_MSG(true, expensive());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(FASTPR_CHECK_MSG(false, expensive()), CheckFailure);
+  EXPECT_EQ(evaluations, 1);
+}
+
 TEST(Summary, BasicStatistics) {
   Summary s;
   for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);

@@ -99,7 +99,7 @@ bool parse_spec(const std::string& path, Spec& spec, std::string& error) {
     } else if (key == "chunk_mb") {
       double v = 0;
       if (!(tokens >> v) || v <= 0) return fail("chunk_mb <num>");
-      spec.chunk_bytes = v * (1 << 20);
+      spec.chunk_bytes = v * static_cast<double>(kMiB);
     } else if (key == "disk_mbps") {
       double v = 0;
       if (!(tokens >> v) || v <= 0) return fail("disk_mbps <num>");

@@ -1,0 +1,281 @@
+// fastpr_lint — mechanical enforcement of repo conventions (CLAUDE.md).
+//
+// Walks src/ bench/ tests/ tools/ under the repo root given as argv[1]
+// and checks every .h/.cpp against the rules below. Registered as a
+// ctest test, so a convention regression fails tier-1 verification just
+// like a unit test would.
+//
+// Rules (rule ids in parentheses):
+//  * units        — bandwidth/size configuration lines must use the
+//                   util/units.h helpers (MB/MBps/Gbps/kMiB...) instead
+//                   of raw magnitude literals like `1 << 20` or `1e9`.
+//                   A line counts as configuration when it mentions a
+//                   config token (bytes_per_sec, disk_bw, net_bw,
+//                   bandwidth(, burst_bytes, chunk_bytes, packet_bytes).
+//  * check-macro  — no assert()/abort(); invariants go through
+//                   FASTPR_CHECK so misuse throws CheckFailure in every
+//                   build type (tests rely on catching it).
+//  * rng          — no rand()/srand()/rand_r(); all randomness flows
+//                   through the seeded util/rng.h so runs reproduce.
+//  * pragma-once  — every header starts include guarding with
+//                   #pragma once.
+//  * naked-new    — no naked new/delete outside src/util; ownership
+//                   lives in containers and smart pointers.
+//
+// Intentional exceptions:
+//  * src/util/units.h is exempt from `units` (it defines the helpers).
+//  * src/util/** is exempt from `naked-new` (low-level utilities may
+//    need placement new; nothing else does).
+//  * Any line may carry `fastpr-lint: allow(<rule>)` in a comment to
+//    document a reviewed exception; the marker is the allowlist.
+//
+// Comments and string literals are stripped before matching, so prose
+// mentioning assert() or rand() does not trip the lint.
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string detail;
+};
+
+/// True if `token` occurs in `s` with no identifier character on either
+/// side (a poor man's \b regex, enough for C++ token matching).
+bool has_word(const std::string& s, const std::string& token) {
+  size_t pos = 0;
+  const auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  };
+  while ((pos = s.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident(s[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= s.size() || !is_ident(s[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// `token(` with optional whitespace before the paren, word-bounded left.
+bool has_call(const std::string& s, const std::string& name) {
+  size_t pos = 0;
+  const auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  };
+  while ((pos = s.find(name, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident(s[pos - 1]);
+    size_t end = pos + name.size();
+    while (end < s.size() &&
+           (s[end] == ' ' || s[end] == '\t')) {
+      ++end;
+    }
+    if (left_ok && end < s.size() && s[end] == '(') return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// Strips string/char literals and comments from one line, carrying
+/// block-comment state across lines. Literal contents become spaces so
+/// column-free matching still works.
+std::string sanitize(const std::string& line, bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  size_t i = 0;
+  while (i < line.size()) {
+    if (in_block_comment) {
+      if (line.compare(i, 2, "*/") == 0) {
+        in_block_comment = false;
+        i += 2;
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (line.compare(i, 2, "//") == 0) break;  // rest is comment
+    if (line.compare(i, 2, "/*") == 0) {
+      in_block_comment = true;
+      i += 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      out.push_back(' ');
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+bool path_has_prefix(const fs::path& p, const std::string& prefix) {
+  return p.generic_string().rfind(prefix, 0) == 0;
+}
+
+const char* kConfigTokens[] = {"bytes_per_sec", "disk_bw", "net_bw",
+                               "burst_bytes",   "chunk_bytes", "packet_bytes"};
+const char* kMagnitudes[] = {"<< 10",      "<< 20",      "<< 30",
+                             "1e6",        "50e6",       "1e9",
+                             "1024",       "1048576",    "1073741824",
+                             "1000000",    "1000000000"};
+const char* kUnitHelpers[] = {"MB(", "MBps(", "Gbps(", "kKiB", "kMiB",
+                              "kGiB"};
+
+void check_line(const fs::path& rel, int lineno, const std::string& raw,
+                const std::string& code, std::vector<Violation>& out) {
+  const auto allowed = [&](const char* rule) {
+    return raw.find(std::string("fastpr-lint: allow(") + rule + ")") !=
+           std::string::npos;
+  };
+
+  // units
+  if (!path_has_prefix(rel, "src/util/units.h") && !allowed("units")) {
+    bool config_line = false;
+    for (const char* tok : kConfigTokens) {
+      if (code.find(tok) != std::string::npos) config_line = true;
+    }
+    if (!config_line && has_call(code, "set_node_bandwidth")) {
+      config_line = true;
+    }
+    if (config_line) {
+      bool has_magnitude = false;
+      for (const char* mag : kMagnitudes) {
+        if (code.find(mag) != std::string::npos) has_magnitude = true;
+      }
+      bool has_helper = false;
+      for (const char* helper : kUnitHelpers) {
+        if (code.find(helper) != std::string::npos) has_helper = true;
+      }
+      if (has_magnitude && !has_helper) {
+        out.push_back({rel.generic_string(), lineno, "units",
+                       "raw size/bandwidth literal at a configuration "
+                       "boundary; use util/units.h (MB/MBps/Gbps/kMiB)"});
+      }
+    }
+  }
+
+  // check-macro
+  if (!allowed("check-macro")) {
+    if (has_call(code, "assert") || has_call(code, "abort")) {
+      out.push_back({rel.generic_string(), lineno, "check-macro",
+                     "use FASTPR_CHECK / FASTPR_CHECK_MSG instead of "
+                     "assert()/abort()"});
+    }
+  }
+
+  // rng
+  if (!allowed("rng")) {
+    if (has_call(code, "rand") || has_call(code, "srand") ||
+        has_call(code, "rand_r")) {
+      out.push_back({rel.generic_string(), lineno, "rng",
+                     "use the seeded fastpr::Rng (util/rng.h) instead of "
+                     "rand()/srand()"});
+    }
+  }
+
+  // naked-new
+  if (!path_has_prefix(rel, "src/util/") && !allowed("naked-new")) {
+    if (has_word(code, "new") || has_word(code, "delete")) {
+      // Deleted/defaulted special members are idiomatic, not ownership.
+      const bool deleted_fn = code.find("= delete") != std::string::npos;
+      if (!deleted_fn) {
+        out.push_back({rel.generic_string(), lineno, "naked-new",
+                       "no naked new/delete outside src/util; use "
+                       "containers or std::make_unique"});
+      }
+    }
+  }
+}
+
+void check_file(const fs::path& root, const fs::path& rel,
+                std::vector<Violation>& out) {
+  std::ifstream in(root / rel);
+  if (!in.good()) {
+    out.push_back({rel.generic_string(), 0, "io", "cannot open file"});
+    return;
+  }
+  const bool is_header = rel.extension() == ".h";
+  bool saw_pragma_once = false;
+  bool in_block_comment = false;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find("#pragma once") != std::string::npos) {
+      saw_pragma_once = true;
+    }
+    const std::string code = sanitize(line, in_block_comment);
+    check_line(rel, lineno, line, code, out);
+  }
+  if (is_header && !saw_pragma_once) {
+    out.push_back({rel.generic_string(), 1, "pragma-once",
+                   "header is missing #pragma once"});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: fastpr_lint <repo-root>\n";
+    return 2;
+  }
+  const fs::path root = argv[1];
+  const char* kDirs[] = {"src", "bench", "tests", "tools"};
+
+  std::vector<Violation> violations;
+  int files_checked = 0;
+  for (const char* dir : kDirs) {
+    const fs::path base = root / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension();
+      if (ext != ".h" && ext != ".cpp") continue;
+      const fs::path rel = fs::relative(entry.path(), root);
+      ++files_checked;
+      check_file(root, rel, violations);
+    }
+  }
+
+  for (const auto& v : violations) {
+    std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.detail << "\n";
+  }
+  // Zero files means the root was wrong (typo, or run from the wrong
+  // directory); succeeding here would let CI pass vacuously.
+  if (files_checked == 0) {
+    std::cerr << "fastpr_lint: no .h/.cpp files under " << root
+              << " (src/ bench/ tests/ tools/) -- wrong repo root?\n";
+    return 2;
+  }
+  std::cout << "fastpr_lint: " << files_checked << " files, "
+            << violations.size() << " violation(s)\n";
+  return violations.empty() ? 0 : 1;
+}
