@@ -15,6 +15,14 @@ namespace fastpr::net {
 
 namespace {
 
+/// Frames larger than this are treated as protocol corruption and drop
+/// the connection: the largest legitimate frame is one chunk-sized data
+/// packet plus headers, and testbed chunks are at most tens of MiB
+/// (paper: 64 MB, testbed-scaled 1/16), so 256 MiB is comfortably above
+/// any real frame while still rejecting a garbage length prefix before
+/// it turns into a multi-gigabyte allocation.
+constexpr uint32_t kMaxFrameBytes = 256 * kMiB;
+
 bool write_all(int fd, const uint8_t* data, size_t len) {
   size_t done = 0;
   while (done < len) {
@@ -81,7 +89,7 @@ void TcpTransport::accept_loop(int node) {
   for (;;) {
     const int fd = ::accept(ep.listen_fd, nullptr, nullptr);
     if (fd < 0) return;  // listen socket closed: shutting down
-    std::lock_guard<std::mutex> lock(ep.reader_mutex);
+    MutexLock lock(ep.reader_mutex);
     ep.reader_threads.emplace_back(
         [this, node, fd] { reader_loop(node, fd); });
   }
@@ -95,7 +103,7 @@ void TcpTransport::reader_loop(int node, int fd) {
                   sizeof(frame_len))) {
       break;
     }
-    if (frame_len > (256u << 20)) break;  // sanity cap
+    if (frame_len > kMaxFrameBytes) break;
     std::vector<uint8_t> frame(frame_len);
     if (!read_all(fd, frame.data(), frame.size())) break;
     auto msg = deserialize(frame);
@@ -107,18 +115,16 @@ void TcpTransport::reader_loop(int node, int fd) {
                         msg->type == MessageType::kDataPacket;
     if (shaped) ep.rx->acquire(static_cast<int64_t>(frame.size()));
     {
-      std::lock_guard<std::mutex> lock(inbox_mutex_);
-      if (closed_) break;
+      MutexLock lock(ep.mutex);
+      if (closed_.load(std::memory_order_acquire)) break;
       ep.inbox.push_back(std::move(*msg));
     }
-    inbox_cv_.notify_all();
+    ep.cv.notify_one();
   }
   ::close(fd);
 }
 
-int TcpTransport::connect_to(int src, int dst) {
-  auto& ep = *endpoints_[static_cast<size_t>(src)];
-  // Caller holds ep.conn_mutex.
+int TcpTransport::connect_to(Endpoint& ep, int dst) {
   const auto it = ep.conns.find(dst);
   if (it != ep.conns.end()) return it->second;
 
@@ -148,9 +154,9 @@ void TcpTransport::send(Message msg) {
                       msg.type == MessageType::kDataPacket;
   if (shaped) ep.tx->acquire(static_cast<int64_t>(frame.size()));
 
-  std::lock_guard<std::mutex> lock(ep.conn_mutex);
-  if (closed_) return;
-  const int fd = connect_to(msg.from, msg.to);
+  MutexLock lock(ep.conn_mutex);
+  if (closed_.load(std::memory_order_acquire)) return;
+  const int fd = connect_to(ep, msg.to);
   const uint32_t frame_len = static_cast<uint32_t>(frame.size());
   if (!write_all(fd, reinterpret_cast<const uint8_t*>(&frame_len),
                  sizeof(frame_len)) ||
@@ -165,33 +171,37 @@ std::optional<Message> TcpTransport::recv(
     cluster::NodeId node, std::optional<std::chrono::milliseconds> timeout) {
   FASTPR_CHECK(node >= 0 && node < static_cast<int>(endpoints_.size()));
   auto& ep = *endpoints_[static_cast<size_t>(node)];
-  std::unique_lock<std::mutex> lock(inbox_mutex_);
-  const auto ready = [&] { return closed_ || !ep.inbox.empty(); };
+  MutexLock lock(ep.mutex);
+  const auto ready = [&]() FASTPR_REQUIRES(ep.mutex) {
+    return closed_.load(std::memory_order_acquire) || !ep.inbox.empty();
+  };
   if (timeout.has_value()) {
-    if (!inbox_cv_.wait_for(lock, *timeout, ready)) return std::nullopt;
+    if (!ep.cv.wait_for(ep.mutex, *timeout, ready)) return std::nullopt;
   } else {
-    inbox_cv_.wait(lock, ready);
+    ep.cv.wait(ep.mutex, ready);
   }
-  if (ep.inbox.empty()) return std::nullopt;
+  if (ep.inbox.empty()) return std::nullopt;  // closed
   Message msg = std::move(ep.inbox.front());
   ep.inbox.pop_front();
   return msg;
 }
 
 void TcpTransport::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(inbox_mutex_);
-    if (closed_) return;
-    closed_ = true;
-  }
-  inbox_cv_.notify_all();
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
   for (auto& ep : endpoints_) {
+    {
+      // Acquire the inbox lock so a racing recv() observes closed_
+      // before it starts an indefinite wait.
+      MutexLock lock(ep->mutex);
+    }
+    ep->cv.notify_all();
+    // Unlimit buckets so senders blocked on tokens drain out.
     ep->tx->set_rate(0);
     ep->rx->set_rate(0);
     ::shutdown(ep->listen_fd, SHUT_RDWR);
     ::close(ep->listen_fd);
     {
-      std::lock_guard<std::mutex> lock(ep->conn_mutex);
+      MutexLock lock(ep->conn_mutex);
       for (auto& [dst, fd] : ep->conns) {
         (void)dst;
         ::shutdown(fd, SHUT_RDWR);
@@ -200,11 +210,13 @@ void TcpTransport::shutdown() {
   }
   for (auto& ep : endpoints_) {
     if (ep->accept_thread.joinable()) ep->accept_thread.join();
-    std::lock_guard<std::mutex> lock(ep->reader_mutex);
-    for (auto& t : ep->reader_threads) {
-      if (t.joinable()) t.join();
+    {
+      MutexLock lock(ep->reader_mutex);
+      for (auto& t : ep->reader_threads) {
+        if (t.joinable()) t.join();
+      }
     }
-    std::lock_guard<std::mutex> conn_lock(ep->conn_mutex);
+    MutexLock conn_lock(ep->conn_mutex);
     for (auto& [dst, fd] : ep->conns) {
       (void)dst;
       ::close(fd);

@@ -8,16 +8,17 @@
 // real network stack with the same timing semantics.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "net/transport.h"
+#include "util/mutex.h"
 #include "util/token_bucket.h"
+#include "util/units.h"
 
 namespace fastpr::net {
 
@@ -26,7 +27,7 @@ class TcpTransport final : public Transport {
   struct Options {
     double net_bytes_per_sec = 0;  // <=0: unlimited
     bool shape_control_messages = false;
-    int64_t burst_bytes = 1 << 20;
+    int64_t burst_bytes = 1 * kMiB;
   };
 
   TcpTransport(int num_nodes, const Options& options);
@@ -43,26 +44,33 @@ class TcpTransport final : public Transport {
     int listen_fd = -1;
     uint16_t port = 0;
     std::thread accept_thread;
-    std::vector<std::thread> reader_threads;
-    std::mutex reader_mutex;  // guards reader_threads
-    std::deque<Message> inbox;
+    // reader_threads is appended by the accept thread and joined by
+    // shutdown(); the readers themselves never touch the vector.
+    Mutex reader_mutex;
+    std::vector<std::thread> reader_threads
+        FASTPR_GUARDED_BY(reader_mutex);
+    // Inbox, one lock + cv per endpoint so a frame delivery wakes only
+    // its addressee's dispatcher (mirrors InprocTransport).
+    Mutex mutex;
+    CondVar cv;
+    std::deque<Message> inbox FASTPR_GUARDED_BY(mutex);
     std::unique_ptr<TokenBucket> tx;
     std::unique_ptr<TokenBucket> rx;
-    // Outgoing connection cache: dst → fd, with a mutex per entry to
-    // serialize frame writes.
-    std::mutex conn_mutex;
-    std::map<cluster::NodeId, int> conns;
+    // Outgoing connection cache: dst → fd. The lock also serializes
+    // frame writes so packets from concurrent sender threads do not
+    // interleave mid-frame.
+    Mutex conn_mutex;
+    std::map<cluster::NodeId, int> conns FASTPR_GUARDED_BY(conn_mutex);
   };
 
   void accept_loop(int node);
   void reader_loop(int node, int fd);
-  int connect_to(int src, int dst);
+  /// Caller must hold ep.conn_mutex (ep is the sending node's endpoint).
+  int connect_to(Endpoint& ep, int dst) FASTPR_REQUIRES(ep.conn_mutex);
 
   Options options_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
-  std::mutex inbox_mutex_;
-  std::condition_variable inbox_cv_;
-  bool closed_ = false;
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace fastpr::net
