@@ -13,17 +13,60 @@ using namespace fastpr;
 
 namespace {
 
+// Coefficient sweep: c = 0 and c = 1 take the memset/memcpy and pure
+// XOR fast paths, general c takes the table kernel — a single fixed
+// coefficient hides those cliffs. Sizes cross the L1/L2/DRAM regimes.
 void BM_GfMulRegionXor(benchmark::State& state) {
-  const size_t len = static_cast<size_t>(state.range(0));
+  const uint8_t c = static_cast<uint8_t>(state.range(0));
+  const size_t len = static_cast<size_t>(state.range(1));
   std::vector<uint8_t> src(len, 0x37), dst(len, 0x11);
   for (auto _ : state) {
-    gf::mul_region_xor(dst.data(), src.data(), 0x1D, len);
+    gf::mul_region_xor(dst.data(), src.data(), c, len);
     benchmark::DoNotOptimize(dst.data());
   }
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(len));
 }
-BENCHMARK(BM_GfMulRegionXor)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+BENCHMARK(BM_GfMulRegionXor)
+    ->ArgsProduct({{0, 1, 2, 0x1D, 0xFF}, {4 << 10, 64 << 10, 1 << 20}});
+
+void BM_GfMulRegion(benchmark::State& state) {
+  const uint8_t c = static_cast<uint8_t>(state.range(0));
+  const size_t len = static_cast<size_t>(state.range(1));
+  std::vector<uint8_t> src(len, 0x37), dst(len, 0x11);
+  for (auto _ : state) {
+    gf::mul_region(dst.data(), src.data(), c, len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+}
+BENCHMARK(BM_GfMulRegion)
+    ->ArgsProduct({{0, 1, 0x1D}, {64 << 10, 1 << 20}});
+
+// The fused decode kernel at the fan-ins the codecs actually use:
+// k=2 (LRC local repair), k=6 (RS(9,6)), k=12 (RS(16,12)).
+void BM_GfDotRegionXor(benchmark::State& state) {
+  const size_t num_src = static_cast<size_t>(state.range(0));
+  const size_t len = static_cast<size_t>(state.range(1));
+  std::vector<std::vector<uint8_t>> srcs(num_src,
+                                         std::vector<uint8_t>(len, 0x37));
+  std::vector<const uint8_t*> ptrs;
+  std::vector<uint8_t> coeffs;
+  for (size_t j = 0; j < num_src; ++j) {
+    ptrs.push_back(srcs[j].data());
+    coeffs.push_back(static_cast<uint8_t>(3 + 5 * j));
+  }
+  std::vector<uint8_t> dst(len, 0x11);
+  for (auto _ : state) {
+    gf::dot_region_xor(dst.data(), ptrs.data(), coeffs.data(), num_src, len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(num_src * len));
+}
+BENCHMARK(BM_GfDotRegionXor)
+    ->ArgsProduct({{2, 6, 12}, {64 << 10, 1 << 20}});
 
 void BM_GfXorRegion(benchmark::State& state) {
   const size_t len = static_cast<size_t>(state.range(0));

@@ -1,6 +1,6 @@
 #include "agent/agent.h"
 
-#include <deque>
+#include <algorithm>
 #include <functional>
 
 #include "gf/gf256.h"
@@ -20,6 +20,8 @@ Agent::Agent(NodeId id, net::Transport& transport, ChunkStore& store,
     : id_(id), transport_(transport), store_(store), options_(options) {
   FASTPR_CHECK(options.coordinator != cluster::kNoNode);
   FASTPR_CHECK(options.pipeline_depth >= 1);
+  FASTPR_CHECK(options.reader_threads >= 1);
+  FASTPR_CHECK(options.sender_threads >= 1);
 }
 
 Agent::~Agent() { stop(); }
@@ -27,6 +29,15 @@ Agent::~Agent() { stop(); }
 void Agent::start() {
   FASTPR_CHECK(!started_);
   started_ = true;
+  {
+    MutexLock lock(send_mutex_);
+    send_closed_ = false;
+  }
+  reader_pool_ = std::make_unique<ThreadPool>(options_.reader_threads);
+  senders_.reserve(options_.sender_threads);
+  for (size_t i = 0; i < options_.sender_threads; ++i) {
+    senders_.emplace_back([this] { sender_loop(); });
+  }
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }
 
@@ -39,17 +50,20 @@ void Agent::stop() {
   bye.to = id_;
   transport_.send(std::move(bye));
   if (dispatcher_.joinable()) dispatcher_.join();
-  MutexLock lock(workers_mutex_);
-  for (auto& w : workers_) {
-    if (w.joinable()) w.join();
+  // Teardown order matters: drain the readers first (their queued
+  // packets need live senders), then close the send queue so the sender
+  // workers exit once it is empty.
+  reader_pool_.reset();
+  {
+    MutexLock lock(send_mutex_);
+    send_closed_ = true;
   }
-  workers_.clear();
+  send_cv_.notify_all();
+  for (auto& s : senders_) {
+    if (s.joinable()) s.join();
+  }
+  senders_.clear();
   started_ = false;
-}
-
-void Agent::spawn_worker(std::function<void()> fn) {
-  MutexLock lock(workers_mutex_);
-  workers_.emplace_back(std::move(fn));
 }
 
 void Agent::report_failure(uint64_t task_id, const std::string& error) {
@@ -101,7 +115,7 @@ void Agent::handle_reconstruct_cmd(const Message& msg) {
   state.total_packets = static_cast<uint32_t>(
       (msg.chunk_bytes + msg.packet_bytes - 1) / msg.packet_bytes);
   state.accumulator.assign(msg.chunk_bytes, 0);
-  state.arrivals.assign(state.total_packets, 0);
+  state.pending.resize(state.total_packets);
   tasks_[msg.task_id] = std::move(state);
 
   for (const auto& src : msg.sources) {
@@ -124,7 +138,7 @@ void Agent::handle_migrate_cmd(const Message& msg) {
   const ChunkRef chunk = msg.chunk;
   const NodeId dst = msg.dst;
   const uint64_t packet_bytes = msg.packet_bytes;
-  spawn_worker([this, task_id, chunk, dst, packet_bytes] {
+  reader_pool_->post([this, task_id, chunk, dst, packet_bytes] {
     stream_chunk(task_id, chunk, dst, TransferMode::kStore, 1, packet_bytes);
   });
 }
@@ -135,10 +149,45 @@ void Agent::handle_fetch_request(const Message& msg) {
   const NodeId dst = msg.dst;
   const uint8_t coeff = msg.coefficient;
   const uint64_t packet_bytes = msg.packet_bytes;
-  spawn_worker([this, task_id, chunk, dst, coeff, packet_bytes] {
+  reader_pool_->post([this, task_id, chunk, dst, coeff, packet_bytes] {
     stream_chunk(task_id, chunk, dst, TransferMode::kDecode, coeff,
                  packet_bytes);
   });
+}
+
+void Agent::enqueue_send(Message&& msg,
+                         const std::shared_ptr<SendWindow>& window) {
+  {
+    MutexLock lock(window->mutex);
+    while (window->in_flight >= options_.pipeline_depth) {
+      window->cv.wait(window->mutex);
+    }
+    ++window->in_flight;
+  }
+  {
+    MutexLock lock(send_mutex_);
+    send_queue_.push_back(SendItem{std::move(msg), window});
+  }
+  send_cv_.notify_one();
+}
+
+void Agent::sender_loop() {
+  for (;;) {
+    SendItem item;
+    {
+      MutexLock lock(send_mutex_);
+      while (!send_closed_ && send_queue_.empty()) send_cv_.wait(send_mutex_);
+      if (send_queue_.empty()) return;  // closed and drained
+      item = std::move(send_queue_.front());
+      send_queue_.pop_front();
+    }
+    transport_.send(std::move(item.msg));  // blocks on NIC shaping
+    {
+      MutexLock lock(item.window->mutex);
+      --item.window->in_flight;
+    }
+    item.window->cv.notify_all();
+  }
 }
 
 void Agent::stream_chunk(uint64_t task_id, ChunkRef chunk, NodeId dst,
@@ -156,29 +205,10 @@ void Agent::stream_chunk(uint64_t task_id, ChunkRef chunk, NodeId dst,
   const uint32_t total_packets = static_cast<uint32_t>(
       (chunk_bytes + packet_bytes - 1) / packet_bytes);
 
-  // Paper §V multi-threading: a reader thread paces the disk and feeds a
-  // bounded queue; the sender thread drains it onto the (shaped) network.
-  struct Pipe {
-    Mutex mutex;
-    CondVar cv;
-    std::deque<Message> queue FASTPR_GUARDED_BY(mutex);
-    bool done FASTPR_GUARDED_BY(mutex) = false;
-  } pipe;
-
-  std::thread sender([&] {
-    for (;;) {
-      Message packet;
-      {
-        MutexLock lock(pipe.mutex);
-        while (!pipe.done && pipe.queue.empty()) pipe.cv.wait(pipe.mutex);
-        if (pipe.queue.empty()) return;
-        packet = std::move(pipe.queue.front());
-        pipe.queue.pop_front();
-      }
-      pipe.cv.notify_all();
-      transport_.send(std::move(packet));  // blocks on NIC shaping
-    }
-  });
+  // Paper §V multi-threading: this reader task paces the disk and feeds
+  // the persistent sender workers; the window keeps at most
+  // pipeline_depth of this transfer's packets between disk and wire.
+  const auto window = std::make_shared<SendWindow>();
 
   for (uint32_t p = 0; p < total_packets; ++p) {
     const uint64_t offset = static_cast<uint64_t>(p) * packet_bytes;
@@ -197,25 +227,12 @@ void Agent::stream_chunk(uint64_t task_id, ChunkRef chunk, NodeId dst,
     packet.total_packets = total_packets;
     packet.chunk_bytes = chunk_bytes;
     packet.packet_bytes = packet_bytes;
-    packet.payload.assign(
-        content->begin() + static_cast<ptrdiff_t>(offset),
-        content->begin() + static_cast<ptrdiff_t>(offset + len));
+    // Pool-recycled payload: after the destination folds the packet in
+    // and drops it, the buffer comes back for a later packet.
+    packet.payload.assign(content->data() + offset, len);
 
-    {
-      MutexLock lock(pipe.mutex);
-      while (pipe.queue.size() >= options_.pipeline_depth) {
-        pipe.cv.wait(pipe.mutex);
-      }
-      pipe.queue.push_back(std::move(packet));
-    }
-    pipe.cv.notify_all();
+    enqueue_send(std::move(packet), window);
   }
-  {
-    MutexLock lock(pipe.mutex);
-    pipe.done = true;
-  }
-  pipe.cv.notify_all();
-  sender.join();
 }
 
 void Agent::handle_data_packet(Message&& msg) {
@@ -236,7 +253,7 @@ void Agent::handle_data_packet(Message&& msg) {
     state.packet_bytes = msg.packet_bytes;
     state.total_packets = msg.total_packets;
     state.accumulator.assign(msg.chunk_bytes, 0);
-    state.arrivals.assign(msg.total_packets, 0);
+    state.pending.resize(msg.total_packets);
     it = tasks_.emplace(msg.task_id, std::move(state)).first;
   }
 
@@ -245,18 +262,44 @@ void Agent::handle_data_packet(Message&& msg) {
   const uint64_t offset =
       static_cast<uint64_t>(msg.packet_index) * state.packet_bytes;
   FASTPR_CHECK(offset + msg.payload.size() <= state.accumulator.size());
+  const size_t payload_bytes = msg.payload.size();
 
-  // Streaming decode: accumulator ^= coeff * payload. For migrations the
-  // coefficient is 1 and this degenerates to a copy-in.
-  gf::mul_region_xor(state.accumulator.data() + offset, msg.payload.data(),
-                     msg.coefficient, msg.payload.size());
+  bool packet_final = false;
+  if (state.expected_streams == 1) {
+    // Single-stream transfer (migration, or k=1 repair): no fan-in to
+    // wait for — scale-copy straight into place and recycle the buffer.
+    gf::mul_region(state.accumulator.data() + offset, msg.payload.data(),
+                   msg.coefficient, payload_bytes);
+    packet_final = true;
+  } else {
+    // Reconstruction fan-in: park the stream's contribution until every
+    // helper's packet for this index has arrived, then fold all of them
+    // into the accumulator with one fused dot pass (one sweep over the
+    // packet instead of one per helper stream).
+    auto& pending = state.pending[msg.packet_index];
+    pending.payloads.push_back(std::move(msg.payload));
+    pending.coeffs.push_back(msg.coefficient);
+    if (pending.payloads.size() ==
+        static_cast<size_t>(state.expected_streams)) {
+      const uint8_t* srcs[net::kMaxRepairStreams];
+      const size_t n = pending.payloads.size();
+      FASTPR_CHECK(n <= net::kMaxRepairStreams);
+      for (size_t j = 0; j < n; ++j) {
+        FASTPR_CHECK(pending.payloads[j].size() == payload_bytes);
+        srcs[j] = pending.payloads[j].data();
+      }
+      gf::dot_region_xor(state.accumulator.data() + offset, srcs,
+                         pending.coeffs.data(), n, payload_bytes);
+      pending.payloads.clear();  // recycles the pooled buffers
+      pending.coeffs.clear();
+      packet_final = true;
+    }
+  }
 
-  auto& count = state.arrivals[msg.packet_index];
-  ++count;
-  if (count == state.expected_streams) {
+  if (packet_final) {
     // This packet of the repaired chunk is final: write it out now
     // (pipelined disk write), matching the paper's decode-as-you-go.
-    store_.charge_io(static_cast<int64_t>(msg.payload.size()));
+    store_.charge_io(static_cast<int64_t>(payload_bytes));
     ++state.packets_complete;
     if (state.packets_complete == state.total_packets) {
       store_.write_unthrottled(state.chunk, std::move(state.accumulator));

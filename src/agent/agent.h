@@ -1,11 +1,15 @@
 // Storage-node agent of the FastPR prototype (§V).
 //
 // One dispatcher thread services the node's inbox; data-plane work runs
-// on dedicated transfer threads exactly as the paper describes its
-// multi-threading: a sending node pairs a disk-reader thread with a
-// network-sender thread over a bounded packet queue, and a destination
-// node decodes packets as they arrive (per-packet GF multiply-XOR into
-// an accumulator) so reception, decoding and disk writes pipeline.
+// on a small set of persistent threads exactly as the paper describes
+// its multi-threading: disk-reader tasks pace the disk and feed packets
+// to persistent network-sender workers over a bounded per-transfer
+// window, and a destination node decodes packets as they arrive so
+// reception, decoding and disk writes pipeline. Packet payloads are
+// pool-recycled (util/buffer_pool.h): a steady-state transfer reuses a
+// fixed working set of buffers instead of allocating per packet, and a
+// reconstruction fuses all k helper streams of a packet index into one
+// gf::dot_region_xor pass instead of k separate multiply-XOR sweeps.
 //
 // Roles an agent can play in a round, all concurrently:
 //  * helper  — answer kFetchRequest by streaming its chunk, scaled by
@@ -18,6 +22,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -26,13 +32,22 @@
 #include "cluster/types.h"
 #include "net/transport.h"
 #include "util/mutex.h"
+#include "util/thread_pool.h"
 
 namespace fastpr::agent {
 
 struct AgentOptions {
   cluster::NodeId coordinator = cluster::kNoNode;  // ack target
-  /// Bounded depth of the read→send packet queue (pipeline slack).
+  /// Bounded per-transfer read→send window (pipeline slack): a reader
+  /// task stalls once this many of its packets are queued or on the
+  /// wire, which is what paces the disk against the network.
   size_t pipeline_depth = 4;
+  /// Persistent disk-reader tasks servicing fetch/migrate commands.
+  size_t reader_threads = 4;
+  /// Persistent network-sender workers draining the packet queue.
+  /// More than one so a destination with a saturated downlink does not
+  /// head-of-line block streams this node sends to other destinations.
+  size_t sender_threads = 4;
 };
 
 class Agent {
@@ -46,7 +61,7 @@ class Agent {
 
   void start();
 
-  /// Graceful: drains the dispatcher and joins every transfer thread.
+  /// Graceful: drains the dispatcher, reader tasks and sender workers.
   void stop();
 
   /// Failure injection: the agent silently stops acting on messages
@@ -56,6 +71,21 @@ class Agent {
   cluster::NodeId id() const { return id_; }
 
  private:
+  /// Per-transfer flow-control window: how many of the transfer's
+  /// packets sit between the reader and the wire. Shared by the reader
+  /// task and the sender workers, hence reference-counted.
+  struct SendWindow {
+    Mutex mutex;
+    CondVar cv;
+    size_t in_flight FASTPR_GUARDED_BY(mutex) = 0;
+  };
+
+  /// One packet handed from a reader to the sender workers.
+  struct SendItem {
+    net::Message msg;
+    std::shared_ptr<SendWindow> window;
+  };
+
   /// Destination-side state of one in-flight repair task.
   struct TransferState {
     cluster::ChunkRef chunk;  // chunk being repaired
@@ -65,7 +95,14 @@ class Agent {
     uint64_t packet_bytes = 0;
     uint32_t total_packets = 0;
     std::vector<uint8_t> accumulator;
-    std::vector<int> arrivals;   // per packet index
+    /// Per packet index: the payloads+coefficients that have arrived so
+    /// far. Once all expected streams are in, one fused dot_region_xor
+    /// folds them into the accumulator and the buffers recycle.
+    struct Pending {
+      std::vector<PooledBuffer> payloads;
+      std::vector<uint8_t> coeffs;
+    };
+    std::vector<Pending> pending;
     uint32_t packets_complete = 0;
   };
 
@@ -75,14 +112,20 @@ class Agent {
   void handle_fetch_request(const net::Message& msg);
   void handle_data_packet(net::Message&& msg);
 
-  /// Runs on a transfer thread: pipelined read→send of one chunk.
+  /// Runs as a reader task: pipelined read→send of one chunk.
   void stream_chunk(uint64_t task_id, cluster::ChunkRef chunk,
                     cluster::NodeId dst, net::TransferMode mode,
                     uint8_t coefficient, uint64_t packet_bytes);
 
+  /// Blocks until the transfer's window has room, then queues the
+  /// packet for the sender workers.
+  void enqueue_send(net::Message&& msg,
+                    const std::shared_ptr<SendWindow>& window)
+      FASTPR_EXCLUDES(send_mutex_);
+
+  void sender_loop() FASTPR_EXCLUDES(send_mutex_);
+
   void report_failure(uint64_t task_id, const std::string& error);
-  void spawn_worker(std::function<void()> fn)
-      FASTPR_EXCLUDES(workers_mutex_);
 
   cluster::NodeId id_;
   net::Transport& transport_;
@@ -90,8 +133,17 @@ class Agent {
   AgentOptions options_;
 
   std::thread dispatcher_;
-  Mutex workers_mutex_;
-  std::vector<std::thread> workers_ FASTPR_GUARDED_BY(workers_mutex_);
+  /// Disk-reader tasks (stream_chunk) run here; destroyed (drained and
+  /// joined) before the sender workers shut down so every queued packet
+  /// still finds a live sender.
+  std::unique_ptr<ThreadPool> reader_pool_;
+
+  Mutex send_mutex_;
+  CondVar send_cv_;
+  std::deque<SendItem> send_queue_ FASTPR_GUARDED_BY(send_mutex_);
+  bool send_closed_ FASTPR_GUARDED_BY(send_mutex_) = false;
+  std::vector<std::thread> senders_;
+
   std::unordered_map<uint64_t, TransferState> tasks_;  // dispatcher-only
   std::atomic<bool> killed_{false};
   bool started_ = false;

@@ -124,10 +124,11 @@ void LrcCode::encode(const std::vector<ConstChunk>& data,
   for (int r = 0; r < l_ + g_; ++r) {
     MutChunk out = parity[static_cast<size_t>(r)];
     std::fill(out.begin(), out.end(), 0);
-    for (int c = 0; c < k_; ++c) {
-      gf::mul_region_xor(out, data[static_cast<size_t>(c)],
-                         generator_.at(k_ + r, c));
-    }
+    // Fused dot: one pass over the parity chunk for all k sources
+    // (local-parity rows have mostly zero coefficients, which the dot
+    // kernel compacts away).
+    gf::dot_region_xor(out, std::span<const ConstChunk>(data),
+                       parity_coefficients(k_ + r));
   }
 }
 
@@ -227,14 +228,16 @@ void LrcCode::repair_chunk(int lost_index,
   FASTPR_CHECK_MSG(combo.has_value(),
                    "helpers cannot express chunk " << lost_index);
   std::fill(out.begin(), out.end(), 0);
+  // Align the solved coefficients with helper order, then fold every
+  // contributing stream in with one fused dot pass.
+  std::vector<uint8_t> coeffs(helper_data.size(), 0);
   for (const auto& [idx, coef] : *combo) {
     const auto it =
         std::find(helper_indices.begin(), helper_indices.end(), idx);
-    const size_t pos =
-        static_cast<size_t>(std::distance(helper_indices.begin(), it));
-    FASTPR_CHECK(helper_data[pos].size() == out.size());
-    gf::mul_region_xor(out, helper_data[pos], coef);
+    coeffs[static_cast<size_t>(
+        std::distance(helper_indices.begin(), it))] = coef;
   }
+  gf::dot_region_xor(out, std::span<const ConstChunk>(helper_data), coeffs);
 }
 
 bool LrcCode::decode(const std::vector<int>& erased,
@@ -264,10 +267,15 @@ bool LrcCode::decode(const std::vector<int>& erased,
       }
       MutChunk out = chunks[static_cast<size_t>(*it)];
       std::fill(out.begin(), out.end(), 0);
+      std::vector<ConstChunk> srcs;
+      std::vector<uint8_t> coefs;
+      srcs.reserve(combo->size());
+      coefs.reserve(combo->size());
       for (const auto& [idx, coef] : *combo) {
-        gf::mul_region_xor(out, ConstChunk(chunks[static_cast<size_t>(idx)]),
-                           coef);
+        srcs.emplace_back(chunks[static_cast<size_t>(idx)]);
+        coefs.push_back(coef);
       }
+      gf::dot_region_xor(out, std::span<const ConstChunk>(srcs), coefs);
       available[static_cast<size_t>(*it)] = true;
       it = pending.erase(it);
       progress = true;

@@ -105,10 +105,9 @@ void RsCode::encode(const std::vector<ConstChunk>& data,
   for (int r = 0; r < n_ - k_; ++r) {
     MutChunk out = parity[static_cast<size_t>(r)];
     std::fill(out.begin(), out.end(), 0);
-    for (int c = 0; c < k_; ++c) {
-      gf::mul_region_xor(out, data[static_cast<size_t>(c)],
-                         generator_.at(k_ + r, c));
-    }
+    // Fused dot: one pass over the parity chunk for all k sources.
+    gf::dot_region_xor(out, std::span<const ConstChunk>(data),
+                       parity_coefficients(k_ + r));
   }
 }
 
@@ -153,10 +152,9 @@ void RsCode::repair_chunk(int lost_index,
   FASTPR_CHECK(helper_indices.size() == helper_data.size());
   const auto coeffs = combination_coeffs(lost_index, helper_indices);
   std::fill(out.begin(), out.end(), 0);
-  for (size_t i = 0; i < helper_data.size(); ++i) {
-    FASTPR_CHECK(helper_data[i].size() == out.size());
-    gf::mul_region_xor(out, helper_data[i], coeffs[i]);
-  }
+  // Fused dot: one pass over the lost chunk for all k helper streams
+  // (sizes are checked against out by the span overload).
+  gf::dot_region_xor(out, std::span<const ConstChunk>(helper_data), coeffs);
 }
 
 bool RsCode::decode(const std::vector<int>& erased,

@@ -1,12 +1,18 @@
 #include "gf/gf256.h"
 
+#include <algorithm>
 #include <array>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
+#define FASTPR_GF_X86 1
 #endif
 
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace fastpr::gf {
 
@@ -82,19 +88,93 @@ uint8_t pow(uint8_t a, unsigned e) {
   return t.exp_[le];
 }
 
+// ---------------------------------------------------------------------------
+// Kernel variants
+//
+// Every variant below is an exact drop-in for the scalar reference; the
+// property tests in tests/test_gf_kernels.cpp sweep all of them against
+// kScalar over random coefficients, unaligned offsets, and ragged tails.
+
 namespace {
 
-#if defined(__x86_64__) || defined(__i386__)
-/// SSSE3 nibble-table kernel (the Jerasure/ISA-L "split table" scheme):
-/// c*x = T_lo[x & 0xF] ^ T_hi[x >> 4], 16 bytes per shuffle.
-__attribute__((target("ssse3"))) void mul_region_xor_ssse3(
-    uint8_t* dst, const uint8_t* src, uint8_t c, size_t len) {
+/// Sources per fused-dot batch. Bounds the per-batch lookup-table
+/// footprint (16 * 64 B = 1 KiB of AVX2 nibble tables — resident in L1
+/// across the whole sweep, which is what makes the fused pass cache-
+/// friendly) while covering any practical k+extra in one pass.
+constexpr size_t kDotBatch = 16;
+
+void mul_region_xor_scalar(uint8_t* dst, const uint8_t* src, uint8_t c,
+                           size_t len) {
   const auto& row = tables().mul_[c];
-  alignas(16) uint8_t lo[16], hi[16];
+  for (size_t i = 0; i < len; ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_region_scalar(uint8_t* dst, const uint8_t* src, uint8_t c,
+                       size_t len) {
+  const auto& row = tables().mul_[c];
+  for (size_t i = 0; i < len; ++i) dst[i] = row[src[i]];
+}
+
+void xor_region_scalar(uint8_t* dst, const uint8_t* src, size_t len) {
+  size_t i = 0;
+  // Word-at-a-time XOR; buffers in this codebase are allocated vectors so
+  // alignment is fine for memcpy-style access via unsigned char.
+  for (; i + 8 <= len; i += 8) {
+    uint64_t d, s;
+    __builtin_memcpy(&d, dst + i, 8);
+    __builtin_memcpy(&s, src + i, 8);
+    d ^= s;
+    __builtin_memcpy(dst + i, &d, 8);
+  }
+  for (; i < len; ++i) dst[i] ^= src[i];
+}
+
+/// Scalar fused dot over one batch of non-zero-coefficient sources.
+void dot_batch_scalar(uint8_t* dst, const uint8_t* const* srcs,
+                      const uint8_t* coeffs, size_t n, size_t len) {
+  const uint8_t* rows[kDotBatch];
+  for (size_t j = 0; j < n; ++j) rows[j] = tables().mul_[coeffs[j]].data();
+  for (size_t i = 0; i < len; ++i) {
+    uint8_t acc = dst[i];
+    for (size_t j = 0; j < n; ++j) acc ^= rows[j][srcs[j][i]];
+    dst[i] = acc;
+  }
+}
+
+#ifdef FASTPR_GF_X86
+
+/// Loads the two 16-entry nibble tables for constant c: the
+/// Jerasure/ISA-L "split table" scheme, c*x = lo[x & 0xF] ^ hi[x >> 4].
+inline void load_nibble_tables(uint8_t c, uint8_t lo[16], uint8_t hi[16]) {
+  const auto& row = tables().mul_[c];
   for (int x = 0; x < 16; ++x) {
     lo[x] = row[x];
     hi[x] = row[x << 4];
   }
+}
+
+/// 8x8 GF(2) bit matrix for gf2p8affineqb that realizes y = c*x in this
+/// field. Column j of the map is c * 2^j; the instruction reads output
+/// bit i's mask row from matrix byte 7-i (Intel SDM, GF2P8AFFINEQB).
+uint64_t gfni_matrix(uint8_t c) {
+  const auto& row = tables().mul_[c];
+  uint64_t m = 0;
+  for (int i = 0; i < 8; ++i) {
+    uint8_t mask_row = 0;
+    for (int j = 0; j < 8; ++j) {
+      if ((row[1u << j] >> i) & 1u) mask_row |= static_cast<uint8_t>(1u << j);
+    }
+    m |= static_cast<uint64_t>(mask_row) << (8 * (7 - i));
+  }
+  return m;
+}
+
+// --- SSSE3: 16 bytes per step, PSHUFB nibble lookups. -----------------
+
+__attribute__((target("ssse3"))) void mul_region_xor_ssse3(
+    uint8_t* dst, const uint8_t* src, uint8_t c, size_t len) {
+  alignas(16) uint8_t lo[16], hi[16];
+  load_nibble_tables(c, lo, hi);
   const __m128i table_lo = _mm_load_si128(reinterpret_cast<__m128i*>(lo));
   const __m128i table_hi = _mm_load_si128(reinterpret_cast<__m128i*>(hi));
   const __m128i mask = _mm_set1_epi8(0x0F);
@@ -111,19 +191,15 @@ __attribute__((target("ssse3"))) void mul_region_xor_ssse3(
     d = _mm_xor_si128(d, product);
     _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), d);
   }
-  for (; i < len; ++i) dst[i] ^= row[src[i]];
+  mul_region_xor_scalar(dst + i, src + i, c, len - i);
 }
 
 __attribute__((target("ssse3"))) void mul_region_ssse3(uint8_t* dst,
                                                        const uint8_t* src,
                                                        uint8_t c,
                                                        size_t len) {
-  const auto& row = tables().mul_[c];
   alignas(16) uint8_t lo[16], hi[16];
-  for (int x = 0; x < 16; ++x) {
-    lo[x] = row[x];
-    hi[x] = row[x << 4];
-  }
+  load_nibble_tables(c, lo, hi);
   const __m128i table_lo = _mm_load_si128(reinterpret_cast<__m128i*>(lo));
   const __m128i table_hi = _mm_load_si128(reinterpret_cast<__m128i*>(hi));
   const __m128i mask = _mm_set1_epi8(0x0F);
@@ -138,66 +214,491 @@ __attribute__((target("ssse3"))) void mul_region_ssse3(uint8_t* dst,
                           _mm_and_si128(_mm_srli_epi64(s, 4), mask)));
     _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), product);
   }
-  for (; i < len; ++i) dst[i] = row[src[i]];
+  mul_region_scalar(dst + i, src + i, c, len - i);
 }
 
-bool have_ssse3() {
-  static const bool yes = __builtin_cpu_supports("ssse3");
-  return yes;
+__attribute__((target("ssse3"))) void xor_region_sse2(uint8_t* dst,
+                                                      const uint8_t* src,
+                                                      size_t len) {
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    d = _mm_xor_si128(d, s);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), d);
+  }
+  xor_region_scalar(dst + i, src + i, len - i);
 }
-#endif  // x86
+
+__attribute__((target("ssse3"))) void dot_batch_ssse3(
+    uint8_t* dst, const uint8_t* const* srcs, const uint8_t* coeffs,
+    size_t n, size_t len) {
+  __m128i table_lo[kDotBatch], table_hi[kDotBatch];
+  for (size_t j = 0; j < n; ++j) {
+    alignas(16) uint8_t lo[16], hi[16];
+    load_nibble_tables(coeffs[j], lo, hi);
+    table_lo[j] = _mm_load_si128(reinterpret_cast<__m128i*>(lo));
+    table_hi[j] = _mm_load_si128(reinterpret_cast<__m128i*>(hi));
+  }
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    for (size_t j = 0; j < n; ++j) {
+      const __m128i s =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(srcs[j] + i));
+      const __m128i product = _mm_xor_si128(
+          _mm_shuffle_epi8(table_lo[j], _mm_and_si128(s, mask)),
+          _mm_shuffle_epi8(table_hi[j],
+                           _mm_and_si128(_mm_srli_epi64(s, 4), mask)));
+      d = _mm_xor_si128(d, product);
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), d);
+  }
+  if (i < len) {
+    const uint8_t* tail_srcs[kDotBatch];
+    for (size_t j = 0; j < n; ++j) tail_srcs[j] = srcs[j] + i;
+    dot_batch_scalar(dst + i, tail_srcs, coeffs, n, len - i);
+  }
+}
+
+// --- AVX2: 32 bytes per step, the same nibble tables broadcast to both
+// 128-bit lanes (VPSHUFB shuffles within lanes). ----------------------
+
+__attribute__((target("avx2"))) void mul_region_xor_avx2(
+    uint8_t* dst, const uint8_t* src, uint8_t c, size_t len) {
+  alignas(16) uint8_t lo[16], hi[16];
+  load_nibble_tables(c, lo, hi);
+  const __m256i table_lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<__m128i*>(lo)));
+  const __m256i table_hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<__m128i*>(hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    const __m256i product = _mm256_xor_si256(
+        _mm256_shuffle_epi8(table_lo, _mm256_and_si256(s, mask)),
+        _mm256_shuffle_epi8(table_hi,
+                            _mm256_and_si256(_mm256_srli_epi64(s, 4), mask)));
+    d = _mm256_xor_si256(d, product);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  mul_region_xor_scalar(dst + i, src + i, c, len - i);
+}
+
+__attribute__((target("avx2"))) void mul_region_avx2(uint8_t* dst,
+                                                     const uint8_t* src,
+                                                     uint8_t c, size_t len) {
+  alignas(16) uint8_t lo[16], hi[16];
+  load_nibble_tables(c, lo, hi);
+  const __m256i table_lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<__m128i*>(lo)));
+  const __m256i table_hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<__m128i*>(hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i product = _mm256_xor_si256(
+        _mm256_shuffle_epi8(table_lo, _mm256_and_si256(s, mask)),
+        _mm256_shuffle_epi8(table_hi,
+                            _mm256_and_si256(_mm256_srli_epi64(s, 4), mask)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), product);
+  }
+  mul_region_scalar(dst + i, src + i, c, len - i);
+}
+
+__attribute__((target("avx2"))) void xor_region_avx2(uint8_t* dst,
+                                                     const uint8_t* src,
+                                                     size_t len) {
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    d = _mm256_xor_si256(d, s);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  xor_region_scalar(dst + i, src + i, len - i);
+}
+
+__attribute__((target("avx2"))) void dot_batch_avx2(
+    uint8_t* dst, const uint8_t* const* srcs, const uint8_t* coeffs,
+    size_t n, size_t len) {
+  __m256i table_lo[kDotBatch], table_hi[kDotBatch];
+  for (size_t j = 0; j < n; ++j) {
+    alignas(16) uint8_t lo[16], hi[16];
+    load_nibble_tables(coeffs[j], lo, hi);
+    table_lo[j] = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<__m128i*>(lo)));
+    table_hi[j] = _mm256_broadcastsi128_si256(
+        _mm_load_si128(reinterpret_cast<__m128i*>(hi)));
+  }
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    for (size_t j = 0; j < n; ++j) {
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(srcs[j] + i));
+      const __m256i product = _mm256_xor_si256(
+          _mm256_shuffle_epi8(table_lo[j], _mm256_and_si256(s, mask)),
+          _mm256_shuffle_epi8(
+              table_hi[j],
+              _mm256_and_si256(_mm256_srli_epi64(s, 4), mask)));
+      d = _mm256_xor_si256(d, product);
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  if (i < len) {
+    const uint8_t* tail_srcs[kDotBatch];
+    for (size_t j = 0; j < n; ++j) tail_srcs[j] = srcs[j] + i;
+    dot_batch_scalar(dst + i, tail_srcs, coeffs, n, len - i);
+  }
+}
+
+// --- GFNI: one VGF2P8AFFINEQB per 32 source bytes; the multiply-by-c
+// bit matrix replaces both nibble shuffles. ---------------------------
+
+__attribute__((target("gfni,avx2"))) void mul_region_xor_gfni(
+    uint8_t* dst, const uint8_t* src, uint8_t c, size_t len) {
+  const __m256i matrix =
+      _mm256_set1_epi64x(static_cast<long long>(gfni_matrix(c)));
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    d = _mm256_xor_si256(d, _mm256_gf2p8affine_epi64_epi8(s, matrix, 0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  mul_region_xor_scalar(dst + i, src + i, c, len - i);
+}
+
+__attribute__((target("gfni,avx2"))) void mul_region_gfni(uint8_t* dst,
+                                                          const uint8_t* src,
+                                                          uint8_t c,
+                                                          size_t len) {
+  const __m256i matrix =
+      _mm256_set1_epi64x(static_cast<long long>(gfni_matrix(c)));
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_gf2p8affine_epi64_epi8(s, matrix, 0));
+  }
+  mul_region_scalar(dst + i, src + i, c, len - i);
+}
+
+__attribute__((target("gfni,avx2"))) void dot_batch_gfni(
+    uint8_t* dst, const uint8_t* const* srcs, const uint8_t* coeffs,
+    size_t n, size_t len) {
+  __m256i matrix[kDotBatch];
+  for (size_t j = 0; j < n; ++j) {
+    matrix[j] =
+        _mm256_set1_epi64x(static_cast<long long>(gfni_matrix(coeffs[j])));
+  }
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    __m256i d = _mm256_loadu_si256(reinterpret_cast<__m256i*>(dst + i));
+    for (size_t j = 0; j < n; ++j) {
+      const __m256i s =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(srcs[j] + i));
+      d = _mm256_xor_si256(d,
+                           _mm256_gf2p8affine_epi64_epi8(s, matrix[j], 0));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), d);
+  }
+  if (i < len) {
+    const uint8_t* tail_srcs[kDotBatch];
+    for (size_t j = 0; j < n; ++j) tail_srcs[j] = srcs[j] + i;
+    dot_batch_scalar(dst + i, tail_srcs, coeffs, n, len - i);
+  }
+}
+
+// The gfni kernel widens to 512-bit VGF2P8AFFINEQB when the host has
+// AVX-512 (GFNI ships with AVX-512 on every server part so far); the
+// 256-bit code above remains the fallback for AVX2-only GFNI hosts and
+// handles the sub-64-byte tail either way.
+
+bool gfni_use_zmm() {
+  static const bool use =
+      __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw");
+  return use;
+}
+
+__attribute__((target("gfni,avx512f,avx512bw"))) void mul_region_xor_gfni512(
+    uint8_t* dst, const uint8_t* src, uint8_t c, size_t len) {
+  const __m512i matrix =
+      _mm512_set1_epi64(static_cast<long long>(gfni_matrix(c)));
+  size_t i = 0;
+  for (; i + 64 <= len; i += 64) {
+    const __m512i s = _mm512_loadu_si512(src + i);
+    __m512i d = _mm512_loadu_si512(dst + i);
+    d = _mm512_xor_si512(d, _mm512_gf2p8affine_epi64_epi8(s, matrix, 0));
+    _mm512_storeu_si512(dst + i, d);
+  }
+  mul_region_xor_gfni(dst + i, src + i, c, len - i);
+}
+
+__attribute__((target("gfni,avx512f,avx512bw"))) void mul_region_gfni512(
+    uint8_t* dst, const uint8_t* src, uint8_t c, size_t len) {
+  const __m512i matrix =
+      _mm512_set1_epi64(static_cast<long long>(gfni_matrix(c)));
+  size_t i = 0;
+  for (; i + 64 <= len; i += 64) {
+    const __m512i s = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i,
+                        _mm512_gf2p8affine_epi64_epi8(s, matrix, 0));
+  }
+  mul_region_gfni(dst + i, src + i, c, len - i);
+}
+
+__attribute__((target("gfni,avx512f,avx512bw"))) void dot_batch_gfni512(
+    uint8_t* dst, const uint8_t* const* srcs, const uint8_t* coeffs,
+    size_t n, size_t len) {
+  __m512i matrix[kDotBatch];
+  for (size_t j = 0; j < n; ++j) {
+    matrix[j] = _mm512_set1_epi64(static_cast<long long>(gfni_matrix(coeffs[j])));
+  }
+  size_t i = 0;
+  // Four independent accumulator chains per iteration: the affine's
+  // 3-5 cycle latency is hidden across chains instead of serializing
+  // on a single xor chain.
+  for (; i + 256 <= len; i += 256) {
+    __m512i d0 = _mm512_loadu_si512(dst + i);
+    __m512i d1 = _mm512_loadu_si512(dst + i + 64);
+    __m512i d2 = _mm512_loadu_si512(dst + i + 128);
+    __m512i d3 = _mm512_loadu_si512(dst + i + 192);
+    for (size_t j = 0; j < n; ++j) {
+      const uint8_t* s = srcs[j] + i;
+      d0 = _mm512_xor_si512(d0, _mm512_gf2p8affine_epi64_epi8(
+                                    _mm512_loadu_si512(s), matrix[j], 0));
+      d1 = _mm512_xor_si512(d1, _mm512_gf2p8affine_epi64_epi8(
+                                    _mm512_loadu_si512(s + 64), matrix[j], 0));
+      d2 = _mm512_xor_si512(d2, _mm512_gf2p8affine_epi64_epi8(
+                                    _mm512_loadu_si512(s + 128), matrix[j], 0));
+      d3 = _mm512_xor_si512(d3, _mm512_gf2p8affine_epi64_epi8(
+                                    _mm512_loadu_si512(s + 192), matrix[j], 0));
+    }
+    _mm512_storeu_si512(dst + i, d0);
+    _mm512_storeu_si512(dst + i + 64, d1);
+    _mm512_storeu_si512(dst + i + 128, d2);
+    _mm512_storeu_si512(dst + i + 192, d3);
+  }
+  for (; i + 64 <= len; i += 64) {
+    __m512i d = _mm512_loadu_si512(dst + i);
+    for (size_t j = 0; j < n; ++j) {
+      const __m512i s = _mm512_loadu_si512(srcs[j] + i);
+      d = _mm512_xor_si512(d,
+                           _mm512_gf2p8affine_epi64_epi8(s, matrix[j], 0));
+    }
+    _mm512_storeu_si512(dst + i, d);
+  }
+  if (i < len) {
+    const uint8_t* tail_srcs[kDotBatch];
+    for (size_t j = 0; j < n; ++j) tail_srcs[j] = srcs[j] + i;
+    dot_batch_gfni(dst + i, tail_srcs, coeffs, n, len - i);
+  }
+}
+
+#endif  // FASTPR_GF_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch
+
+std::atomic<int> g_kernel{-1};
+
+Kernel resolve_default_kernel() {
+  if (const char* env = std::getenv("FASTPR_GF_KERNEL"); env && *env) {
+    if (auto k = parse_kernel(env)) {
+      if (kernel_supported(*k)) return *k;
+      LOG_WARN("FASTPR_GF_KERNEL=" << env
+                                   << " is not supported on this CPU; using "
+                                   << kernel_name(best_supported_kernel()));
+    } else {
+      LOG_WARN("unrecognized FASTPR_GF_KERNEL=" << env << "; using "
+               << kernel_name(best_supported_kernel()));
+    }
+  }
+  return best_supported_kernel();
+}
 
 }  // namespace
 
+const char* kernel_name(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar: return "scalar";
+    case Kernel::kSsse3: return "ssse3";
+    case Kernel::kAvx2: return "avx2";
+    case Kernel::kGfni: return "gfni";
+  }
+  return "unknown";
+}
+
+std::optional<Kernel> parse_kernel(std::string_view name) {
+  if (name == "scalar") return Kernel::kScalar;
+  if (name == "ssse3") return Kernel::kSsse3;
+  if (name == "avx2") return Kernel::kAvx2;
+  if (name == "gfni") return Kernel::kGfni;
+  return std::nullopt;
+}
+
+bool kernel_supported(Kernel k) {
+#ifdef FASTPR_GF_X86
+  switch (k) {
+    case Kernel::kScalar: return true;
+    case Kernel::kSsse3: return __builtin_cpu_supports("ssse3");
+    case Kernel::kAvx2: return __builtin_cpu_supports("avx2");
+    case Kernel::kGfni:
+      return __builtin_cpu_supports("gfni") &&
+             __builtin_cpu_supports("avx2");
+  }
+  return false;
+#else
+  return k == Kernel::kScalar;
+#endif
+}
+
+Kernel best_supported_kernel() {
+  for (Kernel k : {Kernel::kGfni, Kernel::kAvx2, Kernel::kSsse3}) {
+    if (kernel_supported(k)) return k;
+  }
+  return Kernel::kScalar;
+}
+
+Kernel active_kernel() {
+  const int cached = g_kernel.load(std::memory_order_acquire);
+  if (cached >= 0) return static_cast<Kernel>(cached);
+  const Kernel resolved = resolve_default_kernel();
+  g_kernel.store(static_cast<int>(resolved), std::memory_order_release);
+  return resolved;
+}
+
+void force_kernel(Kernel k) {
+  FASTPR_CHECK_MSG(kernel_supported(k),
+                   "GF kernel " << kernel_name(k)
+                                << " is not supported on this CPU");
+  g_kernel.store(static_cast<int>(k), std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched region ops
+
 void mul_region_xor(uint8_t* dst, const uint8_t* src, uint8_t c,
                     size_t len) {
-  if (c == 0) return;
+  if (c == 0 || len == 0) return;
   if (c == 1) {
     xor_region(dst, src, len);
     return;
   }
-#if defined(__x86_64__) || defined(__i386__)
-  if (have_ssse3()) {
-    mul_region_xor_ssse3(dst, src, c, len);
-    return;
+#ifdef FASTPR_GF_X86
+  switch (active_kernel()) {
+    case Kernel::kSsse3: mul_region_xor_ssse3(dst, src, c, len); return;
+    case Kernel::kAvx2: mul_region_xor_avx2(dst, src, c, len); return;
+    case Kernel::kGfni:
+      if (gfni_use_zmm()) {
+        mul_region_xor_gfni512(dst, src, c, len);
+      } else {
+        mul_region_xor_gfni(dst, src, c, len);
+      }
+      return;
+    case Kernel::kScalar: break;
   }
 #endif
-  const auto& row = tables().mul_[c];
-  for (size_t i = 0; i < len; ++i) dst[i] ^= row[src[i]];
+  mul_region_xor_scalar(dst, src, c, len);
 }
 
 void mul_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len) {
+  if (len == 0) return;
   if (c == 0) {
-    for (size_t i = 0; i < len; ++i) dst[i] = 0;
+    std::memset(dst, 0, len);
     return;
   }
   if (c == 1) {
-    for (size_t i = 0; i < len; ++i) dst[i] = src[i];
+    std::memmove(dst, src, len);  // memmove: in-place scaling is legal
     return;
   }
-#if defined(__x86_64__) || defined(__i386__)
-  if (have_ssse3()) {
-    mul_region_ssse3(dst, src, c, len);
-    return;
+#ifdef FASTPR_GF_X86
+  switch (active_kernel()) {
+    case Kernel::kSsse3: mul_region_ssse3(dst, src, c, len); return;
+    case Kernel::kAvx2: mul_region_avx2(dst, src, c, len); return;
+    case Kernel::kGfni:
+      if (gfni_use_zmm()) {
+        mul_region_gfni512(dst, src, c, len);
+      } else {
+        mul_region_gfni(dst, src, c, len);
+      }
+      return;
+    case Kernel::kScalar: break;
   }
 #endif
-  const auto& row = tables().mul_[c];
-  for (size_t i = 0; i < len; ++i) dst[i] = row[src[i]];
+  mul_region_scalar(dst, src, c, len);
 }
 
 void xor_region(uint8_t* dst, const uint8_t* src, size_t len) {
-  size_t i = 0;
-  // Word-at-a-time XOR; buffers in this codebase are allocated vectors so
-  // alignment is fine for memcpy-style access via unsigned char.
-  for (; i + 8 <= len; i += 8) {
-    uint64_t d, s;
-    __builtin_memcpy(&d, dst + i, 8);
-    __builtin_memcpy(&s, src + i, 8);
-    d ^= s;
-    __builtin_memcpy(dst + i, &d, 8);
+  if (len == 0) return;
+#ifdef FASTPR_GF_X86
+  switch (active_kernel()) {
+    case Kernel::kSsse3: xor_region_sse2(dst, src, len); return;
+    case Kernel::kAvx2:
+    case Kernel::kGfni: xor_region_avx2(dst, src, len); return;
+    case Kernel::kScalar: break;
   }
-  for (; i < len; ++i) dst[i] ^= src[i];
+#endif
+  xor_region_scalar(dst, src, len);
 }
+
+void dot_region_xor(uint8_t* dst, const uint8_t* const* srcs,
+                    const uint8_t* coeffs, size_t num_src, size_t len) {
+  if (len == 0) return;
+  const Kernel kernel = active_kernel();
+  // Compact zero coefficients out, then sweep batches of up to kDotBatch
+  // sources so each batch's tables stay register/L1-resident.
+  const uint8_t* batch_srcs[kDotBatch];
+  uint8_t batch_coeffs[kDotBatch];
+  size_t filled = 0;
+  const auto flush = [&] {
+    if (filled == 0) return;
+    switch (kernel) {
+#ifdef FASTPR_GF_X86
+      case Kernel::kSsse3:
+        dot_batch_ssse3(dst, batch_srcs, batch_coeffs, filled, len);
+        break;
+      case Kernel::kAvx2:
+        dot_batch_avx2(dst, batch_srcs, batch_coeffs, filled, len);
+        break;
+      case Kernel::kGfni:
+        if (gfni_use_zmm()) {
+          dot_batch_gfni512(dst, batch_srcs, batch_coeffs, filled, len);
+        } else {
+          dot_batch_gfni(dst, batch_srcs, batch_coeffs, filled, len);
+        }
+        break;
+#endif
+      default:
+        dot_batch_scalar(dst, batch_srcs, batch_coeffs, filled, len);
+        break;
+    }
+    filled = 0;
+  };
+  for (size_t j = 0; j < num_src; ++j) {
+    if (coeffs[j] == 0) continue;
+    batch_srcs[filled] = srcs[j];
+    batch_coeffs[filled] = coeffs[j];
+    if (++filled == kDotBatch) flush();
+  }
+  flush();
+}
+
+// ---------------------------------------------------------------------------
+// Span conveniences
 
 void mul_region_xor(std::span<uint8_t> dst, std::span<const uint8_t> src,
                     uint8_t c) {
@@ -209,6 +710,25 @@ void mul_region(std::span<uint8_t> dst, std::span<const uint8_t> src,
                 uint8_t c) {
   FASTPR_CHECK(dst.size() == src.size());
   mul_region(dst.data(), src.data(), c, dst.size());
+}
+
+void dot_region_xor(std::span<uint8_t> dst,
+                    std::span<const std::span<const uint8_t>> srcs,
+                    std::span<const uint8_t> coeffs) {
+  FASTPR_CHECK(srcs.size() == coeffs.size());
+  const uint8_t* ptrs[kDotBatch];
+  // Arbitrary source counts are supported by chunking through the raw
+  // pointer interface (which batches internally anyway).
+  size_t j = 0;
+  while (j < srcs.size()) {
+    const size_t n = std::min(srcs.size() - j, kDotBatch);
+    for (size_t t = 0; t < n; ++t) {
+      FASTPR_CHECK(srcs[j + t].size() == dst.size());
+      ptrs[t] = srcs[j + t].data();
+    }
+    dot_region_xor(dst.data(), ptrs, coeffs.data() + j, n, dst.size());
+    j += n;
+  }
 }
 
 }  // namespace fastpr::gf

@@ -1,15 +1,26 @@
 // GF(2^8) arithmetic over the AES/Rijndael-compatible field used by most
 // storage erasure coders (primitive polynomial x^8+x^4+x^3+x^2+1, 0x11D).
 //
-// This replaces Jerasure v1.2 in the original FastPR prototype: element
-// ops are log/exp-table driven, and the hot region ops (multiply a buffer
-// by a constant and XOR into an accumulator) use a per-constant 256-entry
-// product row from a full 64 KiB multiplication table.
+// This replaces Jerasure v1.2 in the original FastPR prototype. Element
+// ops are log/exp-table driven. The hot region ops are a dispatched
+// kernel library (the ISA-L role): a scalar reference, the SSSE3/AVX2
+// split-nibble-table kernels (PSHUFB "split table" scheme), and a GFNI
+// kernel (gf2p8affineqb with the multiply-by-constant bit matrix). The
+// variant is picked at runtime from CPU features, overridable with the
+// FASTPR_GF_KERNEL environment variable or force_kernel() so benches
+// and CI can pin a specific path.
+//
+// Beyond the per-constant ops there is a fused multi-source dot product
+// (gf_vect_dot_prod style): dst ^= sum_j coeffs[j] * srcs[j], one pass
+// over memory instead of one pass per source — the decode inner loop of
+// RS/LRC repair and of the testbed's packet accumulator.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string_view>
 
 namespace fastpr::gf {
 
@@ -35,6 +46,53 @@ uint8_t log(uint8_t a);
 /// a^e by repeated squaring in the field.
 uint8_t pow(uint8_t a, unsigned e);
 
+// ---------------------------------------------------------------------------
+// Region-kernel dispatch
+
+/// Region-op implementation variants, fastest last. kScalar is the
+/// reference every other variant is property-tested against.
+enum class Kernel : uint8_t { kScalar = 0, kSsse3 = 1, kAvx2 = 2, kGfni = 3 };
+
+/// Lower-case name as accepted by FASTPR_GF_KERNEL ("scalar", "ssse3",
+/// "avx2", "gfni").
+const char* kernel_name(Kernel k);
+
+/// Parses a FASTPR_GF_KERNEL value; nullopt for unknown names.
+std::optional<Kernel> parse_kernel(std::string_view name);
+
+/// True if this host can execute the variant.
+bool kernel_supported(Kernel k);
+
+/// Fastest variant this host supports.
+Kernel best_supported_kernel();
+
+/// The variant the region ops currently dispatch to. Resolved on first
+/// use: FASTPR_GF_KERNEL if set (and supported — otherwise a warning is
+/// logged and the best supported variant is used), else
+/// best_supported_kernel().
+Kernel active_kernel();
+
+/// Pins the dispatch to `k` (tests/benches). The variant must be
+/// supported; throws CheckFailure otherwise. Thread-safe.
+void force_kernel(Kernel k);
+
+/// RAII pin-and-restore for tests that iterate over variants.
+class ScopedKernel {
+ public:
+  explicit ScopedKernel(Kernel k) : prev_(active_kernel()) {
+    force_kernel(k);
+  }
+  ~ScopedKernel() { force_kernel(prev_); }
+  ScopedKernel(const ScopedKernel&) = delete;
+  ScopedKernel& operator=(const ScopedKernel&) = delete;
+
+ private:
+  Kernel prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Region ops (dispatched)
+
 /// dst[i] ^= c * src[i] for i in [0, len). The accumulate step of
 /// encode/decode inner loops.
 void mul_region_xor(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len);
@@ -45,10 +103,23 @@ void mul_region(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len);
 /// dst[i] ^= src[i]; plain XOR region (c == 1 fast path).
 void xor_region(uint8_t* dst, const uint8_t* src, size_t len);
 
+/// Fused multi-source dot product:
+///   dst[i] ^= coeffs[0]*srcs[0][i] ^ ... ^ coeffs[n-1]*srcs[n-1][i]
+/// for i in [0, len) — the ISA-L gf_vect_dot_prod shape. One pass over
+/// dst regardless of the source count (sources are swept in register-
+/// blocked batches), versus n separate mul_region_xor passes.
+/// Zero coefficients are skipped. Equals the mul_region_xor loop
+/// bit-for-bit for every kernel variant.
+void dot_region_xor(uint8_t* dst, const uint8_t* const* srcs,
+                    const uint8_t* coeffs, size_t num_src, size_t len);
+
 /// Span-based conveniences used by the codecs.
 void mul_region_xor(std::span<uint8_t> dst, std::span<const uint8_t> src,
                     uint8_t c);
 void mul_region(std::span<uint8_t> dst, std::span<const uint8_t> src,
                 uint8_t c);
+void dot_region_xor(std::span<uint8_t> dst,
+                    std::span<const std::span<const uint8_t>> srcs,
+                    std::span<const uint8_t> coeffs);
 
 }  // namespace fastpr::gf

@@ -6,18 +6,27 @@ namespace fastpr::net {
 
 namespace {
 
-/// Append a little-endian integral value.
-template <typename T>
-void put(std::vector<uint8_t>& out, T value) {
-  const size_t offset = out.size();
-  out.resize(offset + sizeof(T));
-  std::memcpy(out.data() + offset, &value, sizeof(T));
-}
+/// Little-endian serializer cursor over a pre-sized buffer (callers size
+/// it with encoded_size(), so no bounds tracking is needed here).
+struct Writer {
+  uint8_t* p;
+
+  template <typename T>
+  void put(T value) {
+    std::memcpy(p, &value, sizeof(T));
+    p += sizeof(T);
+  }
+
+  void put_bytes(const void* src, size_t len) {
+    if (len != 0) std::memcpy(p, src, len);
+    p += len;
+  }
+};
 
 /// Cursor-based reader; all reads bounds-checked.
 class Reader {
  public:
-  explicit Reader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+  explicit Reader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
 
   template <typename T>
   bool read(T& value) {
@@ -27,10 +36,9 @@ class Reader {
     return true;
   }
 
-  bool read_bytes(std::vector<uint8_t>& out, size_t len) {
+  bool read_bytes(PooledBuffer& out, size_t len) {
     if (pos_ + len > bytes_.size()) return false;
-    out.assign(bytes_.begin() + static_cast<ptrdiff_t>(pos_),
-               bytes_.begin() + static_cast<ptrdiff_t>(pos_ + len));
+    out.assign(bytes_.data() + pos_, len);
     pos_ += len;
     return true;
   }
@@ -45,7 +53,7 @@ class Reader {
   bool exhausted() const { return pos_ == bytes_.size(); }
 
  private:
-  const std::vector<uint8_t>& bytes_;
+  std::span<const uint8_t> bytes_;
   size_t pos_ = 0;
 };
 
@@ -60,6 +68,35 @@ constexpr size_t kFixedHeaderBytes =
     8 + 8 +             // chunk_bytes, packet_bytes
     4 + 4 + 4;          // sources count, error length, payload length
 
+/// Writes exactly msg.encoded_size() bytes at `out`.
+void write_message(uint8_t* out, const Message& msg) {
+  Writer w{out};
+  w.put<uint8_t>(static_cast<uint8_t>(msg.type));
+  w.put<int32_t>(msg.from);
+  w.put<int32_t>(msg.to);
+  w.put<uint64_t>(msg.task_id);
+  w.put<int32_t>(msg.chunk.stripe);
+  w.put<int32_t>(msg.chunk.index);
+  w.put<int32_t>(msg.dst);
+  w.put<uint8_t>(static_cast<uint8_t>(msg.mode));
+  w.put<uint8_t>(msg.coefficient);
+  w.put<uint32_t>(msg.packet_index);
+  w.put<uint32_t>(msg.total_packets);
+  w.put<uint64_t>(msg.chunk_bytes);
+  w.put<uint64_t>(msg.packet_bytes);
+  w.put<uint32_t>(static_cast<uint32_t>(msg.sources.size()));
+  w.put<uint32_t>(static_cast<uint32_t>(msg.error.size()));
+  w.put<uint32_t>(static_cast<uint32_t>(msg.payload.size()));
+  for (const auto& s : msg.sources) {
+    w.put<int32_t>(s.node);
+    w.put<int32_t>(s.chunk.stripe);
+    w.put<int32_t>(s.chunk.index);
+    w.put<uint8_t>(s.coefficient);
+  }
+  w.put_bytes(msg.error.data(), msg.error.size());
+  w.put_bytes(msg.payload.data(), msg.payload.size());
+}
+
 }  // namespace
 
 size_t Message::encoded_size() const {
@@ -67,37 +104,39 @@ size_t Message::encoded_size() const {
          error.size() + payload.size();
 }
 
+Message Message::clone() const {
+  Message copy;
+  copy.type = type;
+  copy.from = from;
+  copy.to = to;
+  copy.task_id = task_id;
+  copy.chunk = chunk;
+  copy.dst = dst;
+  copy.mode = mode;
+  copy.coefficient = coefficient;
+  copy.packet_index = packet_index;
+  copy.total_packets = total_packets;
+  copy.chunk_bytes = chunk_bytes;
+  copy.packet_bytes = packet_bytes;
+  copy.sources = sources;
+  copy.error = error;
+  copy.payload = payload.clone();
+  return copy;
+}
+
 std::vector<uint8_t> serialize(const Message& msg) {
-  std::vector<uint8_t> out;
-  out.reserve(msg.encoded_size());
-  put<uint8_t>(out, static_cast<uint8_t>(msg.type));
-  put<int32_t>(out, msg.from);
-  put<int32_t>(out, msg.to);
-  put<uint64_t>(out, msg.task_id);
-  put<int32_t>(out, msg.chunk.stripe);
-  put<int32_t>(out, msg.chunk.index);
-  put<int32_t>(out, msg.dst);
-  put<uint8_t>(out, static_cast<uint8_t>(msg.mode));
-  put<uint8_t>(out, msg.coefficient);
-  put<uint32_t>(out, msg.packet_index);
-  put<uint32_t>(out, msg.total_packets);
-  put<uint64_t>(out, msg.chunk_bytes);
-  put<uint64_t>(out, msg.packet_bytes);
-  put<uint32_t>(out, static_cast<uint32_t>(msg.sources.size()));
-  put<uint32_t>(out, static_cast<uint32_t>(msg.error.size()));
-  put<uint32_t>(out, static_cast<uint32_t>(msg.payload.size()));
-  for (const auto& s : msg.sources) {
-    put<int32_t>(out, s.node);
-    put<int32_t>(out, s.chunk.stripe);
-    put<int32_t>(out, s.chunk.index);
-    put<uint8_t>(out, s.coefficient);
-  }
-  out.insert(out.end(), msg.error.begin(), msg.error.end());
-  out.insert(out.end(), msg.payload.begin(), msg.payload.end());
+  std::vector<uint8_t> out(msg.encoded_size());
+  write_message(out.data(), msg);
   return out;
 }
 
-std::optional<Message> deserialize(const std::vector<uint8_t>& bytes) {
+PooledBuffer serialize_pooled(const Message& msg) {
+  PooledBuffer out = BufferPool::global()->acquire(msg.encoded_size());
+  write_message(out.data(), msg);
+  return out;
+}
+
+std::optional<Message> deserialize(std::span<const uint8_t> bytes) {
   Reader reader(bytes);
   Message msg;
   uint8_t type = 0, mode = 0;

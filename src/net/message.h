@@ -10,10 +10,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "cluster/types.h"
+#include "util/buffer_pool.h"
 
 namespace fastpr::net {
 
@@ -32,6 +34,10 @@ enum class TransferMode : uint8_t {
   kStore = 0,   // migration: write payload verbatim
   kDecode = 1,  // reconstruction: multiply by coeff and XOR-accumulate
 };
+
+/// Upper bound on concurrent helper streams feeding one reconstruction
+/// (paper configs top out at k = 12 for RS(12,4); headroom beyond that).
+constexpr size_t kMaxRepairStreams = 32;
 
 /// One helper source of a reconstruction task.
 struct SourceSpec {
@@ -56,17 +62,28 @@ struct Message {
   uint64_t packet_bytes = 0;
   std::vector<SourceSpec> sources;   // kReconstructCmd only
   std::string error;                 // kTaskFailed only
-  std::vector<uint8_t> payload;      // kDataPacket only
+  /// kDataPacket only. Pool-recycled: steady-state packet traffic reuses
+  /// retired payload buffers instead of allocating per packet. Makes
+  /// Message move-only; use clone() where a test needs a copy.
+  PooledBuffer payload;
 
   /// Size of the serialized form; the unit charged against bandwidth.
   size_t encoded_size() const;
+
+  /// Deep copy (payload cloned through the pool).
+  Message clone() const;
 };
 
 /// Length-prefixed binary encoding (little-endian).
 std::vector<uint8_t> serialize(const Message& msg);
 
+/// serialize() into a pool-recycled frame buffer — the TCP send path,
+/// which would otherwise allocate one frame per packet.
+PooledBuffer serialize_pooled(const Message& msg);
+
 /// Parses one message from `bytes` (the full frame, without the length
-/// prefix). Returns nullopt on malformed input.
-std::optional<Message> deserialize(const std::vector<uint8_t>& bytes);
+/// prefix). The payload lands in a pool-recycled buffer. Returns nullopt
+/// on malformed input.
+std::optional<Message> deserialize(std::span<const uint8_t> bytes);
 
 }  // namespace fastpr::net

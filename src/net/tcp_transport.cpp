@@ -97,6 +97,11 @@ void TcpTransport::accept_loop(int node) {
 
 void TcpTransport::reader_loop(int node, int fd) {
   auto& ep = *endpoints_[static_cast<size_t>(node)];
+  // Pool-backed frame staging, reused across the connection's lifetime:
+  // one connection parses thousands of packet frames and this avoids a
+  // frame-sized allocation (and zero-fill) per packet. The deserialized
+  // payload is itself copied into a separately pooled buffer.
+  PooledBuffer frame;
   for (;;) {
     uint32_t frame_len = 0;
     if (!read_all(fd, reinterpret_cast<uint8_t*>(&frame_len),
@@ -104,9 +109,9 @@ void TcpTransport::reader_loop(int node, int fd) {
       break;
     }
     if (frame_len > kMaxFrameBytes) break;
-    std::vector<uint8_t> frame(frame_len);
+    frame.resize_uninitialized(frame_len);
     if (!read_all(fd, frame.data(), frame.size())) break;
-    auto msg = deserialize(frame);
+    auto msg = deserialize(frame.span());
     if (!msg.has_value()) {
       LOG_WARN("tcp: malformed frame dropped on node " << node);
       continue;
@@ -149,7 +154,7 @@ void TcpTransport::send(Message msg) {
   FASTPR_CHECK(msg.to >= 0 && msg.to < static_cast<int>(endpoints_.size()));
   auto& ep = *endpoints_[static_cast<size_t>(msg.from)];
 
-  const auto frame = serialize(msg);
+  const auto frame = serialize_pooled(msg);
   const bool shaped = options_.shape_control_messages ||
                       msg.type == MessageType::kDataPacket;
   if (shaped) ep.tx->acquire(static_cast<int64_t>(frame.size()));

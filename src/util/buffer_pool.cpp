@@ -1,0 +1,180 @@
+#include "util/buffer_pool.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace fastpr {
+
+// ---------------------------------------------------------------------------
+// PooledBuffer
+
+PooledBuffer::PooledBuffer(PooledBuffer&& other) noexcept
+    : storage_(std::move(other.storage_)),
+      size_(other.size_),
+      home_(std::move(other.home_)) {
+  other.storage_.clear();
+  other.size_ = 0;
+}
+
+PooledBuffer& PooledBuffer::operator=(PooledBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    storage_ = std::move(other.storage_);
+    size_ = other.size_;
+    home_ = std::move(other.home_);
+    other.storage_.clear();
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+PooledBuffer::~PooledBuffer() { release(); }
+
+void PooledBuffer::release() {
+  if (home_ && !storage_.empty()) {
+    home_->put_back(std::move(storage_));
+  }
+  storage_.clear();
+  size_ = 0;
+  home_.reset();
+}
+
+void PooledBuffer::assign(const uint8_t* src, size_t len) {
+  if (len == 0) {  // control messages: no payload, no pool traffic
+    size_ = 0;
+    return;
+  }
+  if (storage_.size() < len || !home_) {
+    *this = BufferPool::global()->acquire(len);
+  } else {
+    size_ = len;
+  }
+  if (len != 0) std::memcpy(storage_.data(), src, len);
+}
+
+void PooledBuffer::assign(size_t count, uint8_t value) {
+  if (count == 0) {
+    size_ = 0;
+    return;
+  }
+  if (storage_.size() < count || !home_) {
+    *this = BufferPool::global()->acquire(count);
+  } else {
+    size_ = count;
+  }
+  std::memset(storage_.data(), value, count);
+}
+
+void PooledBuffer::resize_uninitialized(size_t len) {
+  if (len == 0) {
+    size_ = 0;
+    return;
+  }
+  if (storage_.size() < len || !home_) {
+    *this = BufferPool::global()->acquire(len);
+  } else {
+    size_ = len;
+  }
+}
+
+PooledBuffer& PooledBuffer::operator=(std::initializer_list<uint8_t> bytes) {
+  *this = BufferPool::global()->acquire(bytes.size());
+  std::copy(bytes.begin(), bytes.end(), storage_.data());
+  return *this;
+}
+
+PooledBuffer PooledBuffer::clone() const {
+  if (size_ == 0) return {};
+  const auto& pool = home_ ? home_ : BufferPool::global();
+  PooledBuffer copy = pool->acquire(size_);
+  if (size_ != 0) std::memcpy(copy.data(), data(), size_);
+  return copy;
+}
+
+bool operator==(const PooledBuffer& a, const PooledBuffer& b) {
+  return a.size_ == b.size_ &&
+         (a.size_ == 0 || std::memcmp(a.data(), b.data(), a.size_) == 0);
+}
+
+bool operator==(const PooledBuffer& a, const std::vector<uint8_t>& b) {
+  return a.size() == b.size() &&
+         (b.empty() || std::memcmp(a.data(), b.data(), b.size()) == 0);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool
+
+BufferPool::BufferPool(size_t max_shelf_buffers)
+    : max_shelf_buffers_(max_shelf_buffers) {}
+
+std::shared_ptr<BufferPool> BufferPool::create(size_t max_shelf_buffers) {
+  // Private constructor: go through a make_shared-compatible shim.
+  struct Shim : BufferPool {
+    explicit Shim(size_t cap) : BufferPool(cap) {}
+  };
+  return std::make_shared<Shim>(max_shelf_buffers);
+}
+
+const std::shared_ptr<BufferPool>& BufferPool::global() {
+  static const std::shared_ptr<BufferPool> pool = create();
+  return pool;
+}
+
+int BufferPool::shelf_for(size_t len) {
+  const size_t clamped = std::max<size_t>(len, size_t{1} << kMinShelf);
+  const int shelf = std::bit_width(clamped - 1);  // ceil(log2(clamped))
+  FASTPR_CHECK_MSG(shelf <= kMaxShelf,
+                   "buffer of " << len << " bytes exceeds pool maximum");
+  return shelf - kMinShelf;
+}
+
+PooledBuffer BufferPool::acquire(size_t len) {
+  const int shelf = shelf_for(len);
+  PooledBuffer out;
+  {
+    MutexLock lock(mutex_);
+    auto& cached = shelves_[shelf];
+    if (!cached.empty()) {
+      out.storage_ = std::move(cached.back());
+      cached.pop_back();
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+  }
+  if (out.storage_.empty()) {
+    // Size the storage to the full capacity class once; reuses then
+    // never resize (resize would zero-fill every acquire).
+    out.storage_.resize(size_t{1} << (shelf + kMinShelf));
+  }
+  out.size_ = len;
+  out.home_ = shared_from_this();
+  return out;
+}
+
+void BufferPool::put_back(std::vector<uint8_t>&& storage) {
+  const int shelf = shelf_for(storage.size());
+  MutexLock lock(mutex_);
+  auto& cached = shelves_[shelf];
+  if (cached.size() < max_shelf_buffers_) {
+    cached.push_back(std::move(storage));
+    ++stats_.recycled;
+  } else {
+    ++stats_.dropped;
+  }
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+void BufferPool::trim() {
+  MutexLock lock(mutex_);
+  for (auto& shelf : shelves_) shelf.clear();
+}
+
+}  // namespace fastpr

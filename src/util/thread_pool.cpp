@@ -12,6 +12,14 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
+void ThreadPool::post(std::function<void()> fn) {
+  {
+    MutexLock lock(mutex_);
+    queue_.push(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
 ThreadPool::~ThreadPool() {
   {
     MutexLock lock(mutex_);

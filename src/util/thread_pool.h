@@ -22,6 +22,12 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Fire-and-forget scheduling: no future, no packaged_task wrapper.
+  /// An exception escaping fn terminates (same contract as a detached
+  /// thread) instead of being silently parked in an unread future —
+  /// the agent data plane wants that loudness for FASTPR_CHECK trips.
+  void post(std::function<void()> fn) FASTPR_EXCLUDES(mutex_);
+
   /// Schedules fn and returns a future for its result. Safe to call from
   /// worker tasks; tasks queued before the destructor drains are run.
   template <typename Fn>

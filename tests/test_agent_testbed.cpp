@@ -9,6 +9,7 @@
 #include "core/repair_plan.h"
 #include "ec/lrc_code.h"
 #include "ec/rs_code.h"
+#include "util/buffer_pool.h"
 #include "util/units.h"
 
 namespace fastpr::agent {
@@ -207,6 +208,38 @@ TEST(Testbed, OddChunkPacketDivisionStillExact) {
                                       ? ""
                                       : report.errors.front());
   EXPECT_TRUE(tb.verify(plan));
+}
+
+TEST(Testbed, SteadyStateTransferRecyclesPayloadBuffers) {
+  // Tentpole acceptance: the steady-state transfer path must not
+  // allocate per packet. Payload buffers come from the global pool, so
+  // after a small working set warms up, every further packet is a shelf
+  // hit. Migration streams drop each payload right after the copy-in,
+  // which makes the recycling easy to observe end to end.
+  ec::RsCode code(6, 4);
+  auto opts = small_options(111);
+  opts.chunk_bytes = 128 * kKiB;
+  opts.packet_bytes = 8 * kKiB;  // 16 packets per chunk
+  Testbed tb(opts, code);
+  tb.flag_stf();
+  auto planner = tb.make_planner(core::Scenario::kScattered);
+  const auto plan = planner.plan_migration_only();
+
+  const auto before = BufferPool::global()->stats();
+  const auto report = tb.execute(plan);
+  ASSERT_TRUE(report.success);
+  EXPECT_TRUE(tb.verify(plan));
+  const auto after = BufferPool::global()->stats();
+
+  const int64_t new_misses = after.misses - before.misses;
+  const int64_t new_hits = after.hits - before.hits;
+  const int64_t packets = static_cast<int64_t>(report.repaired()) * 16;
+  ASSERT_GE(packets, 200);  // enough traffic for "steady state" to mean
+                            // something
+  // The allocation count is bounded by the concurrent working set
+  // (streams × pipeline depth), NOT by the packet count.
+  EXPECT_LE(new_misses, 64);
+  EXPECT_GE(new_hits, packets - 64);
 }
 
 TEST(Testbed, TrafficAmplificationMatchesTheory) {

@@ -1,0 +1,230 @@
+// GF(256) kernel dispatch: every supported SIMD variant must match the
+// scalar reference bit-for-bit over random coefficients, unaligned
+// offsets, and ragged lengths — the property that lets benches trust
+// whatever kernel the host dispatches to.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gf/gf256.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fastpr::gf {
+namespace {
+
+std::vector<Kernel> supported_kernels() {
+  std::vector<Kernel> out;
+  for (Kernel k :
+       {Kernel::kScalar, Kernel::kSsse3, Kernel::kAvx2, Kernel::kGfni}) {
+    if (kernel_supported(k)) out.push_back(k);
+  }
+  return out;
+}
+
+std::vector<uint8_t> random_bytes(Rng& rng, size_t n) {
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.uniform(0, 255));
+  return out;
+}
+
+/// Scalar ground truth computed element-wise from the field tables —
+/// independent of even the kScalar region-op code path.
+void reference_mul_xor(uint8_t* dst, const uint8_t* src, uint8_t c,
+                       size_t len) {
+  for (size_t i = 0; i < len; ++i) dst[i] ^= mul(c, src[i]);
+}
+
+class GfKernels : public ::testing::TestWithParam<Kernel> {
+ protected:
+  void SetUp() override {
+    if (!kernel_supported(GetParam())) {
+      GTEST_SKIP() << kernel_name(GetParam()) << " not supported here";
+    }
+  }
+};
+
+TEST_P(GfKernels, MulRegionXorMatchesReference) {
+  ScopedKernel pin(GetParam());
+  Rng rng(0xA0 + static_cast<uint64_t>(GetParam()));
+  // Lengths cross every tail-handling boundary: empty, sub-vector,
+  // exactly 16/32, and ragged remainders up to 4 KiB.
+  for (size_t len : {size_t{0}, size_t{1}, size_t{7}, size_t{15}, size_t{16},
+                     size_t{17}, size_t{31}, size_t{32}, size_t{33},
+                     size_t{100}, size_t{1000}, size_t{4096}, size_t{4099}}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const uint8_t c = static_cast<uint8_t>(rng.uniform(0, 255));
+      const auto src = random_bytes(rng, len);
+      auto dst = random_bytes(rng, len);
+      auto want = dst;
+      reference_mul_xor(want.data(), src.data(), c, len);
+      mul_region_xor(dst.data(), src.data(), c, len);
+      EXPECT_EQ(dst, want) << kernel_name(GetParam()) << " c=" << int(c)
+                           << " len=" << len;
+    }
+  }
+}
+
+TEST_P(GfKernels, MulRegionMatchesReference) {
+  ScopedKernel pin(GetParam());
+  Rng rng(0xB0 + static_cast<uint64_t>(GetParam()));
+  for (size_t len : {size_t{0}, size_t{1}, size_t{31}, size_t{32},
+                     size_t{33}, size_t{4096}, size_t{4099}}) {
+    // c = 0 and c = 1 exercise the memset/memmove fast paths.
+    for (int c_int : {0, 1, 2, 0x1D, 0xFF}) {
+      const uint8_t c = static_cast<uint8_t>(c_int);
+      const auto src = random_bytes(rng, len);
+      auto dst = random_bytes(rng, len);
+      std::vector<uint8_t> want(len);
+      for (size_t i = 0; i < len; ++i) want[i] = mul(c, src[i]);
+      mul_region(dst.data(), src.data(), c, len);
+      EXPECT_EQ(dst, want) << kernel_name(GetParam()) << " c=" << c_int
+                           << " len=" << len;
+    }
+  }
+}
+
+TEST_P(GfKernels, MulRegionInPlaceScaling) {
+  ScopedKernel pin(GetParam());
+  Rng rng(0xB8 + static_cast<uint64_t>(GetParam()));
+  for (int c_int : {0, 1, 0x1D}) {
+    const uint8_t c = static_cast<uint8_t>(c_int);
+    auto buf = random_bytes(rng, 1000);
+    std::vector<uint8_t> want(buf.size());
+    for (size_t i = 0; i < buf.size(); ++i) want[i] = mul(c, buf[i]);
+    mul_region(buf.data(), buf.data(), c, buf.size());  // dst == src
+    EXPECT_EQ(buf, want) << "c=" << c_int;
+  }
+}
+
+TEST_P(GfKernels, XorRegionMatchesReference) {
+  ScopedKernel pin(GetParam());
+  Rng rng(0xC0 + static_cast<uint64_t>(GetParam()));
+  for (size_t len : {size_t{0}, size_t{5}, size_t{16}, size_t{31},
+                     size_t{32}, size_t{33}, size_t{4099}}) {
+    const auto src = random_bytes(rng, len);
+    auto dst = random_bytes(rng, len);
+    auto want = dst;
+    for (size_t i = 0; i < len; ++i) want[i] ^= src[i];
+    xor_region(dst.data(), src.data(), len);
+    EXPECT_EQ(dst, want) << kernel_name(GetParam()) << " len=" << len;
+  }
+}
+
+TEST_P(GfKernels, UnalignedOffsetsMatchReference) {
+  // SIMD loads/stores are unaligned-capable; prove it by running every
+  // misalignment of dst and src relative to a 64-byte boundary.
+  ScopedKernel pin(GetParam());
+  Rng rng(0xD0 + static_cast<uint64_t>(GetParam()));
+  const size_t len = 257;
+  const auto src_base = random_bytes(rng, len + 64);
+  const auto dst_base = random_bytes(rng, len + 64);
+  for (size_t src_off : {size_t{0}, size_t{1}, size_t{3}, size_t{15},
+                         size_t{17}, size_t{31}, size_t{33}}) {
+    for (size_t dst_off : {size_t{0}, size_t{1}, size_t{31}, size_t{33}}) {
+      const uint8_t c = static_cast<uint8_t>(rng.uniform(2, 255));
+      auto dst = dst_base;
+      auto want = dst_base;
+      reference_mul_xor(want.data() + dst_off, src_base.data() + src_off, c,
+                        len);
+      mul_region_xor(dst.data() + dst_off, src_base.data() + src_off, c,
+                     len);
+      EXPECT_EQ(dst, want) << kernel_name(GetParam()) << " src+" << src_off
+                           << " dst+" << dst_off;
+    }
+  }
+}
+
+TEST_P(GfKernels, DotRegionXorMatchesPerSourceLoop) {
+  ScopedKernel pin(GetParam());
+  Rng rng(0xE0 + static_cast<uint64_t>(GetParam()));
+  // Source counts straddle the internal batch width (16), including the
+  // empty dot; coefficients include 0 (skipped) and 1 (identity row).
+  for (size_t num_src : {size_t{0}, size_t{1}, size_t{2}, size_t{6},
+                         size_t{12}, size_t{16}, size_t{17}, size_t{40}}) {
+    for (size_t len : {size_t{0}, size_t{1}, size_t{33}, size_t{1000},
+                       size_t{4096}}) {
+      std::vector<std::vector<uint8_t>> srcs;
+      std::vector<uint8_t> coeffs;
+      for (size_t j = 0; j < num_src; ++j) {
+        srcs.push_back(random_bytes(rng, len));
+        // Bias toward the special values so they appear in small sets.
+        const int pick = static_cast<int>(rng.uniform(0, 9));
+        coeffs.push_back(pick == 0 ? 0
+                         : pick == 1
+                             ? 1
+                             : static_cast<uint8_t>(rng.uniform(2, 255)));
+      }
+      auto dst = random_bytes(rng, len);
+      auto want = dst;
+      for (size_t j = 0; j < num_src; ++j) {
+        reference_mul_xor(want.data(), srcs[j].data(), coeffs[j], len);
+      }
+      std::vector<const uint8_t*> ptrs;
+      for (const auto& s : srcs) ptrs.push_back(s.data());
+      dot_region_xor(dst.data(), ptrs.data(), coeffs.data(), num_src, len);
+      EXPECT_EQ(dst, want) << kernel_name(GetParam()) << " n=" << num_src
+                           << " len=" << len;
+    }
+  }
+}
+
+TEST_P(GfKernels, DotRegionXorSpanOverload) {
+  ScopedKernel pin(GetParam());
+  Rng rng(0xF0 + static_cast<uint64_t>(GetParam()));
+  const size_t len = 515;
+  std::vector<std::vector<uint8_t>> srcs;
+  std::vector<std::span<const uint8_t>> views;
+  std::vector<uint8_t> coeffs;
+  for (size_t j = 0; j < 6; ++j) {
+    srcs.push_back(random_bytes(rng, len));
+    coeffs.push_back(static_cast<uint8_t>(rng.uniform(0, 255)));
+  }
+  for (const auto& s : srcs) views.emplace_back(s);
+  std::vector<uint8_t> dst(len, 0);
+  std::vector<uint8_t> want(len, 0);
+  for (size_t j = 0; j < srcs.size(); ++j) {
+    reference_mul_xor(want.data(), srcs[j].data(), coeffs[j], len);
+  }
+  dot_region_xor(std::span<uint8_t>(dst),
+                 std::span<const std::span<const uint8_t>>(views), coeffs);
+  EXPECT_EQ(dst, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, GfKernels,
+                         ::testing::Values(Kernel::kScalar, Kernel::kSsse3,
+                                           Kernel::kAvx2, Kernel::kGfni),
+                         [](const auto& info) {
+                           return std::string(kernel_name(info.param));
+                         });
+
+TEST(GfKernelDispatch, NamesRoundTrip) {
+  for (Kernel k : supported_kernels()) {
+    const auto parsed = parse_kernel(kernel_name(k));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(parse_kernel("avx512").has_value());
+  EXPECT_FALSE(parse_kernel("").has_value());
+}
+
+TEST(GfKernelDispatch, BestSupportedIsSupportedAndActive) {
+  EXPECT_TRUE(kernel_supported(best_supported_kernel()));
+  EXPECT_TRUE(kernel_supported(Kernel::kScalar));
+  // active_kernel() always names something this host can run.
+  EXPECT_TRUE(kernel_supported(active_kernel()));
+}
+
+TEST(GfKernelDispatch, ForceKernelSticksAndRestores) {
+  const Kernel before = active_kernel();
+  {
+    ScopedKernel pin(Kernel::kScalar);
+    EXPECT_EQ(active_kernel(), Kernel::kScalar);
+  }
+  EXPECT_EQ(active_kernel(), before);
+}
+
+}  // namespace
+}  // namespace fastpr::gf

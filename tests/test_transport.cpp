@@ -80,7 +80,7 @@ TEST_P(TransportTest, PayloadIntegrity) {
   for (size_t i = 0; i < m.payload.size(); ++i) {
     m.payload[i] = static_cast<uint8_t>(i * 31);
   }
-  const auto expected = m.payload;
+  const auto expected = m.payload.clone();
   t->send(std::move(m));
   const auto got = t->recv(1, std::chrono::milliseconds(2000));
   ASSERT_TRUE(got.has_value());
@@ -136,9 +136,9 @@ INSTANTIATE_TEST_SUITE_P(Kinds, TransportTest,
 TEST(InprocTransport, TracksBytesSent) {
   InprocTransport::Options opts;
   InprocTransport t(2, opts);
-  const auto msg = control(0, 1);
+  auto msg = control(0, 1);
   const auto size = msg.encoded_size();
-  t.send(msg);
+  t.send(std::move(msg));
   EXPECT_EQ(t.total_bytes_sent(), static_cast<int64_t>(size));
   t.shutdown();
 }
