@@ -15,12 +15,18 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "agent/testbed.h"
 #include "core/fastpr.h"
 #include "ec/rs_code.h"
 #include "sim/strategies.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "util/check.h"
 #include "util/logging.h"
 #include "util/table.h"
 #include "util/units.h"
@@ -64,6 +70,11 @@ struct TestbedTimes {
   double reconstruction = 0;
   double migration = 0;
   int stf_chunks = 0;
+  /// Per-round measured breakdown of the FastPR run, with the cost
+  /// model's per-round prediction attached — benches embed its
+  /// to_json() in their sidecar so figures stay diffable against
+  /// Algorithm 2's plan structure.
+  telemetry::RepairReport fastpr_report;
 };
 
 /// Runs all three strategies on fresh testbeds (per-chunk seconds).
@@ -85,7 +96,7 @@ inline TestbedTimes run_testbed_trio(const agent::TestbedOptions& opts,
     } else {
       plan = planner.plan_migration_only();
     }
-    const auto report = tb.execute(plan);
+    auto report = tb.execute(plan);
     if (!report.success) {
       LOG_ERROR("testbed run failed: "
                 << (report.errors.empty() ? "?" : report.errors[0]));
@@ -94,6 +105,10 @@ inline TestbedTimes run_testbed_trio(const agent::TestbedOptions& opts,
     if (!tb.verify(plan)) {
       LOG_ERROR("testbed verification FAILED for " << which);
       return 0.0;
+    }
+    if (std::string(which) == "fastpr") {
+      report.repair.predicted = tb.predict_rounds(plan, scenario);
+      out.fastpr_report = std::move(report.repair);
     }
     return report.per_chunk();
   };
@@ -107,5 +122,123 @@ inline std::string pct(double smaller, double larger) {
   if (larger <= 0) return "-";
   return Table::fmt(100.0 * (1.0 - smaller / larger), 1) + "%";
 }
+
+/// One code path for a bench's figure output: every section/row goes
+/// through here, which prints the human-readable table (exactly as the
+/// pre-existing benches did) AND mirrors it into a structured JSON
+/// sidecar — `<bench>.json` in the working directory — so the two can
+/// never drift. The sidecar records the bench configuration, every row
+/// keyed by its column header, any per-row attachments (e.g. a
+/// RepairReport), whether telemetry was compiled in, and a final
+/// metrics-registry snapshot.
+class FigureEmitter {
+ public:
+  explicit FigureEmitter(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  /// Records one configuration fact for the sidecar (scales, code, ...).
+  void add_config(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, value);
+  }
+
+  /// Opens a titled table; prints the title line immediately.
+  void begin_section(const std::string& title,
+                     std::vector<std::string> headers) {
+    FASTPR_CHECK(!in_section_);
+    in_section_ = true;
+    std::printf("%s\n", title.c_str());
+    sections_.push_back(Section{title, std::move(headers), {}, {}});
+  }
+
+  /// Adds one row; arity must match the section's headers.
+  void add_row(std::vector<std::string> cells) {
+    FASTPR_CHECK(in_section_);
+    auto& section = sections_.back();
+    FASTPR_CHECK(cells.size() == section.headers.size());
+    section.rows.push_back(std::move(cells));
+    section.extras.emplace_back();
+  }
+
+  /// Attaches a raw JSON value under `key` to the last added row —
+  /// sidecar-only detail that has no table column (per-round repair
+  /// breakdowns, for instance).
+  void attach_json(const std::string& key, const std::string& json) {
+    FASTPR_CHECK(in_section_);
+    FASTPR_CHECK(!sections_.back().rows.empty());
+    sections_.back().extras.back().emplace_back(key, json);
+  }
+
+  /// Prints the section's table followed by a blank line.
+  void end_section() {
+    FASTPR_CHECK(in_section_);
+    in_section_ = false;
+    const auto& section = sections_.back();
+    Table t(section.headers);
+    for (const auto& row : section.rows) t.add_row(row);
+    t.print();
+    std::printf("\n");
+  }
+
+  /// Writes `<bench>.json`. Call once, after the last section.
+  bool write_sidecar() const {
+    FASTPR_CHECK(!in_section_);
+    std::ostringstream os;
+    os << "{\"bench\":" << telemetry::json_str(bench_)
+       << ",\"telemetry_enabled\":"
+       << (FASTPR_TELEMETRY_ENABLED != 0 ? "true" : "false") << ",\"config\":{";
+    for (size_t i = 0; i < config_.size(); ++i) {
+      if (i != 0) os << ",";
+      os << telemetry::json_str(config_[i].first) << ":"
+         << telemetry::json_str(config_[i].second);
+    }
+    os << "},\"sections\":[";
+    for (size_t s = 0; s < sections_.size(); ++s) {
+      const auto& section = sections_[s];
+      if (s != 0) os << ",";
+      os << "{\"title\":" << telemetry::json_str(section.title)
+         << ",\"rows\":[";
+      for (size_t r = 0; r < section.rows.size(); ++r) {
+        if (r != 0) os << ",";
+        os << "{";
+        for (size_t c = 0; c < section.headers.size(); ++c) {
+          if (c != 0) os << ",";
+          os << telemetry::json_str(section.headers[c]) << ":"
+             << telemetry::json_str(section.rows[r][c]);
+        }
+        for (const auto& [key, json] : section.extras[r]) {
+          os << "," << telemetry::json_str(key) << ":" << json;
+        }
+        os << "}";
+      }
+      os << "]}";
+    }
+    os << "],\"metrics\":"
+       << telemetry::MetricsRegistry::global().snapshot().to_json() << "}";
+
+    const std::string path = bench_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out.good()) {
+      LOG_WARN("cannot write bench sidecar " << path);
+      return false;
+    }
+    out << os.str() << "\n";
+    std::printf("sidecar: %s\n", path.c_str());
+    return out.good();
+  }
+
+ private:
+  struct Section {
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+    /// Per-row (key, raw-JSON) attachments, parallel to `rows`.
+    std::vector<std::vector<std::pair<std::string, std::string>>> extras;
+  };
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Section> sections_;
+  bool in_section_ = false;
+};
 
 }  // namespace fastpr::bench

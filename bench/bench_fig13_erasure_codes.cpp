@@ -11,28 +11,36 @@ int main() {
       "testbed, chunk 4 MB (paper 64 MB, scaled 1/16), packet 256 KB\n"
       "repair time per chunk (s)\n\n");
 
+  bench::FigureEmitter fig("bench_fig13_erasure_codes");
+  fig.add_config("chunk", "4MB (paper 64MB, scaled 1/16)");
+  fig.add_config("packet", "256KB");
+  fig.add_config("seed", "13");
   for (auto scenario :
        {core::Scenario::kScattered, core::Scenario::kHotStandby}) {
-    std::printf("(%s) %s repair\n",
-                scenario == core::Scenario::kScattered ? "a" : "b",
-                core::to_string(scenario).c_str());
-    Table t({"code", "FastPR", "Reconstruction", "Migration",
-             "FastPR vs Recon", "FastPR vs Migr"});
+    const std::string title =
+        std::string("(") +
+        (scenario == core::Scenario::kScattered ? "a" : "b") + ") " +
+        core::to_string(scenario) + " repair";
+    fig.begin_section(title,
+                      {"code", "FastPR", "Reconstruction", "Migration",
+                       "FastPR vs Recon", "FastPR vs Migr"});
     for (auto [n, k] : {std::pair{9, 6}, {14, 10}, {16, 12}}) {
       ec::RsCode code(n, k);
       auto opts = bench::testbed_defaults(/*seed=*/13);
       const auto r = bench::run_testbed_trio(opts, code, scenario);
-      t.add_row({code.name(), Table::fmt(r.fastpr, 3),
-                 Table::fmt(r.reconstruction, 3), Table::fmt(r.migration, 3),
-                 bench::pct(r.fastpr, r.reconstruction),
-                 bench::pct(r.fastpr, r.migration)});
+      fig.add_row({code.name(), Table::fmt(r.fastpr, 3),
+                   Table::fmt(r.reconstruction, 3),
+                   Table::fmt(r.migration, 3),
+                   bench::pct(r.fastpr, r.reconstruction),
+                   bench::pct(r.fastpr, r.migration)});
+      fig.attach_json("fastpr_report", r.fastpr_report.to_json());
     }
-    t.print();
-    std::printf("\n");
+    fig.end_section();
   }
   std::printf(
       "paper shape: migration flat across codes; reconstruction grows "
       "sharply with k; FastPR least everywhere (scattered reductions: "
       "42.6%%/17.1%% at RS(9,6) ... 9.6%%/71.7%% at RS(16,12))\n");
+  fig.write_sidecar();
   return 0;
 }

@@ -15,30 +15,39 @@ int main() {
       "testbed, RS(9,6), chunk 4 MB (scaled 1/16), packet 256 KB\n"
       "repair time per chunk (s)\n\n");
 
+  bench::FigureEmitter fig("bench_fig14_bandwidth");
+  fig.add_config("code", "RS(9,6)");
+  fig.add_config("chunk", "4MB (scaled 1/16)");
+  fig.add_config("packet", "256KB");
+  fig.add_config("seed", "14");
   for (auto scenario :
        {core::Scenario::kScattered, core::Scenario::kHotStandby}) {
-    std::printf("(%s) %s repair\n",
-                scenario == core::Scenario::kScattered ? "a" : "b",
-                core::to_string(scenario).c_str());
-    Table t({"bn", "FastPR", "Reconstruction", "Migration",
-             "FastPR vs Recon", "FastPR vs Migr"});
+    const std::string title =
+        std::string("(") +
+        (scenario == core::Scenario::kScattered ? "a" : "b") + ") " +
+        core::to_string(scenario) + " repair";
+    fig.begin_section(title,
+                      {"bn", "FastPR", "Reconstruction", "Migration",
+                       "FastPR vs Recon", "FastPR vs Migr"});
     for (double bn : {0.5, 1.0, 5.0}) {
       auto opts = bench::testbed_defaults(/*seed=*/14);
       // Scaled 1/4 like every testbed bandwidth, so the label matches
       // the paper's axis while ratios to the (scaled) disk hold.
       opts.net_bytes_per_sec = Gbps(bn) / 4;
       const auto r = bench::run_testbed_trio(opts, code, scenario);
-      t.add_row({Table::fmt(bn, 1) + "Gb/s", Table::fmt(r.fastpr, 3),
-                 Table::fmt(r.reconstruction, 3), Table::fmt(r.migration, 3),
-                 bench::pct(r.fastpr, r.reconstruction),
-                 bench::pct(r.fastpr, r.migration)});
+      fig.add_row({Table::fmt(bn, 1) + "Gb/s", Table::fmt(r.fastpr, 3),
+                   Table::fmt(r.reconstruction, 3),
+                   Table::fmt(r.migration, 3),
+                   bench::pct(r.fastpr, r.reconstruction),
+                   bench::pct(r.fastpr, r.migration)});
+      fig.attach_json("fastpr_report", r.fastpr_report.to_json());
     }
-    t.print();
-    std::printf("\n");
+    fig.end_section();
   }
   std::printf(
       "paper shape: reconstruction-only blows up at low bn (k-fold "
       "traffic); FastPR least everywhere (reductions 27.7%%/62.5%% at "
       "0.5 Gb/s, 27.1%%/61.5%% at 1 Gb/s, scattered)\n");
+  fig.write_sidecar();
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <functional>
 
 #include "gf/gf256.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -181,7 +183,11 @@ void Agent::sender_loop() {
       item = std::move(send_queue_.front());
       send_queue_.pop_front();
     }
-    transport_.send(std::move(item.msg));  // blocks on NIC shaping
+    {
+      FASTPR_TRACE_SPAN("agent.send_packet", "agent",
+                        static_cast<int64_t>(item.msg.task_id), "task");
+      transport_.send(std::move(item.msg));  // blocks on NIC shaping
+    }
     {
       MutexLock lock(item.window->mutex);
       --item.window->in_flight;
@@ -194,6 +200,8 @@ void Agent::stream_chunk(uint64_t task_id, ChunkRef chunk, NodeId dst,
                          TransferMode mode, uint8_t coefficient,
                          uint64_t packet_bytes) {
   FASTPR_CHECK(packet_bytes >= 1);
+  FASTPR_TRACE_SPAN("agent.stream_chunk", "agent",
+                    static_cast<int64_t>(task_id), "task");
   const auto content = store_.read_unthrottled(chunk);
   if (!content.has_value()) {
     report_failure(task_id, "read error on node " +
@@ -233,9 +241,16 @@ void Agent::stream_chunk(uint64_t task_id, ChunkRef chunk, NodeId dst,
 
     enqueue_send(std::move(packet), window);
   }
+  telemetry::MetricsRegistry::global()
+      .counter("agent.data_packets_tx")
+      .add(total_packets);
 }
 
 void Agent::handle_data_packet(Message&& msg) {
+  // Static ref: one registry lookup per process, not per packet.
+  static telemetry::Counter& rx_packets =
+      telemetry::MetricsRegistry::global().counter("agent.data_packets_rx");
+  rx_packets.add();
   auto it = tasks_.find(msg.task_id);
   if (it == tasks_.end()) {
     if (msg.mode != TransferMode::kStore) {
@@ -288,6 +303,8 @@ void Agent::handle_data_packet(Message&& msg) {
         FASTPR_CHECK(pending.payloads[j].size() == payload_bytes);
         srcs[j] = pending.payloads[j].data();
       }
+      FASTPR_TRACE_SPAN("agent.accumulate", "agent",
+                        static_cast<int64_t>(msg.task_id), "task");
       gf::dot_region_xor(state.accumulator.data() + offset, srcs,
                          pending.coeffs.data(), n, payload_bytes);
       pending.payloads.clear();  // recycles the pooled buffers
@@ -302,6 +319,8 @@ void Agent::handle_data_packet(Message&& msg) {
     store_.charge_io(static_cast<int64_t>(payload_bytes));
     ++state.packets_complete;
     if (state.packets_complete == state.total_packets) {
+      FASTPR_TRACE_SPAN("agent.store_chunk", "agent",
+                        static_cast<int64_t>(msg.task_id), "task");
       store_.write_unthrottled(state.chunk, std::move(state.accumulator));
       Message done;
       done.type = MessageType::kTaskDone;

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/crc32c.h"
 
@@ -24,7 +26,8 @@ std::filesystem::path ChunkStore::path_for(cluster::ChunkRef chunk) const {
 }
 
 void ChunkStore::write(cluster::ChunkRef chunk, std::vector<uint8_t> data) {
-  disk_->acquire(static_cast<int64_t>(data.size()));
+  FASTPR_TRACE_SPAN("store.write", "store");
+  charge_io(static_cast<int64_t>(data.size()));
   write_unthrottled(chunk, std::move(data));
 }
 
@@ -65,9 +68,10 @@ std::optional<std::vector<uint8_t>> ChunkStore::read_unthrottled(
 
 std::optional<std::vector<uint8_t>> ChunkStore::read(
     cluster::ChunkRef chunk) const {
+  FASTPR_TRACE_SPAN("store.read", "store");
   auto data = read_unthrottled(chunk);
   if (data.has_value()) {
-    disk_->acquire(static_cast<int64_t>(data->size()));
+    charge_io(static_cast<int64_t>(data->size()));
   }
   return data;
 }
@@ -93,7 +97,15 @@ void ChunkStore::write_unthrottled(cluster::ChunkRef chunk,
   chunks_[chunk] = std::move(data);
 }
 
-void ChunkStore::charge_io(int64_t bytes) const { disk_->acquire(bytes); }
+void ChunkStore::charge_io(int64_t bytes) const {
+  // The span exposes disk pacing: its duration is the time this packet
+  // spent waiting on the token bucket.
+  FASTPR_TRACE_SPAN("store.charge_io", "store", bytes, "bytes");
+  disk_->acquire(bytes);
+  static telemetry::Counter& io_bytes =
+      telemetry::MetricsRegistry::global().counter("store.io_bytes");
+  io_bytes.add(bytes);
+}
 
 bool ChunkStore::has_materialized(cluster::ChunkRef chunk) const {
   MutexLock lock(mutex_);

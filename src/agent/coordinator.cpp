@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -90,13 +91,19 @@ core::ReconstructionTask Coordinator::fallback_for(
 }
 
 ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
-  using Clock = std::chrono::steady_clock;
+  using Clock = telemetry::TraceClock;
+  FASTPR_TRACE_SPAN("coordinator.execute", "coordinator");
   ExecutionReport report;
 
   for (size_t round_idx = 0; round_idx < plan.rounds.size(); ++round_idx) {
     const auto& round = plan.rounds[round_idx];
+    FASTPR_TRACE_SPAN("coordinator.round", "coordinator",
+                      static_cast<int64_t>(round_idx) + 1, "round");
     const auto round_start = Clock::now();
     const auto deadline = round_start + options_.round_timeout;
+    const int round_migrated_before = report.migrated;
+    const int round_recon_before = report.reconstructed;
+    const int round_fallbacks_before = report.fallback_reconstructions;
 
     // Pending task bookkeeping; migrations keep their task around for
     // potential fallback.
@@ -169,6 +176,22 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
         std::chrono::duration<double>(Clock::now() - round_start).count();
     report.round_seconds.push_back(secs);
     report.total_seconds += secs;
+
+    telemetry::RepairRoundStats stats;
+    stats.round = static_cast<int>(round_idx) + 1;
+    stats.cr = report.reconstructed - round_recon_before;
+    stats.cm = report.migrated - round_migrated_before;
+    stats.fallbacks =
+        report.fallback_reconstructions - round_fallbacks_before;
+    stats.bytes_reconstructed =
+        static_cast<int64_t>(stats.cr) *
+        static_cast<int64_t>(options_.chunk_bytes);
+    stats.bytes_migrated = static_cast<int64_t>(stats.cm) *
+                           static_cast<int64_t>(options_.chunk_bytes);
+    stats.duration_seconds = secs;
+    report.repair.rounds.push_back(stats);
+    report.repair.total_seconds = report.total_seconds;
+
     if (!report.success) break;
   }
   return report;

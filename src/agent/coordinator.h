@@ -16,6 +16,7 @@
 #include "core/repair_plan.h"
 #include "ec/erasure_code.h"
 #include "net/transport.h"
+#include "telemetry/repair_report.h"
 
 namespace fastpr::agent {
 
@@ -36,6 +37,10 @@ struct ExecutionReport {
   /// Repair traffic over the network during this execution (data
   /// packets only; filled by Testbed::execute for in-process runs).
   int64_t network_bytes = 0;
+  /// Per-round breakdown in the paper's (cr, cm) vocabulary; the
+  /// coordinator fills everything except stf_bw_utilization and
+  /// `predicted`, which Testbed::execute adds (see DESIGN.md §5c).
+  telemetry::RepairReport repair;
   std::vector<std::string> errors;
 
   int repaired() const { return migrated + reconstructed; }

@@ -200,7 +200,33 @@ ExecutionReport Testbed::execute(const core::RepairPlan& plan) {
   if (inproc != nullptr) {
     report.network_bytes = inproc->total_bytes_sent() - before;
   }
+  // The coordinator cannot know the disk rate; the testbed does. A
+  // round's migration reads all come off the STF node's (shaped) disk.
+  if (options_.disk_bytes_per_sec > 0) {
+    for (auto& round : report.repair.rounds) {
+      if (round.duration_seconds > 0) {
+        round.stf_bw_utilization =
+            static_cast<double>(round.bytes_migrated) /
+            (options_.disk_bytes_per_sec * round.duration_seconds);
+      }
+    }
+  }
   return report;
+}
+
+std::vector<telemetry::PredictedRound> Testbed::predict_rounds(
+    const core::RepairPlan& plan, core::Scenario scenario) {
+  const core::CostModel model = make_planner(scenario).cost_model();
+  std::vector<telemetry::PredictedRound> predicted;
+  predicted.reserve(plan.rounds.size());
+  for (const auto& round : plan.rounds) {
+    telemetry::PredictedRound p;
+    p.cr = static_cast<int>(round.reconstructions.size());
+    p.cm = static_cast<int>(round.migrations.size());
+    p.duration_seconds = model.round_time(p.cr, p.cm);
+    predicted.push_back(p);
+  }
+  return predicted;
 }
 
 bool Testbed::verify(const core::RepairPlan& plan) const {

@@ -92,8 +92,17 @@ class Testbed {
   /// Builds a planner bound to this testbed's layout/cluster.
   core::FastPrPlanner make_planner(core::Scenario scenario);
 
-  /// Executes a plan with real data movement; wall-clock timed.
+  /// Executes a plan with real data movement; wall-clock timed. The
+  /// returned report's `repair` breakdown has stf_bw_utilization filled
+  /// from this testbed's configured disk rate (when shaped).
   ExecutionReport execute(const core::RepairPlan& plan);
+
+  /// Cost-model expectation for each round of `plan`, aligned by index —
+  /// assign to report.repair.predicted to diff measured rounds against
+  /// Algorithm 2's structure (DESIGN.md §5c). `scenario` must match the
+  /// planner that produced the plan.
+  std::vector<telemetry::PredictedRound> predict_rounds(
+      const core::RepairPlan& plan, core::Scenario scenario);
 
   /// Byte-exact verification of every repaired chunk against the oracle.
   bool verify(const core::RepairPlan& plan) const;

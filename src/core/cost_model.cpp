@@ -101,4 +101,13 @@ int CostModel::migration_quota(int cr) const {
   return static_cast<int>(std::floor(quota));
 }
 
+double CostModel::round_time(int cr, int cm) const {
+  FASTPR_CHECK(cr >= 0 && cm >= 0);
+  // Migrations serialize through the STF node's disk; reconstructions of
+  // one round run in parallel groups. The round ends when both finish.
+  const double recon = cr > 0 ? tr(static_cast<double>(cr)) : 0.0;
+  const double migrate = cm * tm();
+  return std::max(recon, migrate);
+}
+
 }  // namespace fastpr::core

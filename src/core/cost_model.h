@@ -78,6 +78,12 @@ class CostModel {
   /// round of cr chunks, cm = tr(cr)/tm, floored to whole chunks.
   int migration_quota(int cr) const;
 
+  /// Modelled wall time of one executed round repairing cr chunks by
+  /// reconstruction while cm migrate concurrently: max(tr(cr), cm·tm).
+  /// This is what telemetry::PredictedRound diffs measured rounds
+  /// against (DESIGN.md §5c).
+  double round_time(int cr, int cm) const;
+
  private:
   ModelParams params_;
 };

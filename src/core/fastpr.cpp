@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core/placement.h"
+#include "telemetry/trace.h"
 #include "util/check.h"
 
 namespace fastpr::core {
@@ -102,6 +103,7 @@ void FastPrPlanner::use_reconstruction_sets(
 
 const std::vector<std::vector<ChunkRef>>& FastPrPlanner::recon_sets() {
   if (!sets_ready_) {
+    FASTPR_TRACE_SPAN("planner.recon_sets", "planner");
     recon_stats_ = {};
     cached_sets_ = find_reconstruction_sets(
         layout_, stf_, source_nodes(), options_.k_repair,
@@ -112,6 +114,7 @@ const std::vector<std::vector<ChunkRef>>& FastPrPlanner::recon_sets() {
 }
 
 RepairPlan FastPrPlanner::plan_fastpr() {
+  FASTPR_TRACE_SPAN("planner.plan_fastpr", "planner");
   const auto sources = source_nodes();
   const auto dests = dest_nodes();
 
@@ -121,7 +124,10 @@ RepairPlan FastPrPlanner::plan_fastpr() {
   if (options_.scenario == Scenario::kScattered) {
     sched.max_round_repairs = scattered_round_capacity();
   }
-  const auto rounds = schedule_repair(std::move(sets), cost_model(), sched);
+  const auto rounds = [&] {
+    FASTPR_TRACE_SPAN("planner.schedule", "planner");
+    return schedule_repair(std::move(sets), cost_model(), sched);
+  }();
 
   RepairPlan plan;
   plan.stf_node = stf_;

@@ -1,5 +1,6 @@
 #include "net/inproc_transport.h"
 
+#include "telemetry/trace.h"
 #include "util/check.h"
 
 namespace fastpr::net {
@@ -34,6 +35,8 @@ void InprocTransport::send(Message msg) {
                       msg.type == MessageType::kDataPacket;
   if (shaped) {
     const auto bytes = static_cast<int64_t>(msg.encoded_size());
+    // Span duration ≈ time this packet waited on bandwidth shaping.
+    FASTPR_TRACE_SPAN("inproc.shape", "net", bytes, "bytes");
     // Sender's uplink first, then receiver's downlink: a saturated
     // receiver back-pressures all of its senders, which is exactly the
     // hot-standby bottleneck of Eq. (6).

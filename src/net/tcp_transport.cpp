@@ -8,6 +8,8 @@
 
 #include <cstring>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -102,6 +104,10 @@ void TcpTransport::reader_loop(int node, int fd) {
   // frame-sized allocation (and zero-fill) per packet. The deserialized
   // payload is itself copied into a separately pooled buffer.
   PooledBuffer frame;
+  static telemetry::Counter& rx_frames =
+      telemetry::MetricsRegistry::global().counter("tcp.frames_rx");
+  static telemetry::Counter& rx_bytes =
+      telemetry::MetricsRegistry::global().counter("tcp.bytes_rx");
   for (;;) {
     uint32_t frame_len = 0;
     if (!read_all(fd, reinterpret_cast<uint8_t*>(&frame_len),
@@ -110,7 +116,13 @@ void TcpTransport::reader_loop(int node, int fd) {
     }
     if (frame_len > kMaxFrameBytes) break;
     frame.resize_uninitialized(frame_len);
-    if (!read_all(fd, frame.data(), frame.size())) break;
+    {
+      FASTPR_TRACE_SPAN("tcp.read_frame", "tcp",
+                        static_cast<int64_t>(frame_len), "bytes");
+      if (!read_all(fd, frame.data(), frame.size())) break;
+    }
+    rx_frames.add();
+    rx_bytes.add(static_cast<int64_t>(frame.size()));
     auto msg = deserialize(frame.span());
     if (!msg.has_value()) {
       LOG_WARN("tcp: malformed frame dropped on node " << node);
@@ -159,6 +171,15 @@ void TcpTransport::send(Message msg) {
                       msg.type == MessageType::kDataPacket;
   if (shaped) ep.tx->acquire(static_cast<int64_t>(frame.size()));
 
+  static telemetry::Counter& tx_frames =
+      telemetry::MetricsRegistry::global().counter("tcp.frames_tx");
+  static telemetry::Counter& tx_bytes =
+      telemetry::MetricsRegistry::global().counter("tcp.bytes_tx");
+  tx_frames.add();
+  tx_bytes.add(static_cast<int64_t>(frame.size()));
+
+  FASTPR_TRACE_SPAN("tcp.send_frame", "tcp",
+                    static_cast<int64_t>(frame.size()), "bytes");
   MutexLock lock(ep.conn_mutex);
   if (closed_.load(std::memory_order_acquire)) return;
   const int fd = connect_to(ep, msg.to);

@@ -1,0 +1,63 @@
+// Minimal JSON-building helpers shared by the telemetry exporters and
+// the bench sidecar writer. This is a writer only — the repo never
+// parses JSON, so there is no reader half to keep in sync.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace fastpr::telemetry {
+
+/// Escapes `s` for use inside a JSON string literal (quotes excluded).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// A quoted, escaped JSON string token.
+inline std::string json_str(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+/// A JSON number token; non-finite doubles (which JSON cannot carry)
+/// become null.
+inline std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+inline std::string json_num(int64_t v) { return std::to_string(v); }
+inline std::string json_num(int v) { return std::to_string(v); }
+
+}  // namespace fastpr::telemetry

@@ -1,0 +1,144 @@
+#include "telemetry/metrics.h"
+
+#include <sstream>
+
+#include "telemetry/json.h"
+
+namespace fastpr::telemetry {
+
+int64_t Histogram::Snapshot::percentile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Nearest-rank over the cumulative bucket counts.
+  const auto target = static_cast<int64_t>(p * static_cast<double>(count));
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets[static_cast<size_t>(i)];
+    if (cumulative > target || (cumulative == target && cumulative == count)) {
+      return bucket_upper_bound(i);
+    }
+  }
+  return bucket_upper_bound(kNumBuckets - 1);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // fastpr-lint: allow(naked-new) — intentionally leaked: metrics outlive every static destructor
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  MutexLock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  MutexLock lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->snapshot());
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  MutexLock lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::string MetricsRegistry::Snapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i != 0) os << ",";
+    os << json_str(counters[i].first) << ":" << counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i != 0) os << ",";
+    os << json_str(gauges[i].first) << ":" << gauges[i].second;
+  }
+  os << "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    if (i != 0) os << ",";
+    const auto& [name, h] = histograms[i];
+    os << json_str(name) << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"mean\":" << json_num(h.mean())
+       << ",\"p50\":" << h.percentile(0.50)
+       << ",\"p99\":" << h.percentile(0.99) << ",\"buckets\":[";
+    // Sparse export: only non-empty buckets, as {le, count} pairs.
+    bool first = true;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      const int64_t n = h.buckets[static_cast<size_t>(b)];
+      if (n == 0) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "{\"le\":" << Histogram::bucket_upper_bound(b)
+         << ",\"count\":" << n << "}";
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsRegistry::Snapshot::to_csv() const {
+  std::ostringstream os;
+  os << "kind,name,count,sum,value\n";
+  for (const auto& [name, v] : counters) {
+    os << "counter," << name << ",,," << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    os << "gauge," << name << ",,," << v << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    os << "histogram," << name << "," << h.count << "," << h.sum << ",\n";
+  }
+  return os.str();
+}
+
+}  // namespace fastpr::telemetry

@@ -1,0 +1,183 @@
+// Lock-cheap metrics registry (DESIGN.md §5c).
+//
+// Three metric kinds cover everything the repair path reports:
+//  * Counter   — monotonically increasing event count (packets sent,
+//                pool hits); one relaxed fetch_add per increment.
+//  * Gauge     — last-written value (bytes in flight, config echoes).
+//  * Histogram — fixed log-scale (power-of-two) buckets; observation is
+//                three relaxed atomic adds, no allocation, no lock.
+//
+// Metrics are owned by a MetricsRegistry, keyed by dotted lowercase
+// names ("component.metric"). Registration takes the registry mutex
+// once; hot paths cache the returned reference (typically in a
+// function-local static), after which updates never lock. Registered
+// metrics live as long as the registry — reset() zeroes values but
+// never invalidates references.
+//
+// Reads are snapshot-on-read: snapshot() copies every value under the
+// registry mutex into a plain struct that can be exported (JSON / CSV)
+// or inspected without racing the writers.
+//
+// With -DFASTPR_TELEMETRY=OFF every mutation inlines to a no-op (the
+// objects still exist so call sites compile unchanged).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace fastpr::telemetry {
+
+class Counter {
+ public:
+  void add(int64_t n = 1) {
+#if FASTPR_TELEMETRY_ENABLED
+    value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(int64_t v) {
+#if FASTPR_TELEMETRY_ENABLED
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  void add(int64_t n) {
+#if FASTPR_TELEMETRY_ENABLED
+    value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Log-scale histogram over non-negative int64 samples (negative and
+/// zero samples land in bucket 0). Bucket i >= 1 covers [2^(i-1), 2^i),
+/// so boundaries are fixed at compile time and observation needs no
+/// configuration, comparison loop, or lock.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  /// Bucket index a value falls into: 0 for v <= 0, else
+  /// floor(log2(v)) + 1 capped at kNumBuckets - 1.
+  static int bucket_index(int64_t v) {
+    if (v <= 0) return 0;
+    const int log2 = 63 - std::countl_zero(static_cast<uint64_t>(v));
+    return log2 + 1 < kNumBuckets ? log2 + 1 : kNumBuckets - 1;
+  }
+
+  /// Largest value bucket i can hold: 0 for bucket 0, 2^i - 1 above.
+  static int64_t bucket_upper_bound(int i) {
+    if (i <= 0) return 0;
+    if (i >= 63) return INT64_MAX;
+    return (int64_t{1} << i) - 1;
+  }
+
+  void observe(int64_t v) {
+#if FASTPR_TELEMETRY_ENABLED
+    buckets_[static_cast<size_t>(bucket_index(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  struct Snapshot {
+    int64_t count = 0;
+    int64_t sum = 0;
+    std::array<int64_t, kNumBuckets> buckets{};
+
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) / static_cast<double>(count);
+    }
+
+    /// Upper bound of the bucket holding the p-quantile (p in [0,1]);
+    /// 0 on an empty snapshot. Log-scale buckets bound the error to 2x.
+    int64_t percentile(double p) const;
+  };
+
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::array<std::atomic<int64_t>, kNumBuckets> buckets_{};
+};
+
+/// Name → metric map. Use MetricsRegistry::global() for the process-wide
+/// registry the repair path reports into; construct instances directly
+/// only in tests that need isolation.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  /// Finds or creates the named metric. The reference stays valid for
+  /// the registry's lifetime; hot paths should cache it.
+  Counter& counter(const std::string& name) FASTPR_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) FASTPR_EXCLUDES(mutex_);
+  Histogram& histogram(const std::string& name) FASTPR_EXCLUDES(mutex_);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, int64_t>> counters;  // name-sorted
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+    std::string to_json() const;
+    /// One metric per line: kind,name,count,sum,value (histograms put
+    /// their sample count in `count` and total in `sum`; counters and
+    /// gauges use `value`).
+    std::string to_csv() const;
+  };
+
+  Snapshot snapshot() const FASTPR_EXCLUDES(mutex_);
+
+  /// Zeroes every registered metric. Objects stay registered and every
+  /// previously returned reference remains valid (benches call this
+  /// between runs to scope metrics to one run).
+  void reset() FASTPR_EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      FASTPR_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      FASTPR_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      FASTPR_GUARDED_BY(mutex_);
+};
+
+}  // namespace fastpr::telemetry

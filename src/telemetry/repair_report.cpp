@@ -1,0 +1,59 @@
+#include "telemetry/repair_report.h"
+
+#include <sstream>
+
+#include "telemetry/json.h"
+
+namespace fastpr::telemetry {
+
+int RepairReport::total_cr() const {
+  int total = 0;
+  for (const auto& r : rounds) total += r.cr;
+  return total;
+}
+
+int RepairReport::total_cm() const {
+  int total = 0;
+  for (const auto& r : rounds) total += r.cm;
+  return total;
+}
+
+std::string RepairReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"total_seconds\":" << json_num(total_seconds)
+     << ",\"total_cr\":" << total_cr() << ",\"total_cm\":" << total_cm()
+     << ",\"rounds\":[";
+  for (size_t i = 0; i < rounds.size(); ++i) {
+    const auto& r = rounds[i];
+    if (i != 0) os << ",";
+    os << "{\"round\":" << r.round << ",\"cr\":" << r.cr
+       << ",\"cm\":" << r.cm << ",\"fallbacks\":" << r.fallbacks
+       << ",\"bytes_reconstructed\":" << r.bytes_reconstructed
+       << ",\"bytes_migrated\":" << r.bytes_migrated
+       << ",\"duration_seconds\":" << json_num(r.duration_seconds)
+       << ",\"stf_bw_utilization\":" << json_num(r.stf_bw_utilization);
+    if (i < predicted.size()) {
+      const auto& p = predicted[i];
+      os << ",\"predicted\":{\"cr\":" << p.cr << ",\"cm\":" << p.cm
+         << ",\"duration_seconds\":" << json_num(p.duration_seconds) << "}";
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string RepairReport::to_csv() const {
+  std::ostringstream os;
+  os << "round,cr,cm,fallbacks,bytes_reconstructed,bytes_migrated,"
+        "duration_seconds,stf_bw_utilization\n";
+  for (const auto& r : rounds) {
+    os << r.round << "," << r.cr << "," << r.cm << "," << r.fallbacks << ","
+       << r.bytes_reconstructed << "," << r.bytes_migrated << ","
+       << json_num(r.duration_seconds) << ","
+       << json_num(r.stf_bw_utilization) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fastpr::telemetry

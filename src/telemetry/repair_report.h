@@ -1,0 +1,63 @@
+// Paper-shaped aggregation of one executed repair (DESIGN.md §5c).
+//
+// The evaluation sections of the paper reason about repair time round
+// by round: each round reconstructs cr = |R_l| chunks while cm ≈ tr/tm
+// chunks migrate concurrently (Algorithm 2). RepairReport is that
+// table, measured: the coordinator fills one RepairRoundStats per
+// executed round, the testbed adds the STF-disk utilization, and the
+// caller can attach the cost model's per-round prediction so measured
+// and modelled round structure diff side by side.
+//
+// This header deliberately depends on nothing but the standard library:
+// predictions arrive as plain numbers (computed by callers who know
+// core::CostModel), keeping telemetry at the bottom of the link graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastpr::telemetry {
+
+/// One executed repair round.
+struct RepairRoundStats {
+  int round = 0;  // 1-based, matching the paper's figures
+  int cr = 0;     // chunks repaired by reconstruction (fallbacks included)
+  int cm = 0;     // chunks repaired by migration
+  /// Migrations that failed and were re-executed as reconstructions
+  /// (each also counts in cr, not cm).
+  int fallbacks = 0;
+  int64_t bytes_reconstructed = 0;  // repaired bytes written via decode
+  int64_t bytes_migrated = 0;       // repaired bytes copied off the STF node
+  double duration_seconds = 0;
+  /// Fraction of the STF node's disk bandwidth consumed by this round's
+  /// migration reads (bytes_migrated / (disk_bw * duration)). Filled by
+  /// the testbed, which knows the configured disk rate; 0 when the disk
+  /// is unshaped or the rate is unknown.
+  double stf_bw_utilization = 0;
+};
+
+/// Cost-model expectation for one round (see CostModel::round_time).
+struct PredictedRound {
+  int cr = 0;
+  int cm = 0;
+  double duration_seconds = 0;
+};
+
+struct RepairReport {
+  std::vector<RepairRoundStats> rounds;
+  /// Empty, or exactly rounds.size() entries aligned by index.
+  std::vector<PredictedRound> predicted;
+  double total_seconds = 0;
+
+  int total_cr() const;
+  int total_cm() const;
+
+  /// One JSON object: totals plus per-round rows (and predictions when
+  /// attached). Embeddable — no trailing newline.
+  std::string to_json() const;
+  /// Header + one line per round.
+  std::string to_csv() const;
+};
+
+}  // namespace fastpr::telemetry

@@ -1,0 +1,16 @@
+// Telemetry compile gate.
+//
+// Telemetry (metrics + tracing) is compiled in by default; configuring
+// with -DFASTPR_TELEMETRY=OFF defines FASTPR_TELEMETRY_DISABLED and
+// every hot-path hook — counter increments, histogram observations,
+// TraceSpan construction, ThreadPool queue timestamps — compiles to
+// nothing. The registry, trace log and RepairReport types keep their
+// full API in both modes so call sites never need their own #if; with
+// telemetry off the exports simply report zeros and empty traces.
+#pragma once
+
+#if defined(FASTPR_TELEMETRY_DISABLED)
+#define FASTPR_TELEMETRY_ENABLED 0
+#else
+#define FASTPR_TELEMETRY_ENABLED 1
+#endif

@@ -1,0 +1,137 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "telemetry/json.h"
+
+namespace fastpr::telemetry {
+
+namespace {
+
+std::atomic<uint32_t> g_next_thread_id{1};
+std::atomic<uint64_t> g_next_log_id{1};
+
+}  // namespace
+
+uint32_t this_thread_id() {
+  thread_local const uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+TraceLog::TraceLog()
+    : id_(g_next_log_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(trace_now()) {}
+
+TraceLog& TraceLog::global() {
+  static TraceLog* log = new TraceLog();  // fastpr-lint: allow(naked-new) — intentionally leaked: spans may fire during static destruction
+  return *log;
+}
+
+TraceLog::ThreadBuffer& TraceLog::local_buffer() {
+  // Cache keyed by log identity so test-local TraceLog instances get
+  // their own buffers; the id (not the pointer) guards against a new
+  // log reusing a destroyed one's address.
+  struct TlsSlot {
+    uint64_t log_id = 0;
+    std::shared_ptr<ThreadBuffer> buffer;
+  };
+  thread_local TlsSlot slot;
+  if (slot.log_id != id_) {
+    slot.buffer = std::make_shared<ThreadBuffer>();
+    slot.log_id = id_;
+    MutexLock lock(mutex_);
+    buffers_.push_back(slot.buffer);
+  }
+  return *slot.buffer;
+}
+
+void TraceLog::append(const TraceEvent& event) {
+  ThreadBuffer& buf = local_buffer();
+  MutexLock lock(buf.mutex);  // uncontended except during a drain
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(event);
+}
+
+std::vector<TraceEvent> TraceLog::snapshot() {
+  MutexLock lock(mutex_);
+  for (const auto& buf : buffers_) {
+    MutexLock buf_lock(buf->mutex);
+    drained_.insert(drained_.end(), buf->events.begin(), buf->events.end());
+    buf->events.clear();
+  }
+  std::vector<TraceEvent> out = drained_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return out;
+}
+
+std::string TraceLog::to_chrome_json() {
+  const auto events = snapshot();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const auto& ev = events[i];
+    if (i != 0) os << ",";
+    os << "{\"name\":" << json_str(ev.name)
+       << ",\"cat\":" << json_str(ev.category)
+       << ",\"ph\":\"X\",\"ts\":" << ev.start_us
+       << ",\"dur\":" << ev.duration_us << ",\"pid\":1,\"tid\":" << ev.tid;
+    if (ev.arg >= 0 && ev.arg_name != nullptr) {
+      os << ",\"args\":{" << json_str(ev.arg_name) << ":" << ev.arg << "}";
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void TraceLog::clear() {
+  MutexLock lock(mutex_);
+  for (const auto& buf : buffers_) {
+    MutexLock buf_lock(buf->mutex);
+    buf->events.clear();
+    buf->dropped = 0;
+  }
+  drained_.clear();
+}
+
+int64_t TraceLog::dropped() const {
+  MutexLock lock(mutex_);
+  int64_t total = 0;
+  for (const auto& buf : buffers_) {
+    MutexLock buf_lock(buf->mutex);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+#if FASTPR_TELEMETRY_ENABLED
+
+void TraceSpan::record() {
+  auto& log = TraceLog::global();
+  const auto end = trace_now();
+  TraceEvent ev;
+  ev.name = name_;
+  ev.category = category_;
+  ev.start_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    start_ - log.epoch())
+                    .count();
+  ev.duration_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start_)
+          .count();
+  ev.tid = this_thread_id();
+  ev.arg = arg_;
+  ev.arg_name = arg_name_;
+  log.append(ev);
+}
+
+#endif  // FASTPR_TELEMETRY_ENABLED
+
+}  // namespace fastpr::telemetry

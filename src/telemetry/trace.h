@@ -1,0 +1,165 @@
+// Span-based tracer with per-thread buffers (DESIGN.md §5c).
+//
+// A TraceSpan is an RAII scope: its constructor samples the steady
+// clock, its destructor samples again and appends one completed event
+// to the calling thread's buffer. Buffers register themselves with the
+// owning TraceLog on first use and are drained centrally on snapshot,
+// so the hot path never takes a contended lock — each buffer's mutex is
+// touched only by its own thread plus the (rare) drain.
+//
+// Tracing is off by default; TraceLog::set_enabled(true) arms it (the
+// CLI's --trace-out flag and the testbed tests do this). A disarmed
+// span costs one relaxed atomic load; with -DFASTPR_TELEMETRY=OFF it
+// compiles away entirely.
+//
+// Span names follow the `component.verb` convention ("agent.send_packet",
+// "coordinator.round") with the component repeated as the category, so
+// Chrome's tracing UI can group and filter rows. Names and categories
+// must be string literals (static lifetime) — events store the pointer.
+//
+// Export is the Chrome trace_event format: load the file in
+// chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace fastpr::telemetry {
+
+/// The tracing clock. Code outside src/telemetry/ should not call
+/// steady_clock directly (fastpr_lint `raw-timing`); use trace_now() or
+/// a TraceSpan so measurements land in the trace.
+using TraceClock = std::chrono::steady_clock;
+
+inline TraceClock::time_point trace_now() { return TraceClock::now(); }
+
+/// Small stable id for the calling thread (1, 2, ... in first-use
+/// order); what trace events and log lines report as "tid".
+uint32_t this_thread_id();
+
+struct TraceEvent {
+  const char* name = "";      // static-lifetime string
+  const char* category = "";  // static-lifetime string
+  int64_t start_us = 0;       // µs since the owning log's epoch
+  int64_t duration_us = 0;
+  uint32_t tid = 0;
+  int64_t arg = -1;               // optional payload, < 0 = absent
+  const char* arg_name = nullptr;  // static-lifetime key for `arg`
+};
+
+class TraceLog {
+ public:
+  TraceLog();
+
+  static TraceLog& global();
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one completed event to the calling thread's buffer
+  /// regardless of enabled() — spans do the gating; tests inject
+  /// deterministic events directly.
+  void append(const TraceEvent& event);
+
+  /// Drains every thread buffer into the central log and returns a copy
+  /// of all events collected so far, ordered by start time.
+  std::vector<TraceEvent> snapshot() FASTPR_EXCLUDES(mutex_);
+
+  /// Chrome trace_event JSON ({"traceEvents":[...]}) of snapshot().
+  std::string to_chrome_json() FASTPR_EXCLUDES(mutex_);
+
+  /// Discards all collected events (buffered and drained).
+  void clear() FASTPR_EXCLUDES(mutex_);
+
+  /// Events discarded because a thread buffer hit its cap.
+  int64_t dropped() const FASTPR_EXCLUDES(mutex_);
+
+  TraceClock::time_point epoch() const { return epoch_; }
+
+ private:
+  /// Cap per thread buffer: bounds memory if a caller leaves tracing
+  /// enabled across a huge run (~48 MB worst case per thread).
+  static constexpr size_t kMaxEventsPerThread = 1u << 20;
+
+  struct ThreadBuffer {
+    Mutex mutex;
+    std::vector<TraceEvent> events FASTPR_GUARDED_BY(mutex);
+    int64_t dropped FASTPR_GUARDED_BY(mutex) = 0;
+  };
+
+  ThreadBuffer& local_buffer();
+
+  const uint64_t id_;  // distinguishes logs for the thread-local cache
+  const TraceClock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  mutable Mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_
+      FASTPR_GUARDED_BY(mutex_);
+  std::vector<TraceEvent> drained_ FASTPR_GUARDED_BY(mutex_);
+};
+
+#if FASTPR_TELEMETRY_ENABLED
+
+/// RAII span recording into TraceLog::global(). `name`, `category` and
+/// `arg_name` must be string literals.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "repair",
+                     int64_t arg = -1, const char* arg_name = "id") {
+    if (TraceLog::global().enabled()) {
+      name_ = name;
+      category_ = category;
+      arg_ = arg;
+      arg_name_ = arg_name;
+      start_ = trace_now();
+    }
+  }
+
+  ~TraceSpan() {
+    if (name_ != nullptr) record();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void record();
+
+  const char* name_ = nullptr;  // nullptr: tracing was off at entry
+  const char* category_ = nullptr;
+  int64_t arg_ = -1;
+  const char* arg_name_ = nullptr;
+  TraceClock::time_point start_;
+};
+
+#else  // !FASTPR_TELEMETRY_ENABLED
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*, const char* = "repair", int64_t = -1,
+                     const char* = "id") {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+#endif  // FASTPR_TELEMETRY_ENABLED
+
+#define FASTPR_SPAN_CONCAT_INNER(a, b) a##b
+#define FASTPR_SPAN_CONCAT(a, b) FASTPR_SPAN_CONCAT_INNER(a, b)
+
+/// Declares an anonymous TraceSpan covering the rest of the scope.
+#define FASTPR_TRACE_SPAN(...)                                      \
+  ::fastpr::telemetry::TraceSpan FASTPR_SPAN_CONCAT(fastpr_span_,   \
+                                                    __LINE__)(__VA_ARGS__)
+
+}  // namespace fastpr::telemetry

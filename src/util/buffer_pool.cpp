@@ -4,9 +4,34 @@
 #include <bit>
 #include <cstring>
 
+#include "telemetry/metrics.h"
 #include "util/check.h"
 
 namespace fastpr {
+
+namespace {
+
+// Mirror of BufferPool::Stats in the process-wide metrics registry, so
+// --metrics-out / bench sidecars report pool behaviour without a
+// BufferPool handle. Counting stays inside the pool's existing critical
+// section: the adds are relaxed atomics, negligible next to the lock.
+struct PoolCounters {
+  telemetry::Counter& hits;
+  telemetry::Counter& misses;
+  telemetry::Counter& recycled;
+  telemetry::Counter& dropped;
+
+  static PoolCounters& get() {
+    static PoolCounters counters{
+        telemetry::MetricsRegistry::global().counter("buffer_pool.hits"),
+        telemetry::MetricsRegistry::global().counter("buffer_pool.misses"),
+        telemetry::MetricsRegistry::global().counter("buffer_pool.recycled"),
+        telemetry::MetricsRegistry::global().counter("buffer_pool.dropped")};
+    return counters;
+  }
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // PooledBuffer
@@ -141,8 +166,10 @@ PooledBuffer BufferPool::acquire(size_t len) {
       out.storage_ = std::move(cached.back());
       cached.pop_back();
       ++stats_.hits;
+      PoolCounters::get().hits.add();
     } else {
       ++stats_.misses;
+      PoolCounters::get().misses.add();
     }
   }
   if (out.storage_.empty()) {
@@ -162,8 +189,10 @@ void BufferPool::put_back(std::vector<uint8_t>&& storage) {
   if (cached.size() < max_shelf_buffers_) {
     cached.push_back(std::move(storage));
     ++stats_.recycled;
+    PoolCounters::get().recycled.add();
   } else {
     ++stats_.dropped;
+    PoolCounters::get().dropped.add();
   }
 }
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <ctime>
 
+#include "telemetry/trace.h"
 #include "util/mutex.h"
 
 namespace fastpr {
@@ -13,6 +14,11 @@ namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 // Serializes stderr writes so concurrent agents emit whole lines.
 Mutex g_mutex;
+LogSink& sink_slot() {
+  // Leaked: loggers may fire during static destruction.
+  static LogSink* sink = new LogSink();  // fastpr-lint: allow(naked-new)
+  return *sink;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -37,6 +43,11 @@ LogLevel log_level() {
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
+void set_log_sink(LogSink sink) {
+  MutexLock lock(g_mutex);
+  sink_slot() = std::move(sink);
+}
+
 namespace detail {
 
 void log_line(LogLevel level, const std::string& msg) {
@@ -49,9 +60,24 @@ void log_line(LogLevel level, const std::string& msg) {
   char ts[32];
   std::strftime(ts, sizeof(ts), "%H:%M:%S", &tm_buf);
 
+  // Monotonic offset since the trace epoch: lets a log line be placed
+  // next to trace spans from the same run. Same tid scheme as traces.
+  const double mono =
+      duration<double>(telemetry::trace_now() -
+                       telemetry::TraceLog::global().epoch())
+          .count();
+  char prefix[96];
+  std::snprintf(prefix, sizeof(prefix), "[%s.%03d +%.6f T%u %s] ", ts,
+                static_cast<int>(ms.count()), mono,
+                telemetry::this_thread_id(), level_name(level));
+  const std::string line = prefix + msg;
+
   MutexLock lock(g_mutex);
-  std::fprintf(stderr, "[%s.%03d %s] %s\n", ts, static_cast<int>(ms.count()),
-               level_name(level), msg.c_str());
+  if (sink_slot()) {
+    sink_slot()(level, line);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace detail

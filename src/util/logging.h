@@ -4,8 +4,13 @@
 //   LOG_INFO("repaired " << n << " chunks");
 // Levels are filtered by a process-global threshold (default kInfo);
 // benches raise it to kWarn to keep figure output clean.
+//
+// Each line carries a wall-clock timestamp, a monotonic offset (seconds
+// since the trace epoch, aligning log lines with trace spans), and the
+// telemetry thread id:  [12:00:01.003 +1.234567 T2 INFO ] msg
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,6 +21,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Sets the global minimum level that will be emitted.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Receives each formatted log line (without trailing newline) at or
+/// above the threshold.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Redirects log output to `sink` instead of stderr — tests use this to
+/// capture and assert on log lines. Pass nullptr to restore stderr. The
+/// sink is invoked under the logger's mutex: keep it fast and never log
+/// from inside it.
+void set_log_sink(LogSink sink);
 
 namespace detail {
 /// Writes one formatted line to stderr under a global mutex.

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include "telemetry/metrics.h"
 #include "util/check.h"
 
 namespace fastpr {
@@ -15,7 +16,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 void ThreadPool::post(std::function<void()> fn) {
   {
     MutexLock lock(mutex_);
-    queue_.push(std::move(fn));
+    queue_.push(make_task(std::move(fn)));
   }
   cv_.notify_one();
 }
@@ -31,7 +32,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       MutexLock lock(mutex_);
       while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
@@ -39,7 +40,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+#if FASTPR_TELEMETRY_ENABLED
+    static telemetry::Histogram& queue_wait =
+        telemetry::MetricsRegistry::global().histogram(
+            "threadpool.queue_wait_us");
+    queue_wait.observe(std::chrono::duration_cast<std::chrono::microseconds>(
+                           telemetry::trace_now() - task.enqueued)
+                           .count());
+#endif
+    task.fn();
   }
 }
 

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/trace.h"
 #include "util/mutex.h"
 
 namespace fastpr {
@@ -39,7 +40,7 @@ class ThreadPool {
     auto future = task->get_future();
     {
       MutexLock lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
+      queue_.push(make_task([task] { (*task)(); }));
     }
     cv_.notify_one();
     return future;
@@ -48,12 +49,30 @@ class ThreadPool {
   size_t size() const { return workers_.size(); }
 
  private:
+  /// A queued task plus (telemetry builds only) its enqueue timestamp,
+  /// feeding the "threadpool.queue_wait_us" histogram.
+  struct QueuedTask {
+    std::function<void()> fn;
+#if FASTPR_TELEMETRY_ENABLED
+    telemetry::TraceClock::time_point enqueued;
+#endif
+  };
+
+  static QueuedTask make_task(std::function<void()> fn) {
+    QueuedTask task;
+    task.fn = std::move(fn);
+#if FASTPR_TELEMETRY_ENABLED
+    task.enqueued = telemetry::trace_now();
+#endif
+    return task;
+  }
+
   void worker_loop() FASTPR_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
   Mutex mutex_;
   CondVar cv_;
-  std::queue<std::function<void()>> queue_ FASTPR_GUARDED_BY(mutex_);
+  std::queue<QueuedTask> queue_ FASTPR_GUARDED_BY(mutex_);
   bool stopping_ FASTPR_GUARDED_BY(mutex_) = false;
 };
 

@@ -32,7 +32,9 @@ class TokenBucket {
   double rate() const FASTPR_EXCLUDES(mutex_);
 
  private:
-  using Clock = std::chrono::steady_clock;
+  // The bucket IS the shaping clock, not a measurement of the repair
+  // path — tracing it would recurse.
+  using Clock = std::chrono::steady_clock;  // fastpr-lint: allow(raw-timing)
 
   void refill_locked(Clock::time_point now) FASTPR_REQUIRES(mutex_);
 

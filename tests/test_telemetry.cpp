@@ -1,0 +1,438 @@
+// Telemetry layer: histogram bucket math, metric atomicity under
+// concurrency, trace-event JSON goldens, RepairReport export, and the
+// end-to-end check that a testbed run's per-round report matches the
+// (cr, cm) structure Algorithm 2 planned.
+//
+// TraceLog::append is unconditional (only spans gate on the build
+// flag), so the golden tests run identically with telemetry compiled
+// out; value-producing mutations are #if-gated to the matching
+// expectation instead.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "agent/testbed.h"
+#include "core/repair_plan.h"
+#include "ec/rs_code.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/repair_report.h"
+#include "telemetry/trace.h"
+#include "util/units.h"
+
+namespace fastpr {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::MetricsRegistry;
+using telemetry::RepairReport;
+using telemetry::RepairRoundStats;
+using telemetry::TraceEvent;
+using telemetry::TraceLog;
+
+// ---------------------------------------------------------------------------
+// Histogram bucket math (pure functions — identical in both build modes).
+
+TEST(Histogram, BucketIndexBoundaries) {
+  EXPECT_EQ(Histogram::bucket_index(-5), 0);
+  EXPECT_EQ(Histogram::bucket_index(0), 0);
+  EXPECT_EQ(Histogram::bucket_index(1), 1);
+  EXPECT_EQ(Histogram::bucket_index(2), 2);
+  EXPECT_EQ(Histogram::bucket_index(3), 2);
+  EXPECT_EQ(Histogram::bucket_index(4), 3);
+  EXPECT_EQ(Histogram::bucket_index(7), 3);
+  EXPECT_EQ(Histogram::bucket_index(8), 4);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11);
+  EXPECT_EQ(Histogram::bucket_index(INT64_MAX), Histogram::kNumBuckets - 1);
+}
+
+TEST(Histogram, BucketUpperBounds) {
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 1);
+  EXPECT_EQ(Histogram::bucket_upper_bound(2), 3);
+  EXPECT_EQ(Histogram::bucket_upper_bound(3), 7);
+  EXPECT_EQ(Histogram::bucket_upper_bound(10), 1023);
+  EXPECT_EQ(Histogram::bucket_upper_bound(62), (int64_t{1} << 62) - 1);
+  EXPECT_EQ(Histogram::bucket_upper_bound(63), INT64_MAX);
+}
+
+TEST(Histogram, EveryValueFitsItsBucket) {
+  for (int64_t v : {int64_t{1}, int64_t{2}, int64_t{3}, int64_t{100},
+                    int64_t{4095}, int64_t{4096}, int64_t{1} << 40,
+                    INT64_MAX}) {
+    const int b = Histogram::bucket_index(v);
+    EXPECT_LE(v, Histogram::bucket_upper_bound(b)) << "v=" << v;
+    if (b > 1) {
+      EXPECT_GT(v, Histogram::bucket_upper_bound(b - 1)) << "v=" << v;
+    }
+  }
+}
+
+TEST(Histogram, SnapshotPercentileNearestRank) {
+  Histogram::Snapshot snap;  // hand-filled: independent of observe()
+  EXPECT_EQ(snap.percentile(0.5), 0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 0.0);
+
+  snap.buckets[1] = 3;  // three samples of value 1
+  snap.buckets[3] = 1;  // one sample in [4, 7]
+  snap.count = 4;
+  snap.sum = 3 + 5;
+  EXPECT_EQ(snap.percentile(0.0), 1);
+  EXPECT_EQ(snap.percentile(0.5), 1);
+  EXPECT_EQ(snap.percentile(1.0), 7);
+  // Out-of-range p clamps rather than crashing.
+  EXPECT_EQ(snap.percentile(-1.0), 1);
+  EXPECT_EQ(snap.percentile(2.0), 7);
+  EXPECT_DOUBLE_EQ(snap.mean(), 2.0);
+}
+
+#if FASTPR_TELEMETRY_ENABLED
+
+TEST(Histogram, ObserveFillsLogScaleBuckets) {
+  Histogram h;
+  for (int64_t v : {0, 1, 2, 3, 4}) h.observe(v);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 5);
+  EXPECT_EQ(snap.sum, 10);
+  EXPECT_EQ(snap.buckets[0], 1);
+  EXPECT_EQ(snap.buckets[1], 1);
+  EXPECT_EQ(snap.buckets[2], 2);
+  EXPECT_EQ(snap.buckets[3], 1);
+  EXPECT_EQ(snap.percentile(1.0), 7);
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0);
+  EXPECT_EQ(h.snapshot().sum, 0);
+}
+
+TEST(Metrics, ConcurrentCounterIncrementsAreExact) {
+  // The relaxed-atomic hot path must not lose updates; this is also the
+  // data-race probe for the tsan preset.
+  Counter c;
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        h.observe(i % 1024);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), int64_t{kThreads} * kPerThread);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, int64_t{kThreads} * kPerThread);
+  int64_t per_thread_sum = 0;
+  for (int i = 0; i < kPerThread; ++i) per_thread_sum += i % 1024;
+  EXPECT_EQ(snap.sum, kThreads * per_thread_sum);
+}
+
+#else  // !FASTPR_TELEMETRY_ENABLED
+
+TEST(Metrics, DisabledBuildMutationsAreNoOps) {
+  Counter c;
+  c.add(5);
+  EXPECT_EQ(c.value(), 0);
+  Gauge g;
+  g.set(7);
+  g.add(3);
+  EXPECT_EQ(g.value(), 0);
+  Histogram h;
+  h.observe(42);
+  EXPECT_EQ(h.snapshot().count, 0);
+}
+
+#endif  // FASTPR_TELEMETRY_ENABLED
+
+// ---------------------------------------------------------------------------
+// Registry: reference stability and export shape.
+
+TEST(MetricsRegistry, SameNameReturnsSameMetric) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x.a");
+  EXPECT_EQ(&a, &reg.counter("x.a"));
+  EXPECT_NE(&a, &reg.counter("x.b"));
+  Histogram& h = reg.histogram("x.h");
+  EXPECT_EQ(&h, &reg.histogram("x.h"));
+  // reset() zeroes but never invalidates references.
+  a.add(1);
+  reg.reset();
+  EXPECT_EQ(a.value(), 0);
+  a.add(1);  // still wired to the registry
+  EXPECT_EQ(reg.snapshot().counters[0].first, "x.a");
+}
+
+TEST(MetricsRegistry, SnapshotJsonAndCsvGolden) {
+  MetricsRegistry reg;
+  reg.counter("b.x").add(1);
+  reg.counter("a.y").add(2);
+  reg.gauge("g").set(7);
+  reg.histogram("h").observe(3);
+  reg.histogram("h").observe(500);
+#if FASTPR_TELEMETRY_ENABLED
+  EXPECT_EQ(reg.snapshot().to_json(),
+            "{\"counters\":{\"a.y\":2,\"b.x\":1},\"gauges\":{\"g\":7},"
+            "\"histograms\":{\"h\":{\"count\":2,\"sum\":503,\"mean\":251.5,"
+            "\"p50\":511,\"p99\":511,\"buckets\":[{\"le\":3,\"count\":1},"
+            "{\"le\":511,\"count\":1}]}}}");
+  EXPECT_EQ(reg.snapshot().to_csv(),
+            "kind,name,count,sum,value\n"
+            "counter,a.y,,,2\n"
+            "counter,b.x,,,1\n"
+            "gauge,g,,,7\n"
+            "histogram,h,2,503,\n");
+#else
+  // Compiled out: same structure (name-sorted keys), all values zero.
+  EXPECT_EQ(reg.snapshot().to_json(),
+            "{\"counters\":{\"a.y\":0,\"b.x\":0},\"gauges\":{\"g\":0},"
+            "\"histograms\":{\"h\":{\"count\":0,\"sum\":0,\"mean\":0,"
+            "\"p50\":0,\"p99\":0,\"buckets\":[]}}}");
+  EXPECT_EQ(reg.snapshot().to_csv(),
+            "kind,name,count,sum,value\n"
+            "counter,a.y,,,0\n"
+            "counter,b.x,,,0\n"
+            "gauge,g,,,0\n"
+            "histogram,h,0,0,\n");
+#endif
+}
+
+TEST(Json, EscapingAndNumbers) {
+  EXPECT_EQ(telemetry::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(telemetry::json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(telemetry::json_str("hi"), "\"hi\"");
+  EXPECT_EQ(telemetry::json_num(0.5), "0.5");
+  EXPECT_EQ(telemetry::json_num(0.0), "0");
+  EXPECT_EQ(telemetry::json_num(1.0 / 0.0), "null");
+  EXPECT_EQ(telemetry::json_num(int64_t{42}), "42");
+}
+
+// ---------------------------------------------------------------------------
+// Trace log: golden Chrome trace_event output from injected events.
+// append() is unconditional by design, so these run in both modes.
+
+TEST(TraceLog, ChromeJsonGolden) {
+  TraceLog log;
+  TraceEvent later;
+  later.name = "b.second";
+  later.category = "x";
+  later.start_us = 200;
+  later.duration_us = 50;
+  later.tid = 2;
+  TraceEvent earlier;
+  earlier.name = "a.first";
+  earlier.category = "x";
+  earlier.start_us = 100;
+  earlier.duration_us = 25;
+  earlier.tid = 1;
+  earlier.arg = 7;
+  earlier.arg_name = "round";
+  // Appended out of order: snapshot() sorts by start time.
+  log.append(later);
+  log.append(earlier);
+  EXPECT_EQ(log.to_chrome_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+            "{\"name\":\"a.first\",\"cat\":\"x\",\"ph\":\"X\",\"ts\":100,"
+            "\"dur\":25,\"pid\":1,\"tid\":1,\"args\":{\"round\":7}},"
+            "{\"name\":\"b.second\",\"cat\":\"x\",\"ph\":\"X\",\"ts\":200,"
+            "\"dur\":50,\"pid\":1,\"tid\":2}]}");
+  EXPECT_EQ(log.dropped(), 0);
+  log.clear();
+  EXPECT_EQ(log.to_chrome_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+TEST(TraceLog, SnapshotDrainsAndAccumulates) {
+  TraceLog log;
+  TraceEvent ev;
+  ev.name = "e";
+  ev.category = "x";
+  log.append(ev);
+  EXPECT_EQ(log.snapshot().size(), 1u);
+  // Drained events stay in the log; new appends accumulate on top.
+  log.append(ev);
+  EXPECT_EQ(log.snapshot().size(), 2u);
+  log.clear();
+  EXPECT_TRUE(log.snapshot().empty());
+}
+
+TEST(Trace, ThreadIdsAreStablePerThread) {
+  const uint32_t mine = telemetry::this_thread_id();
+  EXPECT_EQ(telemetry::this_thread_id(), mine);
+  EXPECT_GE(mine, 1u);
+  uint32_t other = 0;
+  std::thread([&] { other = telemetry::this_thread_id(); }).join();
+  EXPECT_NE(other, mine);
+}
+
+TEST(TraceSpan, RecordsIntoGlobalLogWhenEnabled) {
+#if FASTPR_TELEMETRY_ENABLED
+  auto& log = TraceLog::global();
+  log.clear();
+
+  // Disarmed: a span leaves no event.
+  { FASTPR_TRACE_SPAN("test.disarmed", "test"); }
+  for (const auto& ev : log.snapshot()) {
+    EXPECT_STRNE(ev.name, "test.disarmed");
+  }
+
+  log.set_enabled(true);
+  { FASTPR_TRACE_SPAN("test.span", "test", 42, "round"); }
+  log.set_enabled(false);
+  bool found = false;
+  for (const auto& ev : log.snapshot()) {
+    if (std::string(ev.name) != "test.span") continue;
+    found = true;
+    EXPECT_STREQ(ev.category, "test");
+    EXPECT_EQ(ev.arg, 42);
+    EXPECT_STREQ(ev.arg_name, "round");
+    EXPECT_GE(ev.duration_us, 0);
+    EXPECT_EQ(ev.tid, telemetry::this_thread_id());
+  }
+  EXPECT_TRUE(found);
+  log.clear();
+#else
+  GTEST_SKIP() << "telemetry compiled out: spans are no-op stubs";
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// RepairReport export goldens.
+
+TEST(RepairReport, TotalsAndJsonGolden) {
+  RepairReport report;
+  report.total_seconds = 0.75;
+  RepairRoundStats r1;
+  r1.round = 1;
+  r1.cr = 2;
+  r1.cm = 3;
+  r1.fallbacks = 1;
+  r1.bytes_reconstructed = 2048;
+  r1.bytes_migrated = 3072;
+  r1.duration_seconds = 0.5;
+  r1.stf_bw_utilization = 0.75;
+  RepairRoundStats r2;
+  r2.round = 2;
+  r2.cr = 1;
+  r2.bytes_reconstructed = 1024;
+  r2.duration_seconds = 0.25;
+  report.rounds = {r1, r2};
+  report.predicted = {{2, 3, 0.4}, {1, 0, 0.2}};
+
+  EXPECT_EQ(report.total_cr(), 3);
+  EXPECT_EQ(report.total_cm(), 3);
+  EXPECT_EQ(
+      report.to_json(),
+      "{\"total_seconds\":0.75,\"total_cr\":3,\"total_cm\":3,\"rounds\":["
+      "{\"round\":1,\"cr\":2,\"cm\":3,\"fallbacks\":1,"
+      "\"bytes_reconstructed\":2048,\"bytes_migrated\":3072,"
+      "\"duration_seconds\":0.5,\"stf_bw_utilization\":0.75,"
+      "\"predicted\":{\"cr\":2,\"cm\":3,\"duration_seconds\":0.4}},"
+      "{\"round\":2,\"cr\":1,\"cm\":0,\"fallbacks\":0,"
+      "\"bytes_reconstructed\":1024,\"bytes_migrated\":0,"
+      "\"duration_seconds\":0.25,\"stf_bw_utilization\":0,"
+      "\"predicted\":{\"cr\":1,\"cm\":0,\"duration_seconds\":0.2}}]}");
+  EXPECT_EQ(report.to_csv(),
+            "round,cr,cm,fallbacks,bytes_reconstructed,bytes_migrated,"
+            "duration_seconds,stf_bw_utilization\n"
+            "1,2,3,1,2048,3072,0.5,0.75\n"
+            "2,1,0,0,1024,0,0.25,0\n");
+}
+
+TEST(RepairReport, JsonOmitsPredictionsWhenAbsent) {
+  RepairReport report;
+  RepairRoundStats r;
+  r.round = 1;
+  r.cr = 1;
+  report.rounds = {r};
+  EXPECT_EQ(report.to_json().find("predicted"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: an executed testbed plan's measured round structure must
+// match what Algorithm 2 scheduled, and the predictions align by index.
+
+TEST(RepairReport, TestbedRoundsMatchScheduledPlan) {
+  ec::RsCode code(6, 4);
+  agent::TestbedOptions opts;
+  opts.num_storage = 12;
+  opts.num_standby = 2;
+  opts.chunk_bytes = 64 * kKiB;
+  opts.packet_bytes = 16 * kKiB;
+  opts.num_stripes = 30;
+  opts.seed = 7;
+  agent::Testbed tb(opts, code);
+  tb.flag_stf();
+  auto planner = tb.make_planner(core::Scenario::kScattered);
+  const auto plan = planner.plan_fastpr();
+  ASSERT_FALSE(plan.rounds.empty());
+
+#if FASTPR_TELEMETRY_ENABLED
+  telemetry::TraceLog::global().clear();
+  telemetry::TraceLog::global().set_enabled(true);
+#endif
+  auto report = tb.execute(plan);
+#if FASTPR_TELEMETRY_ENABLED
+  telemetry::TraceLog::global().set_enabled(false);
+#endif
+  ASSERT_TRUE(report.success) << (report.errors.empty()
+                                      ? ""
+                                      : report.errors.front());
+  EXPECT_TRUE(tb.verify(plan));
+
+  const auto& repair = report.repair;
+  ASSERT_EQ(repair.rounds.size(), plan.rounds.size());
+  double round_sum = 0;
+  for (size_t i = 0; i < plan.rounds.size(); ++i) {
+    const auto& measured = repair.rounds[i];
+    EXPECT_EQ(measured.round, static_cast<int>(i) + 1);
+    EXPECT_EQ(measured.cr,
+              static_cast<int>(plan.rounds[i].reconstructions.size()));
+    EXPECT_EQ(measured.cm,
+              static_cast<int>(plan.rounds[i].migrations.size()));
+    EXPECT_EQ(measured.fallbacks, 0);
+    EXPECT_GT(measured.duration_seconds, 0.0);
+    EXPECT_EQ(measured.bytes_reconstructed,
+              static_cast<int64_t>(measured.cr) *
+                  static_cast<int64_t>(opts.chunk_bytes));
+    EXPECT_EQ(measured.bytes_migrated,
+              static_cast<int64_t>(measured.cm) *
+                  static_cast<int64_t>(opts.chunk_bytes));
+    round_sum += measured.duration_seconds;
+  }
+  EXPECT_EQ(repair.total_cr() + repair.total_cm(), plan.total_repaired());
+  EXPECT_NEAR(repair.total_seconds, report.total_seconds, 1e-9);
+  EXPECT_LE(round_sum, report.total_seconds + 1e-9);
+
+  // Cost-model predictions line up round for round with the schedule.
+  const auto predicted = tb.predict_rounds(plan, core::Scenario::kScattered);
+  ASSERT_EQ(predicted.size(), plan.rounds.size());
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    EXPECT_EQ(predicted[i].cr,
+              static_cast<int>(plan.rounds[i].reconstructions.size()));
+    EXPECT_EQ(predicted[i].cm,
+              static_cast<int>(plan.rounds[i].migrations.size()));
+    EXPECT_GT(predicted[i].duration_seconds, 0.0);
+  }
+
+#if FASTPR_TELEMETRY_ENABLED
+  // The run left a usable timeline behind: per-round coordinator spans
+  // and per-chunk streaming spans, exported as Chrome trace JSON.
+  const std::string trace = telemetry::TraceLog::global().to_chrome_json();
+  EXPECT_NE(trace.find("\"coordinator.round\""), std::string::npos);
+  EXPECT_NE(trace.find("\"agent.stream_chunk\""), std::string::npos);
+  EXPECT_NE(trace.find("\"coordinator.execute\""), std::string::npos);
+  telemetry::TraceLog::global().clear();
+#endif
+}
+
+}  // namespace
+}  // namespace fastpr

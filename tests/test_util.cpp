@@ -5,9 +5,12 @@
 #include <atomic>
 #include <chrono>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
 #include "util/crc32c.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -82,6 +85,37 @@ TEST(Summary, EmptyThrows) {
   Summary s;
   EXPECT_TRUE(s.empty());
   EXPECT_THROW(s.mean(), CheckFailure);
+}
+
+TEST(Summary, EmptyPercentileThrows) {
+  Summary s;
+  EXPECT_THROW(s.percentile(0.5), CheckFailure);
+  // Once populated, the same call succeeds.
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 7.0);
+}
+
+TEST(Logging, SinkCapturesFormattedLines) {
+  const LogLevel prior = log_level();
+  set_log_level(LogLevel::kInfo);
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&captured](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  LOG_WARN("sink test " << 42);
+  LOG_DEBUG("below threshold, never reaches the sink");
+  set_log_sink(nullptr);
+  set_log_level(prior);
+  LOG_WARN("after reset: back on stderr, not in `captured`");
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarn);
+  const std::string& line = captured[0].second;
+  EXPECT_NE(line.find("WARN"), std::string::npos);
+  EXPECT_NE(line.find("sink test 42"), std::string::npos);
+  // Monotonic offset ("+<seconds>") and thread id ("T<n>") per line.
+  EXPECT_NE(line.find(" +"), std::string::npos);
+  EXPECT_NE(line.find(" T"), std::string::npos);
 }
 
 TEST(Rng, SampleDistinctProperties) {

@@ -7,6 +7,12 @@
 //   fastpr_cli simulate <spec>   # strategy comparison (simulated times)
 //   fastpr_cli lifetime <spec>   # one simulated year of failures
 //
+// Telemetry flags (may appear anywhere after the command):
+//   --metrics-out=<file.json>    # dump the metrics registry at exit
+//   --trace-out=<file.json>      # enable tracing; write a Chrome
+//                                # trace_event file at exit (load in
+//                                # chrome://tracing or Perfetto)
+//
 // Spec format (one `key value...` pair per line; '#' starts a comment):
 //   nodes 100          # storage nodes
 //   standby 3          # hot-standby spares
@@ -27,12 +33,15 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <vector>
 
 #include "core/fastpr.h"
 #include "ec/lrc_code.h"
 #include "ec/rs_code.h"
 #include "lifetime/lifetime_sim.h"
 #include "sim/simulator.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -301,29 +310,83 @@ int cmd_lifetime(const Spec& spec) {
 int usage() {
   std::fprintf(stderr,
                "usage: fastpr_cli analyze|plan|simulate|lifetime "
-               "<spec-file>\n");
+               "<spec-file> [--metrics-out=<file.json>] "
+               "[--trace-out=<file.json>]\n");
   return 2;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  out << content << "\n";
+  return out.good();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) return usage();
+  std::string metrics_out;
+  std::string trace_out;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_out = arg.substr(std::strlen("--metrics-out="));
+      if (metrics_out.empty()) return usage();
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::strlen("--trace-out="));
+      if (trace_out.empty()) return usage();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
+      return usage();
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2) return usage();
+  const char* command = positional[0];
+  const char* spec_path = positional[1];
+
   set_log_level(LogLevel::kWarn);
+  if (!trace_out.empty()) {
+    telemetry::TraceLog::global().set_enabled(true);
+  }
   Spec spec;
   std::string error;
-  if (!parse_spec(argv[2], spec, error)) {
+  if (!parse_spec(spec_path, spec, error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
+  int rc = 2;
   try {
-    if (std::strcmp(argv[1], "analyze") == 0) return cmd_analyze(spec);
-    if (std::strcmp(argv[1], "plan") == 0) return cmd_plan(spec);
-    if (std::strcmp(argv[1], "simulate") == 0) return cmd_simulate(spec);
-    if (std::strcmp(argv[1], "lifetime") == 0) return cmd_lifetime(spec);
+    if (std::strcmp(command, "analyze") == 0) {
+      rc = cmd_analyze(spec);
+    } else if (std::strcmp(command, "plan") == 0) {
+      rc = cmd_plan(spec);
+    } else if (std::strcmp(command, "simulate") == 0) {
+      rc = cmd_simulate(spec);
+    } else if (std::strcmp(command, "lifetime") == 0) {
+      rc = cmd_lifetime(spec);
+    } else {
+      return usage();
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 1;
+  }
+  if (!metrics_out.empty() &&
+      !write_file(metrics_out,
+                  telemetry::MetricsRegistry::global().snapshot().to_json())) {
     return 1;
   }
-  return usage();
+  if (!trace_out.empty() &&
+      !write_file(trace_out,
+                  telemetry::TraceLog::global().to_chrome_json())) {
+    return 1;
+  }
+  return rc;
 }

@@ -21,11 +21,18 @@
 //                   #pragma once.
 //  * naked-new    — no naked new/delete outside src/util; ownership
 //                   lives in containers and smart pointers.
+//  * raw-timing   — no direct steady_clock use in src/ outside
+//                   src/telemetry/; measurements go through
+//                   telemetry::trace_now() / TraceSpan so they land in
+//                   the trace (and tids/epochs stay consistent).
 //
 // Intentional exceptions:
 //  * src/util/units.h is exempt from `units` (it defines the helpers).
 //  * src/util/** is exempt from `naked-new` (low-level utilities may
 //    need placement new; nothing else does).
+//  * src/telemetry/** is exempt from `raw-timing` (it owns the clock);
+//    bench/ tests/ tools/ are exempt too — the rule protects the
+//    product's measurement discipline, not harness code.
 //  * Any line may carry `fastpr-lint: allow(<rule>)` in a comment to
 //    document a reviewed exception; the marker is the allowlist.
 //
@@ -196,6 +203,16 @@ void check_line(const fs::path& rel, int lineno, const std::string& raw,
       out.push_back({rel.generic_string(), lineno, "rng",
                      "use the seeded fastpr::Rng (util/rng.h) instead of "
                      "rand()/srand()"});
+    }
+  }
+
+  // raw-timing
+  if (path_has_prefix(rel, "src/") &&
+      !path_has_prefix(rel, "src/telemetry/") && !allowed("raw-timing")) {
+    if (has_word(code, "steady_clock")) {
+      out.push_back({rel.generic_string(), lineno, "raw-timing",
+                     "no raw steady_clock in src/ outside telemetry; use "
+                     "telemetry::trace_now() or a TraceSpan"});
     }
   }
 
