@@ -50,7 +50,8 @@ void Agent::stop() {
   bye.type = MessageType::kShutdown;
   bye.from = id_;
   bye.to = id_;
-  transport_.send(std::move(bye));
+  // Self-delivered teardown signal; the join below is the "ack".
+  transport_.send(std::move(bye));  // fastpr-lint: allow(ack-tracking)
   if (dispatcher_.joinable()) dispatcher_.join();
   // Teardown order matters: drain the readers first (their queued
   // packets need live senders), then close the send queue so the sender
@@ -68,14 +69,18 @@ void Agent::stop() {
   started_ = false;
 }
 
-void Agent::report_failure(uint64_t task_id, const std::string& error) {
+void Agent::report_failure(uint64_t task_id, uint32_t attempt,
+                           const std::string& error) {
   Message msg;
   msg.type = MessageType::kTaskFailed;
   msg.from = id_;
   msg.to = options_.coordinator;
   msg.task_id = task_id;
+  msg.attempt = attempt;
   msg.error = error;
-  transport_.send(std::move(msg));
+  // Terminal failure report: the coordinator's pending map owns the
+  // task and reacts (retry / fallback / abandon).
+  transport_.send(std::move(msg));  // fastpr-lint: allow(ack-tracking)
 }
 
 void Agent::dispatch_loop() {
@@ -98,6 +103,12 @@ void Agent::dispatch_loop() {
       case MessageType::kDataPacket:
         handle_data_packet(std::move(*msg));
         break;
+      case MessageType::kCancelTask:
+        handle_cancel_task(*msg);
+        break;
+      case MessageType::kPing:
+        handle_ping(*msg);
+        break;
       default:
         LOG_WARN("agent " << id_ << ": unexpected message type "
                           << static_cast<int>(msg->type));
@@ -106,11 +117,24 @@ void Agent::dispatch_loop() {
 }
 
 void Agent::handle_reconstruct_cmd(const Message& msg) {
-  // We are the destination. Register the decode state, then ask every
-  // helper to stream its (coefficient-tagged) chunk to us.
+  // We are the destination. Retries are idempotent: a command that does
+  // not advance the attempt is a duplicate and must not restart helper
+  // streams; a higher attempt supersedes the old state wholesale (its
+  // in-flight packets then fail the attempt check and drop).
+  const auto existing = tasks_.find(msg.task_id);
+  if (existing != tasks_.end() && existing->second.attempt >= msg.attempt) {
+    telemetry::MetricsRegistry::global()
+        .counter("agent.stale_cmds")
+        .add();
+    return;
+  }
+
+  // Register the decode state, then ask every helper to stream its
+  // (coefficient-tagged) chunk to us.
   TransferState state;
   state.chunk = msg.chunk;
   state.mode = TransferMode::kDecode;
+  state.attempt = msg.attempt;
   state.expected_streams = static_cast<int>(msg.sources.size());
   state.chunk_bytes = msg.chunk_bytes;
   state.packet_bytes = msg.packet_bytes;
@@ -126,35 +150,64 @@ void Agent::handle_reconstruct_cmd(const Message& msg) {
     req.from = id_;
     req.to = src.node;
     req.task_id = msg.task_id;
+    req.attempt = msg.attempt;
     req.chunk = src.chunk;
     req.dst = id_;
     req.coefficient = src.coefficient;
     req.packet_bytes = msg.packet_bytes;
-    transport_.send(std::move(req));
+    // Tracked by the TransferState fan-in registered above: a helper
+    // that never streams stalls the task, which the coordinator's
+    // round deadline + probe salvages.
+    transport_.send(std::move(req));  // fastpr-lint: allow(ack-tracking)
   }
 }
 
 void Agent::handle_migrate_cmd(const Message& msg) {
   // We are the STF node: stream the chunk to its new home.
   const uint64_t task_id = msg.task_id;
+  const uint32_t attempt = msg.attempt;
   const ChunkRef chunk = msg.chunk;
   const NodeId dst = msg.dst;
   const uint64_t packet_bytes = msg.packet_bytes;
-  reader_pool_->post([this, task_id, chunk, dst, packet_bytes] {
-    stream_chunk(task_id, chunk, dst, TransferMode::kStore, 1, packet_bytes);
+  reader_pool_->post([this, task_id, attempt, chunk, dst, packet_bytes] {
+    stream_chunk(task_id, attempt, chunk, dst, TransferMode::kStore, 1,
+                 packet_bytes);
   });
 }
 
 void Agent::handle_fetch_request(const Message& msg) {
   const uint64_t task_id = msg.task_id;
+  const uint32_t attempt = msg.attempt;
   const ChunkRef chunk = msg.chunk;
   const NodeId dst = msg.dst;
   const uint8_t coeff = msg.coefficient;
   const uint64_t packet_bytes = msg.packet_bytes;
-  reader_pool_->post([this, task_id, chunk, dst, coeff, packet_bytes] {
-    stream_chunk(task_id, chunk, dst, TransferMode::kDecode, coeff,
+  reader_pool_->post([this, task_id, attempt, chunk, dst, coeff,
+                      packet_bytes] {
+    stream_chunk(task_id, attempt, chunk, dst, TransferMode::kDecode, coeff,
                  packet_bytes);
   });
+}
+
+void Agent::handle_cancel_task(const Message& msg) {
+  // Cancel is keyed by attempt so a cancel racing a newer command
+  // cannot kill the newer attempt's state.
+  const auto it = tasks_.find(msg.task_id);
+  if (it == tasks_.end() || it->second.attempt > msg.attempt) return;
+  tasks_.erase(it);
+  telemetry::MetricsRegistry::global()
+      .counter("agent.cancelled_tasks")
+      .add();
+}
+
+void Agent::handle_ping(const Message& msg) {
+  Message pong;
+  pong.type = MessageType::kPong;
+  pong.from = id_;
+  pong.to = msg.from;
+  pong.task_id = msg.task_id;  // echoes the probe epoch
+  // Reply to a liveness probe; the coordinator's probe state tracks it.
+  transport_.send(std::move(pong));  // fastpr-lint: allow(ack-tracking)
 }
 
 void Agent::enqueue_send(Message&& msg,
@@ -186,7 +239,9 @@ void Agent::sender_loop() {
     {
       FASTPR_TRACE_SPAN("agent.send_packet", "agent",
                         static_cast<int64_t>(item.msg.task_id), "task");
-      transport_.send(std::move(item.msg));  // blocks on NIC shaping
+      // Data packet tracked by its transfer's SendWindow (in_flight
+      // slot released below); blocks on NIC shaping.
+      transport_.send(std::move(item.msg));  // fastpr-lint: allow(ack-tracking)
     }
     {
       MutexLock lock(item.window->mutex);
@@ -196,17 +251,17 @@ void Agent::sender_loop() {
   }
 }
 
-void Agent::stream_chunk(uint64_t task_id, ChunkRef chunk, NodeId dst,
-                         TransferMode mode, uint8_t coefficient,
+void Agent::stream_chunk(uint64_t task_id, uint32_t attempt, ChunkRef chunk,
+                         NodeId dst, TransferMode mode, uint8_t coefficient,
                          uint64_t packet_bytes) {
   FASTPR_CHECK(packet_bytes >= 1);
   FASTPR_TRACE_SPAN("agent.stream_chunk", "agent",
                     static_cast<int64_t>(task_id), "task");
   const auto content = store_.read_unthrottled(chunk);
   if (!content.has_value()) {
-    report_failure(task_id, "read error on node " +
-                                std::to_string(id_) + " for stripe " +
-                                std::to_string(chunk.stripe));
+    report_failure(task_id, attempt,
+                   "read error on node " + std::to_string(id_) +
+                       " for stripe " + std::to_string(chunk.stripe));
     return;
   }
   const uint64_t chunk_bytes = content->size();
@@ -228,6 +283,7 @@ void Agent::stream_chunk(uint64_t task_id, ChunkRef chunk, NodeId dst,
     packet.from = id_;
     packet.to = dst;
     packet.task_id = task_id;
+    packet.attempt = attempt;
     packet.chunk = chunk;
     packet.mode = mode;
     packet.coefficient = coefficient;
@@ -247,37 +303,62 @@ void Agent::stream_chunk(uint64_t task_id, ChunkRef chunk, NodeId dst,
 }
 
 void Agent::handle_data_packet(Message&& msg) {
-  // Static ref: one registry lookup per process, not per packet.
+  // Static refs: one registry lookup per process, not per packet.
   static telemetry::Counter& rx_packets =
       telemetry::MetricsRegistry::global().counter("agent.data_packets_rx");
+  static telemetry::Counter& stale_packets =
+      telemetry::MetricsRegistry::global().counter("agent.stale_packets");
+  static telemetry::Counter& dup_packets =
+      telemetry::MetricsRegistry::global().counter("agent.dup_packets");
   rx_packets.add();
   auto it = tasks_.find(msg.task_id);
-  if (it == tasks_.end()) {
+  const bool store_restart =
+      it != tasks_.end() && msg.mode == TransferMode::kStore &&
+      msg.attempt > it->second.attempt;
+  if (it == tasks_.end() || store_restart) {
     if (msg.mode != TransferMode::kStore) {
-      LOG_WARN("agent " << id_ << ": decode packet for unknown task "
-                        << msg.task_id);
+      // Decode packet with no matching state: a superseded attempt's
+      // helper stream (or a cancelled task) still draining.
+      stale_packets.add();
       return;
     }
     // Migration stream: the first packet creates the state lazily (the
-    // coordinator commanded the STF node, not us).
+    // coordinator commanded the STF node, not us). A retried migration
+    // restarts the state at its higher attempt the same way.
     TransferState state;
     state.chunk = msg.chunk;
     state.mode = TransferMode::kStore;
+    state.attempt = msg.attempt;
     state.expected_streams = 1;
     state.chunk_bytes = msg.chunk_bytes;
     state.packet_bytes = msg.packet_bytes;
     state.total_packets = msg.total_packets;
     state.accumulator.assign(msg.chunk_bytes, 0);
     state.pending.resize(msg.total_packets);
-    it = tasks_.emplace(msg.task_id, std::move(state)).first;
+    tasks_[msg.task_id] = std::move(state);
+    it = tasks_.find(msg.task_id);
   }
 
   TransferState& state = it->second;
+  if (msg.attempt != state.attempt) {
+    // Stale stream of a superseded attempt: folding it in would corrupt
+    // the current attempt's accumulator.
+    stale_packets.add();
+    return;
+  }
   FASTPR_CHECK(msg.packet_index < state.total_packets);
   const uint64_t offset =
       static_cast<uint64_t>(msg.packet_index) * state.packet_bytes;
   FASTPR_CHECK(offset + msg.payload.size() <= state.accumulator.size());
   const size_t payload_bytes = msg.payload.size();
+
+  auto& pending = state.pending[msg.packet_index];
+  if (pending.done) {
+    // Already folded: a duplicated packet (flaky network) arriving
+    // after its index completed must not double-contribute.
+    dup_packets.add();
+    return;
+  }
 
   bool packet_final = false;
   if (state.expected_streams == 1) {
@@ -285,15 +366,23 @@ void Agent::handle_data_packet(Message&& msg) {
     // wait for — scale-copy straight into place and recycle the buffer.
     gf::mul_region(state.accumulator.data() + offset, msg.payload.data(),
                    msg.coefficient, payload_bytes);
+    pending.done = true;
     packet_final = true;
   } else {
     // Reconstruction fan-in: park the stream's contribution until every
     // helper's packet for this index has arrived, then fold all of them
     // into the accumulator with one fused dot pass (one sweep over the
-    // packet instead of one per helper stream).
-    auto& pending = state.pending[msg.packet_index];
+    // packet instead of one per helper stream). A sender contributes at
+    // most once per index (duplicate-packet dedupe).
+    for (NodeId sender : pending.senders) {
+      if (sender == msg.from) {
+        dup_packets.add();
+        return;
+      }
+    }
     pending.payloads.push_back(std::move(msg.payload));
     pending.coeffs.push_back(msg.coefficient);
+    pending.senders.push_back(msg.from);
     if (pending.payloads.size() ==
         static_cast<size_t>(state.expected_streams)) {
       const uint8_t* srcs[net::kMaxRepairStreams];
@@ -309,6 +398,8 @@ void Agent::handle_data_packet(Message&& msg) {
                          pending.coeffs.data(), n, payload_bytes);
       pending.payloads.clear();  // recycles the pooled buffers
       pending.coeffs.clear();
+      pending.senders.clear();
+      pending.done = true;
       packet_final = true;
     }
   }
@@ -327,8 +418,10 @@ void Agent::handle_data_packet(Message&& msg) {
       done.from = id_;
       done.to = options_.coordinator;
       done.task_id = msg.task_id;
+      done.attempt = state.attempt;
       done.chunk = state.chunk;
-      transport_.send(std::move(done));
+      // Completion ack: the coordinator's pending map consumes it.
+      transport_.send(std::move(done));  // fastpr-lint: allow(ack-tracking)
       tasks_.erase(it);
     }
   }

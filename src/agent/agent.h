@@ -90,6 +90,10 @@ class Agent {
   struct TransferState {
     cluster::ChunkRef chunk;  // chunk being repaired
     net::TransferMode mode = net::TransferMode::kStore;
+    /// Attempt this state belongs to. A command with a higher attempt
+    /// replaces the state wholesale; packets whose attempt mismatches
+    /// are stale (superseded retry) and dropped.
+    uint32_t attempt = 0;
     int expected_streams = 1;
     uint64_t chunk_bytes = 0;
     uint64_t packet_bytes = 0;
@@ -98,9 +102,14 @@ class Agent {
     /// Per packet index: the payloads+coefficients that have arrived so
     /// far. Once all expected streams are in, one fused dot_region_xor
     /// folds them into the accumulator and the buffers recycle.
+    /// `senders` mirrors `payloads` so a duplicated packet (flaky
+    /// network) cannot contribute the same stream twice; `done` rejects
+    /// any duplicate arriving after the fold.
     struct Pending {
       std::vector<PooledBuffer> payloads;
       std::vector<uint8_t> coeffs;
+      std::vector<cluster::NodeId> senders;
+      bool done = false;
     };
     std::vector<Pending> pending;
     uint32_t packets_complete = 0;
@@ -111,11 +120,14 @@ class Agent {
   void handle_migrate_cmd(const net::Message& msg);
   void handle_fetch_request(const net::Message& msg);
   void handle_data_packet(net::Message&& msg);
+  void handle_cancel_task(const net::Message& msg);
+  void handle_ping(const net::Message& msg);
 
   /// Runs as a reader task: pipelined read→send of one chunk.
-  void stream_chunk(uint64_t task_id, cluster::ChunkRef chunk,
-                    cluster::NodeId dst, net::TransferMode mode,
-                    uint8_t coefficient, uint64_t packet_bytes);
+  void stream_chunk(uint64_t task_id, uint32_t attempt,
+                    cluster::ChunkRef chunk, cluster::NodeId dst,
+                    net::TransferMode mode, uint8_t coefficient,
+                    uint64_t packet_bytes);
 
   /// Blocks until the transfer's window has room, then queues the
   /// packet for the sender workers.
@@ -125,7 +137,8 @@ class Agent {
 
   void sender_loop() FASTPR_EXCLUDES(send_mutex_);
 
-  void report_failure(uint64_t task_id, const std::string& error);
+  void report_failure(uint64_t task_id, uint32_t attempt,
+                      const std::string& error);
 
   cluster::NodeId id_;
   net::Transport& transport_;

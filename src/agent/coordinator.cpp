@@ -1,8 +1,9 @@
 #include "agent/coordinator.h"
 
-#include <unordered_map>
+#include <algorithm>
+#include <numeric>
 
-#include "telemetry/trace.h"
+#include "telemetry/metrics.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -12,6 +13,19 @@ using cluster::ChunkRef;
 using cluster::NodeId;
 using net::Message;
 using net::MessageType;
+
+namespace {
+
+telemetry::Counter& coord_counter(const char* name) {
+  return telemetry::MetricsRegistry::global().counter(name);
+}
+
+std::string chunk_str(ChunkRef chunk) {
+  return "(" + std::to_string(chunk.stripe) + "," +
+         std::to_string(chunk.index) + ")";
+}
+
+}  // namespace
 
 Coordinator::Coordinator(NodeId id, net::Transport& transport,
                          const ec::ErasureCode& code,
@@ -25,9 +39,20 @@ Coordinator::Coordinator(NodeId id, net::Transport& transport,
   FASTPR_CHECK(options.chunk_bytes >= 1);
   FASTPR_CHECK(options.packet_bytes >= 1);
   FASTPR_CHECK(options.packet_bytes <= options.chunk_bytes);
+  FASTPR_CHECK(options.max_attempts >= 1);
+  FASTPR_CHECK(options.max_round_extensions >= 0);
+  FASTPR_CHECK(options.stf_failure_threshold >= 1);
 }
 
-void Coordinator::issue_reconstruction(uint64_t task_id,
+void Coordinator::issue_task(uint64_t task_id, const PendingTask& task) {
+  if (task.is_migration) {
+    issue_migration(task_id, task.attempt, task.mig);
+  } else {
+    issue_reconstruction(task_id, task.attempt, task.recon);
+  }
+}
+
+void Coordinator::issue_reconstruction(uint64_t task_id, uint32_t attempt,
                                        const core::ReconstructionTask& task) {
   // Decode coefficients for this helper set.
   std::vector<int> helper_indices;
@@ -44,6 +69,7 @@ void Coordinator::issue_reconstruction(uint64_t task_id,
   cmd.from = id_;
   cmd.to = task.dst;
   cmd.task_id = task_id;
+  cmd.attempt = attempt;
   cmd.chunk = task.chunk;
   cmd.dst = task.dst;
   cmd.chunk_bytes = options_.chunk_bytes;
@@ -52,42 +78,342 @@ void Coordinator::issue_reconstruction(uint64_t task_id,
     cmd.sources.push_back(net::SourceSpec{task.sources[i].node,
                                           task.sources[i].chunk, coeffs[i]});
   }
+  // fastpr-lint: allow(ack-tracking) — reply tracked via pending_;
+  // non-acknowledgement is salvaged by round extensions + probes.
   transport_.send(std::move(cmd));
 }
 
-void Coordinator::issue_migration(uint64_t task_id,
+void Coordinator::issue_migration(uint64_t task_id, uint32_t attempt,
                                   const core::MigrationTask& task) {
   Message cmd;
   cmd.type = MessageType::kMigrateCmd;
   cmd.from = id_;
   cmd.to = task.src;
   cmd.task_id = task_id;
+  cmd.attempt = attempt;
   cmd.chunk = task.chunk;
   cmd.dst = task.dst;
   cmd.chunk_bytes = options_.chunk_bytes;
   cmd.packet_bytes = options_.packet_bytes;
+  // fastpr-lint: allow(ack-tracking) — reply tracked via pending_;
+  // non-acknowledgement is salvaged by round extensions + probes.
   transport_.send(std::move(cmd));
 }
 
+void Coordinator::cancel_attempt(NodeId node, uint64_t task_id,
+                                 uint32_t attempt) {
+  if (node == cluster::kNoNode) return;
+  Message msg;
+  msg.type = MessageType::kCancelTask;
+  msg.from = id_;
+  msg.to = node;
+  msg.task_id = task_id;
+  msg.attempt = attempt;
+  // fastpr-lint: allow(ack-tracking) — best-effort tidy-up; superseded
+  // agent state also self-cleans via per-packet attempt checks.
+  transport_.send(std::move(msg));
+}
+
 core::ReconstructionTask Coordinator::fallback_for(
-    const core::MigrationTask& task, NodeId stf) const {
+    const core::MigrationTask& task, NodeId stf,
+    const std::unordered_set<NodeId>& failed) const {
   core::ReconstructionTask recon;
   recon.chunk = task.chunk;
   recon.dst = task.dst;
+  recon.sources = pick_sources(task.chunk, task.dst, stf, failed);
+  return recon;
+}
+
+std::vector<core::SourceRead> Coordinator::pick_sources(
+    ChunkRef chunk, NodeId dst, NodeId stf,
+    const std::unordered_set<NodeId>& exclude) const {
   // k helpers from the stripe's other nodes. We cannot use the STF node
-  // (its read just failed); beyond that any k suffice for RS, and the
-  // code object picks valid helpers for LRC.
-  const auto& nodes = layout_.stripe_nodes(task.chunk.stripe);
+  // (it is being retired or its read just failed) or any known-failed
+  // node; beyond that any k suffice for RS, and the code object picks
+  // valid helpers for LRC (local group first, global parities when the
+  // group is depleted).
+  const auto& nodes = layout_.stripe_nodes(chunk.stripe);
   std::vector<bool> available(nodes.size(), false);
   for (size_t i = 0; i < nodes.size(); ++i) {
-    available[i] = nodes[i] != stf && nodes[i] != task.dst;
+    available[i] = nodes[i] != stf && nodes[i] != dst &&
+                   exclude.count(nodes[i]) == 0 &&
+                   static_cast<int>(i) != chunk.index;
   }
-  const auto helpers = code_.repair_helpers(task.chunk.index, available);
+  const auto helpers = code_.repair_helpers(chunk.index, available);
+  std::vector<core::SourceRead> sources;
+  sources.reserve(helpers.size());
   for (int h : helpers) {
-    recon.sources.push_back(core::SourceRead{
-        nodes[static_cast<size_t>(h)], ChunkRef{task.chunk.stripe, h}});
+    sources.push_back(core::SourceRead{
+        nodes[static_cast<size_t>(h)], ChunkRef{chunk.stripe, h}});
   }
-  return recon;
+  return sources;
+}
+
+bool Coordinator::needs_rebuild(const PendingTask& task) const {
+  const auto bad = [&](NodeId n) {
+    return failed_nodes_.count(n) != 0 || task.excluded.count(n) != 0;
+  };
+  if (task.is_migration) {
+    return stf_dead_ || bad(task.mig.src) || bad(task.mig.dst);
+  }
+  if (task.recon.dst == cluster::kNoNode || bad(task.recon.dst)) return true;
+  for (const auto& src : task.recon.sources) {
+    if (bad(src.node)) return true;
+  }
+  return false;
+}
+
+bool Coordinator::rebuild_task(PendingTask& task, ExecutionReport& report) {
+  const auto bad = [&](NodeId n) {
+    return failed_nodes_.count(n) != 0 || task.excluded.count(n) != 0;
+  };
+  if (task.is_migration) {
+    const bool stf_gone = stf_dead_ || bad(task.mig.src);
+    if (!stf_gone) {
+      if (bad(task.mig.dst)) {
+        const NodeId dst = choose_destination(task.mig.chunk.stripe, task);
+        if (dst == cluster::kNoNode) return false;
+        task.mig.dst = dst;
+      }
+      return true;
+    }
+    // Predictive migration degrades in place to a fallback
+    // reconstruction (same task_id, next attempt).
+    task.is_migration = false;
+    ++report.fallback_reconstructions;
+    coord_counter("coordinator.fallbacks").add();
+    task.recon.chunk = task.mig.chunk;
+    task.recon.dst = task.mig.dst;
+    task.recon.sources.clear();
+  }
+  ChunkRef chunk = task.recon.chunk;
+  NodeId dst = task.recon.dst;
+  if (dst == cluster::kNoNode || bad(dst)) {
+    dst = choose_destination(chunk.stripe, task);
+    if (dst == cluster::kNoNode) return false;
+  }
+  std::unordered_set<NodeId> exclude = task.excluded;
+  exclude.insert(failed_nodes_.begin(), failed_nodes_.end());
+  try {
+    task.recon.sources = pick_sources(chunk, dst, stf_, exclude);
+  } catch (const CheckFailure&) {
+    return false;  // fewer than k viable chunks left in the stripe
+  }
+  task.recon.dst = dst;
+  return true;
+}
+
+NodeId Coordinator::choose_destination(cluster::StripeId stripe,
+                                       const PendingTask& task) {
+  std::unordered_set<NodeId> in_use;
+  for (const auto& [id, p] : pending_) in_use.insert(p.current_dst());
+
+  std::vector<NodeId> pool = options_.dest_candidates;
+  if (pool.empty()) {
+    pool.resize(static_cast<size_t>(layout_.num_nodes()));
+    std::iota(pool.begin(), pool.end(), 0);
+  }
+
+  NodeId best = cluster::kNoNode;
+  std::pair<int, int> best_key{0, 0};
+  for (NodeId n : pool) {
+    if (n == stf_ || failed_nodes_.count(n) != 0 ||
+        task.excluded.count(n) != 0) {
+      continue;
+    }
+    if (layout_.stripe_uses_node(stripe, n)) continue;
+    // Spare (hot-standby) ids sit beyond the layout and hold no chunks.
+    const int placed = n < layout_.num_nodes() ? layout_.load(n) : 0;
+    const std::pair<int, int> key{in_use.count(n) != 0 ? 1 : 0,
+                                  placed + extra_dst_load_[n]};
+    if (best == cluster::kNoNode || key < best_key) {
+      best = n;
+      best_key = key;
+    }
+  }
+  if (best != cluster::kNoNode) ++extra_dst_load_[best];
+  return best;
+}
+
+void Coordinator::start_task(PendingTask task, ExecutionReport& report) {
+  const uint64_t id = next_task_id_++;
+  if (needs_rebuild(task) && !rebuild_task(task, report)) {
+    report.unrepaired.push_back(task.chunk());
+    report.errors.push_back("chunk " + chunk_str(task.chunk()) +
+                            " unrepaired: no viable helper set");
+    coord_counter("coordinator.tasks_abandoned").add();
+    return;
+  }
+  const auto [it, inserted] = pending_.emplace(id, std::move(task));
+  FASTPR_CHECK(inserted);
+  issue_task(id, it->second);
+}
+
+void Coordinator::handle_task_done(const Message& msg,
+                                   ExecutionReport& report) {
+  const auto it = pending_.find(msg.task_id);
+  if (it == pending_.end() || it->second.attempt != msg.attempt) {
+    coord_counter("coordinator.stale_acks").add();
+    return;
+  }
+  const PendingTask& task = it->second;
+  CompletedRepair done;
+  done.chunk = task.chunk();
+  done.dst = msg.from;
+  done.migrated = task.is_migration;
+  done.attempts = static_cast<int>(task.attempt);
+  report.completions.push_back(done);
+  if (task.is_migration) {
+    ++report.migrated;
+  } else {
+    ++report.reconstructed;
+  }
+  pending_.erase(it);
+}
+
+void Coordinator::handle_task_failed(const Message& msg,
+                                     ExecutionReport& report) {
+  const auto it = pending_.find(msg.task_id);
+  if (it == pending_.end()) return;
+  PendingTask& task = it->second;
+  // Even a stale failure report names a faulty node; remember it for
+  // future attempts of this task.
+  if (msg.from != cluster::kNoNode) task.excluded.insert(msg.from);
+  if (msg.attempt != task.attempt || task.waiting_retry) return;
+
+  LOG_INFO("coordinator: task " << msg.task_id << " attempt "
+                                << msg.attempt << " failed ('" << msg.error
+                                << "')");
+  if (task.is_migration) {
+    // A migration failure is an STF read failure: fall back to
+    // reconstruction immediately (the reactive path reads other disks,
+    // so no backoff), and count it toward declaring the STF dead.
+    ++stf_failures_;
+    task.excluded.insert(task.mig.src);
+    if (!stf_dead_ && stf_failures_ >= options_.stf_failure_threshold) {
+      declare_stf_dead(report);
+    }
+    reissue_now(msg.task_id, report);
+    return;
+  }
+  schedule_retry(msg.task_id, task);
+}
+
+void Coordinator::schedule_retry(uint64_t task_id, PendingTask& task) {
+  auto backoff = options_.retry_backoff;
+  for (uint32_t i = 1; i < task.attempt; ++i) backoff *= 2;
+  task.waiting_retry = true;
+  retries_due_.emplace(telemetry::TraceClock::now() + backoff, task_id);
+}
+
+void Coordinator::reissue_now(uint64_t task_id, ExecutionReport& report) {
+  const auto it = pending_.find(task_id);
+  if (it == pending_.end()) return;
+  PendingTask& task = it->second;
+  if (static_cast<int>(task.attempt) >= options_.max_attempts) {
+    abandon(task_id, "attempts exhausted", report);
+    return;
+  }
+  const NodeId old_dst = task.current_dst();
+  const uint32_t old_attempt = task.attempt;
+  ++task.attempt;
+  if (!rebuild_task(task, report)) {
+    abandon(task_id, "no viable helper set or destination", report);
+    return;
+  }
+  ++report.retries;
+  coord_counter("coordinator.retries").add();
+  if (task.current_dst() != old_dst) {
+    cancel_attempt(old_dst, task_id, old_attempt);
+  }
+  issue_task(task_id, task);
+}
+
+void Coordinator::abandon(uint64_t task_id, const std::string& reason,
+                          ExecutionReport& report) {
+  const auto it = pending_.find(task_id);
+  if (it == pending_.end()) return;
+  const ChunkRef chunk = it->second.chunk();
+  report.unrepaired.push_back(chunk);
+  report.errors.push_back("chunk " + chunk_str(chunk) +
+                          " unrepaired: " + reason);
+  coord_counter("coordinator.tasks_abandoned").add();
+  cancel_attempt(it->second.current_dst(), task_id, it->second.attempt);
+  pending_.erase(it);
+}
+
+void Coordinator::start_probe(ExecutionReport& report) {
+  if (probe_active_) return;
+  probe_active_ = true;
+  ++probe_epoch_;
+  probe_deadline_ = telemetry::TraceClock::now() + options_.probe_timeout;
+  probe_outstanding_.clear();
+  stragglers_.clear();
+
+  std::unordered_set<NodeId> nodes;
+  for (const auto& [id, task] : pending_) {
+    if (task.waiting_retry) continue;  // the backoff machinery owns these
+    stragglers_.push_back(id);
+    collect_task_nodes(task, nodes);
+  }
+  for (NodeId n : nodes) {
+    if (failed_nodes_.count(n) != 0) continue;
+    probe_outstanding_[n] = false;
+    Message ping;
+    ping.type = MessageType::kPing;
+    ping.from = id_;
+    ping.to = n;
+    ping.task_id = probe_epoch_;  // echoed by kPong; matches the probe
+    // fastpr-lint: allow(ack-tracking) — reply tracked via
+    // probe_outstanding_; silence is the signal being measured.
+    transport_.send(std::move(ping));
+  }
+  coord_counter("coordinator.probes").add();
+  if (probe_outstanding_.empty()) finish_probe(report);
+}
+
+void Coordinator::finish_probe(ExecutionReport& report) {
+  probe_active_ = false;
+  for (const auto& [node, replied] : probe_outstanding_) {
+    if (replied) continue;
+    failed_nodes_.insert(node);
+    coord_counter("coordinator.nodes_declared_failed").add();
+    LOG_INFO("coordinator: node " << node
+                                  << " unresponsive to probe; excluded");
+    if (node == stf_) declare_stf_dead(report);
+  }
+  const std::vector<uint64_t> ids = std::move(stragglers_);
+  stragglers_.clear();
+  for (uint64_t id : ids) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end() || it->second.waiting_retry) continue;
+    reissue_now(id, report);
+  }
+}
+
+void Coordinator::declare_stf_dead(ExecutionReport& report) {
+  if (stf_dead_) return;
+  stf_dead_ = true;
+  failed_nodes_.insert(stf_);
+  report.degraded_to_reactive = true;
+  report.degraded_at_round = current_round_;
+  report.errors.push_back(
+      "STF node " + std::to_string(stf_) + " declared dead in round " +
+      std::to_string(current_round_) + "; degrading to reactive repair");
+  coord_counter("coordinator.degraded_executions").add();
+  LOG_INFO("coordinator: STF node "
+           << stf_ << " dead; predictive repair degrades to reactive");
+}
+
+void Coordinator::collect_task_nodes(
+    const PendingTask& task, std::unordered_set<NodeId>& out) const {
+  if (task.is_migration) {
+    out.insert(task.mig.src);
+    out.insert(task.mig.dst);
+    return;
+  }
+  out.insert(task.recon.dst);
+  for (const auto& src : task.recon.sources) out.insert(src.node);
 }
 
 ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
@@ -95,80 +421,131 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
   FASTPR_TRACE_SPAN("coordinator.execute", "coordinator");
   ExecutionReport report;
 
-  for (size_t round_idx = 0; round_idx < plan.rounds.size(); ++round_idx) {
-    const auto& round = plan.rounds[round_idx];
+  pending_.clear();
+  retries_due_.clear();
+  failed_nodes_.clear();
+  extra_dst_load_.clear();
+  stragglers_.clear();
+  stf_ = plan.stf_node;
+  stf_dead_ = false;
+  stf_failures_ = 0;
+  probe_active_ = false;
+
+  // The tail of the schedule is mutable: when the STF dies mid-repair,
+  // the replan hook replaces the remaining rounds with a reactive plan.
+  std::vector<core::RepairRound> rounds = plan.rounds;
+  bool replanned = false;
+
+  for (size_t round_idx = 0; round_idx < rounds.size(); ++round_idx) {
+    const core::RepairRound round = rounds[round_idx];
+    current_round_ = static_cast<int>(round_idx) + 1;
     FASTPR_TRACE_SPAN("coordinator.round", "coordinator",
-                      static_cast<int64_t>(round_idx) + 1, "round");
+                      static_cast<int64_t>(current_round_), "round");
     const auto round_start = Clock::now();
-    const auto deadline = round_start + options_.round_timeout;
+    auto deadline = round_start + options_.round_timeout;
+    int extensions_left = options_.max_round_extensions;
     const int round_migrated_before = report.migrated;
     const int round_recon_before = report.reconstructed;
     const int round_fallbacks_before = report.fallback_reconstructions;
-
-    // Pending task bookkeeping; migrations keep their task around for
-    // potential fallback.
-    std::unordered_map<uint64_t, const core::MigrationTask*> migrations;
-    std::unordered_map<uint64_t, bool> pending;  // id → is_fallback
+    const int round_retries_before = report.retries;
+    retries_due_.clear();
 
     for (const auto& task : round.reconstructions) {
-      const uint64_t id = next_task_id_++;
-      pending[id] = false;
-      issue_reconstruction(id, task);
+      PendingTask pending;
+      pending.is_migration = false;
+      pending.recon = task;
+      start_task(std::move(pending), report);
     }
     for (const auto& task : round.migrations) {
-      const uint64_t id = next_task_id_++;
-      pending[id] = false;
-      migrations[id] = &task;
-      issue_migration(id, task);
+      PendingTask pending;
+      pending.is_migration = true;
+      pending.mig = task;
+      start_task(std::move(pending), report);
     }
 
-    while (!pending.empty()) {
-      const auto now = Clock::now();
-      if (now >= deadline) {
-        report.success = false;
-        report.errors.push_back("round " + std::to_string(round_idx) +
-                                " timed out with " +
-                                std::to_string(pending.size()) +
-                                " tasks outstanding");
-        break;
+    while (!pending_.empty()) {
+      auto now = Clock::now();
+
+      // Fire retries that have served their backoff.
+      while (!retries_due_.empty() && retries_due_.begin()->first <= now) {
+        const uint64_t id = retries_due_.begin()->second;
+        retries_due_.erase(retries_due_.begin());
+        const auto it = pending_.find(id);
+        if (it == pending_.end() || !it->second.waiting_retry) continue;
+        it->second.waiting_retry = false;
+        reissue_now(id, report);
       }
-      const auto budget =
-          std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
-                                                                now);
+
+      // Resolve an outstanding probe (everyone answered, or timed out).
+      if (probe_active_) {
+        bool all_replied = true;
+        for (const auto& [node, replied] : probe_outstanding_) {
+          all_replied = all_replied && replied;
+        }
+        if (all_replied || now >= probe_deadline_) finish_probe(report);
+      }
+      if (pending_.empty()) break;
+
+      now = Clock::now();
+      if (now >= deadline) {
+        if (extensions_left > 0) {
+          --extensions_left;
+          ++report.round_extensions;
+          coord_counter("coordinator.round_extensions").add();
+          deadline = now + options_.round_timeout;
+          LOG_INFO("coordinator: round " << current_round_ << " stalled ("
+                                         << pending_.size()
+                                         << " tasks); extending + probing");
+          // Salvage what completed; probe the stragglers' nodes, then
+          // reissue them with confirmed-dead nodes excluded.
+          start_probe(report);
+        } else {
+          report.errors.push_back(
+              "round " + std::to_string(current_round_) +
+              " timed out with " + std::to_string(pending_.size()) +
+              " tasks outstanding");
+          std::vector<uint64_t> ids;
+          ids.reserve(pending_.size());
+          for (const auto& [id, task] : pending_) ids.push_back(id);
+          std::sort(ids.begin(), ids.end());
+          for (uint64_t id : ids) abandon(id, "round timed out", report);
+          retries_due_.clear();
+          break;
+        }
+        continue;
+      }
+
+      auto next_event = deadline;
+      if (probe_active_ && probe_deadline_ < next_event) {
+        next_event = probe_deadline_;
+      }
+      if (!retries_due_.empty() &&
+          retries_due_.begin()->first < next_event) {
+        next_event = retries_due_.begin()->first;
+      }
+      auto budget = std::chrono::duration_cast<std::chrono::milliseconds>(
+          next_event - now);
+      if (budget < std::chrono::milliseconds(1)) {
+        budget = std::chrono::milliseconds(1);
+      }
       auto msg = transport_.recv(id_, budget);
       if (!msg.has_value()) continue;  // timeout tick; loop re-checks
 
-      if (msg->type == MessageType::kTaskDone) {
-        const auto it = pending.find(msg->task_id);
-        if (it == pending.end()) continue;  // stale/duplicate ack
-        const bool was_fallback = it->second;
-        if (migrations.count(msg->task_id) != 0 && !was_fallback) {
-          ++report.migrated;
-        } else {
-          ++report.reconstructed;
-        }
-        pending.erase(it);
-      } else if (msg->type == MessageType::kTaskFailed) {
-        const auto mig = migrations.find(msg->task_id);
-        if (mig != migrations.end()) {
-          // Predictive migration failed → reactive reconstruction.
-          LOG_INFO("coordinator: migration task " << msg->task_id
-                                                  << " failed ('"
-                                                  << msg->error
-                                                  << "'); falling back");
-          const auto fallback = fallback_for(*mig->second, plan.stf_node);
-          pending.erase(msg->task_id);
-          migrations.erase(mig);
-          const uint64_t id = next_task_id_++;
-          pending[id] = true;
-          ++report.fallback_reconstructions;
-          issue_reconstruction(id, fallback);
-        } else {
-          report.success = false;
-          report.errors.push_back("task " + std::to_string(msg->task_id) +
-                                  " failed: " + msg->error);
-          pending.erase(msg->task_id);
-        }
+      switch (msg->type) {
+        case MessageType::kTaskDone:
+          handle_task_done(*msg, report);
+          break;
+        case MessageType::kTaskFailed:
+          handle_task_failed(*msg, report);
+          break;
+        case MessageType::kPong:
+          if (probe_active_ && msg->task_id == probe_epoch_) {
+            const auto it = probe_outstanding_.find(msg->from);
+            if (it != probe_outstanding_.end()) it->second = true;
+          }
+          break;
+        default:
+          break;  // stray message; ignore
       }
     }
 
@@ -178,11 +555,12 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
     report.total_seconds += secs;
 
     telemetry::RepairRoundStats stats;
-    stats.round = static_cast<int>(round_idx) + 1;
+    stats.round = current_round_;
     stats.cr = report.reconstructed - round_recon_before;
     stats.cm = report.migrated - round_migrated_before;
     stats.fallbacks =
         report.fallback_reconstructions - round_fallbacks_before;
+    stats.retries = report.retries - round_retries_before;
     stats.bytes_reconstructed =
         static_cast<int64_t>(stats.cr) *
         static_cast<int64_t>(options_.chunk_bytes);
@@ -192,8 +570,44 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
     report.repair.rounds.push_back(stats);
     report.repair.total_seconds = report.total_seconds;
 
-    if (!report.success) break;
+    // STF death: replace the remaining schedule with a reactive plan
+    // over everything not yet handled. One replan per execution — the
+    // reactive tail already avoids every node known dead, and later
+    // individual failures are covered by the retry machinery.
+    if (stf_dead_ && !replanned && options_.replan) {
+      replanned = true;
+      ++report.replans;
+      coord_counter("coordinator.replans").add();
+      ReplanRequest request;
+      request.handled.reserve(report.completions.size() +
+                              report.unrepaired.size());
+      for (const auto& done : report.completions) {
+        request.handled.push_back(done.chunk);
+      }
+      for (const auto& chunk : report.unrepaired) {
+        request.handled.push_back(chunk);
+      }
+      request.failed_nodes.assign(failed_nodes_.begin(),
+                                  failed_nodes_.end());
+      std::sort(request.failed_nodes.begin(), request.failed_nodes.end());
+      ReplanResult result = options_.replan(request);
+      rounds.resize(round_idx + 1);
+      for (auto& extra : result.plan.rounds) {
+        rounds.push_back(std::move(extra));
+      }
+      for (const auto& chunk : result.unrepairable) {
+        report.unrepaired.push_back(chunk);
+        report.errors.push_back("chunk " + chunk_str(chunk) +
+                                " unrepaired: fewer than k live chunks "
+                                "after STF death");
+      }
+    }
   }
+
+  report.failed_nodes.assign(failed_nodes_.begin(), failed_nodes_.end());
+  std::sort(report.failed_nodes.begin(), report.failed_nodes.end());
+  report.success = report.unrepaired.empty();
+  report.repair.degraded_at_round = report.degraded_at_round;
   return report;
 }
 

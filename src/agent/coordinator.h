@@ -2,14 +2,32 @@
 //
 // Per round it issues kReconstructCmd / kMigrateCmd to the agents,
 // computes decode coefficients from the erasure code, then waits for all
-// acknowledgements before starting the next round. A failed migration
-// (e.g. the STF node died or hit a latent sector error) falls back to
-// reconstruction on the fly — the predictive repair degrades gracefully
-// into the reactive path for the affected chunks.
+// acknowledgements before starting the next round. Execution is
+// fault-tolerant (DESIGN.md §7):
+//
+//  * A failed or timed-out task is reissued (bounded attempts with
+//    exponential backoff) with the faulty nodes excluded — helpers are
+//    re-picked through ErasureCode::repair_helpers and destinations
+//    through the placement matcher. task_id stays stable across retries
+//    while the attempt id increments, so agents can dedupe duplicate
+//    commands and drop packets of superseded attempts.
+//  * When a round stalls, the deadline is extended a bounded number of
+//    times: completed tasks are kept, the nodes the stragglers depend
+//    on are probed (kPing), unresponsive ones are excluded for the rest
+//    of the execution, and the stragglers are reissued.
+//  * When the STF node dies mid-repair — migration failures cross a
+//    threshold, or its agent stops answering probes — the execution
+//    degrades to the reactive path: pending migrations convert to
+//    reconstructions, and a replan hook (when installed) replaces the
+//    remaining rounds with a pure reactive plan over what is left.
 #pragma once
 
 #include <chrono>
+#include <functional>
+#include <map>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/stripe_layout.h"
@@ -17,13 +35,61 @@
 #include "ec/erasure_code.h"
 #include "net/transport.h"
 #include "telemetry/repair_report.h"
+#include "telemetry/trace.h"
 
 namespace fastpr::agent {
+
+/// Input of the mid-repair replan hook: what the execution has already
+/// dealt with (repaired or abandoned) and which nodes are known dead
+/// (always includes the STF node — the hook fires on its death).
+struct ReplanRequest {
+  std::vector<cluster::ChunkRef> handled;
+  std::vector<cluster::NodeId> failed_nodes;
+};
+
+/// Output of the replan hook: reconstruction-only rounds for the
+/// remaining chunks, plus the chunks no surviving stripe can rebuild.
+struct ReplanResult {
+  core::RepairPlan plan;
+  std::vector<cluster::ChunkRef> unrepairable;
+};
+
+using ReplanFn = std::function<ReplanResult(const ReplanRequest&)>;
 
 struct CoordinatorOptions {
   uint64_t chunk_bytes = 0;
   uint64_t packet_bytes = 0;
   std::chrono::milliseconds round_timeout{120000};
+  /// Total issues of one task (first try + retries) before its chunk is
+  /// abandoned and reported unrepaired.
+  int max_attempts = 4;
+  /// Backoff before a failed task is reissued; doubles per attempt.
+  std::chrono::milliseconds retry_backoff{50};
+  /// How long a probed agent has to answer kPing before its node is
+  /// declared failed for the rest of the execution.
+  std::chrono::milliseconds probe_timeout{250};
+  /// Extra round_timeout windows granted to salvage a stalled round;
+  /// each extension probes the stragglers' nodes and reissues them.
+  int max_round_extensions = 3;
+  /// Migration failures tolerated before the STF node is declared dead
+  /// and the execution degrades to reactive reconstruction.
+  int stf_failure_threshold = 3;
+  /// Nodes eligible as replacement destinations when a task's planned
+  /// destination fails (spare node ids beyond the layout are allowed —
+  /// the hot-standby pool). Empty = every node of the layout.
+  std::vector<cluster::NodeId> dest_candidates;
+  /// Optional reactive replanner consulted once, when the STF node dies.
+  ReplanFn replan;
+};
+
+/// One chunk actually repaired, with where it really landed — retries
+/// may have moved it off the planned destination.
+struct CompletedRepair {
+  cluster::ChunkRef chunk;
+  cluster::NodeId dst = cluster::kNoNode;
+  /// Repaired by migration (false = reconstruction, planned or fallback).
+  bool migrated = false;
+  int attempts = 1;
 };
 
 struct ExecutionReport {
@@ -42,6 +108,23 @@ struct ExecutionReport {
   /// `predicted`, which Testbed::execute adds (see DESIGN.md §5c).
   telemetry::RepairReport repair;
   std::vector<std::string> errors;
+
+  /// Every chunk repaired, with its final destination and attempt count.
+  std::vector<CompletedRepair> completions;
+  /// Chunks the execution could not repair (attempts exhausted, no
+  /// viable helper set, or round deadline fully expired). success is
+  /// true iff this is empty.
+  std::vector<cluster::ChunkRef> unrepaired;
+  /// Nodes declared failed during execution (probe non-response or STF
+  /// death), sorted.
+  std::vector<cluster::NodeId> failed_nodes;
+  /// True once the STF node was declared dead and predictive repair
+  /// degraded to the reactive path for the remaining chunks.
+  bool degraded_to_reactive = false;
+  int degraded_at_round = 0;  // 1-based; 0 = never degraded
+  int retries = 0;            // task reissues (incl. fallback conversions)
+  int replans = 0;            // replan hook invocations (0 or 1)
+  int round_extensions = 0;
 
   int repaired() const { return migrated + reconstructed; }
   double per_chunk() const {
@@ -66,13 +149,95 @@ class Coordinator {
   /// Runs the plan to completion (or failure). Blocking.
   ExecutionReport execute(const core::RepairPlan& plan);
 
+  /// Installs the mid-repair reactive replanner (see CoordinatorOptions).
+  void set_replan(ReplanFn replan) { options_.replan = std::move(replan); }
+
+  /// Builds a reconstruction for a chunk whose migration failed,
+  /// excluding the STF node and every node in `failed` from the helper
+  /// set. Throws CheckFailure when no viable helper set exists.
+  core::ReconstructionTask fallback_for(
+      const core::MigrationTask& task, cluster::NodeId stf,
+      const std::unordered_set<cluster::NodeId>& failed = {}) const;
+
+  /// Helper selection for reconstructing `chunk` onto `dst`: k viable
+  /// sources from the stripe's nodes, skipping the STF node, the
+  /// destination and everything in `exclude`. LRC falls back from the
+  /// local group to global parities via ErasureCode::repair_helpers.
+  /// Throws CheckFailure when the chunk is unrepairable.
+  std::vector<core::SourceRead> pick_sources(
+      cluster::ChunkRef chunk, cluster::NodeId dst, cluster::NodeId stf,
+      const std::unordered_set<cluster::NodeId>& exclude) const;
+
  private:
-  void issue_reconstruction(uint64_t task_id,
+  /// One outstanding repair task. is_migration describes the *current*
+  /// form: a migration whose STF read fails converts in place to a
+  /// fallback reconstruction (same task_id, next attempt).
+  struct PendingTask {
+    bool is_migration = false;
+    core::MigrationTask mig;
+    core::ReconstructionTask recon;
+    uint32_t attempt = 1;
+    /// Nodes this task must avoid (reported failures), on top of the
+    /// execution-wide failed_nodes_ set.
+    std::unordered_set<cluster::NodeId> excluded;
+    bool waiting_retry = false;
+
+    cluster::ChunkRef chunk() const {
+      return is_migration ? mig.chunk : recon.chunk;
+    }
+    cluster::NodeId current_dst() const {
+      return is_migration ? mig.dst : recon.dst;
+    }
+  };
+
+  void issue_task(uint64_t task_id, const PendingTask& task);
+  void issue_reconstruction(uint64_t task_id, uint32_t attempt,
                             const core::ReconstructionTask& task);
-  void issue_migration(uint64_t task_id, const core::MigrationTask& task);
-  /// Builds a reconstruction for a chunk whose migration failed.
-  core::ReconstructionTask fallback_for(const core::MigrationTask& task,
-                                        cluster::NodeId stf) const;
+  void issue_migration(uint64_t task_id, uint32_t attempt,
+                       const core::MigrationTask& task);
+  void cancel_attempt(cluster::NodeId node, uint64_t task_id,
+                      uint32_t attempt);
+
+  /// Registers and issues one planned task (rebuilding it first when it
+  /// references nodes already known to have failed).
+  void start_task(PendingTask task, ExecutionReport& report);
+
+  /// True when the task references a failed/excluded node (or a dead
+  /// STF) and must be rebuilt before (re)issue.
+  bool needs_rebuild(const PendingTask& task) const;
+
+  /// Re-derives a viable form of the task: migrations keep migrating
+  /// while the STF is alive (retargeting if the destination failed) and
+  /// convert to fallback reconstructions otherwise; reconstructions get
+  /// a fresh destination and helper set avoiding all known-bad nodes.
+  /// Returns false when the chunk has become unrepairable.
+  bool rebuild_task(PendingTask& task, ExecutionReport& report);
+
+  /// Least-loaded eligible replacement destination for a chunk of
+  /// `stripe`, or kNoNode. Prefers nodes no pending task already
+  /// targets; never picks the STF, a failed node, a task-excluded node,
+  /// or a node of the stripe.
+  cluster::NodeId choose_destination(cluster::StripeId stripe,
+                                     const PendingTask& task);
+
+  void handle_task_done(const net::Message& msg, ExecutionReport& report);
+  void handle_task_failed(const net::Message& msg,
+                          ExecutionReport& report);
+  void schedule_retry(uint64_t task_id, PendingTask& task);
+  /// Bumps the attempt and reissues (rebuilt); abandons the chunk when
+  /// attempts are exhausted or no viable form remains.
+  void reissue_now(uint64_t task_id, ExecutionReport& report);
+  void abandon(uint64_t task_id, const std::string& reason,
+               ExecutionReport& report);
+
+  /// Probes every node the stragglers depend on; resolution (reply or
+  /// probe_timeout) feeds finish_probe.
+  void start_probe(ExecutionReport& report);
+  /// Declares non-responders failed and reissues the stragglers.
+  void finish_probe(ExecutionReport& report);
+  void declare_stf_dead(ExecutionReport& report);
+  void collect_task_nodes(const PendingTask& task,
+                          std::unordered_set<cluster::NodeId>& out) const;
 
   cluster::NodeId id_;
   net::Transport& transport_;
@@ -80,6 +245,25 @@ class Coordinator {
   const cluster::StripeLayout& layout_;
   CoordinatorOptions options_;
   uint64_t next_task_id_ = 1;
+
+  // Per-execution state, reset at the top of execute() (see the
+  // thread-confinement note above).
+  std::unordered_map<uint64_t, PendingTask> pending_;
+  std::multimap<telemetry::TraceClock::time_point, uint64_t> retries_due_;
+  std::unordered_set<cluster::NodeId> failed_nodes_;
+  /// Retarget pressure: chunks re-routed to a node during this
+  /// execution, so repeated retargeting keeps spreading load.
+  std::unordered_map<cluster::NodeId, int> extra_dst_load_;
+  cluster::NodeId stf_ = cluster::kNoNode;
+  bool stf_dead_ = false;
+  int stf_failures_ = 0;
+  int current_round_ = 0;
+
+  bool probe_active_ = false;
+  uint64_t probe_epoch_ = 0;
+  telemetry::TraceClock::time_point probe_deadline_{};
+  std::unordered_map<cluster::NodeId, bool> probe_outstanding_;
+  std::vector<uint64_t> stragglers_;
 };
 
 }  // namespace fastpr::agent

@@ -1,5 +1,7 @@
 #include "agent/testbed.h"
 
+#include <unordered_set>
+
 #include "gf/gf256.h"
 #include "net/inproc_transport.h"
 #include "net/tcp_transport.h"
@@ -117,6 +119,10 @@ Testbed::Testbed(const TestbedOptions& options, const ec::ErasureCode& code)
     topts.net_bytes_per_sec = options.net_bytes_per_sec;
     transport_ = std::make_unique<net::InprocTransport>(num_nodes, topts);
   }
+  if (options.fault_plan.has_value()) {
+    faulty_ = std::make_unique<net::FaultyTransport>(*transport_,
+                                                     *options.fault_plan);
+  }
 
   Rng rng(options.seed);
   layout_ = std::make_unique<cluster::StripeLayout>(
@@ -142,7 +148,7 @@ Testbed::Testbed(const TestbedOptions& options, const ec::ErasureCode& code)
     stores_.push_back(std::make_unique<ChunkStore>(sopts, oracle_.get()));
     AgentOptions aopts;
     aopts.coordinator = coord;
-    agents_.push_back(std::make_unique<Agent>(node, *transport_,
+    agents_.push_back(std::make_unique<Agent>(node, transport(),
                                               *stores_.back(), aopts));
     agents_.back()->start();
   }
@@ -151,7 +157,18 @@ Testbed::Testbed(const TestbedOptions& options, const ec::ErasureCode& code)
   copts.chunk_bytes = options.chunk_bytes;
   copts.packet_bytes = options.packet_bytes;
   copts.round_timeout = options.round_timeout;
-  coordinator_ = std::make_unique<Coordinator>(coord, *transport_, code_,
+  copts.max_attempts = options.max_attempts;
+  copts.retry_backoff = options.retry_backoff;
+  copts.probe_timeout = options.probe_timeout;
+  copts.max_round_extensions = options.max_round_extensions;
+  copts.stf_failure_threshold = options.stf_failure_threshold;
+  // Retried tasks may retarget onto any agent-backed node, spares
+  // included (they are idle, so the load-aware matcher prefers them).
+  copts.dest_candidates.resize(static_cast<size_t>(coord));
+  for (NodeId node = 0; node < coord; ++node) {
+    copts.dest_candidates[static_cast<size_t>(node)] = node;
+  }
+  coordinator_ = std::make_unique<Coordinator>(coord, transport(), code_,
                                                *layout_, copts);
 }
 
@@ -180,6 +197,27 @@ NodeId Testbed::flag_stf() {
     if (layout_->load(node) > layout_->load(best)) best = node;
   }
   cluster_->set_health(best, cluster::NodeHealth::kSoonToFail);
+
+  // The fault plan may target "the STF node" symbolically; now that it
+  // is known, arm those entries and plant the scripted read errors.
+  if (options_.fault_plan.has_value()) {
+    options_.fault_plan->resolve_stf(best);
+    if (faulty_ != nullptr) faulty_->resolve_stf(best);
+    for (const auto& err : options_.fault_plan->read_errors) {
+      FASTPR_CHECK(err.node >= 0 &&
+                   err.node < static_cast<int>(stores_.size()));
+      auto& victim = *stores_[static_cast<size_t>(err.node)];
+      if (err.stripe == net::FaultPlan::ReadError::kAllStripes) {
+        for (ChunkRef chunk : layout_->chunks_on(err.node)) {
+          victim.inject_read_error(chunk);
+        }
+      } else {
+        for (ChunkRef chunk : layout_->chunks_on(err.node)) {
+          if (chunk.stripe == err.stripe) victim.inject_read_error(chunk);
+        }
+      }
+    }
+  }
   return best;
 }
 
@@ -193,6 +231,32 @@ core::FastPrPlanner Testbed::make_planner(core::Scenario scenario) {
 }
 
 ExecutionReport Testbed::execute(const core::RepairPlan& plan) {
+  // Mid-repair degradation hook (DESIGN.md §7): when the STF node dies,
+  // the coordinator asks for a pure reactive plan over what is left.
+  // The scenario is recovered from the plan's destinations.
+  core::Scenario scenario = core::Scenario::kScattered;
+  for (const auto& round : plan.rounds) {
+    for (const auto& task : round.migrations) {
+      if (task.dst >= options_.num_storage) {
+        scenario = core::Scenario::kHotStandby;
+      }
+    }
+    for (const auto& task : round.reconstructions) {
+      if (task.dst >= options_.num_storage) {
+        scenario = core::Scenario::kHotStandby;
+      }
+    }
+  }
+  coordinator_->set_replan([this, scenario](const ReplanRequest& request) {
+    auto planner = make_planner(scenario);
+    auto reactive =
+        planner.plan_reactive(request.handled, request.failed_nodes);
+    ReplanResult result;
+    result.plan = std::move(reactive.plan);
+    result.unrepairable = std::move(reactive.unrepairable);
+    return result;
+  });
+
   auto* inproc = dynamic_cast<net::InprocTransport*>(transport_.get());
   const int64_t before =
       inproc != nullptr ? inproc->total_bytes_sent() : 0;
@@ -229,26 +293,52 @@ std::vector<telemetry::PredictedRound> Testbed::predict_rounds(
   return predicted;
 }
 
+bool Testbed::chunk_ok(ChunkRef chunk, NodeId dst) const {
+  if (dst < 0 || dst >= static_cast<int>(stores_.size())) return false;
+  const auto& dst_store = *stores_[static_cast<size_t>(dst)];
+  // The chunk must have been explicitly written to the destination;
+  // oracle-synthesizable content does not count as repaired.
+  if (!dst_store.has_materialized(chunk)) return false;
+  const auto repaired = dst_store.read_unthrottled(chunk);
+  if (!repaired.has_value()) return false;
+  const auto expected = oracle_->generate(chunk);
+  return expected.has_value() && *repaired == *expected;
+}
+
 bool Testbed::verify(const core::RepairPlan& plan) const {
   for (const auto& round : plan.rounds) {
-    auto check_chunk = [&](ChunkRef chunk, NodeId dst) {
-      const auto& dst_store = *stores_[static_cast<size_t>(dst)];
-      // The chunk must have been explicitly written to the destination;
-      // oracle-synthesizable content does not count as repaired.
-      if (!dst_store.has_materialized(chunk)) return false;
-      const auto repaired = dst_store.read_unthrottled(chunk);
-      if (!repaired.has_value()) return false;
-      const auto expected = oracle_->generate(chunk);
-      return expected.has_value() && *repaired == *expected;
-    };
     for (const auto& task : round.migrations) {
-      if (!check_chunk(task.chunk, task.dst)) return false;
+      if (!chunk_ok(task.chunk, task.dst)) return false;
     }
     for (const auto& task : round.reconstructions) {
-      if (!check_chunk(task.chunk, task.dst)) return false;
+      if (!chunk_ok(task.chunk, task.dst)) return false;
     }
   }
   return true;
+}
+
+bool Testbed::verify(const ExecutionReport& report,
+                     const core::RepairPlan& plan) const {
+  // Accounting: completions ∪ unrepaired must be exactly the plan's
+  // chunk set, with no chunk in both and none dropped silently.
+  std::unordered_set<ChunkRef, cluster::ChunkRefHash> planned;
+  for (const auto& round : plan.rounds) {
+    for (const auto& task : round.migrations) planned.insert(task.chunk);
+    for (const auto& task : round.reconstructions) {
+      planned.insert(task.chunk);
+    }
+  }
+  std::unordered_set<ChunkRef, cluster::ChunkRefHash> accounted;
+  for (const auto& done : report.completions) {
+    if (planned.count(done.chunk) == 0) return false;
+    if (!accounted.insert(done.chunk).second) return false;
+    if (!chunk_ok(done.chunk, done.dst)) return false;
+  }
+  for (ChunkRef chunk : report.unrepaired) {
+    if (planned.count(chunk) == 0) return false;
+    if (!accounted.insert(chunk).second) return false;
+  }
+  return accounted.size() == planned.size();
 }
 
 }  // namespace fastpr::agent

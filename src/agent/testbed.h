@@ -19,6 +19,8 @@
 #include "cluster/stripe_layout.h"
 #include "core/fastpr.h"
 #include "ec/erasure_code.h"
+#include "net/fault_plan.h"
+#include "net/faulty_transport.h"
 #include "net/transport.h"
 
 namespace fastpr::agent {
@@ -69,6 +71,17 @@ struct TestbedOptions {
   uint64_t seed = 1;
   bool use_tcp = false;          // loopback TCP instead of in-process
   std::chrono::milliseconds round_timeout{120000};
+  /// Fault-tolerance knobs, forwarded to CoordinatorOptions.
+  int max_attempts = 4;
+  std::chrono::milliseconds retry_backoff{50};
+  std::chrono::milliseconds probe_timeout{250};
+  int max_round_extensions = 3;
+  int stf_failure_threshold = 3;
+  /// When set, the transport is wrapped in a FaultyTransport driving
+  /// this scripted schedule (DESIGN.md §7). node=stf entries resolve at
+  /// flag_stf(), which also applies the plan's read_error directives to
+  /// the chunk stores.
+  std::optional<net::FaultPlan> fault_plan;
 };
 
 class Testbed {
@@ -82,11 +95,20 @@ class Testbed {
 
   cluster::StripeLayout& layout() { return *layout_; }
   cluster::ClusterState& cluster() { return *cluster_; }
-  net::Transport& transport() { return *transport_; }
+  /// The transport agents and coordinator actually talk through (the
+  /// fault decorator when a fault plan is configured).
+  net::Transport& transport() {
+    return faulty_ != nullptr ? static_cast<net::Transport&>(*faulty_)
+                              : *transport_;
+  }
+  /// The fault injector, or nullptr when no fault plan is configured.
+  net::FaultyTransport* faulty() { return faulty_.get(); }
   Agent& agent(cluster::NodeId node);
   ChunkStore& store(cluster::NodeId node);
 
   /// Flags the most-loaded storage node as soon-to-fail; returns it.
+  /// With a fault plan configured, also resolves its node=stf entries
+  /// and injects its read errors into the chunk stores.
   cluster::NodeId flag_stf();
 
   /// Builds a planner bound to this testbed's layout/cluster.
@@ -107,11 +129,22 @@ class Testbed {
   /// Byte-exact verification of every repaired chunk against the oracle.
   bool verify(const core::RepairPlan& plan) const;
 
+  /// Verification against what the execution actually did: every
+  /// completed repair byte-exact at its *final* destination (retries may
+  /// have moved chunks off the planned one). The report's completions ∪
+  /// unrepaired must exactly cover the plan's chunks.
+  bool verify(const ExecutionReport& report,
+              const core::RepairPlan& plan) const;
+
  private:
+  bool chunk_ok(cluster::ChunkRef chunk, cluster::NodeId dst) const;
+
   TestbedOptions options_;
   const ec::ErasureCode& code_;
   std::unique_ptr<SyntheticOracle> oracle_;
   std::unique_ptr<net::Transport> transport_;
+  /// Fault decorator over transport_ (fault_plan configured only).
+  std::unique_ptr<net::FaultyTransport> faulty_;
   std::unique_ptr<cluster::StripeLayout> layout_;
   std::unique_ptr<cluster::ClusterState> cluster_;
   std::vector<std::unique_ptr<ChunkStore>> stores_;

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core/placement.h"
+#include "core/reactive.h"
 #include "telemetry/trace.h"
 #include "util/check.h"
 
@@ -198,6 +199,43 @@ RepairPlan FastPrPlanner::plan_migration_only() {
                                        options_.balance_destinations));
   }
   return plan;
+}
+
+ReactiveReplan FastPrPlanner::plan_reactive(
+    const std::vector<ChunkRef>& already_repaired,
+    const std::vector<NodeId>& failed) {
+  std::unordered_set<ChunkRef, cluster::ChunkRefHash> handled(
+      already_repaired.begin(), already_repaired.end());
+  std::vector<ChunkRef> remaining;
+  for (ChunkRef chunk : layout_.chunks_on(stf_)) {
+    if (handled.count(chunk) == 0) remaining.push_back(chunk);
+  }
+
+  ReactiveReplan out;
+  out.plan.stf_node = stf_;
+  if (remaining.empty()) return out;
+
+  // The dead set: the STF node itself plus everything declared failed
+  // during execution (deduplicated, order-stable for determinism).
+  std::vector<NodeId> dead{stf_};
+  std::unordered_set<NodeId> dead_set{stf_};
+  for (NodeId n : failed) {
+    if (dead_set.insert(n).second) dead.push_back(n);
+  }
+
+  ReactiveOptions reactive;
+  reactive.scenario = options_.scenario;
+  reactive.k_repair = options_.k_repair;
+  reactive.chunk_bytes = options_.chunk_bytes;
+  reactive.code = options_.code;
+  reactive.recon = options_.recon;
+  ReactivePlanner planner(layout_, cluster_, reactive);
+  ReactiveResult result = planner.plan_chunks(remaining, dead);
+  out.plan = std::move(result.plan);
+  out.plan.stf_node = stf_;
+  out.unrepairable = std::move(result.unrecoverable);
+  out.degraded_repairs = result.degraded_repairs;
+  return out;
 }
 
 }  // namespace fastpr::core

@@ -17,6 +17,18 @@
 
 namespace fastpr::core {
 
+/// Output of the mid-repair reactive replan (the STF node died during
+/// plan execution).
+struct ReactiveReplan {
+  /// Reconstruction-only rounds for the chunks not yet handled.
+  RepairPlan plan;
+  /// Chunks whose stripes retain fewer than k live chunks — data loss.
+  std::vector<cluster::ChunkRef> unrepairable;
+  /// Chunks rebuilt through the code's degraded path (LRC global
+  /// parities when the local group is damaged).
+  int degraded_repairs = 0;
+};
+
 struct PlannerOptions {
   Scenario scenario = Scenario::kScattered;
   /// Helper chunks fetched per repaired chunk (k for RS, k/l for LRC).
@@ -51,6 +63,15 @@ class FastPrPlanner {
 
   /// Baseline: migrate everything, destinations spread for balance.
   RepairPlan plan_migration_only();
+
+  /// Mid-repair degradation (DESIGN.md §7): the STF node died after
+  /// `already_repaired` chunks were handled (repaired or abandoned);
+  /// `failed` lists every other node declared dead during execution.
+  /// Plans pure reactive reconstruction of the remaining STF chunks,
+  /// drawing helpers and destinations only from nodes still alive.
+  ReactiveReplan plan_reactive(
+      const std::vector<cluster::ChunkRef>& already_repaired,
+      const std::vector<cluster::NodeId>& failed);
 
   /// The §III analysis instantiated for this cluster (U = chunks on the
   /// STF node, M = storage-node count, bandwidths from the cluster).

@@ -21,21 +21,36 @@ ReactivePlanner::ReactivePlanner(const cluster::StripeLayout& layout,
 
 ReactiveResult ReactivePlanner::plan(const std::vector<NodeId>& failed) {
   FASTPR_CHECK(!failed.empty());
-  std::unordered_set<NodeId> failed_set(failed.begin(), failed.end());
+  std::vector<ChunkRef> lost;
+  for (NodeId node : failed) {
+    for (ChunkRef chunk : layout_.chunks_on(node)) lost.push_back(chunk);
+  }
+  return plan_chunks(lost, failed);
+}
 
-  // Sources/destinations: healthy storage nodes that did not fail.
+ReactiveResult ReactivePlanner::plan_chunks(
+    const std::vector<ChunkRef>& lost, const std::vector<NodeId>& dead) {
+  FASTPR_CHECK(!dead.empty());
+  std::unordered_set<NodeId> dead_set(dead.begin(), dead.end());
+
+  // Sources: healthy storage nodes that did not die. Destinations get
+  // the same filter — a dead hot-standby spare cannot absorb chunks.
   std::vector<NodeId> healthy;
   for (NodeId n : cluster_.healthy_storage_nodes()) {
-    if (failed_set.count(n) == 0) healthy.push_back(n);
+    if (dead_set.count(n) == 0) healthy.push_back(n);
   }
   std::unordered_set<NodeId> healthy_set(healthy.begin(), healthy.end());
-  const std::vector<NodeId> dests =
-      options_.scenario == Scenario::kScattered
-          ? healthy
-          : cluster_.hot_standby_nodes();
+  std::vector<NodeId> dests;
+  if (options_.scenario == Scenario::kScattered) {
+    dests = healthy;
+  } else {
+    for (NodeId n : cluster_.hot_standby_nodes()) {
+      if (dead_set.count(n) == 0) dests.push_back(n);
+    }
+  }
 
   ReactiveResult result;
-  result.plan.stf_node = failed.front();  // representative id for reports
+  result.plan.stf_node = dead.front();  // representative id for reports
 
   // Classify every lost chunk.
   std::vector<ChunkRef> matchable;
@@ -45,54 +60,49 @@ ReactiveResult ReactivePlanner::plan(const std::vector<NodeId>& failed) {
   };
   std::vector<Degraded> degraded;
 
-  for (NodeId node : failed) {
-    for (ChunkRef chunk : layout_.chunks_on(node)) {
-      const auto& nodes = layout_.stripe_nodes(chunk.stripe);
+  for (ChunkRef chunk : lost) {
+    const auto& nodes = layout_.stripe_nodes(chunk.stripe);
 
-      // Availability by stripe index.
-      std::vector<bool> available(nodes.size());
-      for (size_t i = 0; i < nodes.size(); ++i) {
-        available[i] = healthy_set.count(nodes[i]) != 0;
-      }
-
-      // Preferred candidates that survived.
-      int surviving_candidates = 0;
-      if (options_.code != nullptr) {
-        for (int idx : options_.code->helper_candidates(chunk.index)) {
-          if (available[static_cast<size_t>(idx)]) ++surviving_candidates;
-        }
-      } else {
-        for (size_t i = 0; i < nodes.size(); ++i) {
-          if (static_cast<int>(i) != chunk.index && available[i]) {
-            ++surviving_candidates;
-          }
-        }
-      }
-      const int needed =
-          options_.code != nullptr
-              ? options_.code->repair_fetch_count(chunk.index)
-              : options_.k_repair;
-
-      if (surviving_candidates >= needed) {
-        matchable.push_back(chunk);
-        continue;
-      }
-      // Degraded path: let the code pick any decodable helper set
-      // (LRC rebuilds through global parities when a local group is
-      // damaged). Unrecoverable when even that fails.
-      if (options_.code != nullptr) {
-        try {
-          degraded.push_back(
-              Degraded{chunk,
-                       options_.code->repair_helpers(chunk.index,
-                                                     available)});
-          continue;
-        } catch (const CheckFailure&) {
-          // fall through to unrecoverable
-        }
-      }
-      result.unrecoverable.push_back(chunk);
+    // Availability by stripe index.
+    std::vector<bool> available(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      available[i] = healthy_set.count(nodes[i]) != 0;
     }
+
+    // Preferred candidates that survived.
+    int surviving_candidates = 0;
+    if (options_.code != nullptr) {
+      for (int idx : options_.code->helper_candidates(chunk.index)) {
+        if (available[static_cast<size_t>(idx)]) ++surviving_candidates;
+      }
+    } else {
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (static_cast<int>(i) != chunk.index && available[i]) {
+          ++surviving_candidates;
+        }
+      }
+    }
+    const int needed = options_.code != nullptr
+                           ? options_.code->repair_fetch_count(chunk.index)
+                           : options_.k_repair;
+
+    if (surviving_candidates >= needed) {
+      matchable.push_back(chunk);
+      continue;
+    }
+    // Degraded path: let the code pick any decodable helper set
+    // (LRC rebuilds through global parities when a local group is
+    // damaged). Unrecoverable when even that fails.
+    if (options_.code != nullptr) {
+      try {
+        degraded.push_back(Degraded{
+            chunk, options_.code->repair_helpers(chunk.index, available)});
+        continue;
+      } catch (const CheckFailure&) {
+        // fall through to unrecoverable
+      }
+    }
+    result.unrecoverable.push_back(chunk);
   }
 
   // Matched chunks: partition into reconstruction sets, one round each.

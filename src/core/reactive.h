@@ -50,6 +50,15 @@ class ReactivePlanner {
 
   ReactiveResult plan(const std::vector<cluster::NodeId>& failed);
 
+  /// Plans an explicit chunk list instead of "everything on the failed
+  /// nodes" — the mid-repair degradation path (DESIGN.md §7): `lost`
+  /// are the chunks still needing repair, `dead` the nodes that cannot
+  /// serve reads or receive chunks (the dead STF plus any helper or
+  /// destination that stopped responding). plan(failed) is the special
+  /// case lost = all chunks on `failed`.
+  ReactiveResult plan_chunks(const std::vector<cluster::ChunkRef>& lost,
+                             const std::vector<cluster::NodeId>& dead);
+
  private:
   const cluster::StripeLayout& layout_;
   const cluster::ClusterState& cluster_;

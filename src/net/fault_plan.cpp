@@ -1,0 +1,214 @@
+#include "net/fault_plan.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fastpr::net {
+
+namespace {
+
+cluster::NodeId parse_node(const std::string& value) {
+  if (value == "stf") return kStfSentinel;
+  if (value == "any") return kAnyNode;
+  size_t used = 0;
+  int node = -1;
+  try {
+    node = std::stoi(value, &used);
+  } catch (const std::exception&) {
+    used = 0;  // non-numeric / out of range: rejected below
+  }
+  FASTPR_CHECK_MSG(used == value.size() && node >= 0,
+                   "bad node value '" << value << "' in fault plan");
+  return node;
+}
+
+std::string node_to_string(cluster::NodeId node) {
+  if (node == kStfSentinel) return "stf";
+  if (node == kAnyNode) return "any";
+  return std::to_string(node);
+}
+
+uint64_t parse_u64(const std::string& value) {
+  size_t used = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  FASTPR_CHECK_MSG(used == value.size() && !value.empty(),
+                   "bad integer '" << value << "' in fault plan");
+  return static_cast<uint64_t>(v);
+}
+
+double parse_prob(const std::string& value) {
+  size_t used = 0;
+  double p = -1;
+  try {
+    p = std::stod(value, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  FASTPR_CHECK_MSG(used == value.size() && !value.empty() && p >= 0.0 &&
+                       p <= 1.0,
+                   "bad probability '" << value << "' in fault plan");
+  return p;
+}
+
+/// Splits "key=value"; throws if there is no '='.
+std::pair<std::string, std::string> split_kv(const std::string& token) {
+  const size_t eq = token.find('=');
+  FASTPR_CHECK_MSG(eq != std::string::npos && eq > 0,
+                   "expected key=value, got '" << token
+                                               << "' in fault plan");
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+}  // namespace
+
+void FaultPlan::resolve_stf(cluster::NodeId stf) {
+  for (auto& c : crashes) {
+    if (c.node == kStfSentinel) c.node = stf;
+  }
+  for (auto& r : read_errors) {
+    if (r.node == kStfSentinel) r.node = stf;
+  }
+  for (auto& f : flaky) {
+    if (f.node == kStfSentinel) f.node = stf;
+  }
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string directive;
+    if (!(tokens >> directive)) continue;  // blank / comment-only line
+
+    if (directive == "seed") {
+      std::string value;
+      FASTPR_CHECK_MSG(tokens >> value,
+                       "fault plan line " << lineno << ": seed needs a value");
+      plan.seed = parse_u64(value);
+    } else if (directive == "crash") {
+      Crash crash;
+      bool have_node = false;
+      std::string token;
+      while (tokens >> token) {
+        const auto [key, value] = split_kv(token);
+        if (key == "node") {
+          crash.node = parse_node(value);
+          have_node = true;
+        } else if (key == "after_packets") {
+          crash.after_packets = parse_u64(value);
+        } else if (key == "after_bytes") {
+          crash.after_bytes = parse_u64(value);
+        } else {
+          FASTPR_CHECK_MSG(false, "fault plan line "
+                                      << lineno << ": unknown crash key '"
+                                      << key << "'");
+        }
+      }
+      FASTPR_CHECK_MSG(have_node && crash.node != kAnyNode,
+                       "fault plan line " << lineno
+                                          << ": crash needs node=<id|stf>");
+      plan.crashes.push_back(crash);
+    } else if (directive == "read_error") {
+      ReadError err;
+      bool have_node = false;
+      std::string token;
+      while (tokens >> token) {
+        const auto [key, value] = split_kv(token);
+        if (key == "node") {
+          err.node = parse_node(value);
+          have_node = true;
+        } else if (key == "stripe") {
+          err.stripe = static_cast<int>(parse_u64(value));
+        } else {
+          FASTPR_CHECK_MSG(false, "fault plan line "
+                                      << lineno
+                                      << ": unknown read_error key '" << key
+                                      << "'");
+        }
+      }
+      FASTPR_CHECK_MSG(have_node && err.node != kAnyNode,
+                       "fault plan line "
+                           << lineno << ": read_error needs node=<id|stf>");
+      plan.read_errors.push_back(err);
+    } else if (directive == "flaky") {
+      Flaky flaky;
+      std::string token;
+      while (tokens >> token) {
+        const auto [key, value] = split_kv(token);
+        if (key == "node") {
+          flaky.node = parse_node(value);
+        } else if (key == "drop") {
+          flaky.drop_prob = parse_prob(value);
+        } else if (key == "dup") {
+          flaky.dup_prob = parse_prob(value);
+        } else if (key == "delay") {
+          flaky.delay_prob = parse_prob(value);
+        } else if (key == "delay_ms") {
+          flaky.delay = std::chrono::milliseconds(parse_u64(value));
+        } else if (key == "data_only") {
+          flaky.data_only = parse_u64(value) != 0;
+        } else if (key == "max_drops") {
+          flaky.max_drops = parse_u64(value);
+        } else if (key == "max_dups") {
+          flaky.max_dups = parse_u64(value);
+        } else if (key == "max_delays") {
+          flaky.max_delays = parse_u64(value);
+        } else {
+          FASTPR_CHECK_MSG(false, "fault plan line "
+                                      << lineno << ": unknown flaky key '"
+                                      << key << "'");
+        }
+      }
+      plan.flaky.push_back(flaky);
+    } else {
+      FASTPR_CHECK_MSG(false, "fault plan line " << lineno
+                                                 << ": unknown directive '"
+                                                 << directive << "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  constexpr uint64_t kUnlimited = std::numeric_limits<uint64_t>::max();
+  std::ostringstream os;
+  os << "seed " << seed << "\n";
+  for (const auto& c : crashes) {
+    os << "crash node=" << node_to_string(c.node);
+    if (c.after_packets != 0) os << " after_packets=" << c.after_packets;
+    if (c.after_bytes != 0) os << " after_bytes=" << c.after_bytes;
+    os << "\n";
+  }
+  for (const auto& r : read_errors) {
+    os << "read_error node=" << node_to_string(r.node);
+    if (r.stripe != ReadError::kAllStripes) os << " stripe=" << r.stripe;
+    os << "\n";
+  }
+  for (const auto& f : flaky) {
+    os << "flaky node=" << node_to_string(f.node);
+    if (f.drop_prob > 0) os << " drop=" << f.drop_prob;
+    if (f.dup_prob > 0) os << " dup=" << f.dup_prob;
+    if (f.delay_prob > 0) os << " delay=" << f.delay_prob;
+    if (f.delay.count() > 0) os << " delay_ms=" << f.delay.count();
+    if (!f.data_only) os << " data_only=0";
+    if (f.max_drops != kUnlimited) os << " max_drops=" << f.max_drops;
+    if (f.max_dups != kUnlimited) os << " max_dups=" << f.max_dups;
+    if (f.max_delays != kUnlimited) os << " max_delays=" << f.max_delays;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fastpr::net

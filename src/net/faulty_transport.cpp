@@ -1,0 +1,179 @@
+#include "net/faulty_transport.h"
+
+#include <thread>
+
+#include "telemetry/metrics.h"
+
+namespace fastpr::net {
+
+using cluster::NodeId;
+
+namespace {
+
+telemetry::Counter& fault_counter(const char* name) {
+  return telemetry::MetricsRegistry::global().counter(name);
+}
+
+}  // namespace
+
+FaultyTransport::FaultyTransport(Transport& inner, const FaultPlan& plan)
+    : inner_(inner), plan_(plan), rng_(plan.seed) {
+  MutexLock lock(mutex_);
+  for (const auto& c : plan_.crashes) {
+    if (c.node != kStfSentinel) arm_crash(c);
+  }
+  for (const auto& f : plan_.flaky) {
+    if (f.node == kStfSentinel) continue;
+    FlakyState state;
+    state.rule = f;
+    state.drops_left = f.max_drops;
+    state.dups_left = f.max_dups;
+    state.delays_left = f.max_delays;
+    flaky_.push_back(state);
+  }
+}
+
+void FaultyTransport::arm_crash(const FaultPlan::Crash& c) {
+  CrashState& state = crashes_[c.node];
+  state.has_packet_limit = c.after_packets > 0;
+  state.has_byte_limit = c.after_bytes > 0;
+  state.packets_left = c.after_packets;
+  state.bytes_left = c.after_bytes;
+  if (!state.has_packet_limit && !state.has_byte_limit) {
+    state.dead = true;  // dead from the start
+    fault_counter("net.fault.crashes").add();
+  }
+}
+
+void FaultyTransport::resolve_stf(NodeId stf) {
+  plan_.resolve_stf(stf);
+  MutexLock lock(mutex_);
+  for (const auto& c : plan_.crashes) {
+    if (c.node == stf && crashes_.count(stf) == 0) arm_crash(c);
+  }
+  for (const auto& f : plan_.flaky) {
+    if (f.node != stf) continue;
+    bool armed = false;
+    for (const auto& existing : flaky_) {
+      if (existing.rule.node == stf) armed = true;
+    }
+    if (armed) continue;
+    FlakyState state;
+    state.rule = f;
+    state.drops_left = f.max_drops;
+    state.dups_left = f.max_dups;
+    state.delays_left = f.max_delays;
+    flaky_.push_back(state);
+  }
+}
+
+void FaultyTransport::crash(NodeId node) {
+  MutexLock lock(mutex_);
+  CrashState& state = crashes_[node];
+  if (!state.dead) {
+    state.dead = true;
+    fault_counter("net.fault.crashes").add();
+  }
+}
+
+bool FaultyTransport::crashed(NodeId node) const {
+  MutexLock lock(mutex_);
+  const auto it = crashes_.find(node);
+  return it != crashes_.end() && it->second.dead;
+}
+
+FaultyTransport::Action FaultyTransport::decide(
+    const Message& msg, std::chrono::milliseconds* delay) {
+  MutexLock lock(mutex_);
+
+  // Crashed endpoints: a dead sender emits nothing, a dead receiver
+  // absorbs nothing — either way the message vanishes on the wire.
+  {
+    const auto from = crashes_.find(msg.from);
+    const auto to = crashes_.find(msg.to);
+    if ((from != crashes_.end() && from->second.dead) ||
+        (to != crashes_.end() && to->second.dead)) {
+      fault_counter("net.fault.suppressed").add();
+      return Action::kDrop;
+    }
+  }
+
+  // Send-threshold crashes tick on data packets only (commands and acks
+  // are negligible traffic; the thresholds model "died N chunks in").
+  if (msg.type == MessageType::kDataPacket) {
+    const auto it = crashes_.find(msg.from);
+    if (it != crashes_.end()) {
+      CrashState& state = it->second;
+      const uint64_t bytes = msg.payload.size();
+      const bool packet_exhausted =
+          state.has_packet_limit && state.packets_left == 0;
+      const bool byte_exhausted =
+          state.has_byte_limit && state.bytes_left < bytes;
+      if (packet_exhausted || byte_exhausted) {
+        state.dead = true;
+        fault_counter("net.fault.crashes").add();
+        return Action::kDrop;
+      }
+      if (state.has_packet_limit) --state.packets_left;
+      if (state.has_byte_limit) state.bytes_left -= bytes;
+    }
+  }
+
+  for (auto& f : flaky_) {
+    if (f.rule.node != kAnyNode && f.rule.node != msg.from) continue;
+    if (f.rule.data_only && msg.type != MessageType::kDataPacket) continue;
+    if (f.drops_left > 0 && rng_.chance(f.rule.drop_prob)) {
+      --f.drops_left;
+      fault_counter("net.fault.dropped").add();
+      return Action::kDrop;
+    }
+    if (f.dups_left > 0 && rng_.chance(f.rule.dup_prob)) {
+      --f.dups_left;
+      fault_counter("net.fault.duplicated").add();
+      return Action::kDuplicate;
+    }
+    if (f.delays_left > 0 && rng_.chance(f.rule.delay_prob)) {
+      --f.delays_left;
+      fault_counter("net.fault.delayed").add();
+      *delay = f.rule.delay;
+      return Action::kDelay;
+    }
+  }
+  return Action::kForward;
+}
+
+void FaultyTransport::send(Message msg) {
+  // Shutdown is the teardown handshake, not cluster weather — faulting
+  // it would hang agents without simulating anything real.
+  if (msg.type == MessageType::kShutdown) {
+    inner_.send(std::move(msg));
+    return;
+  }
+
+  std::chrono::milliseconds delay{0};
+  const Action action = decide(msg, &delay);
+  switch (action) {
+    case Action::kDrop:
+      return;  // payload buffer recycles via ~Message
+    case Action::kDuplicate:
+      inner_.send(msg.clone());
+      inner_.send(std::move(msg));
+      return;
+    case Action::kDelay:
+      std::this_thread::sleep_for(delay);
+      inner_.send(std::move(msg));
+      return;
+    case Action::kForward:
+      inner_.send(std::move(msg));
+      return;
+  }
+}
+
+std::optional<Message> FaultyTransport::recv(
+    NodeId node, std::optional<std::chrono::milliseconds> timeout) {
+  return inner_.recv(node, timeout);
+}
+
+void FaultyTransport::shutdown() { inner_.shutdown(); }
+
+}  // namespace fastpr::net

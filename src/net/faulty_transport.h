@@ -1,0 +1,84 @@
+// Fault-injecting Transport decorator (DESIGN.md §7).
+//
+// Wraps any Transport and interprets a FaultPlan on the send path:
+//  * crash  — once a node crosses its send threshold (data packets or
+//    payload bytes), it "dies": every subsequent message from OR to it
+//    is swallowed, so the node goes silent and unreachable at once —
+//    exactly how a crashed DataNode looks to the coordinator's probes.
+//  * flaky  — matching messages are dropped, duplicated or delayed with
+//    seeded probabilities, each under its own event budget.
+//
+// kShutdown is never faulted: agents stop themselves by sending a
+// shutdown message through the transport, and eating it would hang
+// teardown rather than simulate any real failure.
+//
+// The receive path is untouched — faults happen on the wire, and what
+// was already delivered stays delivered.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/fault_plan.h"
+#include "net/transport.h"
+#include "util/mutex.h"
+#include "util/rng.h"
+
+namespace fastpr::net {
+
+class FaultyTransport final : public Transport {
+ public:
+  /// `inner` must outlive this decorator. Plans may still contain
+  /// kStfSentinel entries; they stay dormant until resolve_stf().
+  FaultyTransport(Transport& inner, const FaultPlan& plan);
+
+  void send(Message msg) override;
+  std::optional<Message> recv(
+      cluster::NodeId node,
+      std::optional<std::chrono::milliseconds> timeout =
+          std::nullopt) override;
+  void shutdown() override;
+
+  /// Rewrites kStfSentinel entries to `stf` and arms them (a sentinel
+  /// crash with zero thresholds kills the node the moment it is known).
+  void resolve_stf(cluster::NodeId stf);
+
+  /// Manual crash trigger (tests): the node goes silent immediately.
+  void crash(cluster::NodeId node);
+
+  bool crashed(cluster::NodeId node) const;
+
+ private:
+  /// What to do with one message, decided under the lock, acted on
+  /// outside it (inner_.send may block on NIC shaping).
+  enum class Action { kForward, kDrop, kDuplicate, kDelay };
+
+  struct CrashState {
+    bool dead = false;
+    bool has_packet_limit = false;
+    bool has_byte_limit = false;
+    uint64_t packets_left = 0;
+    uint64_t bytes_left = 0;
+  };
+
+  struct FlakyState {
+    FaultPlan::Flaky rule;
+    uint64_t drops_left = 0;
+    uint64_t dups_left = 0;
+    uint64_t delays_left = 0;
+  };
+
+  void arm_crash(const FaultPlan::Crash& c) FASTPR_REQUIRES(mutex_);
+  Action decide(const Message& msg,
+                std::chrono::milliseconds* delay) FASTPR_EXCLUDES(mutex_);
+
+  Transport& inner_;
+  FaultPlan plan_;  // unresolved sentinel entries live here until armed
+
+  mutable Mutex mutex_;
+  Rng rng_ FASTPR_GUARDED_BY(mutex_);
+  std::unordered_map<cluster::NodeId, CrashState> crashes_
+      FASTPR_GUARDED_BY(mutex_);
+  std::vector<FlakyState> flaky_ FASTPR_GUARDED_BY(mutex_);
+};
+
+}  // namespace fastpr::net

@@ -61,6 +61,7 @@ constexpr size_t kFixedHeaderBytes =
     1 +                 // type
     4 + 4 +             // from, to
     8 +                 // task_id
+    4 +                 // attempt
     4 + 4 +             // chunk.stripe, chunk.index
     4 +                 // dst
     1 + 1 +             // mode, coefficient
@@ -75,6 +76,7 @@ void write_message(uint8_t* out, const Message& msg) {
   w.put<int32_t>(msg.from);
   w.put<int32_t>(msg.to);
   w.put<uint64_t>(msg.task_id);
+  w.put<uint32_t>(msg.attempt);
   w.put<int32_t>(msg.chunk.stripe);
   w.put<int32_t>(msg.chunk.index);
   w.put<int32_t>(msg.dst);
@@ -110,6 +112,7 @@ Message Message::clone() const {
   copy.from = from;
   copy.to = to;
   copy.task_id = task_id;
+  copy.attempt = attempt;
   copy.chunk = chunk;
   copy.dst = dst;
   copy.mode = mode;
@@ -142,7 +145,8 @@ std::optional<Message> deserialize(std::span<const uint8_t> bytes) {
   uint8_t type = 0, mode = 0;
   uint32_t num_sources = 0, error_len = 0, payload_len = 0;
   if (!reader.read(type) || !reader.read(msg.from) || !reader.read(msg.to) ||
-      !reader.read(msg.task_id) || !reader.read(msg.chunk.stripe) ||
+      !reader.read(msg.task_id) || !reader.read(msg.attempt) ||
+      !reader.read(msg.chunk.stripe) ||
       !reader.read(msg.chunk.index) || !reader.read(msg.dst) ||
       !reader.read(mode) || !reader.read(msg.coefficient) ||
       !reader.read(msg.packet_index) || !reader.read(msg.total_packets) ||
@@ -151,7 +155,7 @@ std::optional<Message> deserialize(std::span<const uint8_t> bytes) {
       !reader.read(payload_len)) {
     return std::nullopt;
   }
-  if (type < 1 || type > 7) return std::nullopt;
+  if (type < 1 || type > 10) return std::nullopt;
   msg.type = static_cast<MessageType>(type);
   if (mode > 1) return std::nullopt;
   msg.mode = static_cast<TransferMode>(mode);

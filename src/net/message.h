@@ -27,6 +27,9 @@ enum class MessageType : uint8_t {
   kTaskDone = 5,        // destination agent → coordinator
   kTaskFailed = 6,      // any agent → coordinator
   kShutdown = 7,        // coordinator → agent
+  kPing = 8,            // coordinator → agent (liveness probe)
+  kPong = 9,            // agent → coordinator (probe reply)
+  kCancelTask = 10,     // coordinator → agent (drop a stale attempt)
 };
 
 /// How a destination handles incoming data packets of a task.
@@ -52,6 +55,11 @@ struct Message {
   cluster::NodeId to = cluster::kNoNode;
 
   uint64_t task_id = 0;
+  /// Retry attempt of task_id this message belongs to (1-based for task
+  /// traffic, 0 for attempt-less messages). A task_id is stable across
+  /// retries while the attempt increments, so agents can dedupe
+  /// duplicate commands and drop packets of superseded attempts.
+  uint32_t attempt = 0;
   cluster::ChunkRef chunk;       // the chunk being repaired / fetched
   cluster::NodeId dst = cluster::kNoNode;  // final destination (commands)
   TransferMode mode = TransferMode::kStore;

@@ -22,12 +22,13 @@ std::string RepairReport::to_json() const {
   std::ostringstream os;
   os << "{\"total_seconds\":" << json_num(total_seconds)
      << ",\"total_cr\":" << total_cr() << ",\"total_cm\":" << total_cm()
-     << ",\"rounds\":[";
+     << ",\"degraded_at_round\":" << degraded_at_round << ",\"rounds\":[";
   for (size_t i = 0; i < rounds.size(); ++i) {
     const auto& r = rounds[i];
     if (i != 0) os << ",";
     os << "{\"round\":" << r.round << ",\"cr\":" << r.cr
        << ",\"cm\":" << r.cm << ",\"fallbacks\":" << r.fallbacks
+       << ",\"retries\":" << r.retries
        << ",\"bytes_reconstructed\":" << r.bytes_reconstructed
        << ",\"bytes_migrated\":" << r.bytes_migrated
        << ",\"duration_seconds\":" << json_num(r.duration_seconds)
@@ -45,10 +46,11 @@ std::string RepairReport::to_json() const {
 
 std::string RepairReport::to_csv() const {
   std::ostringstream os;
-  os << "round,cr,cm,fallbacks,bytes_reconstructed,bytes_migrated,"
+  os << "round,cr,cm,fallbacks,retries,bytes_reconstructed,bytes_migrated,"
         "duration_seconds,stf_bw_utilization\n";
   for (const auto& r : rounds) {
     os << r.round << "," << r.cr << "," << r.cm << "," << r.fallbacks << ","
+       << r.retries << ","
        << r.bytes_reconstructed << "," << r.bytes_migrated << ","
        << json_num(r.duration_seconds) << ","
        << json_num(r.stf_bw_utilization) << "\n";

@@ -27,6 +27,10 @@ struct RepairRoundStats {
   /// Migrations that failed and were re-executed as reconstructions
   /// (each also counts in cr, not cm).
   int fallbacks = 0;
+  /// Task reissues during the round — failed or stalled tasks sent out
+  /// again with alternate helpers/destinations (fallback conversions
+  /// included).
+  int retries = 0;
   int64_t bytes_reconstructed = 0;  // repaired bytes written via decode
   int64_t bytes_migrated = 0;       // repaired bytes copied off the STF node
   double duration_seconds = 0;
@@ -49,6 +53,9 @@ struct RepairReport {
   /// Empty, or exactly rounds.size() entries aligned by index.
   std::vector<PredictedRound> predicted;
   double total_seconds = 0;
+  /// First round (1-based) in which the execution degraded from
+  /// predictive to reactive repair (STF death); 0 = never degraded.
+  int degraded_at_round = 0;
 
   int total_cr() const;
   int total_cm() const;

@@ -133,22 +133,84 @@ TEST(Testbed, StfReadErrorFallsBackToReconstruction) {
   EXPECT_TRUE(tb.verify(plan));
 }
 
-TEST(Testbed, KilledDestinationTimesOut) {
+TEST(Testbed, KilledDestinationRecoversViaRetry) {
+  // A destination dies before the repair starts. The stalled round is
+  // extended, the probe exposes the dead node, and the task is reissued
+  // to an alternate destination — the repair still completes in full.
   ec::RsCode code(6, 4);
   auto opts = small_options(55);
-  opts.round_timeout = std::chrono::milliseconds(1500);
+  opts.round_timeout = std::chrono::milliseconds(2000);
+  opts.probe_timeout = std::chrono::milliseconds(250);
   Testbed tb(opts, code);
   tb.flag_stf();
   auto planner = tb.make_planner(core::Scenario::kScattered);
   const auto plan = planner.plan_fastpr();
   ASSERT_FALSE(plan.rounds.empty());
   ASSERT_FALSE(plan.rounds[0].reconstructions.empty());
-  tb.agent(plan.rounds[0].reconstructions[0].dst).kill();
+  const auto victim = plan.rounds[0].reconstructions[0].dst;
+  tb.agent(victim).kill();
+
+  const auto report = tb.execute(plan);
+  EXPECT_TRUE(report.success) << (report.errors.empty()
+                                      ? ""
+                                      : report.errors.front());
+  EXPECT_TRUE(report.unrepaired.empty());
+  EXPECT_GT(report.retries, 0);
+  EXPECT_GT(report.round_extensions, 0);
+  ASSERT_FALSE(report.failed_nodes.empty());
+  EXPECT_NE(std::find(report.failed_nodes.begin(),
+                      report.failed_nodes.end(), victim),
+            report.failed_nodes.end());
+  // Every completed repair verifies byte-for-byte at its *actual*
+  // destination, and none landed on the dead node.
+  EXPECT_TRUE(tb.verify(report, plan));
+  for (const auto& done : report.completions) {
+    EXPECT_NE(done.dst, victim);
+  }
+}
+
+TEST(Testbed, RoundTimeoutListsUnrepairedChunks) {
+  // With recovery disabled (no extensions, single attempt), a stalled
+  // round must enumerate exactly which chunks were left unrepaired —
+  // not just count them.
+  ec::RsCode code(6, 4);
+  auto opts = small_options(55);
+  opts.round_timeout = std::chrono::milliseconds(1000);
+  opts.max_round_extensions = 0;
+  opts.max_attempts = 1;
+  Testbed tb(opts, code);
+  tb.flag_stf();
+  auto planner = tb.make_planner(core::Scenario::kScattered);
+  const auto plan = planner.plan_fastpr();
+  ASSERT_FALSE(plan.rounds.empty());
+  ASSERT_FALSE(plan.rounds[0].reconstructions.empty());
+  const auto& stalled = plan.rounds[0].reconstructions[0];
+  tb.agent(stalled.dst).kill();
 
   const auto report = tb.execute(plan);
   EXPECT_FALSE(report.success);
-  ASSERT_FALSE(report.errors.empty());
-  EXPECT_NE(report.errors[0].find("timed out"), std::string::npos);
+  ASSERT_FALSE(report.unrepaired.empty());
+  // The stalled task's chunk is listed, and every listed chunk is one
+  // the plan was actually repairing.
+  EXPECT_NE(std::find(report.unrepaired.begin(), report.unrepaired.end(),
+                      stalled.chunk),
+            report.unrepaired.end());
+  std::vector<cluster::ChunkRef> planned;
+  for (const auto& round : plan.rounds) {
+    for (const auto& task : round.migrations) planned.push_back(task.chunk);
+    for (const auto& task : round.reconstructions) {
+      planned.push_back(task.chunk);
+    }
+  }
+  for (const auto& chunk : report.unrepaired) {
+    EXPECT_NE(std::find(planned.begin(), planned.end(), chunk),
+              planned.end());
+  }
+  bool saw_timeout = false;
+  for (const auto& error : report.errors) {
+    if (error.find("timed out") != std::string::npos) saw_timeout = true;
+  }
+  EXPECT_TRUE(saw_timeout);
 }
 
 TEST(Testbed, TcpTransportEndToEnd) {

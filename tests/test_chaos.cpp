@@ -1,0 +1,294 @@
+// Chaos suite: scripted fault injection (DESIGN.md §7) across many
+// seeds. Every scenario runs kNumSeeds seeds starting at
+// $FASTPR_CHAOS_SEED_BASE (default 1; CI runs a disjoint base), and
+// each run must uphold the repair invariant: as long as every stripe
+// retains >= k live chunks, the repair completes with every chunk
+// byte-verified at its final destination; otherwise the report
+// enumerates exactly the unrepairable chunks. These tests exercise
+// wall-clock timeout/probe paths — timings are meaningless here and
+// are never reported (EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "agent/testbed.h"
+#include "core/repair_plan.h"
+#include "ec/rs_code.h"
+#include "net/fault_plan.h"
+#include "telemetry/metrics.h"
+#include "util/units.h"
+
+namespace fastpr::agent {
+namespace {
+
+constexpr int kNumSeeds = 10;
+
+uint64_t seed_base() {
+  const char* env = std::getenv("FASTPR_CHAOS_SEED_BASE");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 1;
+}
+
+/// Small unthrottled testbed with short fault-tolerance timeouts so a
+/// stalled round is probed in ~half a second instead of two minutes.
+TestbedOptions chaos_options(uint64_t seed) {
+  TestbedOptions opts;
+  opts.num_storage = 12;
+  opts.num_standby = 2;
+  opts.disk_bytes_per_sec = 0;  // unthrottled: chaos checks bytes, not time
+  opts.net_bytes_per_sec = 0;
+  opts.chunk_bytes = 64 * kKiB;
+  opts.packet_bytes = 16 * kKiB;
+  opts.num_stripes = 20;
+  opts.seed = seed;
+  opts.round_timeout = std::chrono::milliseconds(400);
+  opts.probe_timeout = std::chrono::milliseconds(150);
+  opts.retry_backoff = std::chrono::milliseconds(10);
+  opts.max_attempts = 6;
+  opts.max_round_extensions = 5;
+  return opts;
+}
+
+/// Testbed construction is deterministic in (options, code), so a
+/// fault-free scout run exposes the exact plan a faulty run of the same
+/// seed will execute — lets a schedule target plan-dependent nodes.
+core::RepairPlan scout_plan(const TestbedOptions& opts,
+                            const ec::ErasureCode& code,
+                            core::Scenario scenario) {
+  Testbed scout(opts, code);
+  scout.flag_stf();
+  return scout.make_planner(scenario).plan_fastpr();
+}
+
+void expect_full_recovery(const Testbed& tb, const core::RepairPlan& plan,
+                          const ExecutionReport& report) {
+  EXPECT_TRUE(report.success)
+      << (report.errors.empty() ? "" : report.errors.front());
+  EXPECT_TRUE(report.unrepaired.empty());
+  EXPECT_TRUE(tb.verify(report, plan));
+}
+
+bool contains_node(const std::vector<cluster::NodeId>& nodes,
+                   cluster::NodeId node) {
+  return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+}
+
+TEST(Chaos, HelperCrashMidStreamRecovers) {
+  ec::RsCode code(6, 4);
+  for (int i = 0; i < kNumSeeds; ++i) {
+    const uint64_t seed = seed_base() + static_cast<uint64_t>(i);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto opts = chaos_options(seed);
+
+    const auto scouted =
+        scout_plan(opts, code, core::Scenario::kScattered);
+    ASSERT_FALSE(scouted.rounds.empty());
+    ASSERT_FALSE(scouted.rounds[0].reconstructions.empty());
+    const auto victim = scouted.rounds[0].reconstructions[0].sources[0].node;
+
+    // The helper dies two data packets into its very first stream.
+    opts.fault_plan = net::FaultPlan::parse(
+        "crash node=" + std::to_string(victim) + " after_packets=2\n");
+    Testbed tb(opts, code);
+    tb.flag_stf();
+    const auto plan = tb.make_planner(core::Scenario::kScattered).plan_fastpr();
+
+#if FASTPR_TELEMETRY_ENABLED
+    const int64_t retries_before = telemetry::MetricsRegistry::global()
+                                       .counter("coordinator.retries")
+                                       .value();
+#endif
+    const auto report = tb.execute(plan);
+    expect_full_recovery(tb, plan, report);
+    EXPECT_GT(report.retries, 0);
+    EXPECT_TRUE(contains_node(report.failed_nodes, victim));
+#if FASTPR_TELEMETRY_ENABLED
+    EXPECT_GT(telemetry::MetricsRegistry::global()
+                  .counter("coordinator.retries")
+                  .value(),
+              retries_before);
+#endif
+  }
+}
+
+TEST(Chaos, DestinationCrashRecoversOntoAlternate) {
+  ec::RsCode code(6, 4);
+  for (int i = 0; i < kNumSeeds; ++i) {
+    const uint64_t seed = seed_base() + static_cast<uint64_t>(i);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto opts = chaos_options(seed);
+
+    const auto scouted =
+        scout_plan(opts, code, core::Scenario::kHotStandby);
+    ASSERT_FALSE(scouted.rounds.empty());
+    const auto& first = scouted.rounds[0];
+    const auto victim = first.reconstructions.empty()
+                            ? first.migrations[0].dst
+                            : first.reconstructions[0].dst;
+
+    // Dead from the start: both thresholds zero.
+    opts.fault_plan = net::FaultPlan::parse(
+        "crash node=" + std::to_string(victim) + "\n");
+    Testbed tb(opts, code);
+    tb.flag_stf();
+    const auto plan =
+        tb.make_planner(core::Scenario::kHotStandby).plan_fastpr();
+
+    const auto report = tb.execute(plan);
+    expect_full_recovery(tb, plan, report);
+    EXPECT_GT(report.retries, 0);
+    EXPECT_GT(report.round_extensions, 0);
+    EXPECT_TRUE(contains_node(report.failed_nodes, victim));
+    for (const auto& done : report.completions) {
+      EXPECT_NE(done.dst, victim);
+    }
+  }
+}
+
+TEST(Chaos, StfCrashMidRepairDegradesToReactive) {
+  ec::RsCode code(6, 4);
+  for (int i = 0; i < kNumSeeds; ++i) {
+    const uint64_t seed = seed_base() + static_cast<uint64_t>(i);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto opts = chaos_options(seed);
+
+    // The STF node goes silent 1.5 chunks into its migration traffic;
+    // the stalled round's probe detects the death and the rest of the
+    // repair replans as pure reactive reconstruction.
+    opts.fault_plan =
+        net::FaultPlan::parse("crash node=stf after_bytes=98304\n");
+    Testbed tb(opts, code);
+    const auto stf = tb.flag_stf();
+    const auto plan =
+        tb.make_planner(core::Scenario::kScattered).plan_fastpr();
+    ASSERT_GE(plan.total_migrated(), 2);  // the crash threshold must trip
+
+    const auto report = tb.execute(plan);
+    expect_full_recovery(tb, plan, report);
+    EXPECT_TRUE(report.degraded_to_reactive);
+    EXPECT_GE(report.degraded_at_round, 1);
+    EXPECT_EQ(report.replans, 1);
+    EXPECT_GT(report.round_extensions, 0);
+    EXPECT_TRUE(contains_node(report.failed_nodes, stf));
+    EXPECT_EQ(report.repair.degraded_at_round, report.degraded_at_round);
+  }
+}
+
+TEST(Chaos, StfReadErrorsDegradeToReactive) {
+  ec::RsCode code(6, 4);
+  for (int i = 0; i < kNumSeeds; ++i) {
+    const uint64_t seed = seed_base() + static_cast<uint64_t>(i);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto opts = chaos_options(seed);
+    // Every chunk on the STF node hits a latent sector error, so each
+    // migration fails fast and converts; the failure threshold then
+    // declares the node dead without waiting for any timeout.
+    opts.stf_failure_threshold = 2;
+    opts.fault_plan = net::FaultPlan::parse("read_error node=stf\n");
+    Testbed tb(opts, code);
+    tb.flag_stf();
+    const auto plan =
+        tb.make_planner(core::Scenario::kScattered).plan_migration_only();
+    ASSERT_GE(plan.total_migrated(), 2);
+
+#if FASTPR_TELEMETRY_ENABLED
+    const int64_t degraded_before = telemetry::MetricsRegistry::global()
+                                        .counter("coordinator.degraded_executions")
+                                        .value();
+#endif
+    const auto report = tb.execute(plan);
+    expect_full_recovery(tb, plan, report);
+    EXPECT_TRUE(report.degraded_to_reactive);
+    EXPECT_EQ(report.replans, 1);
+    EXPECT_GT(report.retries, 0);
+    EXPECT_GT(report.fallback_reconstructions, 0);
+#if FASTPR_TELEMETRY_ENABLED
+    EXPECT_GT(telemetry::MetricsRegistry::global()
+                  .counter("coordinator.degraded_executions")
+                  .value(),
+              degraded_before);
+#endif
+  }
+}
+
+TEST(Chaos, FlakyNetworkStaysLiveWithinBudgets) {
+  ec::RsCode code(6, 4);
+  for (int i = 0; i < kNumSeeds; ++i) {
+    const uint64_t seed = seed_base() + static_cast<uint64_t>(i);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto opts = chaos_options(seed);
+    // Bounded budgets keep liveness provable: at most 3 drops, and the
+    // coordinator has 5 extensions per round plus 6 attempts per task —
+    // strictly more salvage capacity than the faults can consume.
+    opts.fault_plan = net::FaultPlan::parse(
+        "seed " + std::to_string(seed) +
+        "\n"
+        "flaky node=any drop=0.04 max_drops=3 dup=0.04 max_dups=8 "
+        "delay=0.1 delay_ms=2 max_delays=50\n");
+    Testbed tb(opts, code);
+    tb.flag_stf();
+    const auto plan =
+        tb.make_planner(core::Scenario::kScattered).plan_fastpr();
+
+    const auto report = tb.execute(plan);
+    expect_full_recovery(tb, plan, report);
+  }
+}
+
+TEST(Chaos, UnrepairableChunksAreEnumeratedExactly) {
+  ec::RsCode code(6, 4);
+  for (int i = 0; i < kNumSeeds; ++i) {
+    const uint64_t seed = seed_base() + static_cast<uint64_t>(i);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto opts = chaos_options(seed);
+
+    // Target one stripe: its STF chunk loses the migration path (STF
+    // read error) and two of its five helpers (read errors), leaving
+    // 3 < k = 4 live helper chunks — provably unrepairable. Everything
+    // else must still complete.
+    cluster::ChunkRef doomed;
+    cluster::NodeId h1 = cluster::kNoNode;
+    cluster::NodeId h2 = cluster::kNoNode;
+    {
+      Testbed scout(opts, code);
+      const auto stf = scout.flag_stf();
+      doomed = scout.layout().chunks_on(stf)[0];
+      for (const auto node : scout.layout().stripe_nodes(doomed.stripe)) {
+        if (node == stf) continue;
+        if (h1 == cluster::kNoNode) {
+          h1 = node;
+        } else if (h2 == cluster::kNoNode) {
+          h2 = node;
+        }
+      }
+    }
+    const std::string stripe = std::to_string(doomed.stripe);
+    opts.fault_plan = net::FaultPlan::parse(
+        "read_error node=stf stripe=" + stripe + "\n" +
+        "read_error node=" + std::to_string(h1) + " stripe=" + stripe +
+        "\n" +
+        "read_error node=" + std::to_string(h2) + " stripe=" + stripe +
+        "\n");
+    Testbed tb(opts, code);
+    tb.flag_stf();
+    const auto plan =
+        tb.make_planner(core::Scenario::kScattered).plan_fastpr();
+
+    const auto report = tb.execute(plan);
+    EXPECT_FALSE(report.success);
+    ASSERT_EQ(report.unrepaired.size(), 1u);
+    EXPECT_EQ(report.unrepaired[0], doomed);
+    // Accounting stays exact: completions ∪ unrepaired covers the plan,
+    // and every completed chunk byte-verifies at its final destination.
+    EXPECT_TRUE(tb.verify(report, plan));
+    bool reported = false;
+    for (const auto& err : report.errors) {
+      reported |= err.find("unrepaired") != std::string::npos;
+    }
+    EXPECT_TRUE(reported);
+  }
+}
+
+}  // namespace
+}  // namespace fastpr::agent

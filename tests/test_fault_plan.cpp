@@ -1,0 +1,124 @@
+// FaultPlan text format: parse / to_string round-trips and rejection of
+// malformed input (DESIGN.md §7).
+#include "net/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fastpr::net {
+namespace {
+
+TEST(FaultPlan, ParsesEveryDirective) {
+  const auto plan = FaultPlan::parse(
+      "# chaos schedule\n"
+      "seed 42\n"
+      "crash node=3 after_packets=10\n"
+      "crash node=stf after_bytes=65536   # dies mid-migration\n"
+      "read_error node=stf\n"
+      "read_error node=4 stripe=7\n"
+      "flaky node=any drop=0.01 max_drops=4 dup=0.05 delay=0.5 "
+      "delay_ms=2 max_delays=40 data_only=0\n");
+
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_EQ(plan.crashes[0].node, 3);
+  EXPECT_EQ(plan.crashes[0].after_packets, 10u);
+  EXPECT_EQ(plan.crashes[0].after_bytes, 0u);
+  EXPECT_EQ(plan.crashes[1].node, kStfSentinel);
+  EXPECT_EQ(plan.crashes[1].after_bytes, 65536u);
+  ASSERT_EQ(plan.read_errors.size(), 2u);
+  EXPECT_EQ(plan.read_errors[0].node, kStfSentinel);
+  EXPECT_EQ(plan.read_errors[0].stripe, FaultPlan::ReadError::kAllStripes);
+  EXPECT_EQ(plan.read_errors[1].node, 4);
+  EXPECT_EQ(plan.read_errors[1].stripe, 7);
+  ASSERT_EQ(plan.flaky.size(), 1u);
+  EXPECT_EQ(plan.flaky[0].node, kAnyNode);
+  EXPECT_DOUBLE_EQ(plan.flaky[0].drop_prob, 0.01);
+  EXPECT_EQ(plan.flaky[0].max_drops, 4u);
+  EXPECT_DOUBLE_EQ(plan.flaky[0].dup_prob, 0.05);
+  EXPECT_DOUBLE_EQ(plan.flaky[0].delay_prob, 0.5);
+  EXPECT_EQ(plan.flaky[0].delay.count(), 2);
+  EXPECT_EQ(plan.flaky[0].max_delays, 40u);
+  EXPECT_FALSE(plan.flaky[0].data_only);
+}
+
+TEST(FaultPlan, RoundTripsThroughToString) {
+  const auto plan = FaultPlan::parse(
+      "seed 7\n"
+      "crash node=stf after_bytes=262144\n"
+      "crash node=5 after_packets=3 after_bytes=4096\n"
+      "read_error node=2 stripe=3\n"
+      "read_error node=stf\n"
+      "flaky node=1 drop=0.25 max_drops=2\n"
+      "flaky node=any dup=0.125 delay=0.5 delay_ms=8 data_only=0 "
+      "max_dups=6 max_delays=12\n");
+  const auto reparsed = FaultPlan::parse(plan.to_string());
+  // to_string is the parse-normal form, so one more round must be a
+  // fixed point.
+  EXPECT_EQ(reparsed.to_string(), plan.to_string());
+
+  EXPECT_EQ(reparsed.seed, plan.seed);
+  ASSERT_EQ(reparsed.crashes.size(), plan.crashes.size());
+  for (size_t i = 0; i < plan.crashes.size(); ++i) {
+    EXPECT_EQ(reparsed.crashes[i].node, plan.crashes[i].node);
+    EXPECT_EQ(reparsed.crashes[i].after_packets,
+              plan.crashes[i].after_packets);
+    EXPECT_EQ(reparsed.crashes[i].after_bytes, plan.crashes[i].after_bytes);
+  }
+  ASSERT_EQ(reparsed.read_errors.size(), plan.read_errors.size());
+  for (size_t i = 0; i < plan.read_errors.size(); ++i) {
+    EXPECT_EQ(reparsed.read_errors[i].node, plan.read_errors[i].node);
+    EXPECT_EQ(reparsed.read_errors[i].stripe, plan.read_errors[i].stripe);
+  }
+  ASSERT_EQ(reparsed.flaky.size(), plan.flaky.size());
+  for (size_t i = 0; i < plan.flaky.size(); ++i) {
+    EXPECT_EQ(reparsed.flaky[i].node, plan.flaky[i].node);
+    EXPECT_DOUBLE_EQ(reparsed.flaky[i].drop_prob, plan.flaky[i].drop_prob);
+    EXPECT_DOUBLE_EQ(reparsed.flaky[i].dup_prob, plan.flaky[i].dup_prob);
+    EXPECT_DOUBLE_EQ(reparsed.flaky[i].delay_prob,
+                     plan.flaky[i].delay_prob);
+    EXPECT_EQ(reparsed.flaky[i].delay, plan.flaky[i].delay);
+    EXPECT_EQ(reparsed.flaky[i].data_only, plan.flaky[i].data_only);
+    EXPECT_EQ(reparsed.flaky[i].max_drops, plan.flaky[i].max_drops);
+    EXPECT_EQ(reparsed.flaky[i].max_dups, plan.flaky[i].max_dups);
+    EXPECT_EQ(reparsed.flaky[i].max_delays, plan.flaky[i].max_delays);
+  }
+}
+
+TEST(FaultPlan, EmptyAndCommentOnlyInputParsesToEmptyPlan) {
+  const auto plan = FaultPlan::parse("# nothing but comments\n\n   \n");
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.seed, 1u);
+}
+
+TEST(FaultPlan, ResolveStfRewritesSentinels) {
+  auto plan = FaultPlan::parse(
+      "crash node=stf\n"
+      "read_error node=stf stripe=2\n"
+      "flaky node=stf drop=0.5\n"
+      "flaky node=any dup=0.5\n");
+  plan.resolve_stf(9);
+  EXPECT_EQ(plan.crashes[0].node, 9);
+  EXPECT_EQ(plan.read_errors[0].node, 9);
+  EXPECT_EQ(plan.flaky[0].node, 9);
+  EXPECT_EQ(plan.flaky[1].node, kAnyNode);  // wildcard untouched
+}
+
+TEST(FaultPlan, RejectsMalformedInput) {
+  EXPECT_THROW(FaultPlan::parse("explode node=1\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("seed\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("seed banana\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("crash after_packets=1\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("crash node=any\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("crash node=-4\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("crash node=1 when=later\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("read_error stripe=1\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("read_error node=any\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("flaky node=1 drop=1.5\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("flaky node=1 drop\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("flaky node=1 jitter=0.5\n"), CheckFailure);
+}
+
+}  // namespace
+}  // namespace fastpr::net

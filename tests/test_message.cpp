@@ -17,6 +17,7 @@ Message sample_message() {
   m.from = 3;
   m.to = 9;
   m.task_id = 0xDEADBEEFCAFEULL;
+  m.attempt = 3;
   m.chunk = {42, 7};
   m.dst = 9;
   m.mode = TransferMode::kDecode;
@@ -33,7 +34,8 @@ Message sample_message() {
 
 bool equal(const Message& a, const Message& b) {
   if (a.type != b.type || a.from != b.from || a.to != b.to ||
-      a.task_id != b.task_id || !(a.chunk == b.chunk) || a.dst != b.dst ||
+      a.task_id != b.task_id || a.attempt != b.attempt ||
+      !(a.chunk == b.chunk) || a.dst != b.dst ||
       a.mode != b.mode || a.coefficient != b.coefficient ||
       a.packet_index != b.packet_index ||
       a.total_packets != b.total_packets ||
@@ -62,7 +64,7 @@ TEST(Message, RoundTrip) {
 }
 
 TEST(Message, RoundTripAllTypes) {
-  for (int t = 1; t <= 7; ++t) {
+  for (int t = 1; t <= 10; ++t) {
     Message m = sample_message();
     m.type = static_cast<MessageType>(t);
     const auto parsed = deserialize(serialize(m));

@@ -315,6 +315,7 @@ TEST(RepairReport, TotalsAndJsonGolden) {
   r1.cr = 2;
   r1.cm = 3;
   r1.fallbacks = 1;
+  r1.retries = 2;
   r1.bytes_reconstructed = 2048;
   r1.bytes_migrated = 3072;
   r1.duration_seconds = 0.5;
@@ -326,25 +327,27 @@ TEST(RepairReport, TotalsAndJsonGolden) {
   r2.duration_seconds = 0.25;
   report.rounds = {r1, r2};
   report.predicted = {{2, 3, 0.4}, {1, 0, 0.2}};
+  report.degraded_at_round = 2;
 
   EXPECT_EQ(report.total_cr(), 3);
   EXPECT_EQ(report.total_cm(), 3);
   EXPECT_EQ(
       report.to_json(),
-      "{\"total_seconds\":0.75,\"total_cr\":3,\"total_cm\":3,\"rounds\":["
-      "{\"round\":1,\"cr\":2,\"cm\":3,\"fallbacks\":1,"
+      "{\"total_seconds\":0.75,\"total_cr\":3,\"total_cm\":3,"
+      "\"degraded_at_round\":2,\"rounds\":["
+      "{\"round\":1,\"cr\":2,\"cm\":3,\"fallbacks\":1,\"retries\":2,"
       "\"bytes_reconstructed\":2048,\"bytes_migrated\":3072,"
       "\"duration_seconds\":0.5,\"stf_bw_utilization\":0.75,"
       "\"predicted\":{\"cr\":2,\"cm\":3,\"duration_seconds\":0.4}},"
-      "{\"round\":2,\"cr\":1,\"cm\":0,\"fallbacks\":0,"
+      "{\"round\":2,\"cr\":1,\"cm\":0,\"fallbacks\":0,\"retries\":0,"
       "\"bytes_reconstructed\":1024,\"bytes_migrated\":0,"
       "\"duration_seconds\":0.25,\"stf_bw_utilization\":0,"
       "\"predicted\":{\"cr\":1,\"cm\":0,\"duration_seconds\":0.2}}]}");
   EXPECT_EQ(report.to_csv(),
-            "round,cr,cm,fallbacks,bytes_reconstructed,bytes_migrated,"
-            "duration_seconds,stf_bw_utilization\n"
-            "1,2,3,1,2048,3072,0.5,0.75\n"
-            "2,1,0,0,1024,0,0.25,0\n");
+            "round,cr,cm,fallbacks,retries,bytes_reconstructed,"
+            "bytes_migrated,duration_seconds,stf_bw_utilization\n"
+            "1,2,3,1,2,2048,3072,0.5,0.75\n"
+            "2,1,0,0,0,1024,0,0.25,0\n");
 }
 
 TEST(RepairReport, JsonOmitsPredictionsWhenAbsent) {

@@ -6,12 +6,21 @@
 //   fastpr_cli plan     <spec>   # build and print a FastPR repair plan
 //   fastpr_cli simulate <spec>   # strategy comparison (simulated times)
 //   fastpr_cli lifetime <spec>   # one simulated year of failures
+//   fastpr_cli execute  <spec>   # run the plan on the in-process
+//                                # testbed (real bytes, byte-verified)
 //
-// Telemetry flags (may appear anywhere after the command):
+// Flags (may appear anywhere after the command):
 //   --metrics-out=<file.json>    # dump the metrics registry at exit
 //   --trace-out=<file.json>      # enable tracing; write a Chrome
 //                                # trace_event file at exit (load in
 //                                # chrome://tracing or Perfetto)
+//   --fault-plan <file>          # execute only: scripted fault
+//                                # injection (net/fault_plan.h format;
+//                                # see examples/chaos.fault).
+//
+// `execute` exit codes: 0 = every chunk repaired and byte-verified;
+// 3 = accounting consistent but some chunks abandoned as unrepairable
+// (they are enumerated); 1 = verification or execution failure.
 //
 // Spec format (one `key value...` pair per line; '#' starts a comment):
 //   nodes 100          # storage nodes
@@ -24,6 +33,14 @@
 //   scenario scattered # or hotstandby
 //   stf auto           # or an explicit node id
 //   seed 1
+//   # execute-only (defaults in parentheses):
+//   packet_kb 64
+//   round_timeout_ms 120000
+//   max_attempts 4
+//   retry_backoff_ms 50
+//   probe_timeout_ms 250
+//   max_round_extensions 3
+//   stf_failure_threshold 3
 //   # lifetime-only:
 //   sim_days 365
 //   mtbf_days 1000
@@ -35,10 +52,12 @@
 #include <sstream>
 #include <vector>
 
+#include "agent/testbed.h"
 #include "core/fastpr.h"
 #include "ec/lrc_code.h"
 #include "ec/rs_code.h"
 #include "lifetime/lifetime_sim.h"
+#include "net/fault_plan.h"
 #include "sim/simulator.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -66,6 +85,14 @@ struct Spec {
   double sim_days = 365;
   double mtbf_days = 1000;
   double recall = 0.95;
+  // execute-only knobs (agent::TestbedOptions defaults).
+  double packet_kb = 64;
+  int round_timeout_ms = 120000;
+  int max_attempts = 4;
+  int retry_backoff_ms = 50;
+  int probe_timeout_ms = 250;
+  int max_round_extensions = 3;
+  int stf_failure_threshold = 3;
 };
 
 bool parse_spec(const std::string& path, Spec& spec, std::string& error) {
@@ -135,6 +162,30 @@ bool parse_spec(const std::string& path, Spec& spec, std::string& error) {
       spec.stf = v == "auto" ? -1 : std::atoi(v.c_str());
     } else if (key == "seed") {
       if (!(tokens >> spec.seed)) return fail("seed <int>");
+    } else if (key == "packet_kb") {
+      double v = 0;
+      if (!(tokens >> v) || v <= 0) return fail("packet_kb <num>");
+      spec.packet_kb = v;
+    } else if (key == "round_timeout_ms") {
+      if (!(tokens >> spec.round_timeout_ms) || spec.round_timeout_ms <= 0)
+        return fail("round_timeout_ms <int>");
+    } else if (key == "max_attempts") {
+      if (!(tokens >> spec.max_attempts) || spec.max_attempts < 1)
+        return fail("max_attempts <int>=1>");
+    } else if (key == "retry_backoff_ms") {
+      if (!(tokens >> spec.retry_backoff_ms) || spec.retry_backoff_ms < 0)
+        return fail("retry_backoff_ms <int>");
+    } else if (key == "probe_timeout_ms") {
+      if (!(tokens >> spec.probe_timeout_ms) || spec.probe_timeout_ms <= 0)
+        return fail("probe_timeout_ms <int>");
+    } else if (key == "max_round_extensions") {
+      if (!(tokens >> spec.max_round_extensions) ||
+          spec.max_round_extensions < 0)
+        return fail("max_round_extensions <int>");
+    } else if (key == "stf_failure_threshold") {
+      if (!(tokens >> spec.stf_failure_threshold) ||
+          spec.stf_failure_threshold < 1)
+        return fail("stf_failure_threshold <int>=1>");
     } else if (key == "sim_days") {
       if (!(tokens >> spec.sim_days)) return fail("sim_days <num>");
     } else if (key == "mtbf_days") {
@@ -307,11 +358,88 @@ int cmd_lifetime(const Spec& spec) {
   return 0;
 }
 
+int cmd_execute(const Spec& spec, const std::string& fault_plan_path) {
+  agent::TestbedOptions opts;
+  opts.num_storage = spec.nodes;
+  opts.num_standby = spec.standby;
+  opts.disk_bytes_per_sec = spec.disk_bw;
+  opts.net_bytes_per_sec = spec.net_bw;
+  opts.chunk_bytes = static_cast<uint64_t>(spec.chunk_bytes);
+  opts.packet_bytes = static_cast<uint64_t>(spec.packet_kb *
+                                            static_cast<double>(kKiB));
+  opts.num_stripes = spec.stripes;
+  opts.seed = spec.seed;
+  opts.round_timeout = std::chrono::milliseconds(spec.round_timeout_ms);
+  opts.max_attempts = spec.max_attempts;
+  opts.retry_backoff = std::chrono::milliseconds(spec.retry_backoff_ms);
+  opts.probe_timeout = std::chrono::milliseconds(spec.probe_timeout_ms);
+  opts.max_round_extensions = spec.max_round_extensions;
+  opts.stf_failure_threshold = spec.stf_failure_threshold;
+  if (!fault_plan_path.empty()) {
+    std::ifstream in(fault_plan_path);
+    if (!in.good()) {
+      std::fprintf(stderr, "error: cannot open fault plan %s\n",
+                   fault_plan_path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    opts.fault_plan = net::FaultPlan::parse(text.str());
+  }
+
+  agent::Testbed tb(opts, *spec.code);
+  const cluster::NodeId stf = tb.flag_stf();
+  auto planner = tb.make_planner(spec.scenario);
+  const auto plan = planner.plan_fastpr();
+  std::printf("STF node %d holds %d chunks; %s\n", stf,
+              tb.layout().load(stf), plan.to_string().c_str());
+
+  const auto report = tb.execute(plan);
+  const bool verified = tb.verify(report, plan);
+
+  std::printf("\nexecution: %s in %.3f s\n",
+              report.success ? "complete" : "incomplete",
+              report.repair.total_seconds);
+  std::printf("  repaired                 %d of %d chunks\n",
+              static_cast<int>(report.completions.size()),
+              plan.total_repaired());
+  std::printf("  fallback reconstructions %d\n",
+              report.fallback_reconstructions);
+  std::printf("  retries                  %d\n", report.retries);
+  std::printf("  round extensions         %d\n", report.round_extensions);
+  std::printf("  replans                  %d\n", report.replans);
+  std::printf("  degraded to reactive     %s\n",
+              report.degraded_to_reactive
+                  ? ("yes (round " +
+                     std::to_string(report.degraded_at_round) + ")")
+                        .c_str()
+                  : "no");
+  if (!report.failed_nodes.empty()) {
+    std::string nodes;
+    for (const auto n : report.failed_nodes) {
+      if (!nodes.empty()) nodes += " ";
+      nodes += std::to_string(n);
+    }
+    std::printf("  nodes declared failed    %s\n", nodes.c_str());
+  }
+  for (const auto& chunk : report.unrepaired) {
+    std::printf("  UNREPAIRED stripe %d index %d\n", chunk.stripe,
+                chunk.index);
+  }
+  for (const auto& err : report.errors) {
+    std::printf("  error: %s\n", err.c_str());
+  }
+  std::printf("  byte verification        %s\n",
+              verified ? "PASS" : "FAIL");
+  if (!verified) return 1;
+  return report.success ? 0 : 3;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: fastpr_cli analyze|plan|simulate|lifetime "
+               "usage: fastpr_cli analyze|plan|simulate|lifetime|execute "
                "<spec-file> [--metrics-out=<file.json>] "
-               "[--trace-out=<file.json>]\n");
+               "[--trace-out=<file.json>] [--fault-plan <file>]\n");
   return 2;
 }
 
@@ -331,6 +459,7 @@ bool write_file(const std::string& path, const std::string& content) {
 int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
+  std::string fault_plan_path;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -340,6 +469,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::strlen("--trace-out="));
       if (trace_out.empty()) return usage();
+    } else if (arg.rfind("--fault-plan=", 0) == 0) {
+      fault_plan_path = arg.substr(std::strlen("--fault-plan="));
+      if (fault_plan_path.empty()) return usage();
+    } else if (arg == "--fault-plan") {
+      if (i + 1 >= argc) return usage();
+      fault_plan_path = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown flag %s\n", arg.c_str());
       return usage();
@@ -371,6 +506,8 @@ int main(int argc, char** argv) {
       rc = cmd_simulate(spec);
     } else if (std::strcmp(command, "lifetime") == 0) {
       rc = cmd_lifetime(spec);
+    } else if (std::strcmp(command, "execute") == 0) {
+      rc = cmd_execute(spec, fault_plan_path);
     } else {
       return usage();
     }

@@ -25,6 +25,13 @@
 //                   src/telemetry/; measurements go through
 //                   telemetry::trace_now() / TraceSpan so they land in
 //                   the trace (and tids/epochs stay consistent).
+//  * ack-tracking — every `transport_.send` in src/agent/ must either
+//                   feed a pending/ack map the event loop later
+//                   consumes, or carry a reviewed
+//                   `fastpr-lint: allow(ack-tracking)` marker saying
+//                   how non-delivery is detected (DESIGN.md §7). The
+//                   marker may sit on the send line itself or on the
+//                   comment block immediately above it.
 //
 // Intentional exceptions:
 //  * src/util/units.h is exempt from `units` (it defines the helpers).
@@ -155,11 +162,24 @@ const char* kUnitHelpers[] = {"MB(", "MBps(", "Gbps(", "kKiB", "kMiB",
                               "kGiB"};
 
 void check_line(const fs::path& rel, int lineno, const std::string& raw,
-                const std::string& code, std::vector<Violation>& out) {
+                const std::string& code, bool ack_marker_above,
+                std::vector<Violation>& out) {
   const auto allowed = [&](const char* rule) {
     return raw.find(std::string("fastpr-lint: allow(") + rule + ")") !=
            std::string::npos;
   };
+
+  // ack-tracking
+  if (path_has_prefix(rel, "src/agent/") &&
+      !allowed("ack-tracking") && !ack_marker_above) {
+    if (code.find("transport_.send") != std::string::npos) {
+      out.push_back({rel.generic_string(), lineno, "ack-tracking",
+                     "fire-and-forget transport_.send in src/agent; "
+                     "track the reply in a pending map or mark the "
+                     "reviewed exception with "
+                     "fastpr-lint: allow(ack-tracking)"});
+    }
+  }
 
   // units
   if (!path_has_prefix(rel, "src/util/units.h") && !allowed("units")) {
@@ -240,6 +260,10 @@ void check_file(const fs::path& root, const fs::path& rel,
   const bool is_header = rel.extension() == ".h";
   bool saw_pragma_once = false;
   bool in_block_comment = false;
+  // An `allow(ack-tracking)` marker on a comment line covers the next
+  // code line, surviving the rest of its comment block (multi-line
+  // justifications put the marker on the first line).
+  bool ack_marker_above = false;
   std::string line;
   int lineno = 0;
   while (std::getline(in, line)) {
@@ -248,7 +272,12 @@ void check_file(const fs::path& root, const fs::path& rel,
       saw_pragma_once = true;
     }
     const std::string code = sanitize(line, in_block_comment);
-    check_line(rel, lineno, line, code, out);
+    check_line(rel, lineno, line, code, ack_marker_above, out);
+    if (line.find("fastpr-lint: allow(ack-tracking)") != std::string::npos) {
+      ack_marker_above = true;
+    } else if (code.find_first_not_of(" \t") != std::string::npos) {
+      ack_marker_above = false;  // a code line consumes the marker
+    }
   }
   if (is_header && !saw_pragma_once) {
     out.push_back({rel.generic_string(), 1, "pragma-once",
