@@ -127,15 +127,17 @@ core::ReconstructionTask Coordinator::fallback_for(
 std::vector<core::SourceRead> Coordinator::pick_sources(
     ChunkRef chunk, NodeId dst, NodeId stf,
     const std::unordered_set<NodeId>& exclude) const {
-  // k helpers from the stripe's other nodes. We cannot use the STF node
+  // k helpers from the stripe's other nodes. We cannot use an STF node
   // (it is being retired or its read just failed) or any known-failed
   // node; beyond that any k suffice for RS, and the code object picks
   // valid helpers for LRC (local group first, global parities when the
-  // group is depleted).
+  // group is depleted). During a batch execution every batch member is
+  // off-limits, not just the caller's `stf`.
   const auto& nodes = layout_.stripe_nodes(chunk.stripe);
   std::vector<bool> available(nodes.size(), false);
   for (size_t i = 0; i < nodes.size(); ++i) {
     available[i] = nodes[i] != stf && nodes[i] != dst &&
+                   stf_set_.count(nodes[i]) == 0 &&
                    exclude.count(nodes[i]) == 0 &&
                    static_cast<int>(i) != chunk.index;
   }
@@ -154,7 +156,8 @@ bool Coordinator::needs_rebuild(const PendingTask& task) const {
     return failed_nodes_.count(n) != 0 || task.excluded.count(n) != 0;
   };
   if (task.is_migration) {
-    return stf_dead_ || bad(task.mig.src) || bad(task.mig.dst);
+    return stf_node_dead(task.mig.src) || bad(task.mig.src) ||
+           bad(task.mig.dst);
   }
   if (task.recon.dst == cluster::kNoNode || bad(task.recon.dst)) return true;
   for (const auto& src : task.recon.sources) {
@@ -168,7 +171,7 @@ bool Coordinator::rebuild_task(PendingTask& task, ExecutionReport& report) {
     return failed_nodes_.count(n) != 0 || task.excluded.count(n) != 0;
   };
   if (task.is_migration) {
-    const bool stf_gone = stf_dead_ || bad(task.mig.src);
+    const bool stf_gone = stf_node_dead(task.mig.src) || bad(task.mig.src);
     if (!stf_gone) {
       if (bad(task.mig.dst)) {
         const NodeId dst = choose_destination(task.mig.chunk.stripe, task);
@@ -217,7 +220,7 @@ NodeId Coordinator::choose_destination(cluster::StripeId stripe,
   NodeId best = cluster::kNoNode;
   std::pair<int, int> best_key{0, 0};
   for (NodeId n : pool) {
-    if (n == stf_ || failed_nodes_.count(n) != 0 ||
+    if (stf_set_.count(n) != 0 || failed_nodes_.count(n) != 0 ||
         task.excluded.count(n) != 0) {
       continue;
     }
@@ -287,11 +290,14 @@ void Coordinator::handle_task_failed(const Message& msg,
   if (task.is_migration) {
     // A migration failure is an STF read failure: fall back to
     // reconstruction immediately (the reactive path reads other disks,
-    // so no backoff), and count it toward declaring the STF dead.
-    ++stf_failures_;
-    task.excluded.insert(task.mig.src);
-    if (!stf_dead_ && stf_failures_ >= options_.stf_failure_threshold) {
-      declare_stf_dead(report);
+    // so no backoff), and count it toward declaring THAT member dead —
+    // each batch member's disk fails independently.
+    const NodeId src = task.mig.src;
+    const int failures = ++stf_failures_by_[src];
+    task.excluded.insert(src);
+    if (!stf_node_dead(src) &&
+        failures >= options_.stf_failure_threshold) {
+      declare_stf_dead(src, report);
     }
     reissue_now(msg.task_id, report);
     return;
@@ -380,7 +386,7 @@ void Coordinator::finish_probe(ExecutionReport& report) {
     coord_counter("coordinator.nodes_declared_failed").add();
     LOG_INFO("coordinator: node " << node
                                   << " unresponsive to probe; excluded");
-    if (node == stf_) declare_stf_dead(report);
+    if (stf_set_.count(node) != 0) declare_stf_dead(node, report);
   }
   const std::vector<uint64_t> ids = std::move(stragglers_);
   stragglers_.clear();
@@ -391,18 +397,24 @@ void Coordinator::finish_probe(ExecutionReport& report) {
   }
 }
 
-void Coordinator::declare_stf_dead(ExecutionReport& report) {
-  if (stf_dead_) return;
-  stf_dead_ = true;
-  failed_nodes_.insert(stf_);
-  report.degraded_to_reactive = true;
-  report.degraded_at_round = current_round_;
+void Coordinator::declare_stf_dead(NodeId node, ExecutionReport& report) {
+  if (stf_node_dead(node)) return;
+  stf_dead_set_.insert(node);
+  stf_death_round_[node] = current_round_;
+  failed_nodes_.insert(node);
+  if (!report.degraded_to_reactive) {
+    // First member death flips the execution-level degradation flag;
+    // later deaths only extend the dead set (surviving members keep
+    // their predictive schedule).
+    report.degraded_to_reactive = true;
+    report.degraded_at_round = current_round_;
+    coord_counter("coordinator.degraded_executions").add();
+  }
   report.errors.push_back(
-      "STF node " + std::to_string(stf_) + " declared dead in round " +
+      "STF node " + std::to_string(node) + " declared dead in round " +
       std::to_string(current_round_) + "; degrading to reactive repair");
-  coord_counter("coordinator.degraded_executions").add();
   LOG_INFO("coordinator: STF node "
-           << stf_ << " dead; predictive repair degrades to reactive");
+           << node << " dead; predictive repair degrades to reactive");
 }
 
 void Coordinator::collect_task_nodes(
@@ -427,8 +439,16 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
   extra_dst_load_.clear();
   stragglers_.clear();
   stf_ = plan.stf_node;
-  stf_dead_ = false;
-  stf_failures_ = 0;
+  stf_batch_ = plan.stf_nodes.empty()
+                   ? std::vector<NodeId>{plan.stf_node}
+                   : plan.stf_nodes;
+  FASTPR_CHECK_MSG(stf_batch_.front() == stf_,
+                   "stf_node must be the first batch member");
+  stf_set_.clear();
+  stf_set_.insert(stf_batch_.begin(), stf_batch_.end());
+  stf_dead_set_.clear();
+  stf_death_round_.clear();
+  stf_failures_by_.clear();
   probe_active_ = false;
 
   // The tail of the schedule is mutable: when the STF dies mid-repair,
@@ -573,8 +593,13 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
     // STF death: replace the remaining schedule with a reactive plan
     // over everything not yet handled. One replan per execution — the
     // reactive tail already avoids every node known dead, and later
-    // individual failures are covered by the retry machinery.
-    if (stf_dead_ && !replanned && options_.replan) {
+    // individual failures are covered by the retry machinery. Batch
+    // executions never take this path: one member's death must not
+    // reshuffle the other members' still-valid predictive rounds, so
+    // only the dead member's tasks convert (via rebuild_task) as their
+    // rounds come up.
+    if (stf_batch_.size() == 1 && stf_node_dead(stf_) && !replanned &&
+        options_.replan) {
       replanned = true;
       ++report.replans;
       coord_counter("coordinator.replans").add();
@@ -608,6 +633,59 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
   std::sort(report.failed_nodes.begin(), report.failed_nodes.end());
   report.success = report.unrepaired.empty();
   report.repair.degraded_at_round = report.degraded_at_round;
+
+  // Per-member progress, chunk ownership resolved via the pre-repair
+  // layout (fallback reconstructions count as reconstructed — the
+  // completion records how the chunk was actually repaired).
+  std::unordered_map<NodeId, StfProgress> progress;
+  for (NodeId s : stf_batch_) {
+    StfProgress p;
+    p.stf = s;
+    p.died = stf_node_dead(s);
+    const auto round_it = stf_death_round_.find(s);
+    p.died_at_round = round_it == stf_death_round_.end() ? 0
+                                                         : round_it->second;
+    progress.emplace(s, p);
+  }
+  const auto owner_progress = [&](ChunkRef chunk) -> StfProgress* {
+    const auto it = progress.find(layout_.node_of(chunk));
+    return it == progress.end() ? nullptr : &it->second;
+  };
+  for (const auto& round : plan.rounds) {
+    for (const auto& task : round.reconstructions) {
+      if (auto* p = owner_progress(task.chunk)) ++p->planned;
+    }
+    for (const auto& task : round.migrations) {
+      if (auto* p = owner_progress(task.chunk)) ++p->planned;
+    }
+  }
+  for (const auto& done : report.completions) {
+    if (auto* p = owner_progress(done.chunk)) {
+      if (done.migrated) {
+        ++p->migrated;
+      } else {
+        ++p->reconstructed;
+      }
+    }
+  }
+  for (const auto& chunk : report.unrepaired) {
+    if (auto* p = owner_progress(chunk)) ++p->unrepaired;
+  }
+  for (NodeId s : stf_batch_) {
+    report.stf_progress.push_back(progress.at(s));
+  }
+  if (stf_batch_.size() > 1) {
+    for (const auto& p : report.stf_progress) {
+      telemetry::StfRepairStats stats;
+      stats.stf = static_cast<int>(p.stf);
+      stats.planned = p.planned;
+      stats.migrated = p.migrated;
+      stats.reconstructed = p.reconstructed;
+      stats.unrepaired = p.unrepaired;
+      stats.died_at_round = p.died_at_round;
+      report.repair.per_stf.push_back(stats);
+    }
+  }
   return report;
 }
 

@@ -92,6 +92,17 @@ struct CompletedRepair {
   int attempts = 1;
 };
 
+/// Per-member progress of a multi-STF batch execution (DESIGN.md §8).
+struct StfProgress {
+  cluster::NodeId stf = cluster::kNoNode;
+  int planned = 0;        // chunks of this node the plan covers
+  int migrated = 0;
+  int reconstructed = 0;  // planned + fallback reconstructions
+  int unrepaired = 0;
+  bool died = false;      // this member was declared dead mid-repair
+  int died_at_round = 0;  // 1-based; 0 = alive throughout
+};
+
 struct ExecutionReport {
   bool success = true;
   double total_seconds = 0;
@@ -118,8 +129,13 @@ struct ExecutionReport {
   /// Nodes declared failed during execution (probe non-response or STF
   /// death), sorted.
   std::vector<cluster::NodeId> failed_nodes;
-  /// True once the STF node was declared dead and predictive repair
-  /// degraded to the reactive path for the remaining chunks.
+  /// One entry per STF batch member, in plan order (a single-STF plan
+  /// yields one entry). Chunk ownership is resolved via the layout.
+  std::vector<StfProgress> stf_progress;
+  /// True once an STF node was declared dead and its predictive repair
+  /// degraded to the reactive path for the remaining chunks. In a batch
+  /// execution one member's death does NOT abort the others' plans —
+  /// only the dead member's tasks convert to fallback reconstructions.
   bool degraded_to_reactive = false;
   int degraded_at_round = 0;  // 1-based; 0 = never degraded
   int retries = 0;            // task reissues (incl. fallback conversions)
@@ -235,7 +251,10 @@ class Coordinator {
   void start_probe(ExecutionReport& report);
   /// Declares non-responders failed and reissues the stragglers.
   void finish_probe(ExecutionReport& report);
-  void declare_stf_dead(ExecutionReport& report);
+  void declare_stf_dead(cluster::NodeId node, ExecutionReport& report);
+  bool stf_node_dead(cluster::NodeId node) const {
+    return stf_dead_set_.count(node) != 0;
+  }
   void collect_task_nodes(const PendingTask& task,
                           std::unordered_set<cluster::NodeId>& out) const;
 
@@ -254,9 +273,14 @@ class Coordinator {
   /// Retarget pressure: chunks re-routed to a node during this
   /// execution, so repeated retargeting keeps spreading load.
   std::unordered_map<cluster::NodeId, int> extra_dst_load_;
-  cluster::NodeId stf_ = cluster::kNoNode;
-  bool stf_dead_ = false;
-  int stf_failures_ = 0;
+  cluster::NodeId stf_ = cluster::kNoNode;  // first batch member
+  /// The STF batch being executed (plan.stf_nodes, or {plan.stf_node}
+  /// for single-STF plans) and its membership set.
+  std::vector<cluster::NodeId> stf_batch_;
+  std::unordered_set<cluster::NodeId> stf_set_;
+  std::unordered_set<cluster::NodeId> stf_dead_set_;
+  std::unordered_map<cluster::NodeId, int> stf_death_round_;
+  std::unordered_map<cluster::NodeId, int> stf_failures_by_;
   int current_round_ = 0;
 
   bool probe_active_ = false;

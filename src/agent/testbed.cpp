@@ -1,5 +1,7 @@
 #include "agent/testbed.h"
 
+#include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "gf/gf256.h"
@@ -191,18 +193,35 @@ ChunkStore& Testbed::store(NodeId node) {
   return *stores_[static_cast<size_t>(node)];
 }
 
-NodeId Testbed::flag_stf() {
-  NodeId best = 0;
-  for (NodeId node = 1; node < layout_->num_nodes(); ++node) {
-    if (layout_->load(node) > layout_->load(best)) best = node;
+NodeId Testbed::flag_stf() { return flag_stf_batch(1).front(); }
+
+std::vector<NodeId> Testbed::flag_stf_batch(int count) {
+  FASTPR_CHECK(count >= 1 && count < layout_->num_nodes());
+  std::vector<NodeId> by_load(static_cast<size_t>(layout_->num_nodes()));
+  for (NodeId node = 0; node < layout_->num_nodes(); ++node) {
+    by_load[static_cast<size_t>(node)] = node;
   }
-  cluster_->set_health(best, cluster::NodeHealth::kSoonToFail);
+  std::stable_sort(by_load.begin(), by_load.end(),
+                   [this](NodeId a, NodeId b) {
+                     return layout_->load(a) > layout_->load(b);
+                   });
+  by_load.resize(static_cast<size_t>(count));
+  return flag_stf_nodes(std::move(by_load));
+}
+
+std::vector<NodeId> Testbed::flag_stf_nodes(std::vector<NodeId> nodes) {
+  FASTPR_CHECK(!nodes.empty());
+  for (NodeId node : nodes) {
+    FASTPR_CHECK(node >= 0 && node < layout_->num_nodes());
+    cluster_->set_health(node, cluster::NodeHealth::kSoonToFail);
+  }
 
   // The fault plan may target "the STF node" symbolically; now that it
-  // is known, arm those entries and plant the scripted read errors.
+  // is known (for a batch: its first member), arm those entries and
+  // plant the scripted read errors.
   if (options_.fault_plan.has_value()) {
-    options_.fault_plan->resolve_stf(best);
-    if (faulty_ != nullptr) faulty_->resolve_stf(best);
+    options_.fault_plan->resolve_stf(nodes.front());
+    if (faulty_ != nullptr) faulty_->resolve_stf(nodes.front());
     for (const auto& err : options_.fault_plan->read_errors) {
       FASTPR_CHECK(err.node >= 0 &&
                    err.node < static_cast<int>(stores_.size()));
@@ -218,7 +237,7 @@ NodeId Testbed::flag_stf() {
       }
     }
   }
-  return best;
+  return nodes;
 }
 
 core::FastPrPlanner Testbed::make_planner(core::Scenario scenario) {
@@ -228,6 +247,15 @@ core::FastPrPlanner Testbed::make_planner(core::Scenario scenario) {
   popts.chunk_bytes = static_cast<double>(options_.chunk_bytes);
   popts.code = &code_;
   return core::FastPrPlanner(*layout_, *cluster_, popts);
+}
+
+core::MultiStfPlanner Testbed::make_multi_planner(core::Scenario scenario) {
+  core::PlannerOptions popts;
+  popts.scenario = scenario;
+  popts.k_repair = code_.repair_fetch_count(0);
+  popts.chunk_bytes = static_cast<double>(options_.chunk_bytes);
+  popts.code = &code_;
+  return core::MultiStfPlanner(*layout_, *cluster_, popts);
 }
 
 ExecutionReport Testbed::execute(const core::RepairPlan& plan) {
@@ -280,14 +308,28 @@ ExecutionReport Testbed::execute(const core::RepairPlan& plan) {
 
 std::vector<telemetry::PredictedRound> Testbed::predict_rounds(
     const core::RepairPlan& plan, core::Scenario scenario) {
-  const core::CostModel model = make_planner(scenario).cost_model();
+  const bool multi = plan.stf_nodes.size() > 1;
+  const core::CostModel model =
+      multi ? make_multi_planner(scenario).cost_model()
+            : make_planner(scenario).cost_model();
   std::vector<telemetry::PredictedRound> predicted;
   predicted.reserve(plan.rounds.size());
   for (const auto& round : plan.rounds) {
     telemetry::PredictedRound p;
     p.cr = static_cast<int>(round.reconstructions.size());
     p.cm = static_cast<int>(round.migrations.size());
-    p.duration_seconds = model.round_time(p.cr, p.cm);
+    if (multi) {
+      // Migration streams run in parallel, one per STF disk; the round
+      // is paced by the most-loaded source (DESIGN.md §8).
+      std::unordered_map<NodeId, int> per_src;
+      for (const auto& task : round.migrations) ++per_src[task.src];
+      std::vector<int> cm_per_stf;
+      cm_per_stf.reserve(per_src.size());
+      for (const auto& [src, cm] : per_src) cm_per_stf.push_back(cm);
+      p.duration_seconds = model.round_time_multi(p.cr, cm_per_stf);
+    } else {
+      p.duration_seconds = model.round_time(p.cr, p.cm);
+    }
     predicted.push_back(p);
   }
   return predicted;

@@ -18,6 +18,7 @@
 #include "cluster/cluster_state.h"
 #include "cluster/stripe_layout.h"
 #include "core/fastpr.h"
+#include "core/multi_stf.h"
 #include "ec/erasure_code.h"
 #include "net/fault_plan.h"
 #include "net/faulty_transport.h"
@@ -111,8 +112,21 @@ class Testbed {
   /// and injects its read errors into the chunk stores.
   cluster::NodeId flag_stf();
 
+  /// Flags the `count` most-loaded storage nodes (ties broken by lower
+  /// id) as one STF batch, most-loaded first == flag_stf() at count 1.
+  /// Fault-plan node=stf entries resolve to the first member.
+  std::vector<cluster::NodeId> flag_stf_batch(int count);
+
+  /// Flags an explicit batch (e.g. from `fastpr_cli execute --stf`).
+  /// Fault-plan node=stf entries resolve to the first member.
+  std::vector<cluster::NodeId> flag_stf_nodes(
+      std::vector<cluster::NodeId> nodes);
+
   /// Builds a planner bound to this testbed's layout/cluster.
   core::FastPrPlanner make_planner(core::Scenario scenario);
+
+  /// Builds a multi-STF batch planner over every currently flagged node.
+  core::MultiStfPlanner make_multi_planner(core::Scenario scenario);
 
   /// Executes a plan with real data movement; wall-clock timed. The
   /// returned report's `repair` breakdown has stf_bw_utilization filled

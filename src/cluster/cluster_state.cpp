@@ -29,11 +29,6 @@ NodeHealth ClusterState::health(NodeId node) const {
 
 void ClusterState::set_health(NodeId node, NodeHealth health) {
   FASTPR_CHECK(node >= 0 && node < num_nodes());
-  if (health == NodeHealth::kSoonToFail) {
-    const NodeId existing = stf_node();
-    FASTPR_CHECK_MSG(existing == kNoNode || existing == node,
-                     "at most one STF node at a time (paper assumption)");
-  }
   health_[static_cast<size_t>(node)] = health;
 }
 
@@ -44,6 +39,16 @@ NodeId ClusterState::stf_node() const {
     }
   }
   return kNoNode;
+}
+
+std::vector<NodeId> ClusterState::stf_nodes() const {
+  std::vector<NodeId> nodes;
+  for (NodeId i = 0; i < num_nodes(); ++i) {
+    if (health_[static_cast<size_t>(i)] == NodeHealth::kSoonToFail) {
+      nodes.push_back(i);
+    }
+  }
+  return nodes;
 }
 
 std::vector<NodeId> ClusterState::healthy_storage_nodes() const {

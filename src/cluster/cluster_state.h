@@ -38,9 +38,15 @@ class ClusterState {
   NodeHealth health(NodeId node) const;
   void set_health(NodeId node, NodeHealth health);
 
-  /// The single STF node, or kNoNode. (The paper assumes at most one STF
-  /// node at a time; setting a second STF throws.)
+  /// The first (lowest-id) STF node, or kNoNode. Single-STF callers —
+  /// the paper's own scenarios — use this; batch repair (DESIGN.md §8)
+  /// uses stf_nodes().
   NodeId stf_node() const;
+
+  /// Every node currently flagged soon-to-fail, ascending. The paper
+  /// assumes one STF node at a time; the multi-STF extension plans a
+  /// whole batch jointly, so several flags may be live at once.
+  std::vector<NodeId> stf_nodes() const;
 
   /// Storage nodes that are healthy (excludes STF, failed, hot-standby).
   std::vector<NodeId> healthy_storage_nodes() const;

@@ -18,7 +18,9 @@ CostModel::CostModel(const ModelParams& params) : params_(params) {
   FASTPR_CHECK(params.disk_bw > 0);
   FASTPR_CHECK(params.net_bw > 0);
   FASTPR_CHECK(params.k_repair >= 1);
-  FASTPR_CHECK(params.k_repair <= params.num_nodes - 1);
+  FASTPR_CHECK(params.batch >= 1);
+  FASTPR_CHECK(params.batch <= params.num_nodes - 1);
+  FASTPR_CHECK(params.k_repair <= params.num_nodes - params.batch);
   FASTPR_CHECK(params.helper_bytes_fraction > 0 &&
                params.helper_bytes_fraction <= 1.0);
   if (params.scenario == Scenario::kHotStandby) {
@@ -50,28 +52,32 @@ double CostModel::tr(double g) const {
 }
 
 double CostModel::max_parallel_groups() const {
-  return static_cast<double>(params_.num_nodes - 1) /
+  return static_cast<double>(params_.num_nodes - params_.batch) /
          static_cast<double>(params_.k_repair);
 }
 
 double CostModel::total_time(double x, double g) const {
   FASTPR_CHECK(x >= 0 && x <= params_.stf_chunks);
   const double u = params_.stf_chunks;
-  return std::max(x * tm(), (u - x) / g * tr(g));
+  const double b = params_.batch;
+  return std::max(x / b * tm(), (u - x) / g * tr(g));
 }
 
 double CostModel::optimal_migration_chunks() const {
   const double g = max_parallel_groups();
   const double t_r = tr(g);
-  return params_.stf_chunks * t_r / (g * tm() + t_r);
+  const double b = params_.batch;
+  return params_.stf_chunks * b * t_r / (g * tm() + b * t_r);
 }
 
 double CostModel::predictive_time() const {
-  // Eq. (2): U·tr·tm / (G·tm + tr).
+  // Eq. (2): U·tr·tm / (G·tm + B·tr) — the B migration streams drain in
+  // parallel, each carrying x*/B chunks (Eq. 2 exactly at B = 1).
   const double g = max_parallel_groups();
   const double t_r = tr(g);
   const double t_m = tm();
-  return params_.stf_chunks * t_r * t_m / (g * t_m + t_r);
+  const double b = params_.batch;
+  return params_.stf_chunks * t_r * t_m / (g * t_m + b * t_r);
 }
 
 double CostModel::reactive_time() const {
@@ -80,7 +86,7 @@ double CostModel::reactive_time() const {
 }
 
 double CostModel::migration_only_time() const {
-  return params_.stf_chunks * tm();
+  return params_.stf_chunks * tm() / params_.batch;
 }
 
 double CostModel::predictive_time_per_chunk() const {
@@ -108,6 +114,16 @@ double CostModel::round_time(int cr, int cm) const {
   const double recon = cr > 0 ? tr(static_cast<double>(cr)) : 0.0;
   const double migrate = cm * tm();
   return std::max(recon, migrate);
+}
+
+double CostModel::round_time_multi(int cr,
+                                   const std::vector<int>& cm_per_stf) const {
+  int slowest = 0;
+  for (int cm : cm_per_stf) {
+    FASTPR_CHECK(cm >= 0);
+    slowest = std::max(slowest, cm);
+  }
+  return round_time(cr, slowest);
 }
 
 }  // namespace fastpr::core

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 namespace fastpr::core {
 
@@ -21,12 +22,16 @@ std::string to_string(Scenario s);
 /// Inputs of the analysis. `k_repair` is the number of chunks fetched to
 /// repair one chunk: k for RS(n,k); k/l for LRC (§III extension).
 struct ModelParams {
-  int num_nodes = 100;          // M (storage nodes incl. the STF node)
-  int stf_chunks = 1000;        // U, chunks on the STF node
+  int num_nodes = 100;          // M (storage nodes incl. the STF nodes)
+  int stf_chunks = 1000;        // U, chunks across all STF nodes
   double chunk_bytes = 0;      // c
   double disk_bw = 0;          // bd, bytes/s
   double net_bw = 0;           // bn, bytes/s
   int k_repair = 6;             // k (or k' for LRC; d for MSR)
+  /// Number of STF nodes repaired concurrently (DESIGN.md §8). The
+  /// multi-STF closed forms degenerate exactly to Equations 1–6 at 1:
+  /// G = (M-B)/k parallel groups, B independent migration streams.
+  int batch = 1;
   /// Fraction of a chunk each helper ships. 1.0 for RS and LRC; MSR
   /// codes (§II-A) read d = k_repair helpers but each sends only
   /// 1/(d-k+1) of a chunk, e.g. 0.25 for MSR(n=14, k=10, d=13).
@@ -49,24 +54,29 @@ class CostModel {
   /// g·k transmissions and g writes into the h spares.
   double tr(double g) const;
 
-  /// The analysis' parallelism bound G = (M-1)/k (continuous, as §III
-  /// assumes the maximum number of non-overlapping groups exists).
+  /// The analysis' parallelism bound G = (M-B)/k (continuous, as §III
+  /// assumes the maximum number of non-overlapping groups exists). B is
+  /// the STF batch size, so this is Eq. (1)'s (M-1)/k at batch 1.
   double max_parallel_groups() const;
 
-  /// Eq. (1): total time when x chunks migrate and U-x reconstruct, both
-  /// streams running in parallel (g groups per reconstruction round).
+  /// Eq. (1): total time when x chunks migrate (split evenly over the B
+  /// STF disks) and U-x reconstruct, both streams running in parallel
+  /// (g groups per reconstruction round).
   double total_time(double x, double g) const;
 
-  /// Optimal migration share x* = U·tr / (G·tm + tr) at g = G.
+  /// Optimal migration share x* = U·B·tr / (G·tm + B·tr) at g = G
+  /// (Eq. 2's x* = U·tr/(G·tm + tr) at batch 1).
   double optimal_migration_chunks() const;
 
-  /// Eq. (2): minimum predictive repair time T_P.
+  /// Eq. (2): minimum predictive repair time T_P. Multi-STF closed form
+  /// T_P = U·tr·tm / (G·tm + B·tr); exactly Eq. (2) at batch 1.
   double predictive_time() const;
 
   /// Eq. (3): reactive (reconstruction-only) repair time T_R = U·tr/G.
   double reactive_time() const;
 
-  /// Migration-only repair time U·tm (all chunks through the STF node).
+  /// Migration-only repair time U·tm/B (each STF node drains its own
+  /// disk; U·tm at batch 1).
   double migration_only_time() const;
 
   /// Per-chunk variants (what every paper figure plots).
@@ -83,6 +93,12 @@ class CostModel {
   /// This is what telemetry::PredictedRound diffs measured rounds
   /// against (DESIGN.md §5c).
   double round_time(int cr, int cm) const;
+
+  /// Multi-STF round time (DESIGN.md §8): the B migration streams run on
+  /// independent disks, so the round ends when the slowest stream and
+  /// the reconstruction both finish — max(tr(cr), max_s cm_s·tm).
+  /// Equals round_time(cr, cm_per_stf[0]) for a single-element vector.
+  double round_time_multi(int cr, const std::vector<int>& cm_per_stf) const;
 
  private:
   ModelParams params_;

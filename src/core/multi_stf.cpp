@@ -1,0 +1,249 @@
+#include "core/multi_stf.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/placement.h"
+#include "core/scheduler.h"
+#include "telemetry/trace.h"
+#include "util/check.h"
+
+namespace fastpr::core {
+
+using cluster::ChunkRef;
+using cluster::NodeId;
+
+namespace {
+
+/// Spreads migration-only chunks over the scheduled rounds, respecting
+/// the per-round repair cap (scattered destination feasibility); rounds
+/// are appended when every existing one is full. Deterministic
+/// round-robin so plans stay reproducible.
+void distribute_forced_migrations(std::vector<ScheduledRound>& rounds,
+                                  const std::vector<ChunkRef>& forced,
+                                  int round_cap) {
+  if (forced.empty()) return;
+  if (rounds.empty()) rounds.emplace_back();
+  size_t next = 0;
+  for (ChunkRef chunk : forced) {
+    size_t tried = 0;
+    while (round_cap > 0 && tried < rounds.size()) {
+      const auto& r = rounds[next % rounds.size()];
+      if (static_cast<int>(r.reconstruct.size() + r.migrate.size()) <
+          round_cap) {
+        break;
+      }
+      ++next;
+      ++tried;
+    }
+    if (round_cap > 0 && tried == rounds.size()) {
+      rounds.emplace_back();
+      next = rounds.size() - 1;
+    }
+    rounds[next % rounds.size()].migrate.push_back(chunk);
+    ++next;
+  }
+}
+
+}  // namespace
+
+MultiStfPlanner::MultiStfPlanner(const cluster::StripeLayout& layout,
+                                 const cluster::ClusterState& cluster,
+                                 const PlannerOptions& options)
+    : layout_(layout),
+      cluster_(cluster),
+      options_(options),
+      batch_(cluster.stf_nodes()) {
+  FASTPR_CHECK_MSG(!batch_.empty(), "no STF node flagged in the cluster");
+  FASTPR_CHECK(options.k_repair >= 1);
+  FASTPR_CHECK(options.chunk_bytes > 0);
+  if (options.scenario == Scenario::kHotStandby) {
+    FASTPR_CHECK_MSG(cluster.num_hot_standby() >= 1,
+                     "hot-standby repair needs spare nodes");
+    // A stripe may lose up to B chunks to the batch, and §IV-A demands
+    // they land on B distinct spares — so a hot-standby batch can never
+    // exceed the spare count (conceptually each spare replaces one
+    // member).
+    FASTPR_CHECK_MSG(
+        static_cast<size_t>(cluster.num_hot_standby()) >= batch_.size(),
+        "hot-standby batch of " << batch_.size() << " needs at least "
+                                << batch_.size() << " spares, have "
+                                << cluster.num_hot_standby());
+  }
+}
+
+std::vector<NodeId> MultiStfPlanner::source_nodes() const {
+  // Healthy storage nodes only — every batch member is flagged, so STF
+  // nodes never serve as helpers for each other.
+  return cluster_.healthy_storage_nodes();
+}
+
+std::vector<NodeId> MultiStfPlanner::dest_nodes() const {
+  return options_.scenario == Scenario::kScattered
+             ? cluster_.healthy_storage_nodes()
+             : cluster_.hot_standby_nodes();
+}
+
+int MultiStfPlanner::scattered_round_capacity() const {
+  // Hall bound per stripe across the whole plan: a stripe with b STF
+  // chunks excludes its n-b surviving holders plus at most b-1
+  // previously used destinations — n-1 total, same as single-STF.
+  const int cap = static_cast<int>(cluster_.healthy_storage_nodes().size()) -
+                  (layout_.chunks_per_stripe() - 1);
+  FASTPR_CHECK_MSG(cap >= 1,
+                   "cluster too small for scattered repair: need M - n >= 1");
+  return cap;
+}
+
+ReconSetOptions MultiStfPlanner::effective_recon_options() const {
+  ReconSetOptions opts = options_.recon;
+  if (options_.scenario == Scenario::kScattered) {
+    const int cap = scattered_round_capacity();
+    opts.max_set_size =
+        opts.max_set_size > 0 ? std::min(opts.max_set_size, cap) : cap;
+  }
+  return opts;
+}
+
+std::vector<ChunkRef> MultiStfPlanner::split_forced_migrations(
+    std::vector<ChunkRef>& chunks) const {
+  // A stripe can lose several chunks to the batch at once; when fewer
+  // than k' healthy helpers survive, reconstruction is impossible and
+  // the chunk MUST be migrated while its member disk is still alive
+  // (batch of one never hits this — the single-STF pipeline's n-1 >= k'
+  // assumption). Order-stable so the degenerate batch stays identical.
+  std::unordered_set<NodeId> healthy;
+  for (NodeId node : cluster_.healthy_storage_nodes()) healthy.insert(node);
+  std::vector<ChunkRef> searchable;
+  std::vector<ChunkRef> forced;
+  searchable.reserve(chunks.size());
+  for (ChunkRef chunk : chunks) {
+    const auto& nodes = layout_.stripe_nodes(chunk.stripe);
+    int helpers = 0;
+    if (options_.code != nullptr) {
+      for (int idx : options_.code->helper_candidates(chunk.index)) {
+        helpers += healthy.count(nodes[static_cast<size_t>(idx)]) != 0;
+      }
+    } else {
+      for (NodeId node : nodes) helpers += healthy.count(node) != 0;
+    }
+    const int fetch = options_.code != nullptr
+                          ? options_.code->repair_fetch_count(chunk.index)
+                          : options_.k_repair;
+    (helpers >= fetch ? searchable : forced).push_back(chunk);
+  }
+  chunks.swap(searchable);
+  return forced;
+}
+
+CostModel MultiStfPlanner::cost_model() const {
+  ModelParams params;
+  params.num_nodes = cluster_.num_storage_nodes();
+  int total = 0;
+  for (NodeId s : batch_) {
+    total += static_cast<int>(layout_.chunks_on(s).size());
+  }
+  params.stf_chunks = std::max(1, total);
+  params.chunk_bytes = options_.chunk_bytes;
+  params.disk_bw = cluster_.bandwidth().disk_bytes_per_sec;
+  params.net_bw = cluster_.bandwidth().net_bytes_per_sec;
+  params.k_repair = options_.k_repair;
+  params.batch = static_cast<int>(batch_.size());
+  params.hot_standby = std::max(1, cluster_.num_hot_standby());
+  params.scenario = options_.scenario;
+  return CostModel(params);
+}
+
+CostModel MultiStfPlanner::member_cost_model(NodeId stf) const {
+  ModelParams params;
+  params.num_nodes = cluster_.num_storage_nodes();
+  params.stf_chunks =
+      std::max(1, static_cast<int>(layout_.chunks_on(stf).size()));
+  params.chunk_bytes = options_.chunk_bytes;
+  params.disk_bw = cluster_.bandwidth().disk_bytes_per_sec;
+  params.net_bw = cluster_.bandwidth().net_bytes_per_sec;
+  params.k_repair = options_.k_repair;
+  params.hot_standby = std::max(1, cluster_.num_hot_standby());
+  params.scenario = options_.scenario;
+  return CostModel(params);
+}
+
+RepairPlan MultiStfPlanner::plan_fastpr() {
+  FASTPR_TRACE_SPAN("planner.plan_multi_stf", "planner");
+  const auto sources = source_nodes();
+  const auto dests = dest_nodes();
+
+  // Algorithm 1 over the union of the batch's chunks, member order.
+  std::vector<ChunkRef> union_chunks;
+  for (NodeId s : batch_) {
+    const auto chunks = layout_.chunks_on(s);
+    union_chunks.insert(union_chunks.end(), chunks.begin(), chunks.end());
+  }
+  recon_stats_ = {};
+  const auto forced = split_forced_migrations(union_chunks);
+  auto sets = find_reconstruction_sets_for(
+      std::move(union_chunks), layout_, sources, options_.k_repair,
+      effective_recon_options(), &recon_stats_, options_.code);
+
+  SchedulerOptions sched = options_.sched;
+  if (options_.scenario == Scenario::kScattered) {
+    sched.max_round_repairs = scattered_round_capacity();
+  }
+  const auto owner_of = [this](ChunkRef chunk) {
+    return layout_.node_of(chunk);
+  };
+  auto rounds = schedule_repair_multi(std::move(sets), cost_model(),
+                                      owner_of, batch_, sched);
+  distribute_forced_migrations(rounds, forced, sched.max_round_repairs);
+
+  RepairPlan plan;
+  plan.stf_node = batch_.front();
+  plan.stf_nodes = batch_;
+  PlacedOverlay placed;
+  int standby_cursor = 0;
+  for (const auto& round : rounds) {
+    plan.rounds.push_back(assign_round_multi(
+        layout_, batch_, sources, dests, options_.scenario,
+        options_.k_repair, round, &standby_cursor, options_.code,
+        options_.balance_destinations, &placed,
+        options_.recon.helper_reads_per_node));
+  }
+  return plan;
+}
+
+RepairPlan MultiStfPlanner::plan_sequential() {
+  FASTPR_TRACE_SPAN("planner.plan_multi_stf_sequential", "planner");
+  const auto sources = source_nodes();
+  const auto dests = dest_nodes();
+
+  RepairPlan plan;
+  plan.stf_node = batch_.front();
+  plan.stf_nodes = batch_;
+  PlacedOverlay placed;
+  int standby_cursor = 0;
+  recon_stats_ = {};
+  for (NodeId stf : batch_) {
+    auto member_chunks = layout_.chunks_on(stf);
+    const auto forced = split_forced_migrations(member_chunks);
+    auto sets = find_reconstruction_sets_for(
+        std::move(member_chunks), layout_, sources, options_.k_repair,
+        effective_recon_options(), &recon_stats_, options_.code);
+    SchedulerOptions sched = options_.sched;
+    if (options_.scenario == Scenario::kScattered) {
+      sched.max_round_repairs = scattered_round_capacity();
+    }
+    auto rounds =
+        schedule_repair(std::move(sets), member_cost_model(stf), sched);
+    distribute_forced_migrations(rounds, forced, sched.max_round_repairs);
+    for (const auto& round : rounds) {
+      plan.rounds.push_back(assign_round_multi(
+          layout_, batch_, sources, dests, options_.scenario,
+          options_.k_repair, round, &standby_cursor, options_.code,
+          options_.balance_destinations, &placed,
+          options_.recon.helper_reads_per_node));
+    }
+  }
+  return plan;
+}
+
+}  // namespace fastpr::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "matching/bipartite_graph.h"
 #include "matching/hopcroft_karp.h"
@@ -42,6 +43,26 @@ RepairRound assign_round(const StripeLayout& layout, NodeId stf,
                          const ScheduledRound& round, int* standby_cursor,
                          const ec::ErasureCode* code,
                          bool balance_destinations) {
+  return assign_round_multi(layout, {stf}, source_nodes, dest_nodes,
+                            scenario, k_repair, round, standby_cursor, code,
+                            balance_destinations, nullptr, 1);
+}
+
+RepairRound assign_round_multi(const StripeLayout& layout,
+                               const std::vector<NodeId>& stf_batch,
+                               const std::vector<NodeId>& source_nodes,
+                               const std::vector<NodeId>& dest_nodes,
+                               Scenario scenario, int k_repair,
+                               const ScheduledRound& round,
+                               int* standby_cursor,
+                               const ec::ErasureCode* code,
+                               bool balance_destinations,
+                               PlacedOverlay* placed,
+                               int helper_reads_per_node) {
+  FASTPR_CHECK(!stf_batch.empty());
+  FASTPR_CHECK(helper_reads_per_node >= 1);
+  const std::unordered_set<NodeId> stf_set(stf_batch.begin(),
+                                           stf_batch.end());
   RepairRound out;
 
   // ---- Source selection (Figure 4(b) matching). ----
@@ -54,13 +75,13 @@ RepairRound assign_round(const StripeLayout& layout, NodeId stf,
                            : k_repair;
   };
   matching::IncrementalMatcher matcher(
-      static_cast<int>(source_nodes.size()));
+      static_cast<int>(source_nodes.size()), helper_reads_per_node);
   std::deque<std::vector<int>> adjacency_store;  // stable for the matcher
   for (ChunkRef chunk : round.reconstruct) {
     const auto& nodes = layout.stripe_nodes(chunk.stripe);
     std::vector<int> adj;
     auto consider = [&](NodeId node) {
-      if (node == stf) return;
+      if (stf_set.count(node) > 0) return;
       const auto it = left_of_node.find(node);
       if (it != left_of_node.end()) adj.push_back(it->second);
     };
@@ -95,24 +116,57 @@ RepairRound assign_round(const StripeLayout& layout, NodeId stf,
   }
 
   // ---- Migration tasks (destinations filled below). ----
+  // A one-node batch keeps the historical contract of reading from the
+  // caller's STF node unconditionally (reactive rounds pass kNoNode and
+  // never migrate); a real batch reads each chunk off the member disk
+  // that stores it.
   for (ChunkRef chunk : round.migrate) {
-    out.migrations.push_back(MigrationTask{chunk, stf, cluster::kNoNode});
+    NodeId src = stf_batch[0];
+    if (stf_batch.size() > 1) {
+      src = layout.node_of(chunk);
+      FASTPR_CHECK_MSG(stf_set.count(src) > 0,
+                       "migrated chunk is not stored on an STF batch node");
+    }
+    out.migrations.push_back(MigrationTask{chunk, src, cluster::kNoNode});
   }
+
+  const auto commit = [&](cluster::StripeId stripe, NodeId dst) {
+    if (placed != nullptr) placed->record(stripe, dst);
+  };
 
   // ---- Destination selection. ----
   if (scenario == Scenario::kHotStandby) {
     FASTPR_CHECK(!dest_nodes.empty());
     FASTPR_CHECK(standby_cursor != nullptr);
-    auto next_spare = [&]() {
-      const NodeId node =
-          dest_nodes[static_cast<size_t>(*standby_cursor) % dest_nodes.size()];
+    auto next_spare = [&](cluster::StripeId stripe) {
+      const size_t base = static_cast<size_t>(*standby_cursor);
       ++*standby_cursor;
-      return node;
+      for (size_t o = 0; o < dest_nodes.size(); ++o) {
+        const NodeId node = dest_nodes[(base + o) % dest_nodes.size()];
+        if (placed != nullptr && placed->used(stripe, node)) continue;
+        commit(stripe, node);
+        return node;
+      }
+      FASTPR_CHECK_MSG(false, "every hot-standby spare already holds a "
+                              "repaired chunk of stripe "
+                                  << stripe);
+      return cluster::kNoNode;
     };
-    for (auto& task : out.reconstructions) task.dst = next_spare();
-    for (auto& task : out.migrations) task.dst = next_spare();
+    for (auto& task : out.reconstructions) {
+      task.dst = next_spare(task.chunk.stripe);
+    }
+    for (auto& task : out.migrations) {
+      task.dst = next_spare(task.chunk.stripe);
+    }
     return out;
   }
+
+  const auto dest_eligible = [&](cluster::StripeId stripe, NodeId node) {
+    if (stf_set.count(node) > 0) return false;
+    if (layout.stripe_uses_node(stripe, node)) return false;
+    if (placed != nullptr && placed->used(stripe, node)) return false;
+    return true;
+  };
 
   if (balance_destinations) {
     // Load-aware variant: min-cost matching with cost = current chunk
@@ -123,8 +177,7 @@ RepairRound assign_round(const StripeLayout& layout, NodeId stf,
       std::vector<std::pair<int, double>> adj;
       for (size_t i = 0; i < dest_nodes.size(); ++i) {
         const NodeId node = dest_nodes[i];
-        if (node == stf) continue;
-        if (!layout.stripe_uses_node(stripe, node)) {
+        if (dest_eligible(stripe, node)) {
           adj.emplace_back(static_cast<int>(i),
                            static_cast<double>(layout.load(node)));
         }
@@ -145,11 +198,13 @@ RepairRound assign_round(const StripeLayout& layout, NodeId stf,
       task.dst =
           dest_nodes[static_cast<size_t>((*assignment)[static_cast<size_t>(
               right++)])];
+      commit(task.chunk.stripe, task.dst);
     }
     for (auto& task : out.migrations) {
       task.dst =
           dest_nodes[static_cast<size_t>((*assignment)[static_cast<size_t>(
               right++)])];
+      commit(task.chunk.stripe, task.dst);
     }
     return out;
   }
@@ -163,8 +218,7 @@ RepairRound assign_round(const StripeLayout& layout, NodeId stf,
     std::vector<int> adj;
     for (size_t i = 0; i < dest_nodes.size(); ++i) {
       const NodeId node = dest_nodes[i];
-      if (node == stf) continue;
-      if (!layout.stripe_uses_node(stripe, node)) {
+      if (dest_eligible(stripe, node)) {
         adj.push_back(static_cast<int>(i));
       }
     }
@@ -186,10 +240,12 @@ RepairRound assign_round(const StripeLayout& layout, NodeId stf,
   for (auto& task : out.reconstructions) {
     task.dst = dest_nodes[static_cast<size_t>(
         matching.right_to_left[static_cast<size_t>(right++)])];
+    commit(task.chunk.stripe, task.dst);
   }
   for (auto& task : out.migrations) {
     task.dst = dest_nodes[static_cast<size_t>(
         matching.right_to_left[static_cast<size_t>(right++)])];
+    commit(task.chunk.stripe, task.dst);
   }
   return out;
 }

@@ -8,6 +8,8 @@
 //    hot-standby repair spreads destinations round-robin over the spares.
 #pragma once
 
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/cluster_state.h"
@@ -18,6 +20,28 @@
 #include "ec/erasure_code.h"
 
 namespace fastpr::core {
+
+/// Cross-round destination memory for multi-STF plans (DESIGN.md §8). A
+/// stripe that loses chunks on several STF nodes is repaired across
+/// rounds; §IV-A distinctness then requires that no destination receive
+/// two of its chunks over the WHOLE plan, not just within one round.
+/// Single-STF plans repair each stripe at most once, so the overlay
+/// never fires there.
+class PlacedOverlay {
+ public:
+  bool used(cluster::StripeId stripe, cluster::NodeId node) const {
+    const auto it = placed_.find(stripe);
+    return it != placed_.end() && it->second.count(node) > 0;
+  }
+  void record(cluster::StripeId stripe, cluster::NodeId node) {
+    placed_[stripe].insert(node);
+  }
+
+ private:
+  std::unordered_map<cluster::StripeId,
+                     std::unordered_set<cluster::NodeId>>
+      placed_;
+};
 
 /// Assigns sources and destinations for one scheduled round.
 /// `source_nodes`: healthy nodes eligible for helper reads.
@@ -36,5 +60,22 @@ RepairRound assign_round(const cluster::StripeLayout& layout,
                          const ScheduledRound& round, int* standby_cursor,
                          const ec::ErasureCode* code = nullptr,
                          bool balance_destinations = false);
+
+/// Multi-STF generalization (DESIGN.md §8): every node in `stf_batch` is
+/// excluded from sources and destinations, each migration's src is the
+/// batch member actually storing the chunk, `placed` (optional) vetoes
+/// destinations already used for the same stripe earlier in the plan and
+/// records this round's assignments, and source nodes may each serve
+/// `helper_reads_per_node` reads. A one-node batch with no overlay and
+/// one read per node is exactly assign_round.
+RepairRound assign_round_multi(
+    const cluster::StripeLayout& layout,
+    const std::vector<cluster::NodeId>& stf_batch,
+    const std::vector<cluster::NodeId>& source_nodes,
+    const std::vector<cluster::NodeId>& dest_nodes, Scenario scenario,
+    int k_repair, const ScheduledRound& round, int* standby_cursor,
+    const ec::ErasureCode* code = nullptr,
+    bool balance_destinations = false, PlacedOverlay* placed = nullptr,
+    int helper_reads_per_node = 1);
 
 }  // namespace fastpr::core

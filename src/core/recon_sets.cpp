@@ -20,14 +20,16 @@ class MatchContext {
  public:
   MatchContext(const StripeLayout& layout, NodeId stf,
                const std::vector<NodeId>& healthy, int k_repair,
-               int max_set_size, ReconSetStats* stats,
-               const ec::ErasureCode* code)
+               int max_set_size, int helper_reads_per_node,
+               ReconSetStats* stats, const ec::ErasureCode* code)
       : layout_(layout),
         stf_(stf),
         k_(k_repair),
         max_set_size_(max_set_size),
+        reads_(helper_reads_per_node),
         stats_(stats),
         code_(code) {
+    FASTPR_CHECK(helper_reads_per_node >= 1);
     left_of_node_.reserve(healthy.size());
     for (size_t i = 0; i < healthy.size(); ++i) {
       FASTPR_CHECK(stf == cluster::kNoNode || healthy[i] != stf);
@@ -39,15 +41,23 @@ class MatchContext {
   int left_count() const { return left_count_; }
   int k() const { return k_; }
 
+  /// Fresh matcher over the source nodes with the configured per-node
+  /// helper-read capacity.
+  IncrementalMatcher make_matcher() const {
+    return IncrementalMatcher(left_count_, reads_);
+  }
+
   /// Helper chunks this particular chunk's repair fetches.
   int fetch_count(ChunkRef chunk) const {
     return code_ != nullptr ? code_->repair_fetch_count(chunk.index) : k_;
   }
 
-  /// Max chunks any reconstruction set can hold: floor((M-1)/k),
-  /// further capped by the planner's destination-feasibility bound.
+  /// Max chunks any reconstruction set can hold: floor(slots/k) where
+  /// slots = sources × reads-per-node (the paper's floor((M-1)/k) at one
+  /// read per node), further capped by the planner's
+  /// destination-feasibility bound.
   int capacity() const {
-    const int matching_cap = left_count_ / k_;
+    const int matching_cap = left_count_ * reads_ / k_;
     return max_set_size_ > 0 ? std::min(matching_cap, max_set_size_)
                              : matching_cap;
   }
@@ -83,8 +93,10 @@ class MatchContext {
   bool try_match(IncrementalMatcher& matcher, ChunkRef chunk) {
     if (stats_ != nullptr) ++stats_->match_calls;
     const int k_this = fetch_count(chunk);
-    // Arithmetic prune: no room for k' more distinct source nodes.
-    if (matcher.right_count() + k_this > left_count_) return false;
+    // Arithmetic prune: no room for k' more helper-read slots.
+    if (matcher.right_count() + k_this > matcher.total_capacity()) {
+      return false;
+    }
     // Chunk adjacency is cached in chunk_adj_ (stable storage), so the
     // matcher may hold it by pointer.
     return matcher.try_add_group(slot_adjacency(chunk), k_this);
@@ -95,6 +107,7 @@ class MatchContext {
   NodeId stf_;
   int k_;
   int max_set_size_;
+  int reads_;
   ReconSetStats* stats_;
   const ec::ErasureCode* code_;
   int left_count_ = 0;
@@ -110,7 +123,7 @@ std::vector<ChunkRef> find_one_set(MatchContext& ctx,
                                    const ReconSetOptions& options,
                                    ReconSetStats* stats) {
   std::vector<ChunkRef> r;
-  IncrementalMatcher matcher(ctx.left_count());
+  IncrementalMatcher matcher = ctx.make_matcher();
 
   // Lines 10–17: greedy initial set.
   {
@@ -129,6 +142,7 @@ std::vector<ChunkRef> find_one_set(MatchContext& ctx,
 
   // Lines 18–38: swap optimization. Skipped when the set already has the
   // maximum conceivable size — no swap can grow it further.
+  long swaps_committed = 0;
   while (options.optimize && !chunks.empty() &&
          static_cast<int>(r.size()) < ctx.capacity()) {
     const int max_gain = ctx.capacity() - static_cast<int>(r.size());
@@ -138,7 +152,7 @@ std::vector<ChunkRef> find_one_set(MatchContext& ctx,
     for (size_t i = 0; i < r.size(); ++i) {
       // Base matcher over R − {Ci}, shared by every j (the probe for
       // R' = R ∪ {Cj} − {Ci} is a copy plus one group insertion).
-      IncrementalMatcher base(ctx.left_count());
+      IncrementalMatcher base = ctx.make_matcher();
       bool feasible = true;
       for (size_t t = 0; t < r.size() && feasible; ++t) {
         if (t == i) continue;
@@ -173,6 +187,7 @@ std::vector<ChunkRef> find_one_set(MatchContext& ctx,
     }
 
     if (best_gain_set.empty()) break;  // Line 36: no further expansion
+    ++swaps_committed;
     if (stats != nullptr) ++stats->swaps;
 
     // Lines 33–35: commit the swap. Ci* returns to the residual pool,
@@ -204,6 +219,28 @@ std::vector<ChunkRef> find_one_set(MatchContext& ctx,
     }
   }
 
+  // Maximality sweep: a committed swap replays the residual pool against
+  // a different matching than the greedy pass saw, so a residual chunk
+  // skipped in Lines 24–29 of the LAST accepted swap (the gain scan stops
+  // at the cap or at chunks preceding the swap target) may still fit.
+  // One pure-addition pass restores the greedy invariant — every residual
+  // chunk provably fails MATCH(R ∪ {C}) — without touching the zero-swap
+  // output, which already has it.
+  if (swaps_committed > 0) {
+    std::vector<ChunkRef> residual;
+    residual.reserve(chunks.size());
+    for (ChunkRef c : chunks) {
+      if (static_cast<int>(r.size()) < ctx.capacity() &&
+          ctx.try_match(matcher, c)) {
+        r.push_back(c);
+        if (stats != nullptr) ++stats->sweep_adds;
+      } else {
+        residual.push_back(c);
+      }
+    }
+    chunks.swap(residual);
+  }
+
   FASTPR_CHECK_MSG(!r.empty(),
                    "FIND produced an empty reconstruction set — some chunk "
                    "has no k healthy sources");
@@ -232,7 +269,8 @@ std::vector<std::vector<ChunkRef>> find_reconstruction_sets_for(
                    "need at least k healthy source nodes");
 
   MatchContext ctx(layout, cluster::kNoNode, healthy_sources, k_repair,
-                   options.max_set_size, stats, code);
+                   options.max_set_size, options.helper_reads_per_node,
+                   stats, code);
 
   std::vector<std::vector<ChunkRef>> sets;
 
@@ -257,9 +295,11 @@ bool is_valid_reconstruction_set(const StripeLayout& layout, NodeId stf,
                                  const std::vector<NodeId>& healthy,
                                  int k_repair,
                                  const std::vector<ChunkRef>& set,
-                                 const ec::ErasureCode* code) {
-  MatchContext ctx(layout, stf, healthy, k_repair, 0, nullptr, code);
-  IncrementalMatcher matcher(ctx.left_count());
+                                 const ec::ErasureCode* code,
+                                 int helper_reads_per_node) {
+  MatchContext ctx(layout, stf, healthy, k_repair, 0, helper_reads_per_node,
+                   nullptr, code);
+  IncrementalMatcher matcher = ctx.make_matcher();
   for (ChunkRef c : set) {
     if (!ctx.try_match(matcher, c)) return false;
   }

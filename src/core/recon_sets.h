@@ -29,12 +29,17 @@ struct ReconSetOptions {
   /// round always admits a destination matching (Hall: M - n >= cm + cr).
   /// 0 = no extra cap.
   int max_set_size = 0;
+  /// Helper reads one node may serve per round (DESIGN.md §8). The paper
+  /// fixes this at 1; the multi-STF planner can relax it to trade round
+  /// count against per-node read contention.
+  int helper_reads_per_node = 1;
 };
 
 /// Counters for the microbenchmarks.
 struct ReconSetStats {
   long match_calls = 0;  // MATCH invocations
   long swaps = 0;        // accepted swap optimizations
+  long sweep_adds = 0;   // chunks added by the post-swap maximality sweep
 };
 
 /// Returns reconstruction sets covering every chunk the STF node stores,
@@ -68,6 +73,7 @@ bool is_valid_reconstruction_set(const cluster::StripeLayout& layout,
                                  const std::vector<cluster::NodeId>& healthy,
                                  int k_repair,
                                  const std::vector<cluster::ChunkRef>& set,
-                                 const ec::ErasureCode* code = nullptr);
+                                 const ec::ErasureCode* code = nullptr,
+                                 int helper_reads_per_node = 1);
 
 }  // namespace fastpr::core

@@ -1,6 +1,7 @@
 #include "core/repair_plan.h"
 
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "util/check.h"
@@ -34,30 +35,54 @@ std::string RepairPlan::to_string() const {
 void validate_plan(const RepairPlan& plan,
                    const cluster::StripeLayout& layout,
                    const cluster::ClusterState& cluster, int k_repair,
-                   const ec::ErasureCode* code) {
+                   const ec::ErasureCode* code, int helper_reads_per_node) {
   using cluster::ChunkRef;
   using cluster::ChunkRefHash;
   using cluster::NodeId;
 
+  FASTPR_CHECK(helper_reads_per_node >= 1);
   const NodeId stf = plan.stf_node;
   FASTPR_CHECK(stf != cluster::kNoNode);
+  std::vector<NodeId> batch = plan.stf_nodes;
+  if (batch.empty()) batch.push_back(stf);
+  FASTPR_CHECK_MSG(batch.front() == stf,
+                   "stf_node must be the first batch member");
+  const std::unordered_set<NodeId> stf_set(batch.begin(), batch.end());
+  FASTPR_CHECK_MSG(stf_set.size() == batch.size(),
+                   "duplicate node in STF batch");
 
-  // Every chunk of the STF node repaired exactly once.
+  // Every chunk of every batch member repaired exactly once.
   std::unordered_set<ChunkRef, ChunkRefHash> expected;
-  for (ChunkRef c : layout.chunks_on(stf)) expected.insert(c);
+  for (NodeId s : batch) {
+    FASTPR_CHECK(s != cluster::kNoNode);
+    for (ChunkRef c : layout.chunks_on(s)) expected.insert(c);
+  }
   std::unordered_set<ChunkRef, ChunkRefHash> seen;
+  // Cross-round §IV-A: a stripe losing chunks on several batch members
+  // is repaired across rounds, and no destination may collect two of
+  // them (single-STF plans touch each stripe once, so this cannot fire).
+  std::unordered_map<cluster::StripeId, std::unordered_set<NodeId>> landed;
+  const auto land = [&](ChunkRef chunk, NodeId dst) {
+    FASTPR_CHECK_MSG(landed[chunk.stripe].insert(dst).second,
+                     "two repaired chunks of stripe " << chunk.stripe
+                                                      << " land on node "
+                                                      << dst);
+  };
 
   for (const auto& round : plan.rounds) {
-    std::unordered_set<NodeId> round_sources;
+    std::unordered_map<NodeId, int> round_source_reads;
     std::unordered_set<NodeId> round_destinations;
 
     for (const auto& task : round.migrations) {
-      FASTPR_CHECK_MSG(task.src == stf, "migration source must be the STF");
-      FASTPR_CHECK_MSG(layout.node_of(task.chunk) == stf,
-                       "migrated chunk not on STF node");
+      FASTPR_CHECK_MSG(stf_set.count(task.src) == 1,
+                       "migration source must be an STF batch node");
+      FASTPR_CHECK_MSG(layout.node_of(task.chunk) == task.src,
+                       "migrated chunk not on its STF node");
       FASTPR_CHECK_MSG(seen.insert(task.chunk).second,
                        "chunk repaired twice");
-      FASTPR_CHECK(task.dst != stf && task.dst != cluster::kNoNode);
+      FASTPR_CHECK(stf_set.count(task.dst) == 0 &&
+                   task.dst != cluster::kNoNode);
+      land(task.chunk, task.dst);
       if (cluster.is_hot_standby(task.dst)) continue;
       FASTPR_CHECK_MSG(!layout.stripe_uses_node(task.chunk.stripe, task.dst),
                        "migration breaks stripe distinctness");
@@ -66,8 +91,8 @@ void validate_plan(const RepairPlan& plan,
     }
 
     for (const auto& task : round.reconstructions) {
-      FASTPR_CHECK_MSG(layout.node_of(task.chunk) == stf,
-                       "reconstructed chunk not on STF node");
+      FASTPR_CHECK_MSG(stf_set.count(layout.node_of(task.chunk)) == 1,
+                       "reconstructed chunk not on an STF node");
       FASTPR_CHECK_MSG(seen.insert(task.chunk).second,
                        "chunk repaired twice");
       const int expected_sources =
@@ -77,7 +102,7 @@ void validate_plan(const RepairPlan& plan,
           static_cast<int>(task.sources.size()) == expected_sources,
           "reconstruction must fetch exactly k (or k') chunks");
       for (const auto& src : task.sources) {
-        FASTPR_CHECK(src.node != stf);
+        FASTPR_CHECK(stf_set.count(src.node) == 0);
         FASTPR_CHECK_MSG(cluster.health(src.node) ==
                              cluster::NodeHealth::kHealthy,
                          "source node not healthy");
@@ -87,10 +112,13 @@ void validate_plan(const RepairPlan& plan,
                          "helper equals the lost chunk");
         FASTPR_CHECK_MSG(layout.node_of(src.chunk) == src.node,
                          "helper not stored on claimed node");
-        FASTPR_CHECK_MSG(round_sources.insert(src.node).second,
-                         "node reads two chunks in one round");
+        FASTPR_CHECK_MSG(++round_source_reads[src.node] <=
+                             helper_reads_per_node,
+                         "node reads too many chunks in one round");
       }
-      FASTPR_CHECK(task.dst != stf && task.dst != cluster::kNoNode);
+      FASTPR_CHECK(stf_set.count(task.dst) == 0 &&
+                   task.dst != cluster::kNoNode);
+      land(task.chunk, task.dst);
       if (cluster.is_hot_standby(task.dst)) continue;
       FASTPR_CHECK_MSG(!layout.stripe_uses_node(task.chunk.stripe, task.dst),
                        "reconstruction breaks stripe distinctness");
@@ -100,7 +128,8 @@ void validate_plan(const RepairPlan& plan,
   }
 
   FASTPR_CHECK_MSG(seen.size() == expected.size(),
-                   "plan repairs " << seen.size() << " chunks, STF holds "
+                   "plan repairs " << seen.size() << " chunks, the batch "
+                                      "holds "
                                    << expected.size());
   for (const ChunkRef& c : seen) {
     FASTPR_CHECK_MSG(expected.count(c) == 1, "plan repairs a foreign chunk");

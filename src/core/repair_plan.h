@@ -46,6 +46,10 @@ struct RepairRound {
 
 struct RepairPlan {
   cluster::NodeId stf_node = cluster::kNoNode;
+  /// Multi-STF batch plans (DESIGN.md §8) list every STF node covered,
+  /// with stf_node == stf_nodes.front(). Single-STF planners leave this
+  /// empty; consumers treat that as a batch of {stf_node}.
+  std::vector<cluster::NodeId> stf_nodes;
   std::vector<RepairRound> rounds;
 
   int total_migrated() const;
@@ -57,17 +61,21 @@ struct RepairPlan {
 
 /// Structural validation of a plan against the layout it was built from
 /// (pre-repair state). Throws CheckFailure when an invariant is violated:
-///  * every chunk of the STF node repaired exactly once;
-///  * migration sources are the STF node; reconstruction sources are k
-///    distinct healthy nodes holding chunks of the right stripe;
-///  * within a round, no healthy node serves more than one source read;
+///  * every chunk of every STF node in the batch repaired exactly once;
+///  * migration sources are the STF node storing the chunk;
+///    reconstruction sources are k distinct healthy non-STF nodes
+///    holding chunks of the right stripe;
+///  * within a round, no healthy node serves more than
+///    `helper_reads_per_node` source reads;
 ///  * scattered destinations do not already hold a chunk of the stripe
 ///    and are used at most once per round; hot-standby destinations are
-///    spare nodes.
+///    spare nodes; across the WHOLE plan no destination receives two
+///    repaired chunks of one stripe (multi-STF cross-round §IV-A).
 /// `code`, when given, supplies per-chunk helper counts (LRC).
 void validate_plan(const RepairPlan& plan,
                    const cluster::StripeLayout& layout,
                    const cluster::ClusterState& cluster, int k_repair,
-                   const ec::ErasureCode* code = nullptr);
+                   const ec::ErasureCode* code = nullptr,
+                   int helper_reads_per_node = 1);
 
 }  // namespace fastpr::core

@@ -1,6 +1,8 @@
 #include "core/scheduler.h"
 
 #include <algorithm>
+#include <limits>
+#include <unordered_map>
 
 #include "util/check.h"
 
@@ -85,6 +87,98 @@ std::vector<ScheduledRound> schedule_repair(
     if (l > u) break;  // defensive; the break above should fire first
   }
 
+  return rounds;
+}
+
+std::vector<ScheduledRound> schedule_repair_multi(
+    std::vector<std::vector<cluster::ChunkRef>> recon_sets,
+    const CostModel& model,
+    const std::function<cluster::NodeId(cluster::ChunkRef)>& owner_of,
+    const std::vector<cluster::NodeId>& stf_batch,
+    const SchedulerOptions& options) {
+  FASTPR_CHECK(!stf_batch.empty());
+  std::vector<ScheduledRound> rounds;
+  if (recon_sets.empty()) return rounds;
+  for (const auto& set : recon_sets) FASTPR_CHECK(!set.empty());
+
+  while (!recon_sets.empty()) {
+    // Line 1 generalized: the sets only ever shrink from the tail, so an
+    // already-sorted sequence passes through unchanged (this keeps the
+    // one-node batch byte-identical to schedule_repair, which sorts
+    // exactly once).
+    std::stable_sort(recon_sets.begin(), recon_sets.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.size() > b.size();
+                     });
+
+    ScheduledRound round;
+    round.reconstruct = recon_sets[0];
+    const int cr = static_cast<int>(round.reconstruct.size());
+
+    // Per-STF migration quota (each disk drains independently) plus the
+    // shared destination-capacity cap on the whole round.
+    const int quota = options.fixed_migration_quota >= 0
+                          ? options.fixed_migration_quota
+                          : model.migration_quota(cr);
+    std::unordered_map<cluster::NodeId, int> budget;
+    for (cluster::NodeId s : stf_batch) budget[s] = quota;
+    int total_left = options.max_round_repairs > 0
+                         ? std::max(0, options.max_round_repairs - cr)
+                         : std::numeric_limits<int>::max();
+
+    // Mark migrations smallest-set-first, back to front — the suffix the
+    // single-STF Algorithm 2 would slice — skipping chunks whose owner's
+    // disk quota is already spent.
+    std::vector<std::vector<char>> marked(recon_sets.size());
+    std::vector<size_t> marked_count(recon_sets.size(), 0);
+    for (size_t i = recon_sets.size(); i-- > 1 && total_left > 0;) {
+      marked[i].assign(recon_sets[i].size(), 0);
+      for (size_t p = recon_sets[i].size(); p-- > 0 && total_left > 0;) {
+        auto it = budget.find(owner_of(recon_sets[i][p]));
+        FASTPR_CHECK_MSG(it != budget.end(),
+                         "chunk owner is not in the STF batch");
+        if (it->second <= 0) continue;
+        --it->second;
+        --total_left;
+        marked[i][p] = 1;
+        ++marked_count[i];
+      }
+    }
+
+    // Emit in the single-path order: fully migrated sets ascending,
+    // forward; then partially migrated sets ascending, back to front.
+    for (size_t i = 1; i < recon_sets.size(); ++i) {
+      if (marked_count[i] != recon_sets[i].size()) continue;
+      for (auto c : recon_sets[i]) round.migrate.push_back(c);
+    }
+    for (size_t i = 1; i < recon_sets.size(); ++i) {
+      if (marked_count[i] == 0 || marked_count[i] == recon_sets[i].size()) {
+        continue;
+      }
+      for (size_t p = recon_sets[i].size(); p-- > 0;) {
+        if (marked[i][p]) round.migrate.push_back(recon_sets[i][p]);
+      }
+    }
+    rounds.push_back(std::move(round));
+
+    // Drop the reconstructed set and every migrated chunk.
+    std::vector<std::vector<cluster::ChunkRef>> next;
+    next.reserve(recon_sets.size());
+    for (size_t i = 1; i < recon_sets.size(); ++i) {
+      if (marked_count[i] == recon_sets[i].size()) continue;
+      if (marked_count[i] == 0) {
+        next.push_back(std::move(recon_sets[i]));
+        continue;
+      }
+      std::vector<cluster::ChunkRef> kept;
+      kept.reserve(recon_sets[i].size() - marked_count[i]);
+      for (size_t p = 0; p < recon_sets[i].size(); ++p) {
+        if (!marked[i][p]) kept.push_back(recon_sets[i][p]);
+      }
+      next.push_back(std::move(kept));
+    }
+    recon_sets.swap(next);
+  }
   return rounds;
 }
 

@@ -8,6 +8,7 @@
 // their parallelism is poor and migration costs no extra traffic.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "cluster/types.h"
@@ -34,5 +35,19 @@ struct SchedulerOptions {
 std::vector<ScheduledRound> schedule_repair(
     std::vector<std::vector<cluster::ChunkRef>> recon_sets,
     const CostModel& model, const SchedulerOptions& options = {});
+
+/// Multi-STF Algorithm 2 (DESIGN.md §8): the sets cover the union of a
+/// batch of STF nodes' chunks; each STF node's disk is an independent
+/// migration stream, so every node in `stf_batch` gets its OWN per-round
+/// quota cm = tr(cr)/tm while `options.max_round_repairs` still bounds
+/// the round's total cr + cm (shared destination capacity). `owner_of`
+/// maps a chunk to the STF node storing it (must be in `stf_batch`).
+/// With a one-node batch this reproduces schedule_repair byte-for-byte.
+std::vector<ScheduledRound> schedule_repair_multi(
+    std::vector<std::vector<cluster::ChunkRef>> recon_sets,
+    const CostModel& model,
+    const std::function<cluster::NodeId(cluster::ChunkRef)>& owner_of,
+    const std::vector<cluster::NodeId>& stf_batch,
+    const SchedulerOptions& options = {});
 
 }  // namespace fastpr::core

@@ -22,7 +22,21 @@ std::string RepairReport::to_json() const {
   std::ostringstream os;
   os << "{\"total_seconds\":" << json_num(total_seconds)
      << ",\"total_cr\":" << total_cr() << ",\"total_cm\":" << total_cm()
-     << ",\"degraded_at_round\":" << degraded_at_round << ",\"rounds\":[";
+     << ",\"degraded_at_round\":" << degraded_at_round;
+  if (!per_stf.empty()) {
+    os << ",\"per_stf\":[";
+    for (size_t i = 0; i < per_stf.size(); ++i) {
+      const auto& s = per_stf[i];
+      if (i != 0) os << ",";
+      os << "{\"stf\":" << s.stf << ",\"planned\":" << s.planned
+         << ",\"migrated\":" << s.migrated
+         << ",\"reconstructed\":" << s.reconstructed
+         << ",\"unrepaired\":" << s.unrepaired
+         << ",\"died_at_round\":" << s.died_at_round << "}";
+    }
+    os << "]";
+  }
+  os << ",\"rounds\":[";
   for (size_t i = 0; i < rounds.size(); ++i) {
     const auto& r = rounds[i];
     if (i != 0) os << ",";

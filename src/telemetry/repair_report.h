@@ -48,6 +48,19 @@ struct PredictedRound {
   double duration_seconds = 0;
 };
 
+/// Per-STF-node breakdown of a multi-STF batch execution (DESIGN.md §8).
+/// Plain ints so telemetry keeps its stdlib-only footing; `stf` is the
+/// node id.
+struct StfRepairStats {
+  int stf = -1;
+  int planned = 0;        // chunks of this node the plan covers
+  int migrated = 0;
+  int reconstructed = 0;
+  int unrepaired = 0;
+  /// Round (1-based) in which THIS node was declared dead; 0 = alive.
+  int died_at_round = 0;
+};
+
 struct RepairReport {
   std::vector<RepairRoundStats> rounds;
   /// Empty, or exactly rounds.size() entries aligned by index.
@@ -56,6 +69,9 @@ struct RepairReport {
   /// First round (1-based) in which the execution degraded from
   /// predictive to reactive repair (STF death); 0 = never degraded.
   int degraded_at_round = 0;
+  /// Multi-STF executions only (batch >= 2); empty otherwise, and then
+  /// absent from the JSON so single-STF output is unchanged.
+  std::vector<StfRepairStats> per_stf;
 
   int total_cr() const;
   int total_cm() const;

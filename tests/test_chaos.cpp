@@ -236,6 +236,81 @@ TEST(Chaos, FlakyNetworkStaysLiveWithinBudgets) {
   }
 }
 
+TEST(Chaos, MultiStfMemberDeathDegradesOnlyItsChunks) {
+  // Batch of two STF nodes repaired jointly (DESIGN.md §8); the FIRST
+  // member dies 1.5 chunks into its migration traffic. Only its chunks
+  // may convert to reactive fallback — the surviving member's repair
+  // must finish predictively, with no global replan, and the per-member
+  // breakdown must attribute the death correctly. Fresh seed window
+  // (base + 50) so the schedule does not simply replay the single-STF
+  // scenarios above.
+  ec::RsCode code(6, 4);
+  int executed = 0;
+  for (int i = 0; i < kNumSeeds; ++i) {
+    const uint64_t seed = seed_base() + 50 + static_cast<uint64_t>(i);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto opts = chaos_options(seed);
+
+    // Scout the joint plan: the crash threshold only trips if the dying
+    // member ships at least two migration chunks.
+    int victim_migrations = 0;
+    {
+      Testbed scout(opts, code);
+      const auto batch = scout.flag_stf_batch(2);
+      const auto plan =
+          scout.make_multi_planner(core::Scenario::kScattered).plan_fastpr();
+      for (const auto& round : plan.rounds) {
+        for (const auto& task : round.migrations) {
+          victim_migrations += task.src == batch.front() ? 1 : 0;
+        }
+      }
+    }
+    if (victim_migrations < 2) continue;
+    ++executed;
+
+    // node=stf resolves to the first batch member at flag_stf_batch().
+    opts.fault_plan =
+        net::FaultPlan::parse("crash node=stf after_bytes=98304\n");
+    Testbed tb(opts, code);
+    const auto batch = tb.flag_stf_batch(2);
+    const auto plan =
+        tb.make_multi_planner(core::Scenario::kScattered).plan_fastpr();
+
+    const auto report = tb.execute(plan);
+    expect_full_recovery(tb, plan, report);
+    EXPECT_TRUE(report.degraded_to_reactive);
+    EXPECT_GE(report.degraded_at_round, 1);
+    // One member's death never triggers the global replan hook in a
+    // batch execution — the others' rounds keep running as planned.
+    EXPECT_EQ(report.replans, 0);
+    EXPECT_TRUE(contains_node(report.failed_nodes, batch[0]));
+    EXPECT_FALSE(contains_node(report.failed_nodes, batch[1]));
+
+    // stf_progress follows plan order (ascending node id), which need
+    // not match flag order (load-descending) — locate members by id.
+    ASSERT_EQ(report.stf_progress.size(), 2u);
+    const size_t dead_idx =
+        report.stf_progress[0].stf == batch.front() ? 0 : 1;
+    const auto& dead = report.stf_progress[dead_idx];
+    const auto& survivor = report.stf_progress[1 - dead_idx];
+    ASSERT_EQ(dead.stf, batch.front());
+    EXPECT_TRUE(dead.died);
+    EXPECT_GE(dead.died_at_round, 1);
+    EXPECT_EQ(dead.unrepaired, 0);
+    EXPECT_EQ(dead.migrated + dead.reconstructed, dead.planned);
+    EXPECT_FALSE(survivor.died);
+    EXPECT_EQ(survivor.died_at_round, 0);
+    EXPECT_EQ(survivor.unrepaired, 0);
+    EXPECT_EQ(survivor.migrated + survivor.reconstructed, survivor.planned);
+    ASSERT_EQ(report.repair.per_stf.size(), 2u);
+    EXPECT_GE(report.repair.per_stf[dead_idx].died_at_round, 1);
+    EXPECT_EQ(report.repair.per_stf[1 - dead_idx].died_at_round, 0);
+  }
+  // The window must contain at least one seed whose plan migrates >= 2
+  // chunks off the first member; otherwise the scenario tested nothing.
+  EXPECT_GT(executed, 0);
+}
+
 TEST(Chaos, UnrepairableChunksAreEnumeratedExactly) {
   ec::RsCode code(6, 4);
   for (int i = 0; i < kNumSeeds; ++i) {

@@ -1,4 +1,4 @@
-// Cluster health/role bookkeeping, incl. the single-STF assumption.
+// Cluster health/role bookkeeping, incl. multi-STF batch flagging.
 #include "cluster/cluster_state.h"
 
 #include <gtest/gtest.h>
@@ -38,13 +38,23 @@ TEST(ClusterState, StfExcludedFromHealthy) {
   for (NodeId n : healthy) EXPECT_NE(n, 3);
 }
 
-TEST(ClusterState, SecondStfRejected) {
+TEST(ClusterState, StfBatchFlaggingAndEnumeration) {
   auto c = make_cluster();
+  c.set_health(4, NodeHealth::kSoonToFail);
   c.set_health(3, NodeHealth::kSoonToFail);
-  EXPECT_THROW(c.set_health(4, NodeHealth::kSoonToFail), CheckFailure);
+  // stf_node() stays the lowest-id flagged node; stf_nodes() lists the
+  // batch in ascending order regardless of flagging order.
+  EXPECT_EQ(c.stf_node(), 3);
+  EXPECT_EQ(c.stf_nodes(), (std::vector<NodeId>{3, 4}));
   // Re-flagging the same node is idempotent.
   c.set_health(3, NodeHealth::kSoonToFail);
-  EXPECT_EQ(c.stf_node(), 3);
+  EXPECT_EQ(c.stf_nodes(), (std::vector<NodeId>{3, 4}));
+  // Both members leave the healthy pool.
+  const auto healthy = c.healthy_storage_nodes();
+  EXPECT_EQ(healthy.size(), 8u);
+  // Unflagging one member shrinks the batch back to a single node.
+  c.set_health(4, NodeHealth::kHealthy);
+  EXPECT_EQ(c.stf_nodes(), (std::vector<NodeId>{3}));
 }
 
 TEST(ClusterState, StfCanTransitionToFailedThenNewStfAllowed) {

@@ -1,6 +1,6 @@
 // Cross-cutting simulation properties over a parameter grid: strategy
 // orderings, bandwidth monotonicity, traffic accounting, and the MSR
-// helper-fraction behaviour — the invariants DESIGN.md §8 lists, swept.
+// helper-fraction behaviour — the invariants DESIGN.md §9 lists, swept.
 #include <gtest/gtest.h>
 
 #include "core/fastpr.h"
@@ -39,7 +39,7 @@ class SimGridTest : public ::testing::TestWithParam<GridParam> {};
 
 TEST_P(SimGridTest, OrderingInvariantsHold) {
   const auto t = run_experiment(config_from(GetParam()));
-  // DESIGN.md §8.5: T_opt <= T_fastpr <= min(T_migration, T_recon).
+  // DESIGN.md §9.5: T_opt <= T_fastpr <= min(T_migration, T_recon).
   EXPECT_GT(t.stf_chunks, 0);
   EXPECT_LE(t.optimum, t.fastpr * 1.001);
   EXPECT_LE(t.fastpr, t.reconstruction_only * 1.001);

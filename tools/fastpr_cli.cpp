@@ -17,6 +17,12 @@
 //   --fault-plan <file>          # execute only: scripted fault
 //                                # injection (net/fault_plan.h format;
 //                                # see examples/chaos.fault).
+//   --stf=<id[,id...]>           # execute only: flag these nodes as
+//                                # the STF batch instead of the single
+//                                # most-loaded node; two or more ids
+//                                # run the joint multi-STF planner
+//                                # (DESIGN.md §8) and print per-STF
+//                                # progress.
 //
 // `execute` exit codes: 0 = every chunk repaired and byte-verified;
 // 3 = accounting consistent but some chunks abandoned as unrepairable
@@ -45,6 +51,7 @@
 //   sim_days 365
 //   mtbf_days 1000
 //   recall 0.95
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -358,7 +365,8 @@ int cmd_lifetime(const Spec& spec) {
   return 0;
 }
 
-int cmd_execute(const Spec& spec, const std::string& fault_plan_path) {
+int cmd_execute(const Spec& spec, const std::string& fault_plan_path,
+                const std::vector<int>& stf_batch) {
   agent::TestbedOptions opts;
   opts.num_storage = spec.nodes;
   opts.num_standby = spec.standby;
@@ -388,11 +396,27 @@ int cmd_execute(const Spec& spec, const std::string& fault_plan_path) {
   }
 
   agent::Testbed tb(opts, *spec.code);
-  const cluster::NodeId stf = tb.flag_stf();
-  auto planner = tb.make_planner(spec.scenario);
-  const auto plan = planner.plan_fastpr();
-  std::printf("STF node %d holds %d chunks; %s\n", stf,
-              tb.layout().load(stf), plan.to_string().c_str());
+  std::vector<cluster::NodeId> batch;
+  if (stf_batch.empty()) {
+    batch.push_back(tb.flag_stf());
+  } else {
+    batch = tb.flag_stf_nodes(
+        std::vector<cluster::NodeId>(stf_batch.begin(), stf_batch.end()));
+  }
+
+  core::RepairPlan plan;
+  if (batch.size() > 1) {
+    auto planner = tb.make_multi_planner(spec.scenario);
+    plan = planner.plan_fastpr();
+  } else {
+    auto planner = tb.make_planner(spec.scenario);
+    plan = planner.plan_fastpr();
+  }
+  for (const cluster::NodeId stf : batch) {
+    std::printf("STF node %d holds %d chunks\n", stf,
+                tb.layout().load(stf));
+  }
+  std::printf("%s\n", plan.to_string().c_str());
 
   const auto report = tb.execute(plan);
   const bool verified = tb.verify(report, plan);
@@ -414,6 +438,17 @@ int cmd_execute(const Spec& spec, const std::string& fault_plan_path) {
                      std::to_string(report.degraded_at_round) + ")")
                         .c_str()
                   : "no");
+  for (const auto& progress : report.stf_progress) {
+    std::printf("  stf %-4d                 %d planned, %d migrated, "
+                "%d reconstructed, %d unrepaired%s\n",
+                progress.stf, progress.planned, progress.migrated,
+                progress.reconstructed, progress.unrepaired,
+                progress.died
+                    ? (" (died round " +
+                       std::to_string(progress.died_at_round) + ")")
+                          .c_str()
+                    : "");
+  }
   if (!report.failed_nodes.empty()) {
     std::string nodes;
     for (const auto n : report.failed_nodes) {
@@ -439,7 +474,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: fastpr_cli analyze|plan|simulate|lifetime|execute "
                "<spec-file> [--metrics-out=<file.json>] "
-               "[--trace-out=<file.json>] [--fault-plan <file>]\n");
+               "[--trace-out=<file.json>] [--fault-plan <file>] "
+               "[--stf=<id[,id...]>]\n");
   return 2;
 }
 
@@ -460,10 +496,25 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string fault_plan_path;
+  std::vector<int> stf_batch;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--metrics-out=", 0) == 0) {
+    if (arg.rfind("--stf=", 0) == 0) {
+      std::istringstream ids(arg.substr(std::strlen("--stf=")));
+      std::string token;
+      while (std::getline(ids, token, ',')) {
+        char* end = nullptr;
+        const long id = std::strtol(token.c_str(), &end, 10);
+        if (token.empty() || end == nullptr || *end != '\0' || id < 0) {
+          std::fprintf(stderr, "error: bad --stf id '%s'\n",
+                       token.c_str());
+          return usage();
+        }
+        stf_batch.push_back(static_cast<int>(id));
+      }
+      if (stf_batch.empty()) return usage();
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(std::strlen("--metrics-out="));
       if (metrics_out.empty()) return usage();
     } else if (arg.rfind("--trace-out=", 0) == 0) {
@@ -507,7 +558,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(command, "lifetime") == 0) {
       rc = cmd_lifetime(spec);
     } else if (std::strcmp(command, "execute") == 0) {
-      rc = cmd_execute(spec, fault_plan_path);
+      rc = cmd_execute(spec, fault_plan_path, stf_batch);
     } else {
       return usage();
     }
