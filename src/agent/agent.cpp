@@ -214,9 +214,10 @@ void Agent::enqueue_send(Message&& msg,
                          const std::shared_ptr<SendWindow>& window) {
   {
     MutexLock lock(window->mutex);
-    while (window->in_flight >= options_.pipeline_depth) {
-      window->cv.wait(window->mutex);
-    }
+    const auto has_room = [&]() FASTPR_REQUIRES(window->mutex) {
+      return window->in_flight < options_.pipeline_depth;
+    };
+    window->cv.wait(window->mutex, has_room);
     ++window->in_flight;
   }
   {
@@ -231,7 +232,10 @@ void Agent::sender_loop() {
     SendItem item;
     {
       MutexLock lock(send_mutex_);
-      while (!send_closed_ && send_queue_.empty()) send_cv_.wait(send_mutex_);
+      const auto ready = [&]() FASTPR_REQUIRES(send_mutex_) {
+        return send_closed_ || !send_queue_.empty();
+      };
+      send_cv_.wait(send_mutex_, ready);
       if (send_queue_.empty()) return;  // closed and drained
       item = std::move(send_queue_.front());
       send_queue_.pop_front();

@@ -75,7 +75,7 @@ class Agent {
   /// packets sit between the reader and the wire. Shared by the reader
   /// task and the sender workers, hence reference-counted.
   struct SendWindow {
-    Mutex mutex;
+    Mutex mutex{lock_order::kAgentSendWindow};
     CondVar cv;
     size_t in_flight FASTPR_GUARDED_BY(mutex) = 0;
   };
@@ -151,7 +151,7 @@ class Agent {
   /// still finds a live sender.
   std::unique_ptr<ThreadPool> reader_pool_;
 
-  Mutex send_mutex_;
+  Mutex send_mutex_{lock_order::kAgentSendQueue};
   CondVar send_cv_;
   std::deque<SendItem> send_queue_ FASTPR_GUARDED_BY(send_mutex_);
   bool send_closed_ FASTPR_GUARDED_BY(send_mutex_) = false;

@@ -99,7 +99,7 @@ class ChunkStore {
   Options options_;
   const ChunkOracle* oracle_;
   mutable std::unique_ptr<TokenBucket> disk_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_order::kStoreChunks};
   std::unordered_map<cluster::ChunkRef, std::vector<uint8_t>,
                      cluster::ChunkRefHash>
       chunks_ FASTPR_GUARDED_BY(mutex_);

@@ -67,7 +67,7 @@ class ReconSetCache {
   };
 
   Options options_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_order::kReconCache};
   std::unordered_map<cluster::NodeId, Entry> entries_
       FASTPR_GUARDED_BY(mutex_);
 };

@@ -74,7 +74,7 @@ class FaultyTransport final : public Transport {
   Transport& inner_;
   FaultPlan plan_;  // unresolved sentinel entries live here until armed
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_order::kNetFault};
   Rng rng_ FASTPR_GUARDED_BY(mutex_);
   std::unordered_map<cluster::NodeId, CrashState> crashes_
       FASTPR_GUARDED_BY(mutex_);

@@ -56,7 +56,7 @@ class InprocTransport final : public Transport {
   struct Endpoint {
     std::unique_ptr<TokenBucket> tx;
     std::unique_ptr<TokenBucket> rx;
-    Mutex mutex;
+    Mutex mutex{lock_order::kNetInbox};
     CondVar cv;
     std::deque<Message> inbox FASTPR_GUARDED_BY(mutex);
     std::atomic<int64_t> data_tx{0};

@@ -57,6 +57,27 @@ class Reader {
   size_t pos_ = 0;
 };
 
+/// Per-enumerator wire validation. Deliberately a default-less switch:
+/// -Wswitch (and the msgtype-exhaustive rule of tools/fastpr_analyze)
+/// forces the deserializer to learn about every new MessageType instead
+/// of silently accepting or rejecting it via a magic numeric range.
+bool valid_message_type(uint8_t raw) {
+  switch (static_cast<MessageType>(raw)) {
+    case MessageType::kReconstructCmd:
+    case MessageType::kMigrateCmd:
+    case MessageType::kFetchRequest:
+    case MessageType::kDataPacket:
+    case MessageType::kTaskDone:
+    case MessageType::kTaskFailed:
+    case MessageType::kShutdown:
+    case MessageType::kPing:
+    case MessageType::kPong:
+    case MessageType::kCancelTask:
+      return true;
+  }
+  return false;
+}
+
 constexpr size_t kFixedHeaderBytes =
     1 +                 // type
     4 + 4 +             // from, to
@@ -155,7 +176,7 @@ std::optional<Message> deserialize(std::span<const uint8_t> bytes) {
       !reader.read(payload_len)) {
     return std::nullopt;
   }
-  if (type < 1 || type > 10) return std::nullopt;
+  if (!valid_message_type(type)) return std::nullopt;
   msg.type = static_cast<MessageType>(type);
   if (mode > 1) return std::nullopt;
   msg.mode = static_cast<TransferMode>(mode);

@@ -141,9 +141,8 @@ void TcpTransport::reader_loop(int node, int fd) {
   ::close(fd);
 }
 
-int TcpTransport::connect_to(Endpoint& ep, int dst) {
-  const auto it = ep.conns.find(dst);
-  if (it != ep.conns.end()) return it->second;
+int TcpTransport::connect_to(Endpoint::Conn& conn, int dst) {
+  if (conn.fd >= 0) return conn.fd;
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   FASTPR_CHECK_MSG(fd >= 0, "socket() failed");
@@ -153,10 +152,19 @@ int TcpTransport::connect_to(Endpoint& ep, int dst) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(endpoints_[static_cast<size_t>(dst)]->port);
-  FASTPR_CHECK_MSG(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
-                             sizeof(addr)) == 0,
-                   "connect() to node " << dst << " failed");
-  ep.conns[dst] = fd;
+  // Blocking loopback connect under this destination's write_mutex: the
+  // lazy connect is part of the first frame write, and only senders to
+  // this same destination wait on it.
+  // fastpr-lint: allow(lock-held-blocking)
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    // The listen socket vanishes when shutdown() races us; that is an
+    // orderly refusal, not a protocol error.
+    FASTPR_CHECK_MSG(closed_.load(std::memory_order_acquire),
+                     "connect() to node " << dst << " failed");
+    return -1;
+  }
+  conn.fd = fd;
   return fd;
 }
 
@@ -180,16 +188,35 @@ void TcpTransport::send(Message msg) {
 
   FASTPR_TRACE_SPAN("tcp.send_frame", "tcp",
                     static_cast<int64_t>(frame.size()), "bytes");
-  MutexLock lock(ep.conn_mutex);
+  // Map lookup only under conn_mutex; the blocking connect/write below
+  // happens under the per-connection write_mutex so a slow destination
+  // cannot head-of-line block frames bound elsewhere.
+  std::shared_ptr<Endpoint::Conn> conn;
+  {
+    MutexLock lock(ep.conn_mutex);
+    if (closed_.load(std::memory_order_acquire)) return;
+    auto& slot = ep.conns[msg.to];
+    if (!slot) slot = std::make_shared<Endpoint::Conn>();
+    conn = slot;
+  }
+
+  MutexLock write_lock(conn->write_mutex);
   if (closed_.load(std::memory_order_acquire)) return;
-  const int fd = connect_to(ep, msg.to);
+  const int fd = connect_to(*conn, msg.to);
+  if (fd < 0) return;  // shutdown() raced the lazy connect
   const uint32_t frame_len = static_cast<uint32_t>(frame.size());
+  // Held across the socket write on purpose: write_mutex is what keeps
+  // a frame atomic against concurrent senders to the same destination.
+  // fastpr-lint: allow(lock-held-blocking)
   if (!write_all(fd, reinterpret_cast<const uint8_t*>(&frame_len),
                  sizeof(frame_len)) ||
       !write_all(fd, frame.data(), frame.size())) {
     ::close(fd);
-    ep.conns.erase(msg.to);
-    FASTPR_CHECK_MSG(false, "tcp send to node " << msg.to << " failed");
+    conn->fd = -1;
+    // A write torn by shutdown() closing the socket is orderly; any
+    // other failure is a broken peer and must surface.
+    FASTPR_CHECK_MSG(closed_.load(std::memory_order_acquire),
+                     "tcp send to node " << msg.to << " failed");
   }
 }
 
@@ -228,24 +255,34 @@ void TcpTransport::shutdown() {
     ::close(ep->listen_fd);
     {
       MutexLock lock(ep->conn_mutex);
-      for (auto& [dst, fd] : ep->conns) {
+      for (auto& [dst, conn] : ep->conns) {
         (void)dst;
-        ::shutdown(fd, SHUT_RDWR);
+        // Waits for any in-flight frame on this connection, then tears
+        // the socket so readers on the far side unblock.
+        MutexLock write_lock(conn->write_mutex);
+        if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
       }
     }
   }
   for (auto& ep : endpoints_) {
     if (ep->accept_thread.joinable()) ep->accept_thread.join();
+    // Swap the registry out under the lock, join outside it: a join is
+    // unbounded and nothing should wait on reader_mutex behind it (the
+    // accept thread that appends here is already joined above).
+    std::vector<std::thread> readers;
     {
       MutexLock lock(ep->reader_mutex);
-      for (auto& t : ep->reader_threads) {
-        if (t.joinable()) t.join();
-      }
+      readers.swap(ep->reader_threads);
+    }
+    for (auto& t : readers) {
+      if (t.joinable()) t.join();
     }
     MutexLock conn_lock(ep->conn_mutex);
-    for (auto& [dst, fd] : ep->conns) {
+    for (auto& [dst, conn] : ep->conns) {
       (void)dst;
-      ::close(fd);
+      MutexLock write_lock(conn->write_mutex);
+      if (conn->fd >= 0) ::close(conn->fd);
+      conn->fd = -1;
     }
     ep->conns.clear();
   }

@@ -46,27 +46,41 @@ class TcpTransport final : public Transport {
     std::thread accept_thread;
     // reader_threads is appended by the accept thread and joined by
     // shutdown(); the readers themselves never touch the vector.
-    Mutex reader_mutex;
+    Mutex reader_mutex{lock_order::kNetReader};
     std::vector<std::thread> reader_threads
         FASTPR_GUARDED_BY(reader_mutex);
     // Inbox, one lock + cv per endpoint so a frame delivery wakes only
     // its addressee's dispatcher (mirrors InprocTransport).
-    Mutex mutex;
+    Mutex mutex{lock_order::kNetInbox};
     CondVar cv;
     std::deque<Message> inbox FASTPR_GUARDED_BY(mutex);
     std::unique_ptr<TokenBucket> tx;
     std::unique_ptr<TokenBucket> rx;
-    // Outgoing connection cache: dst → fd. The lock also serializes
-    // frame writes so packets from concurrent sender threads do not
-    // interleave mid-frame.
-    Mutex conn_mutex;
-    std::map<cluster::NodeId, int> conns FASTPR_GUARDED_BY(conn_mutex);
+    // One cached outgoing connection. write_mutex serializes frame
+    // writes on this destination's socket only — concurrent sender
+    // threads aiming at different destinations proceed in parallel —
+    // while still keeping any single frame atomic on the wire. The
+    // socket is connected lazily under write_mutex.
+    struct Conn {
+      Mutex write_mutex{lock_order::kNetConnWrite};
+      int fd FASTPR_GUARDED_BY(write_mutex) = -1;
+    };
+    // Connection cache: dst → Conn. conn_mutex guards only the map;
+    // send() drops it before the (blocking) connect/write, which run
+    // under the per-connection write_mutex. Entries are shared_ptr so
+    // a send can keep its Conn across the map unlock while shutdown
+    // concurrently walks the map.
+    Mutex conn_mutex{lock_order::kNetConnMap};
+    std::map<cluster::NodeId, std::shared_ptr<Conn>> conns
+        FASTPR_GUARDED_BY(conn_mutex);
   };
 
   void accept_loop(int node);
   void reader_loop(int node, int fd);
-  /// Caller must hold ep.conn_mutex (ep is the sending node's endpoint).
-  int connect_to(Endpoint& ep, int dst) FASTPR_REQUIRES(ep.conn_mutex);
+  /// Lazily connects conn to dst; returns the fd, or -1 if the connect
+  /// lost a race with shutdown().
+  int connect_to(Endpoint::Conn& conn, int dst)
+      FASTPR_REQUIRES(conn.write_mutex);
 
   Options options_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;

@@ -171,7 +171,7 @@ class MetricsRegistry {
   void reset() FASTPR_EXCLUDES(mutex_);
 
  private:
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_order::kTelemetryMetrics};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       FASTPR_GUARDED_BY(mutex_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_

@@ -92,7 +92,7 @@ class TraceLog {
   static constexpr size_t kMaxEventsPerThread = 1u << 20;
 
   struct ThreadBuffer {
-    Mutex mutex;
+    Mutex mutex{lock_order::kTelemetryTraceBuffer};
     std::vector<TraceEvent> events FASTPR_GUARDED_BY(mutex);
     int64_t dropped FASTPR_GUARDED_BY(mutex) = 0;
   };
@@ -102,7 +102,7 @@ class TraceLog {
   const uint64_t id_;  // distinguishes logs for the thread-local cache
   const TraceClock::time_point epoch_;
   std::atomic<bool> enabled_{false};
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_order::kTelemetryTrace};
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_
       FASTPR_GUARDED_BY(mutex_);
   std::vector<TraceEvent> drained_ FASTPR_GUARDED_BY(mutex_);

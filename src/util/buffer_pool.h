@@ -140,7 +140,7 @@ class BufferPool : public std::enable_shared_from_this<BufferPool> {
   void put_back(std::vector<uint8_t>&& storage) FASTPR_EXCLUDES(mutex_);
 
   const size_t max_shelf_buffers_;
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_order::kUtilBufferPool};
   std::vector<std::vector<uint8_t>> shelves_[kMaxShelf - kMinShelf + 1]
       FASTPR_GUARDED_BY(mutex_);
   Stats stats_ FASTPR_GUARDED_BY(mutex_);

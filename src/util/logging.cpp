@@ -13,7 +13,7 @@ namespace fastpr {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 // Serializes stderr writes so concurrent agents emit whole lines.
-Mutex g_mutex;
+Mutex g_mutex{lock_order::kUtilLogging};
 LogSink& sink_slot() {
   // Leaked: loggers may fire during static destruction.
   static LogSink* sink = new LogSink();  // fastpr-lint: allow(naked-new)

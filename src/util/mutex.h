@@ -7,6 +7,18 @@
 // a fastpr::Mutex directly (via adopt/release of the underlying
 // std::mutex), keeping the plain std::condition_variable fast path —
 // no condition_variable_any indirection.
+//
+// Every named mutex in src/ is constructed with a rank from
+// util/lock_order.h. When FASTPR_LOCK_TRACKING is defined (the
+// asan-ubsan/tsan presets; never release), lock()/unlock() additionally
+// feed a runtime lock-order tracker (bottom of this header — it must
+// stay header-only, fastpr_telemetry sits below fastpr_util in the link
+// graph and links no other fastpr target): a per-thread held-lock
+// stack plus a global acquisition-order graph. Acquiring against rank
+// order, recursively, or along an edge that closes a cycle in the graph
+// raises CheckFailure — before blocking — with both acquisition stacks.
+// Without the macro every hook compiles away and Mutex is the same
+// zero-overhead shim as before (the rank member itself is compiled out).
 #pragma once
 
 #include <chrono>
@@ -14,25 +26,97 @@
 #include <mutex>
 
 #include "util/annotations.h"
+#include "util/lock_order.h"
+
+#if defined(FASTPR_LOCK_TRACKING)
+#define FASTPR_LOCK_TRACKING_ENABLED 1
+#else
+#define FASTPR_LOCK_TRACKING_ENABLED 0
+#endif
+
+#if FASTPR_LOCK_TRACKING_ENABLED
+#include <deque>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+#endif
 
 namespace fastpr {
 
 class CondVar;
+class Mutex;
+
+#if FASTPR_LOCK_TRACKING_ENABLED
+namespace lock_tracking {
+/// Rank + cycle checks; throws CheckFailure on a would-deadlock
+/// acquisition. Called before the underlying lock blocks.
+void before_lock(const Mutex* mu, const lock_order::Rank* rank);
+/// Pushes the now-held mutex onto the calling thread's stack.
+void after_lock(const Mutex* mu, const lock_order::Rank* rank);
+/// Pops the mutex from the calling thread's stack (any position:
+/// out-of-order manual unlock is legal).
+void on_unlock(const Mutex* mu);
+/// Purges the mutex from the global order graph; heap-recycled mutex
+/// addresses (per-transfer SendWindows) must not inherit stale edges.
+void on_destroy(const Mutex* mu);
+}  // namespace lock_tracking
+#endif
 
 /// std::mutex annotated as a thread-safety capability.
 class FASTPR_CAPABILITY("mutex") Mutex {
  public:
+  /// Unranked: exempt from hierarchy checks (still cycle-checked under
+  /// tracking). For tests and scratch locks; mutexes in src/ must use
+  /// the ranked constructor (enforced by tools/fastpr_analyze).
   Mutex() = default;
+#if FASTPR_LOCK_TRACKING_ENABLED
+  explicit Mutex(const lock_order::Rank& rank) : rank_(&rank) {}
+  ~Mutex() { lock_tracking::on_destroy(this); }
+#else
+  explicit Mutex(const lock_order::Rank& /*rank*/) {}
+#endif
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() FASTPR_ACQUIRE() { mu_.lock(); }
-  void unlock() FASTPR_RELEASE() { mu_.unlock(); }
-  bool try_lock() FASTPR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() FASTPR_ACQUIRE() {
+#if FASTPR_LOCK_TRACKING_ENABLED
+    lock_tracking::before_lock(this, rank_);
+    mu_.lock();
+    lock_tracking::after_lock(this, rank_);
+#else
+    mu_.lock();
+#endif
+  }
+
+  void unlock() FASTPR_RELEASE() {
+#if FASTPR_LOCK_TRACKING_ENABLED
+    lock_tracking::on_unlock(this);
+#endif
+    mu_.unlock();
+  }
+
+  bool try_lock() FASTPR_TRY_ACQUIRE(true) {
+#if FASTPR_LOCK_TRACKING_ENABLED
+    // try_lock cannot deadlock, so no before_lock checks; a successful
+    // acquisition still lands on the held stack so later blocking
+    // acquisitions see it.
+    if (!mu_.try_lock()) return false;
+    lock_tracking::after_lock(this, rank_);
+    return true;
+#else
+    return mu_.try_lock();
+#endif
+  }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+#if FASTPR_LOCK_TRACKING_ENABLED
+  const lock_order::Rank* rank_ = nullptr;
+#endif
 };
 
 /// RAII lock, the annotated analogue of std::lock_guard<std::mutex>.
@@ -51,6 +135,10 @@ class FASTPR_SCOPED_CAPABILITY MutexLock {
 /// Condition variable that waits on a fastpr::Mutex the caller holds.
 /// All wait overloads require the mutex held (and hold it again on
 /// return), exactly like std::condition_variable with unique_lock.
+///
+/// The waits adopt/release the raw std::mutex and bypass Mutex::lock/
+/// unlock on purpose: the waiter still logically owns the lock for
+/// hierarchy purposes, so the tracker's held stack must keep it.
 class CondVar {
  public:
   CondVar() = default;
@@ -60,6 +148,9 @@ class CondVar {
   void notify_one() { cv_.notify_one(); }
   void notify_all() { cv_.notify_all(); }
 
+  /// Predicate-less wait: exposed for util-internal pacing loops only
+  /// (see TokenBucket); product code must use the predicate overloads
+  /// (fastpr_lint rule condvar-predicate).
   void wait(Mutex& mu) FASTPR_REQUIRES(mu) {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock);
@@ -95,5 +186,182 @@ class CondVar {
  private:
   std::condition_variable cv_;
 };
+
+#if FASTPR_LOCK_TRACKING_ENABLED
+
+// --- Runtime lock-order tracker (absl DeadlockCheck style) -----------------
+//
+// Each thread keeps a stack of the mutexes it currently holds. On every
+// blocking acquisition while at least one lock is held, the tracker
+//  1. rejects recursive acquisition of the same mutex,
+//  2. rejects any acquisition whose lock_order rank is not strictly
+//     greater than every held rank (the util/lock_order.h hierarchy),
+//  3. records the edge top-of-stack → acquiree in a global order graph
+//     and rejects the acquisition if the reverse direction is already
+//     reachable — a cycle, i.e. a deadlock some interleaving can hit —
+//     reporting this thread's stack AND the stack recorded when the
+//     opposing edge was first seen.
+// All three raise CheckFailure before the underlying std::mutex blocks,
+// so the offending interleaving is caught deterministically even when
+// the schedule never actually wedges.
+//
+// The fast path (no locks held) touches only a thread_local and takes
+// no global lock. The graph itself is guarded by a plain std::mutex —
+// deliberately NOT a fastpr::Mutex, which would recurse into the
+// tracker. Everything lives in a named `internal` namespace (NOT an
+// anonymous one): the held stack must be one variable across all TUs.
+
+namespace lock_tracking::internal {
+
+struct Held {
+  const Mutex* mu;
+  const lock_order::Rank* rank;
+};
+
+inline thread_local std::vector<Held> t_held;
+
+inline std::string rank_label(const lock_order::Rank* rank) {
+  if (rank == nullptr) return "<unranked>";
+  std::ostringstream os;
+  os << rank->name << "(" << rank->order << ")";
+  return os.str();
+}
+
+inline std::string describe_stack(const std::vector<Held>& stack) {
+  std::ostringstream os;
+  for (size_t i = 0; i < stack.size(); ++i) {
+    if (i != 0) os << " -> ";
+    os << rank_label(stack[i].rank);
+  }
+  return os.str();
+}
+
+/// Representative acquisition: who first held `from` while taking `to`.
+struct Edge {
+  std::string holder_stack;
+};
+
+struct Graph {
+  std::mutex mu;
+  std::unordered_map<const Mutex*,
+                     std::unordered_map<const Mutex*, Edge>>
+      out;
+  std::unordered_map<const Mutex*, const lock_order::Rank*> ranks;
+};
+
+inline Graph& graph() {
+  // Leaked on purpose: mutexes with static storage duration unlock
+  // during static destruction, after any non-leaked graph would be
+  // gone. fastpr-lint: allow(naked-new) — src/util is exempt anyway.
+  static Graph* g = new Graph();
+  return *g;
+}
+
+/// BFS under g.mu: path from → ... → to, empty if unreachable.
+inline std::vector<const Mutex*> find_path(Graph& g, const Mutex* from,
+                                           const Mutex* to) {
+  std::unordered_map<const Mutex*, const Mutex*> parent;
+  std::deque<const Mutex*> frontier{from};
+  parent[from] = nullptr;
+  while (!frontier.empty()) {
+    const Mutex* cur = frontier.front();
+    frontier.pop_front();
+    if (cur == to) {
+      std::vector<const Mutex*> path;
+      for (const Mutex* n = to; n != nullptr; n = parent[n]) {
+        path.push_back(n);
+      }
+      return {path.rbegin(), path.rend()};
+    }
+    const auto it = g.out.find(cur);
+    if (it == g.out.end()) continue;
+    for (const auto& kv : it->second) {
+      if (parent.emplace(kv.first, cur).second) frontier.push_back(kv.first);
+    }
+  }
+  return {};
+}
+
+}  // namespace lock_tracking::internal
+
+namespace lock_tracking {
+
+inline void before_lock(const Mutex* mu, const lock_order::Rank* rank) {
+  using namespace internal;
+  if (t_held.empty()) return;  // fast path: nothing to order against
+
+  for (const Held& held : t_held) {
+    FASTPR_CHECK_MSG(held.mu != mu,
+                     "lock tracker: recursive acquisition of "
+                         << rank_label(rank) << " (held stack: "
+                         << describe_stack(t_held) << ")");
+    if (rank != nullptr && held.rank != nullptr) {
+      FASTPR_CHECK_MSG(
+          rank->order > held.rank->order,
+          "lock tracker: rank-order violation acquiring "
+              << rank_label(rank) << " while holding "
+              << rank_label(held.rank)
+              << " (util/lock_order.h requires strictly ascending "
+                 "acquisition; held stack: "
+              << describe_stack(t_held) << ")");
+    }
+  }
+
+  // Record top-of-stack → mu; transitive order is captured by
+  // reachability, so one edge per nesting step keeps the graph sparse.
+  const Held& top = t_held.back();
+  Graph& g = graph();
+  std::lock_guard<std::mutex> graph_lock(g.mu);
+  g.ranks[mu] = rank;
+  g.ranks[top.mu] = top.rank;
+  auto& edges = g.out[top.mu];
+  if (edges.find(mu) != edges.end()) return;  // known-good edge
+
+  const auto cycle = find_path(g, mu, top.mu);
+  if (!cycle.empty()) {
+    std::ostringstream os;
+    os << "lock tracker: acquisition would deadlock: "
+       << rank_label(top.rank) << " -> " << rank_label(rank)
+       << " closes the cycle ";
+    for (const Mutex* n : cycle) os << rank_label(g.ranks[n]) << " -> ";
+    os << rank_label(top.rank) << ". this thread holds: "
+       << describe_stack(t_held);
+    const auto rev = g.out.find(cycle.front());
+    if (rev != g.out.end() && cycle.size() > 1) {
+      const auto hop = rev->second.find(cycle[1]);
+      if (hop != rev->second.end()) {
+        os << "; opposing acquisition held: " << hop->second.holder_stack;
+      }
+    }
+    FASTPR_CHECK_MSG(false, os.str());
+  }
+  edges.emplace(mu, Edge{describe_stack(t_held)});
+}
+
+inline void after_lock(const Mutex* mu, const lock_order::Rank* rank) {
+  internal::t_held.push_back(internal::Held{mu, rank});
+}
+
+inline void on_unlock(const Mutex* mu) {
+  auto& t_held = internal::t_held;
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->mu == mu) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+inline void on_destroy(const Mutex* mu) {
+  internal::Graph& g = internal::graph();
+  std::lock_guard<std::mutex> graph_lock(g.mu);
+  g.out.erase(mu);
+  g.ranks.erase(mu);
+  for (auto& kv : g.out) kv.second.erase(mu);
+}
+
+}  // namespace lock_tracking
+
+#endif  // FASTPR_LOCK_TRACKING_ENABLED
 
 }  // namespace fastpr

@@ -35,7 +35,10 @@ void ThreadPool::worker_loop() {
     QueuedTask task;
     {
       MutexLock lock(mutex_);
-      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
+      const auto ready = [&]() FASTPR_REQUIRES(mutex_) {
+        return stopping_ || !queue_.empty();
+      };
+      cv_.wait(mutex_, ready);
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop();

@@ -70,7 +70,7 @@ class ThreadPool {
   void worker_loop() FASTPR_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  Mutex mutex_;
+  Mutex mutex_{lock_order::kUtilThreadPool};
   CondVar cv_;
   std::queue<QueuedTask> queue_ FASTPR_GUARDED_BY(mutex_);
   bool stopping_ FASTPR_GUARDED_BY(mutex_) = false;

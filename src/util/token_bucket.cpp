@@ -36,6 +36,11 @@ void TokenBucket::acquire(int64_t bytes) {
     while (tokens_ < static_cast<double>(slice)) {
       const double deficit = static_cast<double>(slice) - tokens_;
       const auto wait = std::chrono::duration<double>(deficit / rate_);
+      // Deliberately predicate-less: the "condition" (enough tokens) is
+      // a function of elapsed time recomputed by refill_locked() each
+      // iteration, not a flag a notifier flips — a predicate would just
+      // duplicate the enclosing while. Spurious wakeups only re-check
+      // the deficit and sleep again. fastpr-lint: allow(condvar-predicate)
       cv_.wait_for(mutex_,
                    std::chrono::duration_cast<std::chrono::nanoseconds>(wait));
       if (rate_ <= 0) return;  // became unlimited while waiting

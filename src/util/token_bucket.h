@@ -38,7 +38,7 @@ class TokenBucket {
 
   void refill_locked(Clock::time_point now) FASTPR_REQUIRES(mutex_);
 
-  mutable Mutex mutex_;
+  mutable Mutex mutex_{lock_order::kUtilTokenBucket};
   CondVar cv_;
   double rate_ FASTPR_GUARDED_BY(mutex_);  // bytes/s; <=0 => unlimited
   const int64_t burst_;                    // max accumulated tokens

@@ -1,0 +1,16 @@
+#include "foo/widget.h"
+
+namespace fixture {
+
+void Widget::push() {
+  fastpr::MutexLock a(low_);
+  fastpr::MutexLock b(high_);  // ascending rank: fine
+  // The send must happen under high_ so frames stay contiguous on the
+  // wire; reviewed and accepted.
+  // fastpr-lint: allow(lock-held-blocking)
+  transport_.send(
+      make_item(1),
+      make_item(2));
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Golden good snippet: a blocking call under a held lock that carries a
+// reviewed fastpr-lint: allow(lock-held-blocking) marker, plus properly
+// ranked mutexes acquired in ascending order. fastpr_analyze must exit 0.
+#pragma once
+
+#include "util/lock_order.h"
+#include "util/mutex.h"
+
+namespace fixture {
+
+class Widget {
+ public:
+  void push();
+
+ private:
+  fastpr::Mutex low_{fastpr::lock_order::kLow};
+  fastpr::Mutex high_{fastpr::lock_order::kHigh};
+};
+
+}  // namespace fixture

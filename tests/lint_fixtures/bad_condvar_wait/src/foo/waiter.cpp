@@ -1,0 +1,10 @@
+#include "foo/waiter.h"
+
+namespace fixture {
+
+void Waiter::block_until_ready() {
+  fastpr::MutexLock lock(mutex_);
+  while (!ready_) cv_.wait(mutex_);  // naked wait: fastpr_lint must flag
+}
+
+}  // namespace fixture

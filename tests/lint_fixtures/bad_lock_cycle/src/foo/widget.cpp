@@ -1,0 +1,15 @@
+#include "foo/widget.h"
+
+namespace fixture {
+
+void Widget::ab() {
+  fastpr::MutexLock a(mu_a_);
+  fastpr::MutexLock b(mu_b_);
+}
+
+void Widget::ba() {
+  fastpr::MutexLock b(mu_b_);
+  fastpr::MutexLock a(mu_a_);  // closes the ab/ba cycle: must flag
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Golden bad snippet: two unranked (reviewed) mutexes acquired in
+// opposite orders by two functions — a classic ABBA deadlock.
+// fastpr_analyze must flag the cycle with [lock-order].
+#pragma once
+
+#include "util/mutex.h"
+
+namespace fixture {
+
+class Widget {
+ public:
+  void ab();
+  void ba();
+
+ private:
+  fastpr::Mutex mu_a_;  // fastpr-lint: allow(lock-rank)
+  fastpr::Mutex mu_b_;  // fastpr-lint: allow(lock-rank)
+};
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+#include "foo/widget.h"
+
+namespace fixture {
+
+void Widget::push() {
+  fastpr::MutexLock lock(mu_);
+  transport_.send(make_item());  // blocks on NIC shaping under mu_
+}
+
+}  // namespace fixture

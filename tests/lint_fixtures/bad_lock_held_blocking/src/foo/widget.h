@@ -1,0 +1,18 @@
+// Golden bad snippet: blocking transport send while a lock is held.
+// fastpr_analyze must flag widget.cpp with [lock-held-blocking].
+#pragma once
+
+#include "util/lock_order.h"
+#include "util/mutex.h"
+
+namespace fixture {
+
+class Widget {
+ public:
+  void push();
+
+ private:
+  fastpr::Mutex mu_{fastpr::lock_order::kLow};
+};
+
+}  // namespace fixture

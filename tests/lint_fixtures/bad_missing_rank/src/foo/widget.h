@@ -1,0 +1,17 @@
+// Golden bad snippet: a Mutex in src/ declared without a
+// util/lock_order.h rank. fastpr_analyze must flag it with [lock-rank].
+#pragma once
+
+#include "util/mutex.h"
+
+namespace fixture {
+
+class Widget {
+ public:
+  void poke();
+
+ private:
+  fastpr::Mutex mu_;  // unranked: must flag
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+#include "net/message.h"
+
+namespace fixture {
+
+void dispatch(fastpr::net::MessageType type) {
+  switch (type) {
+    case fastpr::net::MessageType::kAlpha:
+      handle_alpha();
+      break;
+    case fastpr::net::MessageType::kBeta:
+      handle_beta();
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+#include "net/message.h"
+
+namespace fastpr::net {
+
+bool valid_message_type(uint8_t raw) {
+  switch (static_cast<MessageType>(raw)) {
+    case MessageType::kAlpha:
+    case MessageType::kBeta:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace fastpr::net

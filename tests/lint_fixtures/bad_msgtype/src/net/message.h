@@ -1,0 +1,16 @@
+// Golden bad snippet: a MessageType enumerator (kGamma) that is wired
+// into neither the dispatch switch nor serialization. fastpr_analyze
+// must flag it with [msgtype-exhaustive].
+#pragma once
+
+#include <cstdint>
+
+namespace fastpr::net {
+
+enum class MessageType : uint8_t {
+  kAlpha = 1,
+  kBeta = 2,
+  kGamma = 3,
+};
+
+}  // namespace fastpr::net

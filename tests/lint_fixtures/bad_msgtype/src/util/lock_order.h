@@ -1,0 +1,14 @@
+// Mini hierarchy for the analyzer fixtures.
+#pragma once
+
+namespace fastpr::lock_order {
+
+struct Rank {
+  int order;
+  const char* name;
+};
+
+inline constexpr Rank kLow{10, "fixture.low"};
+inline constexpr Rank kHigh{20, "fixture.high"};
+
+}  // namespace fastpr::lock_order

@@ -1,0 +1,10 @@
+#include "foo/widget.h"
+
+namespace fixture {
+
+void Widget::poke() {
+  fastpr::MutexLock outer(high_);
+  fastpr::MutexLock inner(low_);  // descends the hierarchy: must flag
+}
+
+}  // namespace fixture

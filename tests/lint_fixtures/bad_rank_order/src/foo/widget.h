@@ -1,0 +1,19 @@
+// Golden bad snippet: acquires against the declared rank order.
+// fastpr_analyze must flag widget.cpp with [lock-order].
+#pragma once
+
+#include "util/lock_order.h"
+#include "util/mutex.h"
+
+namespace fixture {
+
+class Widget {
+ public:
+  void poke();
+
+ private:
+  fastpr::Mutex low_{fastpr::lock_order::kLow};
+  fastpr::Mutex high_{fastpr::lock_order::kHigh};
+};
+
+}  // namespace fixture

@@ -11,6 +11,9 @@
 #include <vector>
 
 #include "agent/chunk_store.h"
+#include "util/check.h"
+#include "util/lock_order.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 #include "util/token_bucket.h"
 #include "util/units.h"
@@ -224,6 +227,60 @@ TEST(ChunkStoreStress, ConcurrentErrorInjectionAndReads) {
   reader.join();
   store.clear_read_errors();
   EXPECT_TRUE(store.read(ChunkRef{0, 0}).has_value());
+}
+
+// --- Runtime lock-order tracker (util/mutex.cpp) ---------------------------
+//
+// Active only in tracking builds (sanitizer presets / -DFASTPR_LOCK_TRACKING).
+// Release builds compile the tracker out entirely, so these skip there.
+
+TEST(LockTracker, DetectsAbbaCycleSingleThreaded) {
+#if !FASTPR_LOCK_TRACKING_ENABLED
+  GTEST_SKIP() << "lock tracking compiled out in this build";
+#else
+  // Unranked mutexes: ordering is learned from observed acquisitions.
+  Mutex a;  // fastpr-lint: allow(lock-rank)
+  Mutex b;  // fastpr-lint: allow(lock-rank)
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // seeds the a -> b edge in the global order graph
+  }
+  MutexLock lb(b);
+  // b -> a would close the cycle; the tracker must refuse before blocking.
+  EXPECT_THROW({ MutexLock la(a); }, CheckFailure);
+#endif
+}
+
+TEST(LockTracker, DetectsRankOrderViolation) {
+#if !FASTPR_LOCK_TRACKING_ENABLED
+  GTEST_SKIP() << "lock tracking compiled out in this build";
+#else
+  // Acquire against the declared hierarchy: send-queue (30) is ranked
+  // above send-window (20), so window-then-queue is fine but
+  // queue-then-window must throw.
+  Mutex window{lock_order::kAgentSendWindow};
+  Mutex queue{lock_order::kAgentSendQueue};
+  {
+    MutexLock lw(window);
+    MutexLock lq(queue);  // ascending: fine
+  }
+  MutexLock lq(queue);
+  EXPECT_THROW({ MutexLock lw(window); }, CheckFailure);
+#endif
+}
+
+TEST(LockTracker, ReleaseInLifoOrderIsClean) {
+#if !FASTPR_LOCK_TRACKING_ENABLED
+  GTEST_SKIP() << "lock tracking compiled out in this build";
+#else
+  Mutex window{lock_order::kAgentSendWindow};
+  Mutex queue{lock_order::kAgentSendQueue};
+  for (int i = 0; i < 100; ++i) {
+    MutexLock lw(window);
+    MutexLock lq(queue);
+  }
+  SUCCEED();
+#endif
 }
 
 }  // namespace

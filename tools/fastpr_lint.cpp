@@ -32,6 +32,13 @@
 //                   how non-delivery is detected (DESIGN.md §7). The
 //                   marker may sit on the send line itself or on the
 //                   comment block immediately above it.
+//  * condvar-predicate — CondVar waits must use the predicate overload:
+//                   `.wait(mu)` with one argument and `.wait_for(mu,
+//                   dur)` with two are lost-wakeup bait (the while
+//                   loop around them re-implements the predicate the
+//                   overload already provides). src/util/mutex.h is
+//                   exempt (it implements the overloads); reviewed
+//                   pacing loops carry the allow marker.
 //
 // Intentional exceptions:
 //  * src/util/units.h is exempt from `units` (it defines the helpers).
@@ -161,17 +168,45 @@ const char* kMagnitudes[] = {"<< 10",      "<< 20",      "<< 30",
 const char* kUnitHelpers[] = {"MB(", "MBps(", "Gbps(", "kKiB", "kMiB",
                               "kGiB"};
 
+/// Counts top-level (paren-depth-zero) arguments of the call whose
+/// opening paren is at `lines[row][col]`; joins following sanitized
+/// lines when the call spans lines. Returns 0 when the parens never
+/// balance within the lookahead window.
+int count_call_args(const std::vector<std::string>& lines, size_t row,
+                    size_t col) {
+  int depth = 0;
+  int commas = 0;
+  bool any_content = false;
+  for (size_t r = row; r < lines.size() && r < row + 8; ++r) {
+    const std::string& s = lines[r];
+    for (size_t i = r == row ? col : 0; i < s.size(); ++i) {
+      const char c = s[i];
+      if (c == '(') ++depth;
+      if (c == ')') {
+        --depth;
+        if (depth == 0) return any_content ? commas + 1 : 0;
+      }
+      if (depth >= 1 && c == ',' && depth == 1) ++commas;
+      if (depth >= 1 && c != ' ' && c != '\t' && c != '(') {
+        any_content = true;
+      }
+    }
+  }
+  return 0;
+}
+
 void check_line(const fs::path& rel, int lineno, const std::string& raw,
-                const std::string& code, bool ack_marker_above,
+                const std::string& code, const std::string& markers_above,
                 std::vector<Violation>& out) {
   const auto allowed = [&](const char* rule) {
-    return raw.find(std::string("fastpr-lint: allow(") + rule + ")") !=
-           std::string::npos;
+    const std::string marker =
+        std::string("fastpr-lint: allow(") + rule + ")";
+    return raw.find(marker) != std::string::npos ||
+           markers_above.find(marker) != std::string::npos;
   };
 
   // ack-tracking
-  if (path_has_prefix(rel, "src/agent/") &&
-      !allowed("ack-tracking") && !ack_marker_above) {
+  if (path_has_prefix(rel, "src/agent/") && !allowed("ack-tracking")) {
     if (code.find("transport_.send") != std::string::npos) {
       out.push_back({rel.generic_string(), lineno, "ack-tracking",
                      "fire-and-forget transport_.send in src/agent; "
@@ -260,23 +295,64 @@ void check_file(const fs::path& root, const fs::path& rel,
   const bool is_header = rel.extension() == ".h";
   bool saw_pragma_once = false;
   bool in_block_comment = false;
-  // An `allow(ack-tracking)` marker on a comment line covers the next
-  // code line, surviving the rest of its comment block (multi-line
-  // justifications put the marker on the first line).
-  bool ack_marker_above = false;
+
+  // Read and sanitize the whole file up front: the condvar-predicate
+  // rule counts arguments of calls that may span lines.
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
   std::string line;
-  int lineno = 0;
   while (std::getline(in, line)) {
-    ++lineno;
     if (line.find("#pragma once") != std::string::npos) {
       saw_pragma_once = true;
     }
-    const std::string code = sanitize(line, in_block_comment);
-    check_line(rel, lineno, line, code, ack_marker_above, out);
-    if (line.find("fastpr-lint: allow(ack-tracking)") != std::string::npos) {
-      ack_marker_above = true;
+    raw_lines.push_back(line);
+    code_lines.push_back(sanitize(line, in_block_comment));
+  }
+
+  // `allow(<rule>)` markers on comment lines cover the next code line,
+  // surviving the rest of their comment block (multi-line
+  // justifications put the marker on any comment line above the code).
+  std::string markers_above;
+  for (size_t idx = 0; idx < raw_lines.size(); ++idx) {
+    const std::string& raw = raw_lines[idx];
+    const std::string& code = code_lines[idx];
+    const int lineno = static_cast<int>(idx) + 1;
+    check_line(rel, lineno, raw, code, markers_above, out);
+
+    // condvar-predicate: `.wait(mu)` (1 arg) and `.wait_for(mu, dur)`
+    // (2 args) park without a predicate.
+    if (rel.generic_string() != "src/util/mutex.h") {
+      const auto allowed_cv =
+          raw.find("fastpr-lint: allow(condvar-predicate)") !=
+              std::string::npos ||
+          markers_above.find("fastpr-lint: allow(condvar-predicate)") !=
+              std::string::npos;
+      if (!allowed_cv) {
+        for (const auto& [token, naked_args] :
+             {std::pair<const char*, int>{".wait_for(", 2},
+              std::pair<const char*, int>{".wait(", 1}}) {
+          const size_t pos = code.find(token);
+          if (pos == std::string::npos) continue;
+          const size_t open = code.find('(', pos);
+          if (count_call_args(code_lines, idx, open) == naked_args) {
+            out.push_back(
+                {rel.generic_string(), lineno, "condvar-predicate",
+                 "predicate-less CondVar wait; use the predicate "
+                 "overload (wait(mu, pred) / wait_for(mu, dur, pred)) "
+                 "so spurious wakeups and lost notifies cannot hang "
+                 "the loop"});
+          }
+          break;  // a line has one wait call; wait_for checked first
+        }
+      }
+    }
+
+    if (raw.find("fastpr-lint: allow(") != std::string::npos &&
+        code.find_first_not_of(" \t") == std::string::npos) {
+      markers_above += raw;
+      markers_above += '\n';
     } else if (code.find_first_not_of(" \t") != std::string::npos) {
-      ack_marker_above = false;  // a code line consumes the marker
+      markers_above.clear();  // a code line consumes the markers
     }
   }
   if (is_header && !saw_pragma_once) {
@@ -305,6 +381,12 @@ int main(int argc, char** argv) {
       const auto ext = entry.path().extension();
       if (ext != ".h" && ext != ".cpp") continue;
       const fs::path rel = fs::relative(entry.path(), root);
+      // Golden bad-snippet trees deliberately violate the rules; they
+      // are linted by their own ctest entries with their own roots.
+      if (rel.generic_string().find("lint_fixtures") !=
+          std::string::npos) {
+        continue;
+      }
       ++files_checked;
       check_file(root, rel, violations);
     }
