@@ -1,6 +1,7 @@
 #include "agent/agent.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 
 #include "gf/gf256.h"
@@ -103,6 +104,12 @@ void Agent::dispatch_loop() {
       case MessageType::kDataPacket:
         handle_data_packet(std::move(*msg));
         break;
+      case MessageType::kChainCmd:
+        handle_chain_cmd(*msg);
+        break;
+      case MessageType::kChainPacket:
+        handle_chain_packet(std::move(*msg));
+        break;
       case MessageType::kCancelTask:
         handle_cancel_task(*msg);
         break;
@@ -192,12 +199,30 @@ void Agent::handle_fetch_request(const Message& msg) {
 void Agent::handle_cancel_task(const Message& msg) {
   // Cancel is keyed by attempt so a cancel racing a newer command
   // cannot kill the newer attempt's state.
+  bool cancelled = false;
   const auto it = tasks_.find(msg.task_id);
-  if (it == tasks_.end() || it->second.attempt > msg.attempt) return;
-  tasks_.erase(it);
-  telemetry::MetricsRegistry::global()
-      .counter("agent.cancelled_tasks")
-      .add();
+  if (it != tasks_.end() && it->second.attempt <= msg.attempt) {
+    tasks_.erase(it);
+    cancelled = true;
+  }
+  const auto chain_it = chain_tasks_.find(msg.task_id);
+  if (chain_it != chain_tasks_.end() &&
+      chain_it->second.attempt <= msg.attempt) {
+    chain_tasks_.erase(chain_it);
+    cancelled = true;
+  }
+  const auto early_it = chain_early_.find(msg.task_id);
+  if (early_it != chain_early_.end()) {
+    std::erase_if(early_it->second, [&](const Message& m) {
+      return m.attempt <= msg.attempt;
+    });
+    if (early_it->second.empty()) chain_early_.erase(early_it);
+  }
+  if (cancelled) {
+    telemetry::MetricsRegistry::global()
+        .counter("agent.cancelled_tasks")
+        .add();
+  }
 }
 
 void Agent::handle_ping(const Message& msg) {
@@ -429,6 +454,253 @@ void Agent::handle_data_packet(Message&& msg) {
       tasks_.erase(it);
     }
   }
+}
+
+void Agent::handle_chain_cmd(const Message& msg) {
+  // One command per hop; the full chain rides in msg.sources and `hop`
+  // names our slot. Retries are idempotent exactly like reconstruct
+  // commands: stale/duplicate attempts drop, a higher attempt replaces
+  // the hop state wholesale (its in-flight packets then fail the
+  // attempt check).
+  FASTPR_CHECK(!msg.sources.empty());
+  FASTPR_CHECK(msg.hop < msg.sources.size());
+  const auto existing = chain_tasks_.find(msg.task_id);
+  if (existing != chain_tasks_.end() &&
+      existing->second.attempt >= msg.attempt) {
+    telemetry::MetricsRegistry::global().counter("agent.stale_cmds").add();
+    return;
+  }
+  const auto done_it = chain_done_.find(msg.task_id);
+  if (done_it != chain_done_.end()) {
+    if (done_it->second >= msg.attempt) {
+      telemetry::MetricsRegistry::global().counter("agent.stale_cmds").add();
+      return;
+    }
+    chain_done_.erase(done_it);
+  }
+
+  const net::SourceSpec& own = msg.sources[msg.hop];
+  const bool last = msg.hop + 1 == msg.sources.size();
+  const NodeId next = last ? msg.dst : msg.sources[msg.hop + 1].node;
+
+  if (msg.hop == 0) {
+    // Head: nothing arrives here — a reader task seeds the chain. The
+    // (otherwise unused) state only dedupes duplicate commands.
+    ChainState state;
+    state.attempt = msg.attempt;
+    state.hop = 0;
+    chain_tasks_[msg.task_id] = std::move(state);
+    const uint64_t task_id = msg.task_id;
+    const uint32_t attempt = msg.attempt;
+    const ChunkRef chunk = msg.chunk;
+    const ChunkRef own_chunk = own.chunk;
+    const uint8_t coeff = own.coefficient;
+    const uint64_t packet_bytes = msg.packet_bytes;
+    reader_pool_->post([this, task_id, attempt, chunk, own_chunk, next,
+                        last, coeff, packet_bytes] {
+      chain_stream_head(task_id, attempt, chunk, own_chunk, next, last,
+                        coeff, packet_bytes);
+    });
+    return;
+  }
+
+  ChainState state;
+  state.attempt = msg.attempt;
+  state.hop = msg.hop;
+  state.next = next;
+  state.last = last;
+  state.chunk = msg.chunk;
+  state.coefficient = own.coefficient;
+  state.chunk_bytes = msg.chunk_bytes;
+  state.packet_bytes = msg.packet_bytes;
+  state.total_packets = static_cast<uint32_t>(
+      (msg.chunk_bytes + msg.packet_bytes - 1) / msg.packet_bytes);
+  // Read the whole helper chunk up front; per-packet disk time is
+  // charged as each slice folds, pipelined with the forwards.
+  auto content = store_.read_unthrottled(own.chunk);
+  if (!content.has_value()) {
+    report_failure(msg.task_id, msg.attempt,
+                   "read error on chain hop " + std::to_string(id_) +
+                       " for stripe " + std::to_string(own.chunk.stripe));
+    return;
+  }
+  FASTPR_CHECK(content->size() == msg.chunk_bytes);
+  state.own = std::move(*content);
+  state.forwarded.assign(state.total_packets, false);
+  state.window = std::make_shared<SendWindow>();
+  chain_tasks_[msg.task_id] = std::move(state);
+
+  // Drain any of our predecessor's packets that outran the command.
+  const auto early = chain_early_.find(msg.task_id);
+  if (early != chain_early_.end()) {
+    std::vector<Message> buffered = std::move(early->second);
+    chain_early_.erase(early);
+    for (auto& m : buffered) handle_chain_packet(std::move(m));
+  }
+}
+
+void Agent::handle_chain_packet(Message&& msg) {
+  static telemetry::Counter& rx_packets =
+      telemetry::MetricsRegistry::global().counter("agent.chain_packets_rx");
+  static telemetry::Counter& forwards =
+      telemetry::MetricsRegistry::global().counter("agent.chain_forwards");
+  static telemetry::Counter& stale_packets =
+      telemetry::MetricsRegistry::global().counter("agent.stale_packets");
+  static telemetry::Counter& dup_packets =
+      telemetry::MetricsRegistry::global().counter("agent.dup_packets");
+  static telemetry::Histogram& forward_ns =
+      telemetry::MetricsRegistry::global().histogram(
+          "agent.chain_forward_ns");
+  rx_packets.add();
+
+  const auto it = chain_tasks_.find(msg.task_id);
+  if (it == chain_tasks_.end()) {
+    const auto done_it = chain_done_.find(msg.task_id);
+    if (done_it != chain_done_.end() && done_it->second >= msg.attempt) {
+      // Straggling duplicate of a chain we already finished forwarding.
+      dup_packets.add();
+      return;
+    }
+    // Our kChainCmd may still be in flight (TCP orders frames per
+    // connection, not across them): park the packet until it lands.
+    auto& buffered = chain_early_[msg.task_id];
+    if (buffered.size() >= kChainEarlyCap) {
+      stale_packets.add();
+      return;
+    }
+    buffered.push_back(std::move(msg));
+    return;
+  }
+
+  ChainState& state = it->second;
+  if (msg.attempt != state.attempt || state.hop == 0) {
+    // Superseded attempt still draining (or a misrouted packet for a
+    // head slot, which never consumes packets).
+    stale_packets.add();
+    return;
+  }
+  FASTPR_CHECK(msg.packet_index < state.total_packets);
+  if (state.forwarded[msg.packet_index]) {
+    dup_packets.add();
+    return;
+  }
+  const uint64_t offset =
+      static_cast<uint64_t>(msg.packet_index) * state.packet_bytes;
+  const size_t len = msg.payload.size();
+  FASTPR_CHECK(offset + len <= state.own.size());
+
+#if FASTPR_TELEMETRY_ENABLED
+  const auto hop_start = telemetry::trace_now();
+#endif
+  {
+    FASTPR_TRACE_SPAN("agent.chain_forward", "agent",
+                      static_cast<int64_t>(msg.task_id), "task");
+    store_.charge_io(static_cast<int64_t>(len));  // own-chunk read share
+    // Fold our scaled contribution into the running partial sum in
+    // place on the pooled payload — no copy, no allocation on the hop
+    // (single-source dot_region_xor = one fused multiply-XOR pass).
+    const uint8_t* own_slice = state.own.data() + offset;
+    gf::dot_region_xor(msg.payload.data(), &own_slice, &state.coefficient,
+                       1, len);
+
+    Message fwd;
+    fwd.from = id_;
+    fwd.to = state.next;
+    fwd.task_id = msg.task_id;
+    fwd.attempt = state.attempt;
+    fwd.chunk = state.chunk;
+    fwd.packet_index = msg.packet_index;
+    fwd.total_packets = state.total_packets;
+    fwd.chunk_bytes = state.chunk_bytes;
+    fwd.packet_bytes = state.packet_bytes;
+    if (state.last) {
+      // Completed partial sum: deliver as a plain store stream so the
+      // destination's existing lazy migration path absorbs it.
+      fwd.type = MessageType::kDataPacket;
+      fwd.mode = TransferMode::kStore;
+      fwd.coefficient = 1;
+    } else {
+      fwd.type = MessageType::kChainPacket;
+      fwd.mode = TransferMode::kDecode;
+      fwd.hop = state.hop + 1;
+    }
+    fwd.payload = std::move(msg.payload);
+    state.forwarded[msg.packet_index] = true;
+    ++state.forwarded_count;
+    // Send-window pipelining: up to pipeline_depth of this chain's
+    // forwards sit between the fold and the wire; the wait here is the
+    // hop's backpressure (a slow successor paces us, and through us the
+    // whole upstream chain).
+    enqueue_send(std::move(fwd), state.window);
+  }
+  forwards.add();
+#if FASTPR_TELEMETRY_ENABLED
+  forward_ns.observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         telemetry::trace_now() - hop_start)
+                         .count());
+#endif
+
+  if (state.forwarded_count == state.total_packets) {
+    chain_done_[msg.task_id] = state.attempt;
+    chain_tasks_.erase(it);
+  }
+}
+
+void Agent::chain_stream_head(uint64_t task_id, uint32_t attempt,
+                              ChunkRef chunk, ChunkRef own, NodeId next,
+                              bool last, uint8_t coefficient,
+                              uint64_t packet_bytes) {
+  FASTPR_CHECK(packet_bytes >= 1);
+  FASTPR_TRACE_SPAN("agent.chain_stream_head", "agent",
+                    static_cast<int64_t>(task_id), "task");
+  const auto content = store_.read_unthrottled(own);
+  if (!content.has_value()) {
+    report_failure(task_id, attempt,
+                   "read error on node " + std::to_string(id_) +
+                       " for stripe " + std::to_string(own.stripe));
+    return;
+  }
+  const uint64_t chunk_bytes = content->size();
+  const uint32_t total_packets = static_cast<uint32_t>(
+      (chunk_bytes + packet_bytes - 1) / packet_bytes);
+  const auto window = std::make_shared<SendWindow>();
+
+  for (uint32_t p = 0; p < total_packets; ++p) {
+    const uint64_t offset = static_cast<uint64_t>(p) * packet_bytes;
+    const uint64_t len = std::min(packet_bytes, chunk_bytes - offset);
+    store_.charge_io(static_cast<int64_t>(len));  // disk read time
+
+    Message packet;
+    if (last) {
+      // Single-hop chain: the seed IS the repaired chunk — ship it as
+      // a plain store stream (no forwarding, no hop overhead).
+      packet.type = MessageType::kDataPacket;
+      packet.mode = TransferMode::kStore;
+      packet.coefficient = 1;
+    } else {
+      packet.type = MessageType::kChainPacket;
+      packet.mode = TransferMode::kDecode;
+      packet.hop = 1;
+    }
+    packet.from = id_;
+    packet.to = next;
+    packet.task_id = task_id;
+    packet.attempt = attempt;
+    packet.chunk = chunk;
+    packet.packet_index = p;
+    packet.total_packets = total_packets;
+    packet.chunk_bytes = chunk_bytes;
+    packet.packet_bytes = packet_bytes;
+    packet.payload.assign(content->data() + offset, len);
+    // Seed partial sum: scale by our own decode coefficient in place.
+    gf::mul_region(packet.payload.data(), packet.payload.data(),
+                   coefficient, len);
+
+    enqueue_send(std::move(packet), window);
+  }
+  telemetry::MetricsRegistry::global()
+      .counter("agent.chain_packets_tx")
+      .add(total_packets);
 }
 
 }  // namespace fastpr::agent

@@ -17,7 +17,13 @@
 //  * STF     — answer kMigrateCmd by streaming a chunk to its new home;
 //  * dest    — drive a kReconstructCmd: request k helper streams,
 //    accumulate, store, ack the coordinator; or absorb a migration
-//    stream and ack.
+//    stream and ack;
+//  * chain hop — join a kChainCmd partial-sum chain: fold its own
+//    scaled chunk into each received packet in place (one fused
+//    multiply-XOR on the pooled payload, no copy) and forward it to the
+//    next hop under the same bounded send window, so every link of the
+//    chain streams concurrently and the whole repair approaches the
+//    single-transfer bound (repair pipelining).
 #pragma once
 
 #include <atomic>
@@ -115,13 +121,53 @@ class Agent {
     uint32_t packets_complete = 0;
   };
 
+  /// This node's slot in one partial-sum chain (packet-level repair
+  /// pipelining). Dispatcher-confined like tasks_, so the hop path
+  /// takes no locks of its own beyond the shared send machinery.
+  struct ChainState {
+    uint32_t attempt = 0;
+    uint32_t hop = 0;
+    /// Where folded packets go: the next hop, or the destination when
+    /// this is the last hop (which then sends a plain kStore stream).
+    cluster::NodeId next = cluster::kNoNode;
+    bool last = false;
+    cluster::ChunkRef chunk;    // chunk being repaired (forwarded refs)
+    uint8_t coefficient = 0;    // own decode coefficient
+    uint64_t chunk_bytes = 0;
+    uint64_t packet_bytes = 0;
+    uint32_t total_packets = 0;
+    /// Own helper chunk, read once at command time; each arriving
+    /// packet folds the matching slice into the received partial sum
+    /// in place (single-source dot_region_xor — no copy, no alloc).
+    std::vector<uint8_t> own;
+    std::vector<bool> forwarded;  // per-index duplicate rejection
+    uint32_t forwarded_count = 0;
+    std::shared_ptr<SendWindow> window;
+  };
+
+  /// Packets buffered by handle_chain_packet() for one chain whose
+  /// kChainCmd has not arrived yet (TCP delivers the predecessor's
+  /// stream and our command on unordered connections).
+  static constexpr size_t kChainEarlyCap = 64;
+
   void dispatch_loop();
   void handle_reconstruct_cmd(const net::Message& msg);
   void handle_migrate_cmd(const net::Message& msg);
   void handle_fetch_request(const net::Message& msg);
   void handle_data_packet(net::Message&& msg);
+  void handle_chain_cmd(const net::Message& msg);
+  void handle_chain_packet(net::Message&& msg);
   void handle_cancel_task(const net::Message& msg);
   void handle_ping(const net::Message& msg);
+
+  /// Runs as a reader task: hop 0 of a chain reads its chunk, scales
+  /// each packet by its own coefficient and streams the seed partial
+  /// sums down the chain (a kStore stream straight to the destination
+  /// when the chain has a single hop).
+  void chain_stream_head(uint64_t task_id, uint32_t attempt,
+                         cluster::ChunkRef chunk, cluster::ChunkRef own,
+                         cluster::NodeId next, bool last,
+                         uint8_t coefficient, uint64_t packet_bytes);
 
   /// Runs as a reader task: pipelined read→send of one chunk.
   void stream_chunk(uint64_t task_id, uint32_t attempt,
@@ -158,6 +204,12 @@ class Agent {
   std::vector<std::thread> senders_;
 
   std::unordered_map<uint64_t, TransferState> tasks_;  // dispatcher-only
+  std::unordered_map<uint64_t, ChainState> chain_tasks_;  // dispatcher-only
+  /// Chain packets that outran their kChainCmd (dispatcher-only).
+  std::unordered_map<uint64_t, std::vector<net::Message>> chain_early_;
+  /// Finished chain hops (task → attempt): a straggling duplicate of a
+  /// completed chain must be dropped, not parked in chain_early_.
+  std::unordered_map<uint64_t, uint32_t> chain_done_;  // dispatcher-only
   std::atomic<bool> killed_{false};
   bool started_ = false;
 };

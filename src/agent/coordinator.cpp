@@ -54,6 +54,13 @@ void Coordinator::issue_task(uint64_t task_id, const PendingTask& task) {
 
 void Coordinator::issue_reconstruction(uint64_t task_id, uint32_t attempt,
                                        const core::ReconstructionTask& task) {
+  // A chain needs at least two hops to pipeline anything; a degenerate
+  // helper set (LRC local repair can shrink to one) runs as fan-in.
+  if (task.strategy == core::RepairStrategy::kChain &&
+      task.sources.size() >= 2) {
+    issue_chain(task_id, attempt, task);
+    return;
+  }
   // Decode coefficients for this helper set.
   std::vector<int> helper_indices;
   helper_indices.reserve(task.sources.size());
@@ -81,6 +88,54 @@ void Coordinator::issue_reconstruction(uint64_t task_id, uint32_t attempt,
   // fastpr-lint: allow(ack-tracking) — reply tracked via pending_;
   // non-acknowledgement is salvaged by round extensions + probes.
   transport_.send(std::move(cmd));
+}
+
+void Coordinator::issue_chain(uint64_t task_id, uint32_t attempt,
+                              const core::ReconstructionTask& task) {
+  // Decode coefficients, identical to the fan-in issue path — a chain
+  // computes the same sum, just associated left-to-right down the hops.
+  std::vector<int> helper_indices;
+  helper_indices.reserve(task.sources.size());
+  for (const auto& src : task.sources) {
+    helper_indices.push_back(src.chunk.index);
+  }
+  const auto coeffs =
+      code_.repair_coefficients(task.chunk.index, helper_indices);
+  FASTPR_CHECK(coeffs.size() == task.sources.size());
+
+  // The full chain in hop order; every hop receives the same vector and
+  // indexes it with `hop` for its own chunk/coefficient and successor.
+  std::vector<net::SourceSpec> chain;
+  chain.reserve(task.sources.size());
+  for (size_t i = 0; i < task.sources.size(); ++i) {
+    chain.push_back(net::SourceSpec{task.sources[i].node,
+                                    task.sources[i].chunk, coeffs[i]});
+  }
+
+  // One command per hop, sent last-hop-first: on the in-process
+  // transport (per-receiver FIFO, all sends from this thread) every
+  // hop's command is enqueued before its predecessor can start
+  // streaming into it; TCP cross-connection races are absorbed by the
+  // agents' early-packet buffer.
+  for (size_t i = chain.size(); i-- > 0;) {
+    Message cmd;
+    cmd.type = MessageType::kChainCmd;
+    cmd.from = id_;
+    cmd.to = chain[i].node;
+    cmd.task_id = task_id;
+    cmd.attempt = attempt;
+    cmd.chunk = task.chunk;
+    cmd.dst = task.dst;
+    cmd.hop = static_cast<uint32_t>(i);
+    cmd.chunk_bytes = options_.chunk_bytes;
+    cmd.packet_bytes = options_.packet_bytes;
+    cmd.sources = chain;
+    // fastpr-lint: allow(ack-tracking) — completion is acked by the
+    // destination (kTaskDone) via pending_; a stalled chain is salvaged
+    // by round extensions + probes over collect_task_nodes.
+    transport_.send(std::move(cmd));
+  }
+  coord_counter("coordinator.chain_tasks").add();
 }
 
 void Coordinator::issue_migration(uint64_t task_id, uint32_t attempt,
@@ -322,6 +377,15 @@ void Coordinator::reissue_now(uint64_t task_id, ExecutionReport& report) {
   }
   const NodeId old_dst = task.current_dst();
   const uint32_t old_attempt = task.attempt;
+  // Chain hops hold per-task state and a reissued chain re-picks its
+  // hop set, so tear every old hop down. Attempt-guarded: a cancel
+  // carrying the old attempt cannot kill the state a reused hop gets
+  // from the new command's higher attempt.
+  std::vector<NodeId> old_hops;
+  if (!task.is_migration &&
+      task.recon.strategy == core::RepairStrategy::kChain) {
+    for (const auto& src : task.recon.sources) old_hops.push_back(src.node);
+  }
   ++task.attempt;
   if (!rebuild_task(task, report)) {
     abandon(task_id, "no viable helper set or destination", report);
@@ -332,6 +396,7 @@ void Coordinator::reissue_now(uint64_t task_id, ExecutionReport& report) {
   if (task.current_dst() != old_dst) {
     cancel_attempt(old_dst, task_id, old_attempt);
   }
+  for (NodeId hop : old_hops) cancel_attempt(hop, task_id, old_attempt);
   issue_task(task_id, task);
 }
 
@@ -345,6 +410,13 @@ void Coordinator::abandon(uint64_t task_id, const std::string& reason,
                           " unrepaired: " + reason);
   coord_counter("coordinator.tasks_abandoned").add();
   cancel_attempt(it->second.current_dst(), task_id, it->second.attempt);
+  const PendingTask& task = it->second;
+  if (!task.is_migration &&
+      task.recon.strategy == core::RepairStrategy::kChain) {
+    for (const auto& src : task.recon.sources) {
+      cancel_attempt(src.node, task_id, task.attempt);
+    }
+  }
   pending_.erase(it);
 }
 

@@ -209,6 +209,12 @@ class Coordinator {
   void issue_task(uint64_t task_id, const PendingTask& task);
   void issue_reconstruction(uint64_t task_id, uint32_t attempt,
                             const core::ReconstructionTask& task);
+  /// Issues a kChain-strategy reconstruction: one kChainCmd per hop
+  /// (full chain in `sources`, the receiver's slot in `hop`), sent
+  /// last-hop-first so every hop's command is enqueued before its
+  /// predecessor can start streaming into it.
+  void issue_chain(uint64_t task_id, uint32_t attempt,
+                   const core::ReconstructionTask& task);
   void issue_migration(uint64_t task_id, uint32_t attempt,
                        const core::MigrationTask& task);
   void cancel_attempt(cluster::NodeId node, uint64_t task_id,

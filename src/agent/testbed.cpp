@@ -115,10 +115,12 @@ Testbed::Testbed(const TestbedOptions& options, const ec::ErasureCode& code)
   if (options.use_tcp) {
     net::TcpTransport::Options topts;
     topts.net_bytes_per_sec = options.net_bytes_per_sec;
+    topts.chain_hop_overhead_seconds = options.chain_hop_overhead_seconds;
     transport_ = std::make_unique<net::TcpTransport>(num_nodes, topts);
   } else {
     net::InprocTransport::Options topts;
     topts.net_bytes_per_sec = options.net_bytes_per_sec;
+    topts.chain_hop_overhead_seconds = options.chain_hop_overhead_seconds;
     transport_ = std::make_unique<net::InprocTransport>(num_nodes, topts);
   }
   if (options.fault_plan.has_value()) {
@@ -246,6 +248,9 @@ core::FastPrPlanner Testbed::make_planner(core::Scenario scenario) {
   popts.k_repair = code_.repair_fetch_count(0);
   popts.chunk_bytes = static_cast<double>(options_.chunk_bytes);
   popts.code = &code_;
+  popts.packet_bytes = static_cast<double>(options_.packet_bytes);
+  popts.chain_hop_overhead_seconds = options_.chain_hop_overhead_seconds;
+  popts.sched.strategy = options_.repair_strategy;
   return core::FastPrPlanner(*layout_, *cluster_, popts);
 }
 
@@ -255,6 +260,9 @@ core::MultiStfPlanner Testbed::make_multi_planner(core::Scenario scenario) {
   popts.k_repair = code_.repair_fetch_count(0);
   popts.chunk_bytes = static_cast<double>(options_.chunk_bytes);
   popts.code = &code_;
+  popts.packet_bytes = static_cast<double>(options_.packet_bytes);
+  popts.chain_hop_overhead_seconds = options_.chain_hop_overhead_seconds;
+  popts.sched.strategy = options_.repair_strategy;
   return core::MultiStfPlanner(*layout_, *cluster_, popts);
 }
 
@@ -326,9 +334,10 @@ std::vector<telemetry::PredictedRound> Testbed::predict_rounds(
       std::vector<int> cm_per_stf;
       cm_per_stf.reserve(per_src.size());
       for (const auto& [src, cm] : per_src) cm_per_stf.push_back(cm);
-      p.duration_seconds = model.round_time_multi(p.cr, cm_per_stf);
+      p.duration_seconds =
+          model.round_time_multi(p.cr, cm_per_stf, round.strategy);
     } else {
-      p.duration_seconds = model.round_time(p.cr, p.cm);
+      p.duration_seconds = model.round_time(p.cr, p.cm, round.strategy);
     }
     predicted.push_back(p);
   }

@@ -71,6 +71,16 @@ struct TestbedOptions {
   int num_stripes = 120;
   uint64_t seed = 1;
   bool use_tcp = false;          // loopback TCP instead of in-process
+  /// Reconstruction strategy for the planners this testbed builds:
+  /// fan-in (paper default), partial-sum chains, or per-round kAuto via
+  /// the cost model. Executions honor whatever the plan's rounds carry.
+  core::StrategyChoice repair_strategy = core::StrategyChoice::kFanIn;
+  /// Per-forward store-and-forward cost of a chain hop, charged by the
+  /// shaped transports on kChainPacket sends AND fed to the planners'
+  /// cost model, so kAuto decides on the numbers the execution shows.
+  /// The default approximates a receive→fuse→re-send turnaround on the
+  /// scaled testbed; irrelevant while no chain runs.
+  double chain_hop_overhead_seconds = 500e-6;
   std::chrono::milliseconds round_timeout{120000};
   /// Fault-tolerance knobs, forwarded to CoordinatorOptions.
   int max_attempts = 4;

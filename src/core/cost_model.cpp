@@ -11,6 +11,19 @@ std::string to_string(Scenario s) {
   return s == Scenario::kScattered ? "scattered" : "hot-standby";
 }
 
+std::string to_string(RepairStrategy s) {
+  return s == RepairStrategy::kFanIn ? "fanin" : "chain";
+}
+
+std::string to_string(StrategyChoice s) {
+  switch (s) {
+    case StrategyChoice::kFanIn: return "fanin";
+    case StrategyChoice::kChain: return "chain";
+    case StrategyChoice::kAuto: return "auto";
+  }
+  return "fanin";
+}
+
 CostModel::CostModel(const ModelParams& params) : params_(params) {
   FASTPR_CHECK(params.num_nodes >= 2);
   FASTPR_CHECK(params.stf_chunks >= 1);
@@ -26,6 +39,8 @@ CostModel::CostModel(const ModelParams& params) : params_(params) {
   if (params.scenario == Scenario::kHotStandby) {
     FASTPR_CHECK(params.hot_standby >= 1);
   }
+  FASTPR_CHECK(params.packet_bytes >= 0);
+  FASTPR_CHECK(params.chain_hop_overhead_seconds >= 0);
 }
 
 double CostModel::tm() const {
@@ -49,6 +64,46 @@ double CostModel::tr(double g) const {
   const double h = params_.hot_standby;
   return c / params_.disk_bw + g * k * c / (h * params_.net_bw) +
          g * c / (h * params_.disk_bw);
+}
+
+double CostModel::tr_chain(double g) const {
+  FASTPR_CHECK_MSG(params_.packet_bytes > 0,
+                   "chain round time needs packet_bytes in ModelParams");
+  const double c = params_.chunk_bytes;
+  const double p = std::min(params_.packet_bytes, c);
+  const double k = params_.k_repair;
+  const double o = params_.chain_hop_overhead_seconds;
+  // Store-and-forward overhead: the paced hop forwards N = ceil(c/p)
+  // packets and the pipeline fill adds k-1 more forward slots. A
+  // one-helper "chain" is a plain coefficient-scaled stream, which pays
+  // no forwarding at all.
+  const double packets = std::ceil(c / p);
+  const double overhead =
+      params_.k_repair >= 2 ? (packets + k - 1.0) * o : 0.0;
+  if (params_.scenario == Scenario::kScattered) {
+    // Single-transfer bound plus (k-1) per-hop packet latencies: every
+    // link carries one chunk, the fill is one packet per extra hop.
+    return c / params_.disk_bw + c / params_.net_bw +
+           (k - 1.0) * p / params_.net_bw + overhead +
+           c / params_.disk_bw;
+  }
+  // Hot-standby: the h spares absorb g single-chunk chain tails (vs
+  // g·k fan-in streams in Eq. 6) and g writes.
+  FASTPR_CHECK(g > 0);
+  const double h = params_.hot_standby;
+  return c / params_.disk_bw + g * c / (h * params_.net_bw) +
+         (k - 1.0) * p / params_.net_bw + overhead +
+         g * c / (h * params_.disk_bw);
+}
+
+double CostModel::tr(double g, RepairStrategy strategy) const {
+  return strategy == RepairStrategy::kChain ? tr_chain(g) : tr(g);
+}
+
+RepairStrategy CostModel::choose_strategy(double g) const {
+  if (params_.packet_bytes <= 0) return RepairStrategy::kFanIn;
+  return tr_chain(g) < tr(g) ? RepairStrategy::kChain
+                             : RepairStrategy::kFanIn;
 }
 
 double CostModel::max_parallel_groups() const {
@@ -102,28 +157,44 @@ double CostModel::migration_only_time_per_chunk() const {
 }
 
 int CostModel::migration_quota(int cr) const {
+  return migration_quota(cr, RepairStrategy::kFanIn);
+}
+
+int CostModel::migration_quota(int cr, RepairStrategy strategy) const {
   if (cr <= 0) return 0;
-  const double quota = tr(static_cast<double>(cr)) / tm();
+  const double quota = tr(static_cast<double>(cr), strategy) / tm();
   return static_cast<int>(std::floor(quota));
 }
 
 double CostModel::round_time(int cr, int cm) const {
+  return round_time(cr, cm, RepairStrategy::kFanIn);
+}
+
+double CostModel::round_time(int cr, int cm,
+                             RepairStrategy strategy) const {
   FASTPR_CHECK(cr >= 0 && cm >= 0);
   // Migrations serialize through the STF node's disk; reconstructions of
   // one round run in parallel groups. The round ends when both finish.
-  const double recon = cr > 0 ? tr(static_cast<double>(cr)) : 0.0;
+  const double recon =
+      cr > 0 ? tr(static_cast<double>(cr), strategy) : 0.0;
   const double migrate = cm * tm();
   return std::max(recon, migrate);
 }
 
 double CostModel::round_time_multi(int cr,
                                    const std::vector<int>& cm_per_stf) const {
+  return round_time_multi(cr, cm_per_stf, RepairStrategy::kFanIn);
+}
+
+double CostModel::round_time_multi(int cr,
+                                   const std::vector<int>& cm_per_stf,
+                                   RepairStrategy strategy) const {
   int slowest = 0;
   for (int cm : cm_per_stf) {
     FASTPR_CHECK(cm >= 0);
     slowest = std::max(slowest, cm);
   }
-  return round_time(cr, slowest);
+  return round_time(cr, slowest, strategy);
 }
 
 }  // namespace fastpr::core

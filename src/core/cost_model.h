@@ -19,6 +19,26 @@ enum class Scenario {
 
 std::string to_string(Scenario s);
 
+/// How one chunk is reconstructed from its k helpers.
+enum class RepairStrategy {
+  /// All k helper streams converge on the destination, which computes
+  /// the fused dot once per packet index (the paper's §III model; the
+  /// destination NIC serializes k chunks of traffic).
+  kFanIn,
+  /// Packet-level partial-sum chain (repair pipelining): helpers form a
+  /// path h0 → h1 → … → h(k-1) → dest; each hop multiplies its own
+  /// packet by its decode coefficient and XORs it into the partial sum
+  /// received from the previous hop. Every link carries ONE chunk of
+  /// traffic, so per-chunk time approaches the single-transfer bound.
+  kChain,
+};
+
+/// Planner-facing strategy knob: fixed, or model-chosen per round.
+enum class StrategyChoice { kFanIn, kChain, kAuto };
+
+std::string to_string(RepairStrategy s);
+std::string to_string(StrategyChoice s);
+
 /// Inputs of the analysis. `k_repair` is the number of chunks fetched to
 /// repair one chunk: k for RS(n,k); k/l for LRC (§III extension).
 struct ModelParams {
@@ -38,6 +58,17 @@ struct ModelParams {
   double helper_bytes_fraction = 1.0;
   int hot_standby = 3;          // h (hot-standby scenario only)
   Scenario scenario = Scenario::kScattered;
+  /// Wire packet size p used by the chain strategy's pipelined transfer
+  /// (0 = unknown → tr_chain unavailable, choose_strategy stays fan-in).
+  double packet_bytes = 0;
+  /// Per-hop, per-packet store-and-forward cost o of a chain forward
+  /// (receive → fuse → re-send: syscalls, interrupts, cache traffic).
+  /// Fan-in helpers stream sequentially and do not pay it, which is why
+  /// chains lose at small packet sizes — the fan-in/chain crossover.
+  /// The testbed charges the same constant on every chain forward
+  /// (InprocOptions.chain_hop_overhead_seconds) so measurement and
+  /// model agree; see bench_pipelining.
+  double chain_hop_overhead_seconds = 0;
 };
 
 class CostModel {
@@ -53,6 +84,24 @@ class CostModel {
   /// Scattered (Eq. 5) is independent of g; hot-standby (Eq. 6) funnels
   /// g·k transmissions and g writes into the h spares.
   double tr(double g) const;
+
+  /// Chain (repair-pipelining) reconstruction time of a round of g
+  /// chunks: read + pipelined transfer + write, where the transfer is
+  /// the single-transfer bound c/bn plus (k-1) per-hop packet latencies
+  /// of pipeline fill plus the per-forward overhead o on each of the
+  /// N + k - 1 slots (N = ceil(c/p)). Hot-standby funnels g/h chains
+  /// and g/h writes into each spare. Requires packet_bytes > 0. Chains
+  /// forward full-size partial sums, so helper_bytes_fraction does not
+  /// apply (MSR sub-chunk savings are a fan-in property).
+  double tr_chain(double g) const;
+
+  /// tr under a chosen strategy.
+  double tr(double g, RepairStrategy strategy) const;
+
+  /// The faster strategy for a round of g chunks (fan-in when
+  /// packet_bytes is unset). This is what StrategyChoice::kAuto
+  /// resolves to in Algorithm 2.
+  RepairStrategy choose_strategy(double g) const;
 
   /// The analysis' parallelism bound G = (M-B)/k (continuous, as §III
   /// assumes the maximum number of non-overlapping groups exists). B is
@@ -85,20 +134,26 @@ class CostModel {
   double migration_only_time_per_chunk() const;
 
   /// Scheduler hook (§IV-C): chunks to migrate during one reconstruction
-  /// round of cr chunks, cm = tr(cr)/tm, floored to whole chunks.
+  /// round of cr chunks, cm = tr(cr)/tm, floored to whole chunks. The
+  /// strategy overload uses the chosen strategy's tr — a faster chain
+  /// round leaves less time to migrate alongside it.
   int migration_quota(int cr) const;
+  int migration_quota(int cr, RepairStrategy strategy) const;
 
   /// Modelled wall time of one executed round repairing cr chunks by
   /// reconstruction while cm migrate concurrently: max(tr(cr), cm·tm).
   /// This is what telemetry::PredictedRound diffs measured rounds
   /// against (DESIGN.md §5c).
   double round_time(int cr, int cm) const;
+  double round_time(int cr, int cm, RepairStrategy strategy) const;
 
   /// Multi-STF round time (DESIGN.md §8): the B migration streams run on
   /// independent disks, so the round ends when the slowest stream and
   /// the reconstruction both finish — max(tr(cr), max_s cm_s·tm).
   /// Equals round_time(cr, cm_per_stf[0]) for a single-element vector.
   double round_time_multi(int cr, const std::vector<int>& cm_per_stf) const;
+  double round_time_multi(int cr, const std::vector<int>& cm_per_stf,
+                          RepairStrategy strategy) const;
 
  private:
   ModelParams params_;

@@ -70,6 +70,8 @@ CostModel FastPrPlanner::cost_model() const {
   params.k_repair = options_.k_repair;
   params.hot_standby = std::max(1, cluster_.num_hot_standby());
   params.scenario = options_.scenario;
+  params.packet_bytes = options_.packet_bytes;
+  params.chain_hop_overhead_seconds = options_.chain_hop_overhead_seconds;
   return CostModel(params);
 }
 
@@ -147,6 +149,7 @@ RepairPlan FastPrPlanner::plan_reconstruction_only() {
   const auto sources = source_nodes();
   const auto dests = dest_nodes();
   const auto& sets = recon_sets();
+  const CostModel model = cost_model();
 
   RepairPlan plan;
   plan.stf_node = stf_;
@@ -154,6 +157,8 @@ RepairPlan FastPrPlanner::plan_reconstruction_only() {
   for (const auto& set : sets) {
     ScheduledRound round;
     round.reconstruct = set;
+    round.strategy = resolve_strategy(options_.sched.strategy, model,
+                                      static_cast<int>(set.size()));
     plan.rounds.push_back(assign_round(layout_, stf_, sources, dests,
                                        options_.scenario, options_.k_repair,
                                        round, &standby_cursor,

@@ -36,6 +36,13 @@ struct PlannerOptions {
   /// is given.
   int k_repair = 6;
   double chunk_bytes = 0;
+  /// Wire packet size, needed by the chain strategy's round-time model
+  /// (0 = unknown → StrategyChoice::kAuto resolves to fan-in).
+  double packet_bytes = 0;
+  /// Per-forward overhead of a chain hop (ModelParams field of the same
+  /// name); keep equal to the testbed's charge so kAuto decides on the
+  /// same numbers the execution will show.
+  double chain_hop_overhead_seconds = 0;
   /// Optional erasure code: when set, the matching honors the code's
   /// per-chunk helper counts and candidate sets (LRC locality). Must
   /// outlive the planner.

@@ -151,6 +151,8 @@ CostModel MultiStfPlanner::cost_model() const {
   params.batch = static_cast<int>(batch_.size());
   params.hot_standby = std::max(1, cluster_.num_hot_standby());
   params.scenario = options_.scenario;
+  params.packet_bytes = options_.packet_bytes;
+  params.chain_hop_overhead_seconds = options_.chain_hop_overhead_seconds;
   return CostModel(params);
 }
 
@@ -165,6 +167,8 @@ CostModel MultiStfPlanner::member_cost_model(NodeId stf) const {
   params.k_repair = options_.k_repair;
   params.hot_standby = std::max(1, cluster_.num_hot_standby());
   params.scenario = options_.scenario;
+  params.packet_bytes = options_.packet_bytes;
+  params.chain_hop_overhead_seconds = options_.chain_hop_overhead_seconds;
   return CostModel(params);
 }
 

@@ -64,6 +64,7 @@ RepairRound assign_round_multi(const StripeLayout& layout,
   const std::unordered_set<NodeId> stf_set(stf_batch.begin(),
                                            stf_batch.end());
   RepairRound out;
+  out.strategy = round.strategy;
 
   // ---- Source selection (Figure 4(b) matching). ----
   std::unordered_map<NodeId, int> left_of_node;
@@ -104,6 +105,7 @@ RepairRound assign_round_multi(const StripeLayout& layout,
     for (ChunkRef chunk : round.reconstruct) {
       ReconstructionTask task;
       task.chunk = chunk;
+      task.strategy = round.strategy;
       const int k_this = fetch_count(chunk);
       for (int t = 0; t < k_this; ++t, ++right) {
         const int left = matcher.matched_left(right);

@@ -8,6 +8,7 @@
 #include "cluster/cluster_state.h"
 #include "cluster/stripe_layout.h"
 #include "cluster/types.h"
+#include "core/cost_model.h"
 #include "ec/erasure_code.h"
 
 namespace fastpr::core {
@@ -31,6 +32,10 @@ struct ReconstructionTask {
   cluster::ChunkRef chunk;  // the chunk being repaired
   std::vector<SourceRead> sources;
   cluster::NodeId dst = cluster::kNoNode;
+  /// kChain: `sources` is the hop order h0 → … → h(k-1) → dst and the
+  /// helpers forward packet-level partial sums; kFanIn: all helpers
+  /// stream straight to dst.
+  RepairStrategy strategy = RepairStrategy::kFanIn;
 };
 
 /// One repair round: its migrations and reconstructions run in parallel;
@@ -38,6 +43,9 @@ struct ReconstructionTask {
 struct RepairRound {
   std::vector<ReconstructionTask> reconstructions;
   std::vector<MigrationTask> migrations;
+  /// Strategy Algorithm 2 chose for this round's reconstructions (what
+  /// the simulator and predict_rounds price the round with).
+  RepairStrategy strategy = RepairStrategy::kFanIn;
 
   int repaired_chunks() const {
     return static_cast<int>(reconstructions.size() + migrations.size());

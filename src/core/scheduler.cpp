@@ -8,6 +8,18 @@
 
 namespace fastpr::core {
 
+RepairStrategy resolve_strategy(StrategyChoice choice,
+                                const CostModel& model, int cr) {
+  switch (choice) {
+    case StrategyChoice::kFanIn: return RepairStrategy::kFanIn;
+    case StrategyChoice::kChain: return RepairStrategy::kChain;
+    case StrategyChoice::kAuto:
+      return model.choose_strategy(
+          static_cast<double>(std::max(1, cr)));
+  }
+  return RepairStrategy::kFanIn;
+}
+
 std::vector<ScheduledRound> schedule_repair(
     std::vector<std::vector<cluster::ChunkRef>> recon_sets,
     const CostModel& model, const SchedulerOptions& options) {
@@ -29,9 +41,10 @@ std::vector<ScheduledRound> schedule_repair(
     ScheduledRound round;
     round.reconstruct = recon_sets[l];
     const int cr = static_cast<int>(round.reconstruct.size());
+    round.strategy = resolve_strategy(options.strategy, model, cr);
     int cm = options.fixed_migration_quota >= 0
                  ? options.fixed_migration_quota
-                 : model.migration_quota(cr);
+                 : model.migration_quota(cr, round.strategy);
     if (options.max_round_repairs > 0) {
       // Keep cr + cm within the destination-matching guarantee.
       cm = std::min(cm, std::max(0, options.max_round_repairs - cr));
@@ -114,12 +127,13 @@ std::vector<ScheduledRound> schedule_repair_multi(
     ScheduledRound round;
     round.reconstruct = recon_sets[0];
     const int cr = static_cast<int>(round.reconstruct.size());
+    round.strategy = resolve_strategy(options.strategy, model, cr);
 
     // Per-STF migration quota (each disk drains independently) plus the
     // shared destination-capacity cap on the whole round.
     const int quota = options.fixed_migration_quota >= 0
                           ? options.fixed_migration_quota
-                          : model.migration_quota(cr);
+                          : model.migration_quota(cr, round.strategy);
     std::unordered_map<cluster::NodeId, int> budget;
     for (cluster::NodeId s : stf_batch) budget[s] = quota;
     int total_left = options.max_round_repairs > 0

@@ -19,6 +19,8 @@ namespace fastpr::core {
 struct ScheduledRound {
   std::vector<cluster::ChunkRef> reconstruct;  // R_l
   std::vector<cluster::ChunkRef> migrate;      // M_l
+  /// How this round's reconstructions move their helper traffic.
+  RepairStrategy strategy = RepairStrategy::kFanIn;
 };
 
 struct SchedulerOptions {
@@ -28,7 +30,17 @@ struct SchedulerOptions {
   /// Cap on cr + cm per round so the scattered destination matching is
   /// always feasible (|healthy dests| - (n-1)). 0 = no cap (hot-standby).
   int max_round_repairs = 0;
+  /// Reconstruction strategy per round: fan-in, chain, or let the cost
+  /// model pick the faster one for each round's cr (kAuto). The
+  /// migration quota cm = tr(cr)/tm always uses the chosen strategy's
+  /// tr — a pipelined round finishes sooner and carries fewer
+  /// migrations alongside it.
+  StrategyChoice strategy = StrategyChoice::kFanIn;
 };
+
+/// Resolves the planner-facing knob to a concrete per-round strategy.
+RepairStrategy resolve_strategy(StrategyChoice choice,
+                                const CostModel& model, int cr);
 
 /// Runs Algorithm 2. `recon_sets` is consumed by value (the algorithm
 /// splits sets). The model supplies the per-round migration quota.

@@ -658,6 +658,22 @@ void xor_region(uint8_t* dst, const uint8_t* src, size_t len) {
 void dot_region_xor(uint8_t* dst, const uint8_t* const* srcs,
                     const uint8_t* coeffs, size_t num_src, size_t len) {
   if (len == 0) return;
+  // Single-source fast path: one nonzero contribution degenerates to a
+  // fused multiply+XOR (a pure XOR when c == 1), skipping batch setup.
+  // The chain-hop fold hits this on every forwarded packet.
+  size_t nonzero = 0;
+  size_t only = 0;
+  for (size_t j = 0; j < num_src && nonzero < 2; ++j) {
+    if (coeffs[j] != 0) {
+      ++nonzero;
+      only = j;
+    }
+  }
+  if (nonzero == 0) return;
+  if (nonzero == 1) {
+    mul_region_xor(dst, srcs[only], coeffs[only], len);
+    return;
+  }
   const Kernel kernel = active_kernel();
   // Compact zero coefficients out, then sweep batches of up to kDotBatch
   // sources so each batch's tables stay register/L1-resident.

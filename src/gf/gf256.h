@@ -109,7 +109,9 @@ void xor_region(uint8_t* dst, const uint8_t* src, size_t len);
 /// dst regardless of the source count (sources are swept in register-
 /// blocked batches), versus n separate mul_region_xor passes.
 /// Zero coefficients are skipped. Equals the mul_region_xor loop
-/// bit-for-bit for every kernel variant.
+/// bit-for-bit for every kernel variant. A single nonzero source takes
+/// a fused mul_region_xor fast path (pure XOR when its coefficient is
+/// 1) — the per-packet partial-sum fold of a chain hop.
 void dot_region_xor(uint8_t* dst, const uint8_t* const* srcs,
                     const uint8_t* coeffs, size_t num_src, size_t len);
 

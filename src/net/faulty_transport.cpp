@@ -100,7 +100,8 @@ FaultyTransport::Action FaultyTransport::decide(
 
   // Send-threshold crashes tick on data packets only (commands and acks
   // are negligible traffic; the thresholds model "died N chunks in").
-  if (msg.type == MessageType::kDataPacket) {
+  // Chain forwards count too — a mid-chain hop dies mid-stream.
+  if (is_data_packet(msg.type)) {
     const auto it = crashes_.find(msg.from);
     if (it != crashes_.end()) {
       CrashState& state = it->second;
@@ -121,7 +122,7 @@ FaultyTransport::Action FaultyTransport::decide(
 
   for (auto& f : flaky_) {
     if (f.rule.node != kAnyNode && f.rule.node != msg.from) continue;
-    if (f.rule.data_only && msg.type != MessageType::kDataPacket) continue;
+    if (f.rule.data_only && !is_data_packet(msg.type)) continue;
     if (f.drops_left > 0 && rng_.chance(f.rule.drop_prob)) {
       --f.drops_left;
       fault_counter("net.fault.dropped").add();

@@ -24,24 +24,35 @@ void InprocTransport::send(Message msg) {
                msg.from < static_cast<int>(endpoints_.size()));
   FASTPR_CHECK(msg.to >= 0 && msg.to < static_cast<int>(endpoints_.size()));
 
-  if (msg.type == MessageType::kDataPacket) {
+  if (is_data_packet(msg.type)) {
     const auto bytes = static_cast<int64_t>(msg.encoded_size());
     endpoints_[static_cast<size_t>(msg.from)]->data_tx.fetch_add(
         bytes, std::memory_order_relaxed);
     endpoints_[static_cast<size_t>(msg.to)]->data_rx.fetch_add(
         bytes, std::memory_order_relaxed);
   }
-  const bool shaped = options_.shape_control_messages ||
-                      msg.type == MessageType::kDataPacket;
+  const bool shaped =
+      options_.shape_control_messages || is_data_packet(msg.type);
   if (shaped) {
-    const auto bytes = static_cast<int64_t>(msg.encoded_size());
+    auto& tx = *endpoints_[static_cast<size_t>(msg.from)]->tx;
+    int64_t tx_bytes = static_cast<int64_t>(msg.encoded_size());
+    if (msg.type == MessageType::kChainPacket &&
+        options_.chain_hop_overhead_seconds > 0) {
+      // Store-and-forward cost of the chain hop, as the byte-equivalent
+      // of a fixed time at the hop's current uplink rate (0 when
+      // unthrottled). This is the measured-side twin of
+      // ModelParams.chain_hop_overhead_seconds.
+      tx_bytes += static_cast<int64_t>(
+          options_.chain_hop_overhead_seconds * tx.rate());
+    }
     // Span duration ≈ time this packet waited on bandwidth shaping.
-    FASTPR_TRACE_SPAN("inproc.shape", "net", bytes, "bytes");
+    FASTPR_TRACE_SPAN("inproc.shape", "net", tx_bytes, "bytes");
     // Sender's uplink first, then receiver's downlink: a saturated
     // receiver back-pressures all of its senders, which is exactly the
     // hot-standby bottleneck of Eq. (6).
-    endpoints_[static_cast<size_t>(msg.from)]->tx->acquire(bytes);
-    endpoints_[static_cast<size_t>(msg.to)]->rx->acquire(bytes);
+    tx.acquire(tx_bytes);
+    endpoints_[static_cast<size_t>(msg.to)]->rx->acquire(
+        static_cast<int64_t>(msg.encoded_size()));
   }
 
   auto& ep = *endpoints_[static_cast<size_t>(msg.to)];

@@ -24,10 +24,20 @@ class InprocTransport final : public Transport {
  public:
   struct Options {
     double net_bytes_per_sec = 0;  // <=0: unlimited
-    /// Charge bandwidth only for kDataPacket messages (default), or for
-    /// every message.
+    /// Charge bandwidth only for payload-bearing data messages
+    /// (default), or for every message.
     bool shape_control_messages = false;
     int64_t burst_bytes = 1 * kMiB;
+    /// Per-packet store-and-forward cost of a chain hop (kChainPacket
+    /// sends only): receive → fuse → re-send pays syscalls, interrupts
+    /// and cache traffic that a fan-in helper's sequential stream does
+    /// not. Charged deterministically as the byte-equivalent at the
+    /// sender's current NIC rate (a fixed TIME per forward, so it is
+    /// rate-independent), mirroring
+    /// ModelParams.chain_hop_overhead_seconds so measured chain rounds
+    /// and the cost model see the same per-forward cost. No effect on
+    /// unthrottled transports.
+    double chain_hop_overhead_seconds = 0;
   };
 
   InprocTransport(int num_nodes, const Options& options);
@@ -44,8 +54,8 @@ class InprocTransport final : public Transport {
   /// Total bytes ever accepted for delivery (testing/teardown aid).
   int64_t total_bytes_sent() const;
 
-  /// Bytes of kDataPacket payloadful traffic sent by / received by a
-  /// node so far (repair-traffic accounting for experiments).
+  /// Bytes of payload-bearing (kDataPacket/kChainPacket) traffic sent
+  /// by / received by a node so far (repair-traffic accounting).
   int64_t data_bytes_tx(cluster::NodeId node) const;
   int64_t data_bytes_rx(cluster::NodeId node) const;
 

@@ -73,6 +73,8 @@ bool valid_message_type(uint8_t raw) {
     case MessageType::kPing:
     case MessageType::kPong:
     case MessageType::kCancelTask:
+    case MessageType::kChainCmd:
+    case MessageType::kChainPacket:
       return true;
   }
   return false;
@@ -87,6 +89,7 @@ constexpr size_t kFixedHeaderBytes =
     4 +                 // dst
     1 + 1 +             // mode, coefficient
     4 + 4 +             // packet_index, total_packets
+    4 +                 // hop
     8 + 8 +             // chunk_bytes, packet_bytes
     4 + 4 + 4;          // sources count, error length, payload length
 
@@ -105,6 +108,7 @@ void write_message(uint8_t* out, const Message& msg) {
   w.put<uint8_t>(msg.coefficient);
   w.put<uint32_t>(msg.packet_index);
   w.put<uint32_t>(msg.total_packets);
+  w.put<uint32_t>(msg.hop);
   w.put<uint64_t>(msg.chunk_bytes);
   w.put<uint64_t>(msg.packet_bytes);
   w.put<uint32_t>(static_cast<uint32_t>(msg.sources.size()));
@@ -140,6 +144,7 @@ Message Message::clone() const {
   copy.coefficient = coefficient;
   copy.packet_index = packet_index;
   copy.total_packets = total_packets;
+  copy.hop = hop;
   copy.chunk_bytes = chunk_bytes;
   copy.packet_bytes = packet_bytes;
   copy.sources = sources;
@@ -171,6 +176,7 @@ std::optional<Message> deserialize(std::span<const uint8_t> bytes) {
       !reader.read(msg.chunk.index) || !reader.read(msg.dst) ||
       !reader.read(mode) || !reader.read(msg.coefficient) ||
       !reader.read(msg.packet_index) || !reader.read(msg.total_packets) ||
+      !reader.read(msg.hop) ||
       !reader.read(msg.chunk_bytes) || !reader.read(msg.packet_bytes) ||
       !reader.read(num_sources) || !reader.read(error_len) ||
       !reader.read(payload_len)) {

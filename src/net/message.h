@@ -30,7 +30,15 @@ enum class MessageType : uint8_t {
   kPing = 8,            // coordinator → agent (liveness probe)
   kPong = 9,            // agent → coordinator (probe reply)
   kCancelTask = 10,     // coordinator → agent (drop a stale attempt)
+  kChainCmd = 11,       // coordinator → chain hop (join a partial-sum chain)
+  kChainPacket = 12,    // chain hop → next hop (running partial sum)
 };
+
+/// Payload-bearing repair traffic: what the transports shape against the
+/// network budget and count as repair bytes. Everything else is control.
+constexpr bool is_data_packet(MessageType t) {
+  return t == MessageType::kDataPacket || t == MessageType::kChainPacket;
+}
 
 /// How a destination handles incoming data packets of a task.
 enum class TransferMode : uint8_t {
@@ -66,9 +74,16 @@ struct Message {
   uint8_t coefficient = 0;       // decode coefficient (packets)
   uint32_t packet_index = 0;
   uint32_t total_packets = 0;
+  /// Chain position (0-based). kChainCmd: the receiver's slot in the
+  /// hop order carried by `sources`; kChainPacket: the slot of the hop
+  /// the packet is addressed to. 0 elsewhere.
+  uint32_t hop = 0;
   uint64_t chunk_bytes = 0;
   uint64_t packet_bytes = 0;
-  std::vector<SourceSpec> sources;   // kReconstructCmd only
+  /// kReconstructCmd: the fan-in helper set. kChainCmd: the FULL chain
+  /// in hop order (every hop receives the same vector and indexes it
+  /// with `hop` for its own chunk/coefficient and successor).
+  std::vector<SourceSpec> sources;
   std::string error;                 // kTaskFailed only
   /// kDataPacket only. Pool-recycled: steady-state packet traffic reuses
   /// retired payload buffers instead of allocating per packet. Makes

@@ -129,7 +129,7 @@ void TcpTransport::reader_loop(int node, int fd) {
       continue;
     }
     const bool shaped = options_.shape_control_messages ||
-                        msg->type == MessageType::kDataPacket;
+                        is_data_packet(msg->type);
     if (shaped) ep.rx->acquire(static_cast<int64_t>(frame.size()));
     {
       MutexLock lock(ep.mutex);
@@ -176,8 +176,17 @@ void TcpTransport::send(Message msg) {
 
   const auto frame = serialize_pooled(msg);
   const bool shaped = options_.shape_control_messages ||
-                      msg.type == MessageType::kDataPacket;
-  if (shaped) ep.tx->acquire(static_cast<int64_t>(frame.size()));
+                      is_data_packet(msg.type);
+  if (shaped) {
+    int64_t tx_bytes = static_cast<int64_t>(frame.size());
+    if (msg.type == MessageType::kChainPacket &&
+        options_.chain_hop_overhead_seconds > 0) {
+      // Chain-hop store-and-forward cost, mirroring InprocTransport.
+      tx_bytes += static_cast<int64_t>(
+          options_.chain_hop_overhead_seconds * ep.tx->rate());
+    }
+    ep.tx->acquire(tx_bytes);
+  }
 
   static telemetry::Counter& tx_frames =
       telemetry::MetricsRegistry::global().counter("tcp.frames_tx");

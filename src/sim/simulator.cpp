@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "util/check.h"
@@ -26,7 +27,31 @@ double paper_round_time(const core::RepairRound& round,
   const double migration_time = static_cast<double>(slowest_src) * tm;
 
   double recon_time = 0;
-  if (!round.reconstructions.empty()) {
+  if (!round.reconstructions.empty() &&
+      round.strategy == core::RepairStrategy::kChain) {
+    // Chain (repair pipelining): expression-identical to
+    // CostModel::tr_chain so simulated rounds equal the model's
+    // predictions bit-for-bit (the differential tests assert ==).
+    // Chains move whole chunks (RS/LRC), so helper_bytes_fraction does
+    // not apply.
+    FASTPR_CHECK(p.packet_bytes > 0);
+    const double pkt = std::min(p.packet_bytes, c);
+    const double k = p.k_repair;
+    const double o = p.chain_hop_overhead_seconds;
+    const double packets = std::ceil(c / pkt);
+    const double overhead =
+        p.k_repair >= 2 ? (packets + k - 1.0) * o : 0.0;
+    if (p.scenario == core::Scenario::kScattered) {
+      recon_time = c / p.disk_bw + c / p.net_bw +
+                   (k - 1.0) * pkt / p.net_bw + overhead + c / p.disk_bw;
+    } else {
+      const double g = static_cast<double>(round.reconstructions.size());
+      const double h = p.hot_standby;
+      recon_time = c / p.disk_bw + g * c / (h * p.net_bw) +
+                   (k - 1.0) * pkt / p.net_bw + overhead +
+                   g * c / (h * p.disk_bw);
+    }
+  } else if (!round.reconstructions.empty()) {
     const double k = p.k_repair * p.helper_bytes_fraction;
     if (p.scenario == core::Scenario::kScattered) {
       // Eq. (5): parallel reads, k chunks into each destination NIC.

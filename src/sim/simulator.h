@@ -34,6 +34,12 @@ struct SimParams {
   int hot_standby = 1;          // h (hot-standby only)
   core::Scenario scenario = core::Scenario::kScattered;
   TimingModel model = TimingModel::kPaperModel;
+  /// Packet size of chain (repair-pipelining) rounds. Required (> 0)
+  /// when a round carries RepairStrategy::kChain; ignored for fan-in.
+  double packet_bytes = 0;
+  /// Per-forward store-and-forward cost of a chain hop (see
+  /// core::ModelParams::chain_hop_overhead_seconds).
+  double chain_hop_overhead_seconds = 0;
 };
 
 struct SimResult {

@@ -6,6 +6,7 @@ bool valid_message_type(uint8_t raw) {
   switch (static_cast<MessageType>(raw)) {
     case MessageType::kAlpha:
     case MessageType::kBeta:
+    case MessageType::kDelta:
       return true;
     default:
       return false;

@@ -1,6 +1,9 @@
-// Golden bad snippet: a MessageType enumerator (kGamma) that is wired
-// into neither the dispatch switch nor serialization. fastpr_analyze
-// must flag it with [msgtype-exhaustive].
+// Golden bad snippets for [msgtype-exhaustive]: kGamma is wired into
+// neither the dispatch switch nor serialization, and kDelta — modeled
+// on a streaming type like kChainPacket — made it into the codec but
+// was never dispatched. fastpr_analyze must flag both: serializing a
+// type no agent handles is exactly the silent-drop bug the rule exists
+// to prevent.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +14,7 @@ enum class MessageType : uint8_t {
   kAlpha = 1,
   kBeta = 2,
   kGamma = 3,
+  kDelta = 4,
 };
 
 }  // namespace fastpr::net

@@ -9,6 +9,7 @@
 #include "core/repair_plan.h"
 #include "ec/lrc_code.h"
 #include "ec/rs_code.h"
+#include "telemetry/metrics.h"
 #include "util/buffer_pool.h"
 #include "util/units.h"
 
@@ -108,6 +109,118 @@ TEST(Testbed, LrcPlansExecuteWithLocalRepairFanIn) {
   const auto report = tb.execute(plan);
   EXPECT_TRUE(report.success);
   EXPECT_TRUE(tb.verify(plan));
+}
+
+TEST(Testbed, ChainExecutionByteExactAcrossSeeds) {
+  // Differential check: a chain-strategy execution must repair the
+  // exact same chunk set to the exact same bytes as fan-in. Both runs
+  // verify against the same oracle, so oracle-exactness of both IS
+  // byte-identity of their outputs.
+  ec::RsCode code(6, 4);
+  for (uint64_t seed : {21u, 77u, 1234u}) {
+    for (auto scenario :
+         {core::Scenario::kScattered, core::Scenario::kHotStandby}) {
+      auto fanin_opts = small_options(seed);
+      auto chain_opts = small_options(seed);
+      chain_opts.repair_strategy = core::StrategyChoice::kChain;
+
+      Testbed fanin(fanin_opts, code);
+      fanin.flag_stf();
+      const auto fanin_plan =
+          fanin.make_planner(scenario).plan_fastpr();
+      ASSERT_TRUE(fanin.execute(fanin_plan).success);
+      EXPECT_TRUE(fanin.verify(fanin_plan));
+
+#if FASTPR_TELEMETRY_ENABLED
+      const int64_t forwards_before = telemetry::MetricsRegistry::global()
+                                          .counter("agent.chain_forwards")
+                                          .value();
+#endif
+      Testbed chain(chain_opts, code);
+      chain.flag_stf();
+      const auto chain_plan =
+          chain.make_planner(scenario).plan_fastpr();
+      // Same seed, same layout: the plans repair the same chunk set.
+      ASSERT_EQ(chain_plan.total_repaired(), fanin_plan.total_repaired());
+      const auto report = chain.execute(chain_plan);
+      ASSERT_TRUE(report.success) << (report.errors.empty()
+                                          ? ""
+                                          : report.errors.front());
+      EXPECT_TRUE(chain.verify(chain_plan))
+          << "seed=" << seed
+          << " scenario=" << core::to_string(scenario);
+#if FASTPR_TELEMETRY_ENABLED
+      // The chain run really did route packets through hop forwards.
+      EXPECT_GT(telemetry::MetricsRegistry::global()
+                    .counter("agent.chain_forwards")
+                    .value(),
+                forwards_before)
+          << "seed=" << seed;
+#endif
+    }
+  }
+}
+
+TEST(Testbed, ChainLrcExecutesAndVerifies) {
+  // LRC(4,2,2): local repairs chain k' = 2 helpers, global-parity
+  // repairs chain k = 4 — both shapes must decode byte-exactly.
+  ec::LrcCode code(4, 2, 2);
+  auto opts = small_options(33);
+  opts.repair_strategy = core::StrategyChoice::kChain;
+  Testbed tb(opts, code);
+  tb.flag_stf();
+  const auto plan =
+      tb.make_planner(core::Scenario::kScattered).plan_fastpr();
+  validate_plan(plan, tb.layout(), tb.cluster(), 2, &code);
+  const auto report = tb.execute(plan);
+  ASSERT_TRUE(report.success) << (report.errors.empty()
+                                      ? ""
+                                      : report.errors.front());
+  EXPECT_TRUE(tb.verify(plan));
+}
+
+TEST(Testbed, ChainOverTcpEndToEnd) {
+  // The chain protocol tolerates TCP's lack of cross-connection
+  // ordering (packets can beat the kChainCmd; the early buffer absorbs
+  // them).
+  ec::RsCode code(6, 4);
+  auto opts = small_options(55);
+  opts.use_tcp = true;
+  opts.num_stripes = 10;
+  opts.repair_strategy = core::StrategyChoice::kChain;
+  Testbed tb(opts, code);
+  tb.flag_stf();
+  const auto plan =
+      tb.make_planner(core::Scenario::kScattered).plan_fastpr();
+  const auto report = tb.execute(plan);
+  ASSERT_TRUE(report.success) << (report.errors.empty()
+                                      ? ""
+                                      : report.errors.front());
+  EXPECT_TRUE(tb.verify(plan));
+}
+
+TEST(Testbed, ChainPredictedRoundsUseChainModel) {
+  // predict_rounds must price chain rounds with tr_chain, not Eq. (5).
+  ec::RsCode code(6, 4);
+  auto opts = small_options(66);
+  opts.disk_bytes_per_sec = MBps(142) / 4;
+  opts.net_bytes_per_sec = Gbps(5) / 4;
+  opts.repair_strategy = core::StrategyChoice::kChain;
+  Testbed tb(opts, code);
+  tb.flag_stf();
+  auto planner = tb.make_planner(core::Scenario::kScattered);
+  const auto plan = planner.plan_fastpr();
+  const auto predicted =
+      tb.predict_rounds(plan, core::Scenario::kScattered);
+  ASSERT_EQ(predicted.size(), plan.rounds.size());
+  const auto model = planner.cost_model();
+  for (size_t i = 0; i < plan.rounds.size(); ++i) {
+    if (plan.rounds[i].reconstructions.empty()) continue;
+    EXPECT_EQ(plan.rounds[i].strategy, core::RepairStrategy::kChain);
+    EXPECT_DOUBLE_EQ(predicted[i].duration_seconds,
+                     model.round_time(predicted[i].cr, predicted[i].cm,
+                                      core::RepairStrategy::kChain));
+  }
 }
 
 TEST(Testbed, StfReadErrorFallsBackToReconstruction) {

@@ -112,6 +112,59 @@ TEST(Chaos, HelperCrashMidStreamRecovers) {
   }
 }
 
+TEST(Chaos, MidChainHopCrashRecovers) {
+  // Chain strategy: a MIDDLE hop of a partial-sum chain dies two
+  // packets into its forwarding. The running sum it held dies with it;
+  // the probe exposes the dead node, and the reissued attempt re-picks
+  // a helper chain without it (no global replan) — the repair still
+  // completes byte-verified.
+  ec::RsCode code(6, 4);
+  for (int i = 0; i < kNumSeeds; ++i) {
+    const uint64_t seed = seed_base() + static_cast<uint64_t>(i);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    auto opts = chaos_options(seed);
+    opts.repair_strategy = core::StrategyChoice::kChain;
+
+    const auto scouted =
+        scout_plan(opts, code, core::Scenario::kScattered);
+    ASSERT_FALSE(scouted.rounds.empty());
+    ASSERT_FALSE(scouted.rounds[0].reconstructions.empty());
+    const auto& first = scouted.rounds[0].reconstructions[0];
+    ASSERT_GE(first.sources.size(), 2u);
+    // Hop 1: receives hop 0's stream AND forwards — a true mid-chain
+    // position whose crash severs the pipeline, not just one source.
+    const auto victim = first.sources[1].node;
+
+    opts.fault_plan = net::FaultPlan::parse(
+        "crash node=" + std::to_string(victim) + " after_packets=2\n");
+    Testbed tb(opts, code);
+    tb.flag_stf();
+    const auto plan =
+        tb.make_planner(core::Scenario::kScattered).plan_fastpr();
+    ASSERT_EQ(plan.rounds[0].strategy, core::RepairStrategy::kChain);
+
+#if FASTPR_TELEMETRY_ENABLED
+    const int64_t stale_before = telemetry::MetricsRegistry::global()
+                                     .counter("agent.stale_packets")
+                                     .value();
+#endif
+    const auto report = tb.execute(plan);
+    expect_full_recovery(tb, plan, report);
+    EXPECT_GT(report.retries, 0);
+    EXPECT_EQ(report.replans, 0);
+    EXPECT_TRUE(contains_node(report.failed_nodes, victim));
+#if FASTPR_TELEMETRY_ENABLED
+    // Leftover packets of cancelled chain attempts must be discarded as
+    // stale/dup, never folded into a newer attempt's sum (the byte
+    // verification above would catch such corruption).
+    EXPECT_GE(telemetry::MetricsRegistry::global()
+                  .counter("agent.stale_packets")
+                  .value(),
+              stale_before);
+#endif
+  }
+}
+
 TEST(Chaos, DestinationCrashRecoversOntoAlternate) {
   ec::RsCode code(6, 4);
   for (int i = 0; i < kNumSeeds; ++i) {

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/check.h"
 #include "util/units.h"
 
@@ -185,6 +188,87 @@ TEST(CostModel, MigrationQuotaMatchesRatio) {
   const int quota = m.migration_quota(16);
   EXPECT_EQ(quota, static_cast<int>(m.tr(16) / m.tm()));
   EXPECT_EQ(m.migration_quota(0), 0);
+}
+
+TEST(CostModel, ChainRoundTimeFormula) {
+  auto p = paper_defaults();
+  p.packet_bytes = static_cast<double>(256 * kKiB);
+  p.chain_hop_overhead_seconds = 500e-6;
+  const CostModel m(p);
+  const double c = p.chunk_bytes;
+  const double pkt = p.packet_bytes;
+  const double packets = std::ceil(c / pkt);
+  const double overhead = (packets + 6 - 1.0) * 500e-6;
+  const double want = c / p.disk_bw + c / p.net_bw +
+                      5.0 * pkt / p.net_bw + overhead + c / p.disk_bw;
+  EXPECT_DOUBLE_EQ(m.tr_chain(10), want);
+  // Scattered chain time is independent of the round size g.
+  EXPECT_DOUBLE_EQ(m.tr_chain(1), m.tr_chain(16));
+  // And the strategy overload dispatches to it.
+  EXPECT_DOUBLE_EQ(m.tr(10, RepairStrategy::kChain), m.tr_chain(10));
+  EXPECT_DOUBLE_EQ(m.tr(10, RepairStrategy::kFanIn), m.tr(10));
+}
+
+TEST(CostModel, ChainHotStandbyFunnels) {
+  auto p = paper_defaults();
+  p.scenario = Scenario::kHotStandby;
+  p.packet_bytes = static_cast<double>(256 * kKiB);
+  const CostModel m(p);
+  // Spares absorb g single-chunk tails, so chain time grows with g but
+  // stays below fan-in's g·k streams.
+  EXPECT_GT(m.tr_chain(12), m.tr_chain(3));
+  EXPECT_LT(m.tr_chain(12), m.tr(12));
+}
+
+TEST(CostModel, ChainOneHelperPaysNoForwarding) {
+  auto p = paper_defaults();
+  p.k_repair = 1;
+  p.packet_bytes = static_cast<double>(64 * kKiB);
+  p.chain_hop_overhead_seconds = 1.0;  // would dominate if charged
+  const CostModel m(p);
+  const double c = p.chunk_bytes;
+  EXPECT_DOUBLE_EQ(m.tr_chain(4),
+                   c / p.disk_bw + c / p.net_bw + c / p.disk_bw);
+}
+
+TEST(CostModel, ChooseStrategyCrossover) {
+  // Large packets: overhead per byte is tiny, the chain's single-
+  // transfer bound beats fan-in's k-deep funnel. Small packets: the
+  // per-forward overhead N·o dominates and fan-in wins. Both sides of
+  // the crossover must be visible with the same overhead constant.
+  auto p = paper_defaults();
+  p.chain_hop_overhead_seconds = 500e-6;
+  p.packet_bytes = static_cast<double>(256 * kKiB);
+  EXPECT_EQ(CostModel(p).choose_strategy(10), RepairStrategy::kChain);
+  p.packet_bytes = static_cast<double>(1 * kKiB);
+  EXPECT_EQ(CostModel(p).choose_strategy(10), RepairStrategy::kFanIn);
+  // Unset packet size: the chain time is undefined, auto stays fan-in.
+  p.packet_bytes = 0;
+  EXPECT_EQ(CostModel(p).choose_strategy(10), RepairStrategy::kFanIn);
+  EXPECT_THROW(CostModel(p).tr_chain(10), CheckFailure);
+}
+
+TEST(CostModel, ChainMigrationQuotaAndRoundTime) {
+  auto p = paper_defaults();
+  p.packet_bytes = static_cast<double>(256 * kKiB);
+  p.chain_hop_overhead_seconds = 500e-6;
+  const CostModel m(p);
+  // A faster chain round leaves less slack to migrate alongside it.
+  EXPECT_EQ(m.migration_quota(16, RepairStrategy::kChain),
+            static_cast<int>(m.tr_chain(16) / m.tm()));
+  EXPECT_LE(m.migration_quota(16, RepairStrategy::kChain),
+            m.migration_quota(16));
+  EXPECT_EQ(m.migration_quota(0, RepairStrategy::kChain), 0);
+  // round_time takes max(tr, cm·tm) under the chosen strategy; the
+  // no-strategy overloads remain the fan-in model.
+  EXPECT_DOUBLE_EQ(m.round_time(16, 0, RepairStrategy::kChain),
+                   m.tr_chain(16));
+  EXPECT_DOUBLE_EQ(m.round_time(16, 1000, RepairStrategy::kChain),
+                   1000 * m.tm());
+  EXPECT_DOUBLE_EQ(m.round_time(16, 0), m.tr(16));
+  EXPECT_DOUBLE_EQ(
+      m.round_time_multi(16, {3, 7}, RepairStrategy::kChain),
+      std::max(m.tr_chain(16), 7 * m.tm()));
 }
 
 TEST(CostModel, InvalidParamsRejected) {

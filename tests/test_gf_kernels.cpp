@@ -171,6 +171,41 @@ TEST_P(GfKernels, DotRegionXorMatchesPerSourceLoop) {
   }
 }
 
+TEST_P(GfKernels, DotRegionXorSingleSourceFastPath) {
+  // One nonzero coefficient takes the fused mul_region_xor shortcut
+  // (pure XOR at c == 1) — the exact shape of the chain-hop fold. The
+  // result must stay bit-identical to the reference regardless of how
+  // many zero rows pad the batch around the live one.
+  ScopedKernel pin(GetParam());
+  Rng rng(0xE8 + static_cast<uint64_t>(GetParam()));
+  for (int c_int : {0, 1, 2, 0x1D, 0xFF}) {
+    const uint8_t c = static_cast<uint8_t>(c_int);
+    for (size_t len : {size_t{0}, size_t{1}, size_t{15}, size_t{33},
+                       size_t{1000}, size_t{4099}}) {
+      // num_src = 1 (the chain hop), and a padded batch whose other
+      // coefficients are all zero (degenerates to the same fast path).
+      for (size_t num_src : {size_t{1}, size_t{5}}) {
+        std::vector<std::vector<uint8_t>> srcs;
+        std::vector<uint8_t> coeffs(num_src, 0);
+        for (size_t j = 0; j < num_src; ++j) {
+          srcs.push_back(random_bytes(rng, len));
+        }
+        const size_t live = num_src / 2;
+        coeffs[live] = c;
+        auto dst = random_bytes(rng, len);
+        auto want = dst;
+        reference_mul_xor(want.data(), srcs[live].data(), c, len);
+        std::vector<const uint8_t*> ptrs;
+        for (const auto& s : srcs) ptrs.push_back(s.data());
+        dot_region_xor(dst.data(), ptrs.data(), coeffs.data(), num_src,
+                       len);
+        EXPECT_EQ(dst, want) << kernel_name(GetParam()) << " c=" << c_int
+                             << " len=" << len << " n=" << num_src;
+      }
+    }
+  }
+}
+
 TEST_P(GfKernels, DotRegionXorSpanOverload) {
   ScopedKernel pin(GetParam());
   Rng rng(0xF0 + static_cast<uint64_t>(GetParam()));

@@ -24,6 +24,7 @@ Message sample_message() {
   m.coefficient = 0x1D;
   m.packet_index = 5;
   m.total_packets = 16;
+  m.hop = 2;
   m.chunk_bytes = 1 * kMiB;
   m.packet_bytes = 64 * kKiB;
   m.sources = {{1, {42, 0}, 10}, {2, {42, 1}, 20}, {4, {42, 3}, 0}};
@@ -38,7 +39,7 @@ bool equal(const Message& a, const Message& b) {
       !(a.chunk == b.chunk) || a.dst != b.dst ||
       a.mode != b.mode || a.coefficient != b.coefficient ||
       a.packet_index != b.packet_index ||
-      a.total_packets != b.total_packets ||
+      a.total_packets != b.total_packets || a.hop != b.hop ||
       a.chunk_bytes != b.chunk_bytes || a.packet_bytes != b.packet_bytes ||
       a.error != b.error || a.payload != b.payload ||
       a.sources.size() != b.sources.size()) {
@@ -64,12 +65,23 @@ TEST(Message, RoundTrip) {
 }
 
 TEST(Message, RoundTripAllTypes) {
-  for (int t = 1; t <= 10; ++t) {
+  for (int t = 1; t <= 12; ++t) {
     Message m = sample_message();
     m.type = static_cast<MessageType>(t);
     const auto parsed = deserialize(serialize(m));
     ASSERT_TRUE(parsed.has_value()) << "type " << t;
     EXPECT_TRUE(equal(m, *parsed));
+  }
+}
+
+TEST(Message, DataPacketPredicate) {
+  // The payload-bearing streaming types — and only those — are shaped
+  // and pooled as data packets.
+  for (int t = 1; t <= 12; ++t) {
+    const auto type = static_cast<MessageType>(t);
+    const bool expected = type == MessageType::kDataPacket ||
+                          type == MessageType::kChainPacket;
+    EXPECT_EQ(is_data_packet(type), expected) << "type " << t;
   }
 }
 

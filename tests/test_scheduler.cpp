@@ -184,5 +184,65 @@ TEST(Scheduler, RoundCountNeverExceedsSetCount) {
   }
 }
 
+TEST(Scheduler, ResolveStrategyHonorsChoice) {
+  const CostModel model = scattered_model(32);
+  EXPECT_EQ(resolve_strategy(StrategyChoice::kFanIn, model, 10),
+            RepairStrategy::kFanIn);
+  EXPECT_EQ(resolve_strategy(StrategyChoice::kChain, model, 10),
+            RepairStrategy::kChain);
+  // kAuto with packet_bytes unset must stay fan-in (tr_chain undefined).
+  EXPECT_EQ(resolve_strategy(StrategyChoice::kAuto, model, 10),
+            RepairStrategy::kFanIn);
+}
+
+TEST(Scheduler, AutoResolvesPerCostModelCrossover) {
+  ModelParams p;
+  p.num_nodes = 100;
+  p.stf_chunks = 32;
+  p.chunk_bytes = static_cast<double>(MB(64));
+  p.disk_bw = MBps(100);
+  p.net_bw = Gbps(1);
+  p.k_repair = 6;
+  p.scenario = Scenario::kScattered;
+  p.chain_hop_overhead_seconds = 500e-6;
+  p.packet_bytes = static_cast<double>(256 * kKiB);
+  EXPECT_EQ(resolve_strategy(StrategyChoice::kAuto, CostModel(p), 10),
+            RepairStrategy::kChain);
+  p.packet_bytes = static_cast<double>(1 * kKiB);
+  EXPECT_EQ(resolve_strategy(StrategyChoice::kAuto, CostModel(p), 10),
+            RepairStrategy::kFanIn);
+}
+
+TEST(Scheduler, RoundsCarryChosenStrategyAndChainQuota) {
+  const auto sets = make_sets({9, 7, 6, 4, 3, 2, 1});
+  ModelParams p;
+  p.num_nodes = 100;
+  p.stf_chunks = 32;
+  p.chunk_bytes = static_cast<double>(MB(64));
+  p.disk_bw = MBps(100);
+  p.net_bw = Gbps(1);
+  p.k_repair = 6;
+  p.scenario = Scenario::kScattered;
+  p.chain_hop_overhead_seconds = 500e-6;
+  p.packet_bytes = static_cast<double>(256 * kKiB);
+  const CostModel model(p);
+  SchedulerOptions opts;
+  opts.strategy = StrategyChoice::kChain;
+  const auto rounds = schedule_repair(sets, model, opts);
+  check_exact_once(sets, rounds);
+  for (const auto& round : rounds) {
+    EXPECT_EQ(round.strategy, RepairStrategy::kChain);
+    // The quota honors the chain's (shorter) round time.
+    const int cr = static_cast<int>(round.reconstruct.size());
+    EXPECT_LE(static_cast<int>(round.migrate.size()),
+              model.migration_quota(cr, RepairStrategy::kChain));
+  }
+  // Default options keep the fan-in schedule.
+  const auto fanin_rounds = schedule_repair(sets, model);
+  for (const auto& round : fanin_rounds) {
+    EXPECT_EQ(round.strategy, RepairStrategy::kFanIn);
+  }
+}
+
 }  // namespace
 }  // namespace fastpr::core

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.h"
 #include "util/units.h"
 
 namespace fastpr::sim {
@@ -95,6 +96,60 @@ TEST(Simulator, RoundTimesAccumulate) {
   ASSERT_EQ(result.round_times.size(), 2u);
   EXPECT_NEAR(result.total_time,
               result.round_times[0] + result.round_times[1], 1e-12);
+}
+
+TEST(Simulator, ChainRoundTimesMatchCostModelExactly) {
+  // Simulated chain rounds and CostModel::round_time(.., kChain) use the
+  // same closed form — the agreement must be bit-exact, not approximate,
+  // so predicted-vs-simulated diffs stay clean.
+  for (auto scenario :
+       {core::Scenario::kScattered, core::Scenario::kHotStandby}) {
+    auto p = paper_params(scenario);
+    p.packet_bytes = static_cast<double>(256 * kKiB);
+    p.chain_hop_overhead_seconds = 500e-6;
+
+    core::ModelParams mp;
+    mp.num_nodes = 100;
+    mp.stf_chunks = 100;
+    mp.chunk_bytes = p.chunk_bytes;
+    mp.disk_bw = p.disk_bw;
+    mp.net_bw = p.net_bw;
+    mp.k_repair = p.k_repair;
+    mp.hot_standby = p.hot_standby;
+    mp.scenario = scenario;
+    mp.packet_bytes = p.packet_bytes;
+    mp.chain_hop_overhead_seconds = p.chain_hop_overhead_seconds;
+    const core::CostModel model(mp);
+
+    core::RepairPlan plan;
+    plan.stf_node = 0;
+    const std::vector<std::pair<int, int>> rounds = {
+        {5, 0}, {3, 4}, {1, 9}};
+    for (const auto& [cr, cm] : rounds) {
+      auto round = round_with(cr, cm);
+      round.strategy = core::RepairStrategy::kChain;
+      plan.rounds.push_back(std::move(round));
+    }
+    const auto result = simulate(plan, p);
+    ASSERT_EQ(result.round_times.size(), rounds.size());
+    for (size_t i = 0; i < rounds.size(); ++i) {
+      EXPECT_DOUBLE_EQ(
+          result.round_times[i],
+          model.round_time(rounds[i].first, rounds[i].second,
+                           core::RepairStrategy::kChain))
+          << "scenario=" << core::to_string(scenario) << " round=" << i;
+    }
+  }
+}
+
+TEST(Simulator, ChainRoundRequiresPacketBytes) {
+  auto p = paper_params(core::Scenario::kScattered);  // packet_bytes = 0
+  core::RepairPlan plan;
+  plan.stf_node = 0;
+  auto round = round_with(2, 0);
+  round.strategy = core::RepairStrategy::kChain;
+  plan.rounds.push_back(std::move(round));
+  EXPECT_THROW(simulate(plan, p), CheckFailure);
 }
 
 TEST(Simulator, ResourceModelNotSlowerThanPaperForMigrations) {

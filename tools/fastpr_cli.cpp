@@ -23,6 +23,12 @@
 //                                # run the joint multi-STF planner
 //                                # (DESIGN.md §8) and print per-STF
 //                                # progress.
+//   --repair-strategy=fanin|chain|auto
+//                                # reconstruction shape for plan,
+//                                # simulate and execute: star fan-in
+//                                # (paper default), partial-sum helper
+//                                # chains (repair pipelining), or the
+//                                # cost model's per-round pick.
 //
 // `execute` exit codes: 0 = every chunk repaired and byte-verified;
 // 3 = accounting consistent but some chunks abandoned as unrepairable
@@ -92,6 +98,11 @@ struct Spec {
   double sim_days = 365;
   double mtbf_days = 1000;
   double recall = 0.95;
+  // Reconstruction strategy (--repair-strategy flag, not a spec key).
+  core::StrategyChoice strategy = core::StrategyChoice::kFanIn;
+  // Chain-hop store-and-forward cost fed to the cost model and shaped
+  // transports; mirrors the agent::TestbedOptions default.
+  double chain_hop_overhead_seconds = 500e-6;
   // execute-only knobs (agent::TestbedOptions defaults).
   double packet_kb = 64;
   int round_timeout_ms = 120000;
@@ -237,6 +248,9 @@ core::FastPrPlanner make_planner(const Spec& spec, World& w) {
   opts.k_repair = spec.code->repair_fetch_count(0);
   opts.chunk_bytes = spec.chunk_bytes;
   opts.code = spec.code.get();
+  opts.packet_bytes = spec.packet_kb * static_cast<double>(kKiB);
+  opts.chain_hop_overhead_seconds = spec.chain_hop_overhead_seconds;
+  opts.sched.strategy = spec.strategy;
   return core::FastPrPlanner(w.layout, w.state, opts);
 }
 
@@ -314,6 +328,8 @@ int cmd_simulate(const Spec& spec) {
   sp.k_repair = spec.code->repair_fetch_count(0);
   sp.hot_standby = std::max(1, spec.standby);
   sp.scenario = spec.scenario;
+  sp.packet_bytes = spec.packet_kb * static_cast<double>(kKiB);
+  sp.chain_hop_overhead_seconds = spec.chain_hop_overhead_seconds;
 
   Table t({"strategy", "total (s)", "per chunk (s)", "traffic (chunks)"});
   auto row = [&](const std::string& name, const core::RepairPlan& plan) {
@@ -377,6 +393,8 @@ int cmd_execute(const Spec& spec, const std::string& fault_plan_path,
                                             static_cast<double>(kKiB));
   opts.num_stripes = spec.stripes;
   opts.seed = spec.seed;
+  opts.repair_strategy = spec.strategy;
+  opts.chain_hop_overhead_seconds = spec.chain_hop_overhead_seconds;
   opts.round_timeout = std::chrono::milliseconds(spec.round_timeout_ms);
   opts.max_attempts = spec.max_attempts;
   opts.retry_backoff = std::chrono::milliseconds(spec.retry_backoff_ms);
@@ -475,7 +493,8 @@ int usage() {
                "usage: fastpr_cli analyze|plan|simulate|lifetime|execute "
                "<spec-file> [--metrics-out=<file.json>] "
                "[--trace-out=<file.json>] [--fault-plan <file>] "
-               "[--stf=<id[,id...]>]\n");
+               "[--stf=<id[,id...]>] "
+               "[--repair-strategy=fanin|chain|auto]\n");
   return 2;
 }
 
@@ -496,6 +515,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string fault_plan_path;
+  core::StrategyChoice strategy = core::StrategyChoice::kFanIn;
   std::vector<int> stf_batch;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
@@ -520,6 +540,19 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::strlen("--trace-out="));
       if (trace_out.empty()) return usage();
+    } else if (arg.rfind("--repair-strategy=", 0) == 0) {
+      const std::string v = arg.substr(std::strlen("--repair-strategy="));
+      if (v == "fanin") {
+        strategy = core::StrategyChoice::kFanIn;
+      } else if (v == "chain") {
+        strategy = core::StrategyChoice::kChain;
+      } else if (v == "auto") {
+        strategy = core::StrategyChoice::kAuto;
+      } else {
+        std::fprintf(stderr, "error: bad --repair-strategy '%s'\n",
+                     v.c_str());
+        return usage();
+      }
     } else if (arg.rfind("--fault-plan=", 0) == 0) {
       fault_plan_path = arg.substr(std::strlen("--fault-plan="));
       if (fault_plan_path.empty()) return usage();
@@ -547,6 +580,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
+  spec.strategy = strategy;
   int rc = 2;
   try {
     if (std::strcmp(command, "analyze") == 0) {
