@@ -79,6 +79,7 @@ void Agent::report_failure(uint64_t task_id, uint32_t attempt,
   msg.task_id = task_id;
   msg.attempt = attempt;
   msg.error = error;
+  msg.trace = telemetry::current_trace_context();
   // Terminal failure report: the coordinator's pending map owns the
   // task and reacts (retry / fallback / abandon).
   transport_.send(std::move(msg));  // fastpr-lint: allow(ack-tracking)
@@ -91,6 +92,10 @@ void Agent::dispatch_loop() {
     if (msg->type == MessageType::kShutdown) return;
     if (killed_.load()) continue;  // crashed node: drop silently
 
+    // Adopt the sender's causal context for the whole handler: spans
+    // opened below (and contexts captured into reader/sender tasks)
+    // parent under the sender's open span.
+    telemetry::ScopedTraceContext adopt(msg->trace, id_);
     switch (msg->type) {
       case MessageType::kReconstructCmd:
         handle_reconstruct_cmd(*msg);
@@ -162,6 +167,7 @@ void Agent::handle_reconstruct_cmd(const Message& msg) {
     req.dst = id_;
     req.coefficient = src.coefficient;
     req.packet_bytes = msg.packet_bytes;
+    req.trace = telemetry::current_trace_context();
     // Tracked by the TransferState fan-in registered above: a helper
     // that never streams stalls the task, which the coordinator's
     // round deadline + probe salvages.
@@ -176,7 +182,12 @@ void Agent::handle_migrate_cmd(const Message& msg) {
   const ChunkRef chunk = msg.chunk;
   const NodeId dst = msg.dst;
   const uint64_t packet_bytes = msg.packet_bytes;
-  reader_pool_->post([this, task_id, attempt, chunk, dst, packet_bytes] {
+  // Contexts do not follow threads: capture ours so the reader task's
+  // spans stay in the command's trace.
+  const telemetry::TraceContext ctx = telemetry::current_trace_context();
+  reader_pool_->post([this, task_id, attempt, chunk, dst, packet_bytes,
+                      ctx] {
+    telemetry::ScopedTraceContext adopt(ctx, id_);
     stream_chunk(task_id, attempt, chunk, dst, TransferMode::kStore, 1,
                  packet_bytes);
   });
@@ -189,8 +200,10 @@ void Agent::handle_fetch_request(const Message& msg) {
   const NodeId dst = msg.dst;
   const uint8_t coeff = msg.coefficient;
   const uint64_t packet_bytes = msg.packet_bytes;
+  const telemetry::TraceContext ctx = telemetry::current_trace_context();
   reader_pool_->post([this, task_id, attempt, chunk, dst, coeff,
-                      packet_bytes] {
+                      packet_bytes, ctx] {
+    telemetry::ScopedTraceContext adopt(ctx, id_);
     stream_chunk(task_id, attempt, chunk, dst, TransferMode::kDecode, coeff,
                  packet_bytes);
   });
@@ -231,6 +244,9 @@ void Agent::handle_ping(const Message& msg) {
   pong.from = id_;
   pong.to = msg.from;
   pong.task_id = msg.task_id;  // echoes the probe epoch
+  // The captured context carries our local clock in origin_ts_us; the
+  // coordinator's ClockSync turns ping/pong pairs into offsets.
+  pong.trace = telemetry::current_trace_context();
   // Reply to a liveness probe; the coordinator's probe state tracks it.
   transport_.send(std::move(pong));  // fastpr-lint: allow(ack-tracking)
 }
@@ -266,6 +282,9 @@ void Agent::sender_loop() {
       send_queue_.pop_front();
     }
     {
+      // Sender workers are shared across transfers: parent this packet's
+      // send span under whatever span built the packet.
+      telemetry::ScopedTraceContext adopt(item.msg.trace, id_);
       FASTPR_TRACE_SPAN("agent.send_packet", "agent",
                         static_cast<int64_t>(item.msg.task_id), "task");
       // Data packet tracked by its transfer's SendWindow (in_flight
@@ -320,6 +339,7 @@ void Agent::stream_chunk(uint64_t task_id, uint32_t attempt, ChunkRef chunk,
     packet.total_packets = total_packets;
     packet.chunk_bytes = chunk_bytes;
     packet.packet_bytes = packet_bytes;
+    packet.trace = telemetry::current_trace_context();
     // Pool-recycled payload: after the destination folds the packet in
     // and drops it, the buffer comes back for a later packet.
     packet.payload.assign(content->data() + offset, len);
@@ -449,6 +469,7 @@ void Agent::handle_data_packet(Message&& msg) {
       done.task_id = msg.task_id;
       done.attempt = state.attempt;
       done.chunk = state.chunk;
+      done.trace = telemetry::current_trace_context();
       // Completion ack: the coordinator's pending map consumes it.
       transport_.send(std::move(done));  // fastpr-lint: allow(ack-tracking)
       tasks_.erase(it);
@@ -496,8 +517,10 @@ void Agent::handle_chain_cmd(const Message& msg) {
     const ChunkRef own_chunk = own.chunk;
     const uint8_t coeff = own.coefficient;
     const uint64_t packet_bytes = msg.packet_bytes;
+    const telemetry::TraceContext ctx = telemetry::current_trace_context();
     reader_pool_->post([this, task_id, attempt, chunk, own_chunk, next,
-                        last, coeff, packet_bytes] {
+                        last, coeff, packet_bytes, ctx] {
+      telemetry::ScopedTraceContext adopt(ctx, id_);
       chain_stream_head(task_id, attempt, chunk, own_chunk, next, last,
                         coeff, packet_bytes);
     });
@@ -535,7 +558,12 @@ void Agent::handle_chain_cmd(const Message& msg) {
   if (early != chain_early_.end()) {
     std::vector<Message> buffered = std::move(early->second);
     chain_early_.erase(early);
-    for (auto& m : buffered) handle_chain_packet(std::move(m));
+    for (auto& m : buffered) {
+      // Re-adopt each buffered packet's own context: its spans belong
+      // to the predecessor's stream, not to this command.
+      telemetry::ScopedTraceContext packet_ctx(m.trace, id_);
+      handle_chain_packet(std::move(m));
+    }
   }
 }
 
@@ -613,6 +641,7 @@ void Agent::handle_chain_packet(Message&& msg) {
     fwd.total_packets = state.total_packets;
     fwd.chunk_bytes = state.chunk_bytes;
     fwd.packet_bytes = state.packet_bytes;
+    fwd.trace = telemetry::current_trace_context();
     if (state.last) {
       // Completed partial sum: deliver as a plain store stream so the
       // destination's existing lazy migration path absorbs it.
@@ -691,6 +720,7 @@ void Agent::chain_stream_head(uint64_t task_id, uint32_t attempt,
     packet.total_packets = total_packets;
     packet.chunk_bytes = chunk_bytes;
     packet.packet_bytes = packet_bytes;
+    packet.trace = telemetry::current_trace_context();
     packet.payload.assign(content->data() + offset, len);
     // Seed partial sum: scale by our own decode coefficient in place.
     gf::mul_region(packet.payload.data(), packet.payload.data(),

@@ -81,6 +81,7 @@ void Coordinator::issue_reconstruction(uint64_t task_id, uint32_t attempt,
   cmd.dst = task.dst;
   cmd.chunk_bytes = options_.chunk_bytes;
   cmd.packet_bytes = options_.packet_bytes;
+  cmd.trace = telemetry::current_trace_context();
   for (size_t i = 0; i < task.sources.size(); ++i) {
     cmd.sources.push_back(net::SourceSpec{task.sources[i].node,
                                           task.sources[i].chunk, coeffs[i]});
@@ -130,6 +131,7 @@ void Coordinator::issue_chain(uint64_t task_id, uint32_t attempt,
     cmd.chunk_bytes = options_.chunk_bytes;
     cmd.packet_bytes = options_.packet_bytes;
     cmd.sources = chain;
+    cmd.trace = telemetry::current_trace_context();
     // fastpr-lint: allow(ack-tracking) — completion is acked by the
     // destination (kTaskDone) via pending_; a stalled chain is salvaged
     // by round extensions + probes over collect_task_nodes.
@@ -150,6 +152,7 @@ void Coordinator::issue_migration(uint64_t task_id, uint32_t attempt,
   cmd.dst = task.dst;
   cmd.chunk_bytes = options_.chunk_bytes;
   cmd.packet_bytes = options_.packet_bytes;
+  cmd.trace = telemetry::current_trace_context();
   // fastpr-lint: allow(ack-tracking) — reply tracked via pending_;
   // non-acknowledgement is salvaged by round extensions + probes.
   transport_.send(std::move(cmd));
@@ -164,6 +167,7 @@ void Coordinator::cancel_attempt(NodeId node, uint64_t task_id,
   msg.to = node;
   msg.task_id = task_id;
   msg.attempt = attempt;
+  msg.trace = telemetry::current_trace_context();
   // fastpr-lint: allow(ack-tracking) — best-effort tidy-up; superseded
   // agent state also self-cleans via per-packet attempt checks.
   transport_.send(std::move(msg));
@@ -425,6 +429,7 @@ void Coordinator::start_probe(ExecutionReport& report) {
   probe_active_ = true;
   ++probe_epoch_;
   probe_deadline_ = telemetry::TraceClock::now() + options_.probe_timeout;
+  probe_sent_us_ = telemetry::trace_now_us();
   probe_outstanding_.clear();
   stragglers_.clear();
 
@@ -442,6 +447,7 @@ void Coordinator::start_probe(ExecutionReport& report) {
     ping.from = id_;
     ping.to = n;
     ping.task_id = probe_epoch_;  // echoed by kPong; matches the probe
+    ping.trace = telemetry::current_trace_context();
     // fastpr-lint: allow(ack-tracking) — reply tracked via
     // probe_outstanding_; silence is the signal being measured.
     transport_.send(std::move(ping));
@@ -502,6 +508,11 @@ void Coordinator::collect_task_nodes(
 
 ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
   using Clock = telemetry::TraceClock;
+  // One causal trace per execution: the root context minted here rides
+  // in every outgoing command header, so every agent span on every node
+  // descends from the execute span below.
+  telemetry::ScopedTraceContext trace_root(
+      telemetry::make_root_context(static_cast<int>(id_)), id_);
   FASTPR_TRACE_SPAN("coordinator.execute", "coordinator");
   ExecutionReport report;
 
@@ -540,6 +551,11 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
     const int round_recon_before = report.reconstructed;
     const int round_fallbacks_before = report.fallback_reconstructions;
     const int round_retries_before = report.retries;
+    // Measured phase times in the paper's vocabulary: time from round
+    // start to the LAST reconstruction (tr) / migration (tm) completion.
+    // 0 when the round ran none of that phase.
+    double round_tr = 0;
+    double round_tm = 0;
     retries_due_.clear();
 
     for (const auto& task : round.reconstructions) {
@@ -624,13 +640,33 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
       if (!msg.has_value()) continue;  // timeout tick; loop re-checks
 
       switch (msg->type) {
-        case MessageType::kTaskDone:
+        case MessageType::kTaskDone: {
+          const auto pit = pending_.find(msg->task_id);
+          const bool counted =
+              pit != pending_.end() && pit->second.attempt == msg->attempt;
+          const bool was_migration = counted && pit->second.is_migration;
           handle_task_done(*msg, report);
+          if (counted) {
+            const double t = std::chrono::duration<double>(Clock::now() -
+                                                           round_start)
+                                 .count();
+            (was_migration ? round_tm : round_tr) = t;
+          }
           break;
+        }
         case MessageType::kTaskFailed:
           handle_task_failed(*msg, report);
           break;
         case MessageType::kPong:
+          if (msg->task_id == probe_epoch_ &&
+              msg->trace.origin_ts_us != 0) {
+            // The pong carries the agent's local clock at reply time;
+            // paired with this epoch's send time it yields one
+            // clock-offset sample (clock_sync.h).
+            clock_sync_.record(msg->from, probe_sent_us_,
+                               msg->trace.origin_ts_us,
+                               telemetry::trace_now_us());
+          }
           if (probe_active_ && msg->task_id == probe_epoch_) {
             const auto it = probe_outstanding_.find(msg->from);
             if (it != probe_outstanding_.end()) it->second = true;
@@ -659,6 +695,8 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
     stats.bytes_migrated = static_cast<int64_t>(stats.cm) *
                            static_cast<int64_t>(options_.chunk_bytes);
     stats.duration_seconds = secs;
+    stats.tr_seconds = round_tr;
+    stats.tm_seconds = round_tm;
     report.repair.rounds.push_back(stats);
     report.repair.total_seconds = report.total_seconds;
 

@@ -34,6 +34,7 @@
 #include "core/repair_plan.h"
 #include "ec/erasure_code.h"
 #include "net/transport.h"
+#include "telemetry/clock_sync.h"
 #include "telemetry/repair_report.h"
 #include "telemetry/trace.h"
 
@@ -168,6 +169,11 @@ class Coordinator {
   /// Installs the mid-repair reactive replanner (see CoordinatorOptions).
   void set_replan(ReplanFn replan) { options_.replan = std::move(replan); }
 
+  /// Per-node clock offsets estimated from kPing/kPong probe pairs
+  /// (cumulative across executions). Testbed::execute feeds these into
+  /// the offset-corrected trace export.
+  const telemetry::ClockSync& clock_sync() const { return clock_sync_; }
+
   /// Builds a reconstruction for a chunk whose migration failed,
   /// excluding the STF node and every node in `failed` from the helper
   /// set. Throws CheckFailure when no viable helper set exists.
@@ -291,6 +297,10 @@ class Coordinator {
 
   bool probe_active_ = false;
   uint64_t probe_epoch_ = 0;
+  /// Local send time of the current probe epoch's pings; paired with
+  /// each kPong's origin_ts_us for a clock-offset sample.
+  int64_t probe_sent_us_ = 0;
+  telemetry::ClockSync clock_sync_;
   telemetry::TraceClock::time_point probe_deadline_{};
   std::unordered_map<cluster::NodeId, bool> probe_outstanding_;
   std::vector<uint64_t> stragglers_;

@@ -112,20 +112,34 @@ Testbed::Testbed(const TestbedOptions& options, const ec::ErasureCode& code)
   oracle_ = std::make_unique<SyntheticOracle>(
       code, options.chunk_bytes, options.num_stripes, options.seed);
 
+  // Per-link expected pace for straggler flagging: a fan-in destination
+  // NIC splits across the k_repair helper streams, so a healthy link may
+  // legitimately run at net/k — expect that, not the full NIC rate.
+  // Migration links run faster than this and simply never flag.
+  if (options.net_bytes_per_sec > 0) {
+    flow_.set_default_expected_rate(
+        options.net_bytes_per_sec /
+        std::max(1, code.repair_fetch_count(0)));
+  }
+
   if (options.use_tcp) {
     net::TcpTransport::Options topts;
     topts.net_bytes_per_sec = options.net_bytes_per_sec;
     topts.chain_hop_overhead_seconds = options.chain_hop_overhead_seconds;
+    topts.flow_monitor = &flow_;
     transport_ = std::make_unique<net::TcpTransport>(num_nodes, topts);
   } else {
     net::InprocTransport::Options topts;
     topts.net_bytes_per_sec = options.net_bytes_per_sec;
     topts.chain_hop_overhead_seconds = options.chain_hop_overhead_seconds;
+    topts.flow_monitor = &flow_;
     transport_ = std::make_unique<net::InprocTransport>(num_nodes, topts);
   }
   if (options.fault_plan.has_value()) {
     faulty_ = std::make_unique<net::FaultyTransport>(*transport_,
                                                      *options.fault_plan);
+    // Chaos delays must not read as slow links (phantom stragglers).
+    faulty_->set_flow_monitor(&flow_);
   }
 
   Rng rng(options.seed);
@@ -296,9 +310,22 @@ ExecutionReport Testbed::execute(const core::RepairPlan& plan) {
   auto* inproc = dynamic_cast<net::InprocTransport*>(transport_.get());
   const int64_t before =
       inproc != nullptr ? inproc->total_bytes_sent() : 0;
+  flow_.clear();  // links in the report cover this execution only
   auto report = coordinator_->execute(plan);
   if (inproc != nullptr) {
     report.network_bytes = inproc->total_bytes_sent() - before;
+  }
+  for (const auto& link : flow_.snapshot()) {
+    telemetry::LinkBandwidth lb;
+    lb.src = link.src;
+    lb.dst = link.dst;
+    lb.tx_bytes = link.tx_bytes;
+    lb.rx_bytes = link.rx_bytes;
+    lb.ewma_bytes_per_sec = link.ewma_bytes_per_sec;
+    lb.expected_bytes_per_sec = link.expected_bytes_per_sec;
+    lb.injected_delay_us = link.injected_delay_us;
+    lb.straggler = link.straggler;
+    report.repair.links.push_back(lb);
   }
   // The coordinator cannot know the disk rate; the testbed does. A
   // round's migration reads all come off the STF node's (shaped) disk.
@@ -326,6 +353,7 @@ std::vector<telemetry::PredictedRound> Testbed::predict_rounds(
     telemetry::PredictedRound p;
     p.cr = static_cast<int>(round.reconstructions.size());
     p.cm = static_cast<int>(round.migrations.size());
+    int slowest_stream_cm = p.cm;
     if (multi) {
       // Migration streams run in parallel, one per STF disk; the round
       // is paced by the most-loaded source (DESIGN.md §8).
@@ -333,12 +361,21 @@ std::vector<telemetry::PredictedRound> Testbed::predict_rounds(
       for (const auto& task : round.migrations) ++per_src[task.src];
       std::vector<int> cm_per_stf;
       cm_per_stf.reserve(per_src.size());
-      for (const auto& [src, cm] : per_src) cm_per_stf.push_back(cm);
+      slowest_stream_cm = 0;
+      for (const auto& [src, cm] : per_src) {
+        cm_per_stf.push_back(cm);
+        slowest_stream_cm = std::max(slowest_stream_cm, cm);
+      }
       p.duration_seconds =
           model.round_time_multi(p.cr, cm_per_stf, round.strategy);
     } else {
       p.duration_seconds = model.round_time(p.cr, p.cm, round.strategy);
     }
+    // Phase expectations the drift tables diff the measured tr/tm
+    // against: the reconstruction side of the round, and the slowest
+    // migration stream (round_time = max of the two).
+    if (p.cr > 0) p.tr_seconds = model.tr(p.cr, round.strategy);
+    if (slowest_stream_cm > 0) p.tm_seconds = slowest_stream_cm * model.tm();
     predicted.push_back(p);
   }
   return predicted;

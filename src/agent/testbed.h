@@ -23,6 +23,7 @@
 #include "net/fault_plan.h"
 #include "net/faulty_transport.h"
 #include "net/transport.h"
+#include "telemetry/flow_monitor.h"
 
 namespace fastpr::agent {
 
@@ -114,6 +115,18 @@ class Testbed {
   }
   /// The fault injector, or nullptr when no fault plan is configured.
   net::FaultyTransport* faulty() { return faulty_.get(); }
+
+  /// Per-link flow telemetry the transports report into. Cleared at the
+  /// top of each execute(); its snapshot lands in the report's `links`.
+  telemetry::FlowMonitor& flow_monitor() { return flow_; }
+
+  /// Per-node clock offsets (µs, clock_sync.h convention) estimated
+  /// from the coordinator's probe traffic — feed straight into
+  /// telemetry::events_to_chrome_json for an offset-corrected merged
+  /// trace. Empty until a probe round trip has completed.
+  std::vector<std::pair<int, int64_t>> clock_offsets() const {
+    return coordinator_->clock_sync().snapshot();
+  }
   Agent& agent(cluster::NodeId node);
   ChunkStore& store(cluster::NodeId node);
 
@@ -166,6 +179,9 @@ class Testbed {
   TestbedOptions options_;
   const ec::ErasureCode& code_;
   std::unique_ptr<SyntheticOracle> oracle_;
+  /// Declared before the transports: they report into it on their own
+  /// threads until shutdown, so it must outlive them.
+  telemetry::FlowMonitor flow_;
   std::unique_ptr<net::Transport> transport_;
   /// Fault decorator over transport_ (fault_plan configured only).
   std::unique_ptr<net::FaultyTransport> faulty_;

@@ -161,6 +161,16 @@ void FaultyTransport::send(Message msg) {
       inner_.send(std::move(msg));
       return;
     case Action::kDelay:
+      // Charge the injected latency to the flow monitor BEFORE the
+      // sleep shifts this link's rx timestamps: the monitor subtracts
+      // it from the window's active time, so a chaos delay does not
+      // masquerade as a slow link (phantom straggler).
+      if (flow_monitor_ != nullptr && is_data_packet(msg.type)) {
+        flow_monitor_->on_injected_delay(
+            msg.from, msg.to,
+            std::chrono::duration_cast<std::chrono::microseconds>(delay)
+                .count());
+      }
       std::this_thread::sleep_for(delay);
       inner_.send(std::move(msg));
       return;

@@ -20,6 +20,7 @@
 
 #include "net/fault_plan.h"
 #include "net/transport.h"
+#include "telemetry/flow_monitor.h"
 #include "util/mutex.h"
 #include "util/rng.h"
 
@@ -47,6 +48,14 @@ class FaultyTransport final : public Transport {
 
   bool crashed(cluster::NodeId node) const;
 
+  /// Charges kDelay injections to this monitor so chaos delays are
+  /// excluded from the link's measured rate — a delayed link must not
+  /// read as a straggler. Usually the same monitor the inner transport
+  /// reports into. Not owned; must outlive this decorator.
+  void set_flow_monitor(telemetry::FlowMonitor* monitor) {
+    flow_monitor_ = monitor;
+  }
+
  private:
   /// What to do with one message, decided under the lock, acted on
   /// outside it (inner_.send may block on NIC shaping).
@@ -73,6 +82,7 @@ class FaultyTransport final : public Transport {
 
   Transport& inner_;
   FaultPlan plan_;  // unresolved sentinel entries live here until armed
+  telemetry::FlowMonitor* flow_monitor_ = nullptr;
 
   mutable Mutex mutex_{lock_order::kNetFault};
   Rng rng_ FASTPR_GUARDED_BY(mutex_);

@@ -30,6 +30,10 @@ void InprocTransport::send(Message msg) {
         bytes, std::memory_order_relaxed);
     endpoints_[static_cast<size_t>(msg.to)]->data_rx.fetch_add(
         bytes, std::memory_order_relaxed);
+    if (options_.flow_monitor != nullptr) {
+      options_.flow_monitor->on_tx(msg.from, msg.to, bytes,
+                                   telemetry::trace_now_us());
+    }
   }
   const bool shaped =
       options_.shape_control_messages || is_data_packet(msg.type);
@@ -53,6 +57,14 @@ void InprocTransport::send(Message msg) {
     tx.acquire(tx_bytes);
     endpoints_[static_cast<size_t>(msg.to)]->rx->acquire(
         static_cast<int64_t>(msg.encoded_size()));
+  }
+
+  // Delivery timestamp AFTER shaping: the flow monitor's rx samples
+  // measure the link's achieved rate, shaping included.
+  if (options_.flow_monitor != nullptr && is_data_packet(msg.type)) {
+    options_.flow_monitor->on_rx(msg.from, msg.to,
+                                 static_cast<int64_t>(msg.encoded_size()),
+                                 telemetry::trace_now_us());
   }
 
   auto& ep = *endpoints_[static_cast<size_t>(msg.to)];

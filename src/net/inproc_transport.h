@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/transport.h"
+#include "telemetry/flow_monitor.h"
 #include "util/mutex.h"
 #include "util/token_bucket.h"
 #include "util/units.h"
@@ -38,6 +39,10 @@ class InprocTransport final : public Transport {
     /// and the cost model see the same per-forward cost. No effect on
     /// unthrottled transports.
     double chain_hop_overhead_seconds = 0;
+    /// When set, every data packet's transmit/delivery is reported to
+    /// this monitor as per-link flow samples. Not owned; must outlive
+    /// the transport.
+    telemetry::FlowMonitor* flow_monitor = nullptr;
   };
 
   InprocTransport(int num_nodes, const Options& options);

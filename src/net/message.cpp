@@ -85,6 +85,8 @@ constexpr size_t kFixedHeaderBytes =
     4 + 4 +             // from, to
     8 +                 // task_id
     4 +                 // attempt
+    8 + 8 + 4 + 8 +     // trace: trace_id, parent_span_id, origin_node,
+                        //        origin_ts_us
     4 + 4 +             // chunk.stripe, chunk.index
     4 +                 // dst
     1 + 1 +             // mode, coefficient
@@ -101,6 +103,10 @@ void write_message(uint8_t* out, const Message& msg) {
   w.put<int32_t>(msg.to);
   w.put<uint64_t>(msg.task_id);
   w.put<uint32_t>(msg.attempt);
+  w.put<uint64_t>(msg.trace.trace_id);
+  w.put<uint64_t>(msg.trace.parent_span_id);
+  w.put<int32_t>(msg.trace.origin_node);
+  w.put<int64_t>(msg.trace.origin_ts_us);
   w.put<int32_t>(msg.chunk.stripe);
   w.put<int32_t>(msg.chunk.index);
   w.put<int32_t>(msg.dst);
@@ -138,6 +144,7 @@ Message Message::clone() const {
   copy.to = to;
   copy.task_id = task_id;
   copy.attempt = attempt;
+  copy.trace = trace;
   copy.chunk = chunk;
   copy.dst = dst;
   copy.mode = mode;
@@ -172,6 +179,10 @@ std::optional<Message> deserialize(std::span<const uint8_t> bytes) {
   uint32_t num_sources = 0, error_len = 0, payload_len = 0;
   if (!reader.read(type) || !reader.read(msg.from) || !reader.read(msg.to) ||
       !reader.read(msg.task_id) || !reader.read(msg.attempt) ||
+      !reader.read(msg.trace.trace_id) ||
+      !reader.read(msg.trace.parent_span_id) ||
+      !reader.read(msg.trace.origin_node) ||
+      !reader.read(msg.trace.origin_ts_us) ||
       !reader.read(msg.chunk.stripe) ||
       !reader.read(msg.chunk.index) || !reader.read(msg.dst) ||
       !reader.read(mode) || !reader.read(msg.coefficient) ||

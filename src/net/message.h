@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cluster/types.h"
+#include "telemetry/trace.h"
 #include "util/buffer_pool.h"
 
 namespace fastpr::net {
@@ -68,6 +69,12 @@ struct Message {
   /// retries while the attempt increments, so agents can dedupe
   /// duplicate commands and drop packets of superseded attempts.
   uint32_t attempt = 0;
+  /// Causal trace context (28 wire bytes): the sender's open span, so
+  /// handlers on the receiving node parent their spans under it
+  /// (telemetry::ScopedTraceContext). origin_ts_us doubles as the
+  /// clock-sync sample on kPing/kPong probes. All-zero when tracing is
+  /// off or compiled out — the wire layout never changes.
+  telemetry::TraceContext trace;
   cluster::ChunkRef chunk;       // the chunk being repaired / fetched
   cluster::NodeId dst = cluster::kNoNode;  // final destination (commands)
   TransferMode mode = TransferMode::kStore;

@@ -131,6 +131,13 @@ void TcpTransport::reader_loop(int node, int fd) {
     const bool shaped = options_.shape_control_messages ||
                         is_data_packet(msg->type);
     if (shaped) ep.rx->acquire(static_cast<int64_t>(frame.size()));
+    // Delivery timestamp AFTER rx shaping, so the flow monitor sees the
+    // link's achieved (shaped) rate.
+    if (options_.flow_monitor != nullptr && is_data_packet(msg->type)) {
+      options_.flow_monitor->on_rx(msg->from, msg->to,
+                                   static_cast<int64_t>(frame.size()),
+                                   telemetry::trace_now_us());
+    }
     {
       MutexLock lock(ep.mutex);
       if (closed_.load(std::memory_order_acquire)) break;
@@ -186,6 +193,11 @@ void TcpTransport::send(Message msg) {
           options_.chain_hop_overhead_seconds * ep.tx->rate());
     }
     ep.tx->acquire(tx_bytes);
+  }
+  if (options_.flow_monitor != nullptr && is_data_packet(msg.type)) {
+    options_.flow_monitor->on_tx(msg.from, msg.to,
+                                 static_cast<int64_t>(frame.size()),
+                                 telemetry::trace_now_us());
   }
 
   static telemetry::Counter& tx_frames =

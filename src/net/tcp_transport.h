@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/transport.h"
+#include "telemetry/flow_monitor.h"
 #include "util/mutex.h"
 #include "util/token_bucket.h"
 #include "util/units.h"
@@ -33,6 +34,10 @@ class TcpTransport final : public Transport {
     /// rate — see InprocTransport::Options for the full rationale. No
     /// effect on unthrottled transports.
     double chain_hop_overhead_seconds = 0;
+    /// When set, every data packet's transmit/delivery is reported to
+    /// this monitor as per-link flow samples. Not owned; must outlive
+    /// the transport.
+    telemetry::FlowMonitor* flow_monitor = nullptr;
   };
 
   TcpTransport(int num_nodes, const Options& options);

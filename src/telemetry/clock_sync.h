@@ -1,0 +1,78 @@
+// Per-node clock-offset estimation piggybacked on the coordinator's
+// kPing/kPong straggler probes (DESIGN.md §5c).
+//
+// The coordinator records t_send when a probe goes out; the agent's
+// pong carries the agent's local clock in its TraceContext
+// (origin_ts_us, stamped by current_trace_context()); the coordinator
+// observes t_recv on arrival. Assuming a symmetric path, the agent's
+// clock was read at ~t_send + rtt/2 coordinator time, so
+//
+//   offset(node) = t_remote - (t_send + (t_recv - t_send) / 2)
+//
+// estimates how far node's clock runs ahead of the coordinator's.
+// Samples fold into a per-node EWMA; the merged Chrome trace export
+// subtracts the offsets so every node's spans share the coordinator's
+// timeline (events_to_chrome_json in trace.h). In the in-process
+// testbed all nodes share one clock, so offsets hover near zero — the
+// estimator and the correction path are what this exercises.
+//
+// Owned and driven by the (single-threaded) coordinator: no lock. Pure
+// arithmetic, so it stays live under -DFASTPR_TELEMETRY=OFF; without
+// telemetry the pong timestamps are zero and callers simply see empty
+// snapshots because no samples are recorded.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace fastpr::telemetry {
+
+class ClockSync {
+ public:
+  explicit ClockSync(double alpha = 0.2) : alpha_(alpha) {}
+
+  /// Folds one probe observation for `node` (all times µs; t_send and
+  /// t_recv on the local clock, t_remote on the node's clock).
+  void record(int node, int64_t t_send_us, int64_t t_remote_us,
+              int64_t t_recv_us) {
+    const double midpoint = static_cast<double>(t_send_us) +
+                            static_cast<double>(t_recv_us - t_send_us) / 2.0;
+    const double sample = static_cast<double>(t_remote_us) - midpoint;
+    auto [it, inserted] = offsets_.try_emplace(node, sample);
+    if (!inserted) {
+      it->second = alpha_ * sample + (1.0 - alpha_) * it->second;
+    }
+    ++samples_;
+  }
+
+  /// Estimated offset of `node`'s clock vs ours; 0 when never probed.
+  int64_t offset_us(int node) const {
+    const auto it = offsets_.find(node);
+    return it == offsets_.end()
+               ? 0
+               : static_cast<int64_t>(std::llround(it->second));
+  }
+
+  /// (node, offset_us) pairs, node-ordered — the shape
+  /// events_to_chrome_json() takes.
+  std::vector<std::pair<int, int64_t>> snapshot() const {
+    std::vector<std::pair<int, int64_t>> out;
+    out.reserve(offsets_.size());
+    for (const auto& [node, off] : offsets_) {
+      out.emplace_back(node, static_cast<int64_t>(std::llround(off)));
+    }
+    return out;
+  }
+
+  int64_t samples() const { return samples_; }
+
+ private:
+  const double alpha_;
+  std::map<int, double> offsets_;
+  int64_t samples_ = 0;
+};
+
+}  // namespace fastpr::telemetry

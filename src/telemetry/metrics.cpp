@@ -126,6 +126,54 @@ std::string MetricsRegistry::Snapshot::to_json() const {
   return os.str();
 }
 
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Our dotted
+/// lowercase names map cleanly by folding every illegal byte to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || c == ':' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) out[i] = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::Snapshot::to_prometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counters) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << v << "\n";
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << v << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    // Prometheus buckets are cumulative; ours are per-bucket counts
+    // with power-of-two upper bounds. Emit only the bounds that hold
+    // samples (plus +Inf, which always equals the total count).
+    int64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      const int64_t count = h.buckets[static_cast<size_t>(b)];
+      if (count == 0) continue;
+      cumulative += count;
+      os << n << "_bucket{le=\"" << Histogram::bucket_upper_bound(b)
+         << "\"} " << cumulative << "\n";
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+       << n << "_sum " << h.sum << "\n"
+       << n << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
 std::string MetricsRegistry::Snapshot::to_csv() const {
   std::ostringstream os;
   os << "kind,name,count,sum,value\n";

@@ -161,6 +161,10 @@ class MetricsRegistry {
     /// their sample count in `count` and total in `sum`; counters and
     /// gauges use `value`).
     std::string to_csv() const;
+    /// Prometheus text exposition format (version 0.0.4). Dotted metric
+    /// names become underscore-separated; histograms export cumulative
+    /// `_bucket{le=...}` series plus `_sum` and `_count`.
+    std::string to_prometheus() const;
   };
 
   Snapshot snapshot() const FASTPR_EXCLUDES(mutex_);

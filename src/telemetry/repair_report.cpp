@@ -47,14 +47,60 @@ std::string RepairReport::to_json() const {
        << ",\"bytes_migrated\":" << r.bytes_migrated
        << ",\"duration_seconds\":" << json_num(r.duration_seconds)
        << ",\"stf_bw_utilization\":" << json_num(r.stf_bw_utilization);
+    if (r.tr_seconds > 0 || r.tm_seconds > 0) {
+      os << ",\"tr_seconds\":" << json_num(r.tr_seconds)
+         << ",\"tm_seconds\":" << json_num(r.tm_seconds);
+    }
     if (i < predicted.size()) {
       const auto& p = predicted[i];
       os << ",\"predicted\":{\"cr\":" << p.cr << ",\"cm\":" << p.cm
-         << ",\"duration_seconds\":" << json_num(p.duration_seconds) << "}";
+         << ",\"duration_seconds\":" << json_num(p.duration_seconds);
+      if (p.tr_seconds > 0 || p.tm_seconds > 0) {
+        os << ",\"tr_seconds\":" << json_num(p.tr_seconds)
+           << ",\"tm_seconds\":" << json_num(p.tm_seconds);
+      }
+      os << "}";
+      // Prediction drift: how far the measured round ran from the
+      // model (ratio > 1 = slower than predicted).
+      os << ",\"drift\":{\"round_time_error_seconds\":"
+         << json_num(r.duration_seconds - p.duration_seconds)
+         << ",\"round_time_ratio\":"
+         << json_num(p.duration_seconds > 0
+                         ? r.duration_seconds / p.duration_seconds
+                         : 0.0);
+      if (p.tr_seconds > 0 && r.tr_seconds > 0) {
+        os << ",\"tr_ratio\":" << json_num(r.tr_seconds / p.tr_seconds);
+      }
+      if (p.tm_seconds > 0 && r.tm_seconds > 0) {
+        os << ",\"tm_ratio\":" << json_num(r.tm_seconds / p.tm_seconds);
+      }
+      os << "}";
     }
     os << "}";
   }
-  os << "]}";
+  os << "]";
+  if (!links.empty()) {
+    os << ",\"links\":" << links_to_json(links);
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string links_to_json(const std::vector<LinkBandwidth>& links) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < links.size(); ++i) {
+    const auto& l = links[i];
+    if (i != 0) os << ",";
+    os << "{\"src\":" << l.src << ",\"dst\":" << l.dst
+       << ",\"tx_bytes\":" << l.tx_bytes << ",\"rx_bytes\":" << l.rx_bytes
+       << ",\"ewma_bytes_per_sec\":" << json_num(l.ewma_bytes_per_sec)
+       << ",\"expected_bytes_per_sec\":"
+       << json_num(l.expected_bytes_per_sec)
+       << ",\"injected_delay_us\":" << l.injected_delay_us
+       << ",\"straggler\":" << (l.straggler ? "true" : "false") << "}";
+  }
+  os << "]";
   return os.str();
 }
 

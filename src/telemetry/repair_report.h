@@ -39,13 +39,36 @@ struct RepairRoundStats {
   /// the testbed, which knows the configured disk rate; 0 when the disk
   /// is unshaped or the rate is unknown.
   double stf_bw_utilization = 0;
+  /// Measured reconstruction / migration phase times: start of round to
+  /// the last completion of each kind. 0 when unmeasured (simulator) or
+  /// the round ran none of that kind.
+  double tr_seconds = 0;
+  double tm_seconds = 0;
 };
 
 /// Cost-model expectation for one round (see CostModel::round_time).
+/// tr/tm are the model's Eq 1–4 phase terms; 0 when the caller only
+/// attached the round total.
 struct PredictedRound {
   int cr = 0;
   int cm = 0;
   double duration_seconds = 0;
+  double tr_seconds = 0;
+  double tm_seconds = 0;
+};
+
+/// One directed link's bandwidth estimate at the end of the run, as
+/// measured by telemetry::FlowMonitor (plain copy so this header stays
+/// stdlib-only).
+struct LinkBandwidth {
+  int src = -1;
+  int dst = -1;
+  int64_t tx_bytes = 0;
+  int64_t rx_bytes = 0;
+  double ewma_bytes_per_sec = 0;
+  double expected_bytes_per_sec = 0;
+  int64_t injected_delay_us = 0;
+  bool straggler = false;
 };
 
 /// Per-STF-node breakdown of a multi-STF batch execution (DESIGN.md §8).
@@ -72,6 +95,9 @@ struct RepairReport {
   /// Multi-STF executions only (batch >= 2); empty otherwise, and then
   /// absent from the JSON so single-STF output is unchanged.
   std::vector<StfRepairStats> per_stf;
+  /// Per-link EWMA bandwidth estimates from the flow monitor; empty
+  /// (and absent from the JSON) when flow telemetry was off.
+  std::vector<LinkBandwidth> links;
 
   int total_cr() const;
   int total_cm() const;
@@ -82,5 +108,9 @@ struct RepairReport {
   /// Header + one line per round.
   std::string to_csv() const;
 };
+
+/// JSON array of per-link rows — the `links` part of RepairReport's
+/// JSON, also what `fastpr_cli --flow-out` writes standalone.
+std::string links_to_json(const std::vector<LinkBandwidth>& links);
 
 }  // namespace fastpr::telemetry

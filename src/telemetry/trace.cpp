@@ -12,6 +12,28 @@ namespace {
 std::atomic<uint32_t> g_next_thread_id{1};
 std::atomic<uint64_t> g_next_log_id{1};
 
+#if FASTPR_TELEMETRY_ENABLED
+
+// Span and trace ids share one sequence: a root context burns one id
+// for the trace and each span burns one for itself, so any nonzero id
+// is unique across both uses. Allocation lives here and ONLY here
+// (fastpr_lint `trace-context`).
+std::atomic<uint64_t> g_next_span_id{1};
+
+uint64_t next_span_id() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+// The calling thread's causal position: trace, innermost open span
+// (the parent for new spans and outgoing contexts), and local node
+// attribution. Plain thread_locals — only ever touched by their own
+// thread.
+thread_local uint64_t t_trace_id = 0;
+thread_local uint64_t t_parent_span = 0;
+thread_local int32_t t_node = -1;
+
+#endif  // FASTPR_TELEMETRY_ENABLED
+
 }  // namespace
 
 uint32_t this_thread_id() {
@@ -22,7 +44,10 @@ uint32_t this_thread_id() {
 
 TraceLog::TraceLog()
     : id_(g_next_log_id.fetch_add(1, std::memory_order_relaxed)),
-      epoch_(trace_now()) {}
+      epoch_(trace_now()),
+      registry_(std::make_shared<Registry>()) {}
+
+TraceLog::~TraceLog() = default;
 
 TraceLog& TraceLog::global() {
   static TraceLog* log = new TraceLog();  // fastpr-lint: allow(naked-new) — intentionally leaked: spans may fire during static destruction
@@ -33,16 +58,46 @@ TraceLog::ThreadBuffer& TraceLog::local_buffer() {
   // Cache keyed by log identity so test-local TraceLog instances get
   // their own buffers; the id (not the pointer) guards against a new
   // log reusing a destroyed one's address.
+  //
+  // On thread exit — or when the slot is rebound to a different log —
+  // the destructor flushes the buffer's events into the registry's
+  // central drain and deregisters it, so workers that die before the
+  // next snapshot() lose nothing. The weak_ptr keeps this safe against
+  // the log dying first.
   struct TlsSlot {
     uint64_t log_id = 0;
+    std::weak_ptr<Registry> registry;
     std::shared_ptr<ThreadBuffer> buffer;
+
+    void flush_and_release() {
+      if (!buffer) return;
+      if (const auto reg = registry.lock()) {
+        MutexLock lock(reg->mutex);
+        {
+          MutexLock buf_lock(buffer->mutex);
+          reg->drained.insert(reg->drained.end(), buffer->events.begin(),
+                              buffer->events.end());
+          reg->retired_dropped += buffer->dropped;
+        }
+        reg->buffers.erase(
+            std::remove(reg->buffers.begin(), reg->buffers.end(), buffer),
+            reg->buffers.end());
+      }
+      buffer.reset();
+      registry.reset();
+      log_id = 0;
+    }
+
+    ~TlsSlot() { flush_and_release(); }
   };
   thread_local TlsSlot slot;
   if (slot.log_id != id_) {
+    slot.flush_and_release();  // rebinding: hand old events to their log
     slot.buffer = std::make_shared<ThreadBuffer>();
     slot.log_id = id_;
-    MutexLock lock(mutex_);
-    buffers_.push_back(slot.buffer);
+    slot.registry = registry_;
+    MutexLock lock(registry_->mutex);
+    registry_->buffers.push_back(slot.buffer);
   }
   return *slot.buffer;
 }
@@ -58,13 +113,15 @@ void TraceLog::append(const TraceEvent& event) {
 }
 
 std::vector<TraceEvent> TraceLog::snapshot() {
-  MutexLock lock(mutex_);
-  for (const auto& buf : buffers_) {
+  Registry& reg = *registry_;
+  MutexLock lock(reg.mutex);
+  for (const auto& buf : reg.buffers) {
     MutexLock buf_lock(buf->mutex);
-    drained_.insert(drained_.end(), buf->events.begin(), buf->events.end());
+    reg.drained.insert(reg.drained.end(), buf->events.begin(),
+                       buf->events.end());
     buf->events.clear();
   }
-  std::vector<TraceEvent> out = drained_;
+  std::vector<TraceEvent> out = reg.drained;
   std::stable_sort(out.begin(), out.end(),
                    [](const TraceEvent& a, const TraceEvent& b) {
                      return a.start_us < b.start_us;
@@ -72,19 +129,43 @@ std::vector<TraceEvent> TraceLog::snapshot() {
   return out;
 }
 
-std::string TraceLog::to_chrome_json() {
-  const auto events = snapshot();
+std::string events_to_chrome_json(
+    const std::vector<TraceEvent>& events,
+    const std::vector<std::pair<int, int64_t>>& node_offsets_us) {
+  const auto offset_for = [&node_offsets_us](int32_t node) -> int64_t {
+    for (const auto& [n, off] : node_offsets_us) {
+      if (n == node) return off;
+    }
+    return 0;
+  };
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   for (size_t i = 0; i < events.size(); ++i) {
     const auto& ev = events[i];
     if (i != 0) os << ",";
+    const int64_t ts =
+        ev.node >= 0 ? ev.start_us - offset_for(ev.node) : ev.start_us;
+    const int pid = ev.node >= 0 ? ev.node + 2 : 1;
     os << "{\"name\":" << json_str(ev.name)
        << ",\"cat\":" << json_str(ev.category)
-       << ",\"ph\":\"X\",\"ts\":" << ev.start_us
-       << ",\"dur\":" << ev.duration_us << ",\"pid\":1,\"tid\":" << ev.tid;
-    if (ev.arg >= 0 && ev.arg_name != nullptr) {
-      os << ",\"args\":{" << json_str(ev.arg_name) << ":" << ev.arg << "}";
+       << ",\"ph\":\"X\",\"ts\":" << ts
+       << ",\"dur\":" << ev.duration_us << ",\"pid\":" << pid
+       << ",\"tid\":" << ev.tid;
+    const bool has_arg = ev.arg >= 0 && ev.arg_name != nullptr;
+    const bool has_trace = ev.trace_id != 0;
+    if (has_arg || has_trace) {
+      os << ",\"args\":{";
+      bool first = true;
+      if (has_arg) {
+        os << json_str(ev.arg_name) << ":" << ev.arg;
+        first = false;
+      }
+      if (has_trace) {
+        if (!first) os << ",";
+        os << "\"trace\":" << ev.trace_id << ",\"span\":" << ev.span_id
+           << ",\"parent\":" << ev.parent_span_id;
+      }
+      os << "}";
     }
     os << "}";
   }
@@ -92,27 +173,97 @@ std::string TraceLog::to_chrome_json() {
   return os.str();
 }
 
+std::string TraceLog::to_chrome_json() {
+  return events_to_chrome_json(snapshot());
+}
+
 void TraceLog::clear() {
-  MutexLock lock(mutex_);
-  for (const auto& buf : buffers_) {
+  Registry& reg = *registry_;
+  MutexLock lock(reg.mutex);
+  for (const auto& buf : reg.buffers) {
     MutexLock buf_lock(buf->mutex);
     buf->events.clear();
     buf->dropped = 0;
   }
-  drained_.clear();
+  reg.drained.clear();
+  reg.retired_dropped = 0;
 }
 
 int64_t TraceLog::dropped() const {
-  MutexLock lock(mutex_);
-  int64_t total = 0;
-  for (const auto& buf : buffers_) {
+  Registry& reg = *registry_;
+  MutexLock lock(reg.mutex);
+  int64_t total = reg.retired_dropped;
+  for (const auto& buf : reg.buffers) {
     MutexLock buf_lock(buf->mutex);
     total += buf->dropped;
   }
   return total;
 }
 
+size_t TraceLog::thread_buffer_count() const {
+  Registry& reg = *registry_;
+  MutexLock lock(reg.mutex);
+  return reg.buffers.size();
+}
+
 #if FASTPR_TELEMETRY_ENABLED
+
+TraceContext make_root_context(int origin_node) {
+  TraceContext ctx;
+  ctx.trace_id = next_span_id();
+  ctx.parent_span_id = 0;
+  ctx.origin_node = origin_node;
+  ctx.origin_ts_us = trace_now_us();
+  return ctx;
+}
+
+TraceContext current_trace_context() {
+  TraceContext ctx;
+  ctx.trace_id = t_trace_id;
+  ctx.parent_span_id = t_parent_span;
+  ctx.origin_node = t_node;
+  ctx.origin_ts_us = trace_now_us();
+  return ctx;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx, int node)
+    : prev_trace_id_(t_trace_id),
+      prev_parent_span_(t_parent_span),
+      prev_node_(t_node) {
+  t_trace_id = ctx.trace_id;
+  t_parent_span = ctx.parent_span_id;
+  if (node >= 0) t_node = node;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  t_trace_id = prev_trace_id_;
+  t_parent_span = prev_parent_span_;
+  t_node = prev_node_;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category, int64_t arg,
+                     const char* arg_name) {
+  if (TraceLog::global().enabled()) {
+    name_ = name;
+    category_ = category;
+    arg_ = arg;
+    arg_name_ = arg_name;
+    trace_id_ = t_trace_id;
+    parent_span_id_ = t_parent_span;
+    span_id_ = trace_id_ != 0 ? next_span_id() : 0;
+    node_ = t_node;
+    saved_parent_span_ = t_parent_span;
+    if (span_id_ != 0) t_parent_span = span_id_;
+    start_ = trace_now();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_ != nullptr) {
+    t_parent_span = saved_parent_span_;
+    record();
+  }
+}
 
 void TraceSpan::record() {
   auto& log = TraceLog::global();
@@ -129,6 +280,10 @@ void TraceSpan::record() {
   ev.tid = this_thread_id();
   ev.arg = arg_;
   ev.arg_name = arg_name_;
+  ev.trace_id = trace_id_;
+  ev.span_id = span_id_;
+  ev.parent_span_id = parent_span_id_;
+  ev.node = node_;
   log.append(ev);
 }
 

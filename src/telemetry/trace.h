@@ -1,11 +1,23 @@
-// Span-based tracer with per-thread buffers (DESIGN.md §5c).
+// Span-based tracer with per-thread buffers and cross-node causal
+// propagation (DESIGN.md §5c).
 //
 // A TraceSpan is an RAII scope: its constructor samples the steady
 // clock, its destructor samples again and appends one completed event
 // to the calling thread's buffer. Buffers register themselves with the
-// owning TraceLog on first use and are drained centrally on snapshot,
-// so the hot path never takes a contended lock — each buffer's mutex is
+// owning TraceLog on first use and are drained centrally on snapshot;
+// a thread that exits flushes its buffer into the central log first,
+// so spans from short-lived workers are never silently dropped. The
+// hot path never takes a contended lock — each buffer's mutex is
 // touched only by its own thread plus the (rare) drain.
+//
+// Causality: every span carries (trace_id, span_id, parent_span_id,
+// node). A TraceContext is the compact wire form of "the currently
+// open span" — coordinators mint a root context, stamp it into
+// outgoing net::Message headers, and receivers adopt it with a
+// ScopedTraceContext so spans opened in the handler become children of
+// the sender's span. Span ids are allocated ONLY inside src/telemetry
+// (fastpr_lint `trace-context`); everyone else moves contexts around
+// as opaque values.
 //
 // Tracing is off by default; TraceLog::set_enabled(true) arms it (the
 // CLI's --trace-out flag and the testbed tests do this). A disarmed
@@ -18,7 +30,10 @@
 // must be string literals (static lifetime) — events store the pointer.
 //
 // Export is the Chrome trace_event format: load the file in
-// chrome://tracing or https://ui.perfetto.dev.
+// chrome://tracing or https://ui.perfetto.dev. Events attributed to a
+// node render under pid = node + 2 (pid 1 is the unattributed lane);
+// events_to_chrome_json() additionally applies per-node clock offsets
+// (see clock_sync.h) so multi-node timelines line up.
 #pragma once
 
 #include <atomic>
@@ -26,6 +41,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "telemetry/telemetry.h"
@@ -45,19 +61,48 @@ inline TraceClock::time_point trace_now() { return TraceClock::now(); }
 /// order); what trace events and log lines report as "tid".
 uint32_t this_thread_id();
 
+/// Compact causal context carried in the net::Message header (28 wire
+/// bytes). trace_id == 0 means "no context"; parent_span_id is the
+/// sender's open span, which spans opened under a ScopedTraceContext
+/// adopt as their parent. origin_node / origin_ts_us identify the
+/// sender and its local clock at capture time (clock_sync.h consumes
+/// the timestamp on kPing/kPong probes).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  int32_t origin_node = -1;
+  int64_t origin_ts_us = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
 struct TraceEvent {
   const char* name = "";      // static-lifetime string
   const char* category = "";  // static-lifetime string
   int64_t start_us = 0;       // µs since the owning log's epoch
   int64_t duration_us = 0;
   uint32_t tid = 0;
-  int64_t arg = -1;               // optional payload, < 0 = absent
+  int64_t arg = -1;                // optional payload, < 0 = absent
   const char* arg_name = nullptr;  // static-lifetime key for `arg`
+  uint64_t trace_id = 0;           // 0 = not part of a causal trace
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;     // 0 = root of its trace
+  int32_t node = -1;               // -1 = unattributed
 };
+
+/// Chrome trace_event JSON for an explicit event list, subtracting
+/// `node_offsets_us` (node → estimated clock offset vs the exporter,
+/// clock_sync.h convention) from the start time of each attributed
+/// event. With empty offsets this is exactly TraceLog::to_chrome_json's
+/// rendering.
+std::string events_to_chrome_json(
+    const std::vector<TraceEvent>& events,
+    const std::vector<std::pair<int, int64_t>>& node_offsets_us = {});
 
 class TraceLog {
  public:
   TraceLog();
+  ~TraceLog();
 
   static TraceLog& global();
 
@@ -73,16 +118,21 @@ class TraceLog {
 
   /// Drains every thread buffer into the central log and returns a copy
   /// of all events collected so far, ordered by start time.
-  std::vector<TraceEvent> snapshot() FASTPR_EXCLUDES(mutex_);
+  std::vector<TraceEvent> snapshot();
 
   /// Chrome trace_event JSON ({"traceEvents":[...]}) of snapshot().
-  std::string to_chrome_json() FASTPR_EXCLUDES(mutex_);
+  std::string to_chrome_json();
 
   /// Discards all collected events (buffered and drained).
-  void clear() FASTPR_EXCLUDES(mutex_);
+  void clear();
 
-  /// Events discarded because a thread buffer hit its cap.
-  int64_t dropped() const FASTPR_EXCLUDES(mutex_);
+  /// Events discarded because a thread buffer hit its cap (including
+  /// buffers already retired by thread exit).
+  int64_t dropped() const;
+
+  /// Live registered per-thread buffers; exited threads flush and
+  /// deregister theirs (regression-tested — see test_telemetry).
+  size_t thread_buffer_count() const;
 
   TraceClock::time_point epoch() const { return epoch_; }
 
@@ -97,37 +147,64 @@ class TraceLog {
     int64_t dropped FASTPR_GUARDED_BY(mutex) = 0;
   };
 
+  /// Buffer registry + central drain target. Held by shared_ptr so a
+  /// thread exiting AFTER its TraceLog was destroyed (weak_ptr in the
+  /// TLS slot) flushes into nothing instead of a dangling log.
+  struct Registry {
+    mutable Mutex mutex{lock_order::kTelemetryTrace};
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers
+        FASTPR_GUARDED_BY(mutex);
+    std::vector<TraceEvent> drained FASTPR_GUARDED_BY(mutex);
+    int64_t retired_dropped FASTPR_GUARDED_BY(mutex) = 0;
+  };
+
   ThreadBuffer& local_buffer();
 
   const uint64_t id_;  // distinguishes logs for the thread-local cache
   const TraceClock::time_point epoch_;
   std::atomic<bool> enabled_{false};
-  mutable Mutex mutex_{lock_order::kTelemetryTrace};
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_
-      FASTPR_GUARDED_BY(mutex_);
-  std::vector<TraceEvent> drained_ FASTPR_GUARDED_BY(mutex_);
+  std::shared_ptr<Registry> registry_;
 };
 
 #if FASTPR_TELEMETRY_ENABLED
 
+/// Mints a fresh root context: new trace id, no parent. The span opened
+/// under it (via ScopedTraceContext) becomes the trace's root span.
+TraceContext make_root_context(int origin_node);
+
+/// The calling thread's current context: innermost open span (or the
+/// adopted parent when no span is open), local node attribution, and
+/// the local clock now. This is what senders stamp into outgoing
+/// net::Message headers.
+TraceContext current_trace_context();
+
+/// Installs `ctx` (and, when node >= 0, the local node attribution) as
+/// the calling thread's current trace context for the enclosing scope;
+/// restores the previous context on destruction. Receivers wrap message
+/// handling in one of these so their spans parent under the sender's.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx, int node = -1);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  uint64_t prev_trace_id_;
+  uint64_t prev_parent_span_;
+  int32_t prev_node_;
+};
+
 /// RAII span recording into TraceLog::global(). `name`, `category` and
-/// `arg_name` must be string literals.
+/// `arg_name` must be string literals. While open, the span is the
+/// thread's current context parent (nested spans and outgoing messages
+/// link to it).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* category = "repair",
-                     int64_t arg = -1, const char* arg_name = "id") {
-    if (TraceLog::global().enabled()) {
-      name_ = name;
-      category_ = category;
-      arg_ = arg;
-      arg_name_ = arg_name;
-      start_ = trace_now();
-    }
-  }
-
-  ~TraceSpan() {
-    if (name_ != nullptr) record();
-  }
+                     int64_t arg = -1, const char* arg_name = "id");
+  ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
@@ -139,10 +216,25 @@ class TraceSpan {
   const char* category_ = nullptr;
   int64_t arg_ = -1;
   const char* arg_name_ = nullptr;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  uint64_t saved_parent_span_ = 0;
+  int32_t node_ = -1;
   TraceClock::time_point start_;
 };
 
 #else  // !FASTPR_TELEMETRY_ENABLED
+
+inline TraceContext make_root_context(int) { return {}; }
+inline TraceContext current_trace_context() { return {}; }
+
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext&, int = -1) {}
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+};
 
 class TraceSpan {
  public:
@@ -153,6 +245,15 @@ class TraceSpan {
 };
 
 #endif  // FASTPR_TELEMETRY_ENABLED
+
+/// µs on the tracing clock since the global log's epoch — the "local
+/// clock" that TraceContext::origin_ts_us and the flow-monitor
+/// timestamps are expressed in.
+inline int64_t trace_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             trace_now() - TraceLog::global().epoch())
+      .count();
+}
 
 #define FASTPR_SPAN_CONCAT_INNER(a, b) a##b
 #define FASTPR_SPAN_CONCAT(a, b) FASTPR_SPAN_CONCAT_INNER(a, b)

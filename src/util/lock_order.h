@@ -87,6 +87,10 @@ inline constexpr Rank kUtilBufferPool{120, "util.buffer_pool"};
 // -- observability (leaf-most: callable from under any lock above) -------
 /// telemetry::MetricsRegistry name → instrument map.
 inline constexpr Rank kTelemetryMetrics{130, "telemetry.metrics"};
+/// telemetry::FlowMonitor per-link window state. Transport tx/rx hooks
+/// report into it from sender and reader threads; holders only fold
+/// arithmetic, never call out.
+inline constexpr Rank kTelemetryFlow{132, "telemetry.flow"};
 /// telemetry::TraceLog buffer registry; snapshot() drains per-thread
 /// buffers under it, nesting telemetry.trace_buffer.
 inline constexpr Rank kTelemetryTrace{140, "telemetry.trace"};

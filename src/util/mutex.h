@@ -218,7 +218,28 @@ struct Held {
   const lock_order::Rank* rank;
 };
 
-inline thread_local std::vector<Held> t_held;
+// Retirement flag for the per-thread held stack. TLS destructors run
+// in an order we don't control: another thread_local's destructor
+// (e.g. the trace log's thread-exit flush) may lock a Mutex AFTER the
+// held stack below has been destroyed. The flag is trivially
+// destructible, so it stays readable for the whole thread teardown;
+// once set, every tracker hook becomes a no-op instead of touching a
+// dead vector. Locks taken during teardown are simply untracked.
+inline thread_local bool t_held_retired = false;
+
+struct HeldStack {
+  std::vector<Held> v;
+  ~HeldStack() { t_held_retired = true; }
+};
+
+inline thread_local HeldStack t_held_stack;
+
+/// The calling thread's held-lock stack, or nullptr once TLS teardown
+/// has retired it.
+inline std::vector<Held>* held_or_null() {
+  if (t_held_retired) return nullptr;
+  return &t_held_stack.v;
+}
 
 inline std::string rank_label(const lock_order::Rank* rank) {
   if (rank == nullptr) return "<unranked>";
@@ -288,6 +309,9 @@ namespace lock_tracking {
 
 inline void before_lock(const Mutex* mu, const lock_order::Rank* rank) {
   using namespace internal;
+  std::vector<Held>* stack = held_or_null();
+  if (stack == nullptr) return;  // thread teardown: tracking retired
+  std::vector<Held>& t_held = *stack;
   if (t_held.empty()) return;  // fast path: nothing to order against
 
   for (const Held& held : t_held) {
@@ -339,11 +363,15 @@ inline void before_lock(const Mutex* mu, const lock_order::Rank* rank) {
 }
 
 inline void after_lock(const Mutex* mu, const lock_order::Rank* rank) {
-  internal::t_held.push_back(internal::Held{mu, rank});
+  std::vector<internal::Held>* stack = internal::held_or_null();
+  if (stack == nullptr) return;
+  stack->push_back(internal::Held{mu, rank});
 }
 
 inline void on_unlock(const Mutex* mu) {
-  auto& t_held = internal::t_held;
+  std::vector<internal::Held>* stack = internal::held_or_null();
+  if (stack == nullptr) return;
+  auto& t_held = *stack;
   for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
     if (it->mu == mu) {
       t_held.erase(std::next(it).base());

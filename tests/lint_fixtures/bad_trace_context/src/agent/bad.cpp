@@ -1,0 +1,23 @@
+// Golden bad snippet for the `trace-context` lint rule: agent code
+// minting its own span ids instead of propagating the sender's
+// TraceContext. Both lines below must be flagged.
+
+#include <cstdint>
+
+namespace fastpr::telemetry {
+uint64_t next_span_id();
+}
+
+namespace fastpr::agent {
+
+struct FakeEvent {
+  uint64_t span_id;
+};
+
+void forge_span() {
+  FakeEvent ev;
+  ev.span_id = 42;
+  ev.span_id = fastpr::telemetry::next_span_id();
+}
+
+}  // namespace fastpr::agent

@@ -289,6 +289,63 @@ TEST(Chaos, FlakyNetworkStaysLiveWithinBudgets) {
   }
 }
 
+TEST(Chaos, InjectedDelaysDoNotFlagPhantomStragglers) {
+#if FASTPR_TELEMETRY_ENABLED
+  // Flow-accounting property (DESIGN.md §5c): FaultyTransport charges
+  // every injected delay to the FlowMonitor, which excludes it from the
+  // link's active window — so a link that is slow ONLY because the
+  // chaos plan slept on it must NOT be reported as a straggler.
+  ec::RsCode code(6, 4);
+  const uint64_t seed = seed_base();
+  auto opts = chaos_options(seed);
+  // Shaped net so the monitor has an expected per-stream rate to judge
+  // stragglers against; generous round timeout so the injected delays
+  // don't trip retries and muddy the link set.
+  opts.net_bytes_per_sec = MBps(2);
+  opts.round_timeout = std::chrono::milliseconds(5000);
+
+  const auto scouted = scout_plan(opts, code, core::Scenario::kScattered);
+  ASSERT_FALSE(scouted.rounds.empty());
+  ASSERT_FALSE(scouted.rounds[0].reconstructions.empty());
+  const auto victim = scouted.rounds[0].reconstructions[0].sources[0].node;
+
+  // Every data packet the victim sends sleeps 100 ms — a massive
+  // slowdown that, uncredited, would read as a fraction of the plan
+  // rate and flag the link.
+  opts.fault_plan = net::FaultPlan::parse(
+      "seed " + std::to_string(seed) + "\nflaky node=" +
+      std::to_string(victim) + " delay=1 delay_ms=100 max_delays=200\n");
+  Testbed tb(opts, code);
+  tb.flag_stf();
+  const auto plan =
+      tb.make_planner(core::Scenario::kScattered).plan_fastpr();
+
+  const auto report = tb.execute(plan);
+  expect_full_recovery(tb, plan, report);
+
+  ASSERT_FALSE(report.repair.links.empty());
+  bool saw_delayed_victim_link = false;
+  for (const auto& l : report.repair.links) {
+    if (l.injected_delay_us > 0) {
+      // With the credit in place the victim's stream has near-zero
+      // GENUINE active time (the sleeps pace it below the NIC rate),
+      // so its EWMA stays 0 and it cannot be flagged. If the credit
+      // ever regresses, the sleeps count as active time, the window
+      // folds at a fraction of the plan rate, and this fires.
+      EXPECT_FALSE(l.straggler)
+          << "link " << l.src << "->" << l.dst
+          << " slowed only by injected delay was flagged straggler";
+      if (l.src == victim) saw_delayed_victim_link = true;
+    }
+  }
+  // Non-vacuous: the victim's links really carry the injected-delay
+  // attribution in the report.
+  EXPECT_TRUE(saw_delayed_victim_link);
+#else
+  GTEST_SKIP() << "telemetry compiled out: no flow monitor";
+#endif
+}
+
 TEST(Chaos, MultiStfMemberDeathDegradesOnlyItsChunks) {
   // Batch of two STF nodes repaired jointly (DESIGN.md §8); the FIRST
   // member dies 1.5 chunks into its migration traffic. Only its chunks

@@ -18,6 +18,10 @@ Message sample_message() {
   m.to = 9;
   m.task_id = 0xDEADBEEFCAFEULL;
   m.attempt = 3;
+  m.trace.trace_id = 0x1122334455667788ULL;
+  m.trace.parent_span_id = 0x99AABBCCDDEEFF00ULL;
+  m.trace.origin_node = 3;
+  m.trace.origin_ts_us = 123456789;
   m.chunk = {42, 7};
   m.dst = 9;
   m.mode = TransferMode::kDecode;
@@ -36,6 +40,10 @@ Message sample_message() {
 bool equal(const Message& a, const Message& b) {
   if (a.type != b.type || a.from != b.from || a.to != b.to ||
       a.task_id != b.task_id || a.attempt != b.attempt ||
+      a.trace.trace_id != b.trace.trace_id ||
+      a.trace.parent_span_id != b.trace.parent_span_id ||
+      a.trace.origin_node != b.trace.origin_node ||
+      a.trace.origin_ts_us != b.trace.origin_ts_us ||
       !(a.chunk == b.chunk) || a.dst != b.dst ||
       a.mode != b.mode || a.coefficient != b.coefficient ||
       a.packet_index != b.packet_index ||

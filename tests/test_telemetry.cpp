@@ -29,6 +29,8 @@ namespace {
 using telemetry::Counter;
 using telemetry::Gauge;
 using telemetry::Histogram;
+using telemetry::LinkBandwidth;
+using telemetry::links_to_json;
 using telemetry::MetricsRegistry;
 using telemetry::RepairReport;
 using telemetry::RepairRoundStats;
@@ -205,6 +207,36 @@ TEST(MetricsRegistry, SnapshotJsonAndCsvGolden) {
 #endif
 }
 
+TEST(MetricsRegistry, PrometheusGolden) {
+  MetricsRegistry reg;
+  reg.counter("b.x").add(1);
+  reg.counter("a.y").add(2);
+  reg.gauge("g").set(7);
+  reg.histogram("h").observe(3);
+  reg.histogram("h").observe(500);
+#if FASTPR_TELEMETRY_ENABLED
+  EXPECT_EQ(reg.snapshot().to_prometheus(),
+            "# TYPE a_y counter\na_y 2\n"
+            "# TYPE b_x counter\nb_x 1\n"
+            "# TYPE g gauge\ng 7\n"
+            "# TYPE h histogram\n"
+            "h_bucket{le=\"3\"} 1\n"
+            "h_bucket{le=\"511\"} 2\n"
+            "h_bucket{le=\"+Inf\"} 2\n"
+            "h_sum 503\n"
+            "h_count 2\n");
+#else
+  EXPECT_EQ(reg.snapshot().to_prometheus(),
+            "# TYPE a_y counter\na_y 0\n"
+            "# TYPE b_x counter\nb_x 0\n"
+            "# TYPE g gauge\ng 0\n"
+            "# TYPE h histogram\n"
+            "h_bucket{le=\"+Inf\"} 0\n"
+            "h_sum 0\n"
+            "h_count 0\n");
+#endif
+}
+
 TEST(Json, EscapingAndNumbers) {
   EXPECT_EQ(telemetry::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
   EXPECT_EQ(telemetry::json_escape(std::string(1, '\x01')), "\\u0001");
@@ -264,6 +296,49 @@ TEST(TraceLog, SnapshotDrainsAndAccumulates) {
   EXPECT_TRUE(log.snapshot().empty());
 }
 
+TEST(TraceLog, OffsetCorrectedCausalJson) {
+  TraceEvent ev;
+  ev.name = "agent.handle";
+  ev.category = "agent";
+  ev.start_us = 1000;
+  ev.duration_us = 10;
+  ev.tid = 1;
+  ev.node = 3;
+  ev.trace_id = 9;
+  // Golden fixture built by hand, not a forged product span.
+  // fastpr-lint: allow(trace-context)
+  ev.span_id = 11;
+  ev.parent_span_id = 10;
+  // Node 3's clock runs 250µs ahead of the exporter's: its events
+  // shift earlier by the estimated offset; pid = node + 2.
+  EXPECT_EQ(
+      telemetry::events_to_chrome_json({ev}, {{3, 250}}),
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"name\":\"agent.handle\",\"cat\":\"agent\",\"ph\":\"X\","
+      "\"ts\":750,\"dur\":10,\"pid\":5,\"tid\":1,"
+      "\"args\":{\"trace\":9,\"span\":11,\"parent\":10}}]}");
+  // An unlisted node keeps its raw timestamps.
+  EXPECT_NE(telemetry::events_to_chrome_json({ev}, {{4, 250}})
+                .find("\"ts\":1000"),
+            std::string::npos);
+}
+
+// The regression the per-thread buffers were designed against: a span
+// recorded by a short-lived worker must survive the worker's exit (its
+// buffer flushes into the central log and deregisters).
+TEST(TraceLog, ThreadExitFlushesBuffer) {
+  TraceLog log;
+  TraceEvent ev;
+  ev.name = "worker.event";
+  ev.category = "test";
+  std::thread([&] { log.append(ev); }).join();
+  EXPECT_EQ(log.thread_buffer_count(), 0u);
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "worker.event");
+  EXPECT_EQ(log.dropped(), 0);
+}
+
 TEST(Trace, ThreadIdsAreStablePerThread) {
   const uint32_t mine = telemetry::this_thread_id();
   EXPECT_EQ(telemetry::this_thread_id(), mine);
@@ -320,13 +395,15 @@ TEST(RepairReport, TotalsAndJsonGolden) {
   r1.bytes_migrated = 3072;
   r1.duration_seconds = 0.5;
   r1.stf_bw_utilization = 0.75;
+  r1.tr_seconds = 0.3;
+  r1.tm_seconds = 0.5;
   RepairRoundStats r2;
   r2.round = 2;
   r2.cr = 1;
   r2.bytes_reconstructed = 1024;
   r2.duration_seconds = 0.25;
   report.rounds = {r1, r2};
-  report.predicted = {{2, 3, 0.4}, {1, 0, 0.2}};
+  report.predicted = {{2, 3, 0.4, 0.25, 0.4}, {1, 0, 0.2}};
   report.degraded_at_round = 2;
 
   EXPECT_EQ(report.total_cr(), 3);
@@ -338,11 +415,17 @@ TEST(RepairReport, TotalsAndJsonGolden) {
       "{\"round\":1,\"cr\":2,\"cm\":3,\"fallbacks\":1,\"retries\":2,"
       "\"bytes_reconstructed\":2048,\"bytes_migrated\":3072,"
       "\"duration_seconds\":0.5,\"stf_bw_utilization\":0.75,"
-      "\"predicted\":{\"cr\":2,\"cm\":3,\"duration_seconds\":0.4}},"
+      "\"tr_seconds\":0.3,\"tm_seconds\":0.5,"
+      "\"predicted\":{\"cr\":2,\"cm\":3,\"duration_seconds\":0.4,"
+      "\"tr_seconds\":0.25,\"tm_seconds\":0.4},"
+      "\"drift\":{\"round_time_error_seconds\":0.1,"
+      "\"round_time_ratio\":1.25,\"tr_ratio\":1.2,\"tm_ratio\":1.25}},"
       "{\"round\":2,\"cr\":1,\"cm\":0,\"fallbacks\":0,\"retries\":0,"
       "\"bytes_reconstructed\":1024,\"bytes_migrated\":0,"
       "\"duration_seconds\":0.25,\"stf_bw_utilization\":0,"
-      "\"predicted\":{\"cr\":1,\"cm\":0,\"duration_seconds\":0.2}}]}");
+      "\"predicted\":{\"cr\":1,\"cm\":0,\"duration_seconds\":0.2},"
+      "\"drift\":{\"round_time_error_seconds\":0.05,"
+      "\"round_time_ratio\":1.25}}]}");
   EXPECT_EQ(report.to_csv(),
             "round,cr,cm,fallbacks,retries,bytes_reconstructed,"
             "bytes_migrated,duration_seconds,stf_bw_utilization\n"
@@ -357,6 +440,33 @@ TEST(RepairReport, JsonOmitsPredictionsWhenAbsent) {
   r.cr = 1;
   report.rounds = {r};
   EXPECT_EQ(report.to_json().find("predicted"), std::string::npos);
+  EXPECT_EQ(report.to_json().find("drift"), std::string::npos);
+  EXPECT_EQ(report.to_json().find("links"), std::string::npos);
+}
+
+TEST(RepairReport, LinksJsonGolden) {
+  LinkBandwidth l;
+  l.src = 3;
+  l.dst = 7;
+  l.tx_bytes = 4096;
+  l.rx_bytes = 4096;
+  l.ewma_bytes_per_sec = 1.5e6;
+  l.expected_bytes_per_sec = 4e6;
+  l.injected_delay_us = 250;
+  l.straggler = true;
+  EXPECT_EQ(links_to_json({l}),
+            "[{\"src\":3,\"dst\":7,\"tx_bytes\":4096,\"rx_bytes\":4096,"
+            "\"ewma_bytes_per_sec\":1.5e+06,"
+            "\"expected_bytes_per_sec\":4e+06,"
+            "\"injected_delay_us\":250,\"straggler\":true}]");
+
+  RepairReport report;
+  RepairRoundStats r;
+  r.round = 1;
+  report.rounds = {r};
+  report.links = {l};
+  EXPECT_NE(report.to_json().find("\"links\":[{\"src\":3"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

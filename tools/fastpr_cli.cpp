@@ -8,12 +8,24 @@
 //   fastpr_cli lifetime <spec>   # one simulated year of failures
 //   fastpr_cli execute  <spec>   # run the plan on the in-process
 //                                # testbed (real bytes, byte-verified)
+//   fastpr_cli trace merge <out.json> <in.json...>
+//                                # merge Chrome trace files (e.g. per-
+//                                # process exports) into one timeline
 //
 // Flags (may appear anywhere after the command):
 //   --metrics-out=<file.json>    # dump the metrics registry at exit
+//   --metrics-format=json|csv|prom
+//                                # format of --metrics-out (default
+//                                # json; prom = Prometheus text format)
 //   --trace-out=<file.json>      # enable tracing; write a Chrome
 //                                # trace_event file at exit (load in
-//                                # chrome://tracing or Perfetto)
+//                                # chrome://tracing or Perfetto).
+//                                # `execute` writes the merged,
+//                                # clock-offset-corrected multi-node
+//                                # timeline (DESIGN.md §5c).
+//   --flow-out=<file.json>       # execute only: per-link flow
+//                                # telemetry (EWMA bandwidth, straggler
+//                                # flags) from the run
 //   --fault-plan <file>          # execute only: scripted fault
 //                                # injection (net/fault_plan.h format;
 //                                # see examples/chaos.fault).
@@ -381,8 +393,21 @@ int cmd_lifetime(const Spec& spec) {
   return 0;
 }
 
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n",
+                 path.c_str());
+    return false;
+  }
+  out << content << "\n";
+  return out.good();
+}
+
 int cmd_execute(const Spec& spec, const std::string& fault_plan_path,
-                const std::vector<int>& stf_batch) {
+                const std::vector<int>& stf_batch,
+                const std::string& flow_out,
+                std::vector<std::pair<int, int64_t>>* clock_offsets) {
   agent::TestbedOptions opts;
   opts.num_storage = spec.nodes;
   opts.num_standby = spec.standby;
@@ -438,6 +463,13 @@ int cmd_execute(const Spec& spec, const std::string& fault_plan_path,
 
   const auto report = tb.execute(plan);
   const bool verified = tb.verify(report, plan);
+  *clock_offsets = tb.clock_offsets();
+  if (!flow_out.empty() &&
+      !write_file(flow_out, "{\"links\":" +
+                                telemetry::links_to_json(report.repair.links) +
+                                "}")) {
+    return 1;
+  }
 
   std::printf("\nexecution: %s in %.3f s\n",
               report.success ? "complete" : "incomplete",
@@ -492,28 +524,62 @@ int usage() {
   std::fprintf(stderr,
                "usage: fastpr_cli analyze|plan|simulate|lifetime|execute "
                "<spec-file> [--metrics-out=<file.json>] "
-               "[--trace-out=<file.json>] [--fault-plan <file>] "
-               "[--stf=<id[,id...]>] "
-               "[--repair-strategy=fanin|chain|auto]\n");
+               "[--metrics-format=json|csv|prom] "
+               "[--trace-out=<file.json>] [--flow-out=<file.json>] "
+               "[--fault-plan <file>] [--stf=<id[,id...]>] "
+               "[--repair-strategy=fanin|chain|auto]\n"
+               "       fastpr_cli trace merge <out.json> <in.json...>\n");
   return 2;
 }
 
-bool write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.good()) {
-    std::fprintf(stderr, "error: cannot open %s for writing\n",
-                 path.c_str());
-    return false;
+/// `trace merge <out> <in...>`: splices the traceEvents arrays of the
+/// inputs (each a {"traceEvents":[...]} file as written by --trace-out)
+/// into one Chrome trace. Purely textual — events pass through verbatim.
+int cmd_trace_merge(const std::vector<const char*>& positional) {
+  if (positional.size() < 4) return usage();
+  const std::string out_path = positional[2];
+  std::string merged;
+  for (size_t i = 3; i < positional.size(); ++i) {
+    std::ifstream in(positional[i]);
+    if (!in.good()) {
+      std::fprintf(stderr, "error: cannot open trace %s\n", positional[i]);
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string s = text.str();
+    // Accept both the bare {"traceEvents":[...]} form and the
+    // {"displayTimeUnit":"ms","traceEvents":[...]} form that
+    // events_to_chrome_json / --trace-out write.
+    const std::string key = "\"traceEvents\":[";
+    const auto start = s.find(key);
+    const auto end = s.rfind("]}");
+    if (start == std::string::npos || end == std::string::npos ||
+        end < start + key.size()) {
+      std::fprintf(stderr, "error: %s is not a Chrome trace file\n",
+                   positional[i]);
+      return 1;
+    }
+    const std::string body =
+        s.substr(start + key.size(), end - (start + key.size()));
+    if (body.empty()) continue;
+    if (!merged.empty()) merged += ",";
+    merged += body;
   }
-  out << content << "\n";
-  return out.good();
+  return write_file(out_path,
+                    "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[" +
+                        merged + "]}")
+             ? 0
+             : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string metrics_out;
+  std::string metrics_format = "json";
   std::string trace_out;
+  std::string flow_out;
   std::string fault_plan_path;
   core::StrategyChoice strategy = core::StrategyChoice::kFanIn;
   std::vector<int> stf_batch;
@@ -537,9 +603,20 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       metrics_out = arg.substr(std::strlen("--metrics-out="));
       if (metrics_out.empty()) return usage();
+    } else if (arg.rfind("--metrics-format=", 0) == 0) {
+      metrics_format = arg.substr(std::strlen("--metrics-format="));
+      if (metrics_format != "json" && metrics_format != "csv" &&
+          metrics_format != "prom") {
+        std::fprintf(stderr, "error: bad --metrics-format '%s'\n",
+                     metrics_format.c_str());
+        return usage();
+      }
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(std::strlen("--trace-out="));
       if (trace_out.empty()) return usage();
+    } else if (arg.rfind("--flow-out=", 0) == 0) {
+      flow_out = arg.substr(std::strlen("--flow-out="));
+      if (flow_out.empty()) return usage();
     } else if (arg.rfind("--repair-strategy=", 0) == 0) {
       const std::string v = arg.substr(std::strlen("--repair-strategy="));
       if (v == "fanin") {
@@ -566,6 +643,10 @@ int main(int argc, char** argv) {
       positional.push_back(argv[i]);
     }
   }
+  if (positional.size() >= 2 && std::strcmp(positional[0], "trace") == 0 &&
+      std::strcmp(positional[1], "merge") == 0) {
+    return cmd_trace_merge(positional);
+  }
   if (positional.size() != 2) return usage();
   const char* command = positional[0];
   const char* spec_path = positional[1];
@@ -581,6 +662,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   spec.strategy = strategy;
+  std::vector<std::pair<int, int64_t>> clock_offsets;
   int rc = 2;
   try {
     if (std::strcmp(command, "analyze") == 0) {
@@ -592,7 +674,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(command, "lifetime") == 0) {
       rc = cmd_lifetime(spec);
     } else if (std::strcmp(command, "execute") == 0) {
-      rc = cmd_execute(spec, fault_plan_path, stf_batch);
+      rc = cmd_execute(spec, fault_plan_path, stf_batch, flow_out,
+                       &clock_offsets);
     } else {
       return usage();
     }
@@ -600,15 +683,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     rc = 1;
   }
-  if (!metrics_out.empty() &&
-      !write_file(metrics_out,
-                  telemetry::MetricsRegistry::global().snapshot().to_json())) {
-    return 1;
+  if (!metrics_out.empty()) {
+    const auto snap = telemetry::MetricsRegistry::global().snapshot();
+    const std::string rendered = metrics_format == "csv"
+                                     ? snap.to_csv()
+                                     : metrics_format == "prom"
+                                           ? snap.to_prometheus()
+                                           : snap.to_json();
+    if (!write_file(metrics_out, rendered)) return 1;
   }
-  if (!trace_out.empty() &&
-      !write_file(trace_out,
-                  telemetry::TraceLog::global().to_chrome_json())) {
-    return 1;
+  if (!trace_out.empty()) {
+    // `execute` learned per-node clock offsets from its probe traffic;
+    // export the merged timeline offset-corrected (a no-op otherwise).
+    const std::string trace_json =
+        clock_offsets.empty()
+            ? telemetry::TraceLog::global().to_chrome_json()
+            : telemetry::events_to_chrome_json(
+                  telemetry::TraceLog::global().snapshot(), clock_offsets);
+    if (!write_file(trace_out, trace_json)) return 1;
   }
   return rc;
 }

@@ -1,0 +1,461 @@
+// fastpr_flamewatch — terminal renderer for flow + drift telemetry.
+//
+// Reads one or more JSON files produced by the pipeline —
+//   * `fastpr_cli execute --flow-out=...` sidecars ({"links":[...]}),
+//   * RepairReport JSON (fastpr_cli --report-out, or the `repair`
+//     object embedded in bench sidecars),
+// and renders two tables per file:
+//   * per-link utilization: tx/rx bytes, EWMA vs expected bandwidth,
+//     utilization %, injected chaos delay, straggler flag;
+//   * per-round prediction drift: measured vs modelled round time and
+//     the tr/tm phase ratios, when predictions were attached.
+//
+// Reporting discipline (CLAUDE.md / EXPERIMENTS.md): drift tables are
+// only meaningful from a `release` build — never quote numbers rendered
+// from a sanitizer run — and published tables must name the build
+// preset and kernel variant they came from.
+//
+// The repo's telemetry layer is a JSON *writer* only, so this tool
+// carries its own minimal recursive-descent parser: tolerant of the
+// subset our emitters produce (objects, arrays, strings, numbers,
+// bools, null), not a general validator.
+//
+// Usage: fastpr_flamewatch <report-or-flow.json>...
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + parser.
+
+struct JsonValue;
+using JsonPtr = std::shared_ptr<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonPtr> arr;
+  std::map<std::string, JsonPtr> obj;
+
+  const JsonValue* get(const std::string& key) const {
+    const auto it = obj.find(key);
+    return it == obj.end() ? nullptr : it->second.get();
+  }
+  double num_or(const std::string& key, double fallback) const {
+    const JsonValue* v = get(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->num : fallback;
+  }
+  bool bool_or(const std::string& key, bool fallback) const {
+    const JsonValue* v = get(key);
+    return v != nullptr && v->kind == Kind::kBool ? v->b : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  /// Returns nullptr (with error()) on malformed input.
+  JsonPtr parse() {
+    JsonPtr v = value();
+    if (v == nullptr) return nullptr;
+    skip_ws();
+    if (pos_ != s_.size()) {
+      fail("trailing characters after document");
+      return nullptr;
+    }
+    return v;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  void fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  JsonPtr value() {
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      fail("unexpected end of input");
+      return nullptr;
+    }
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return bool_value();
+    if (c == 'n') return null_value();
+    return number();
+  }
+
+  JsonPtr object() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        fail("expected object key");
+        return nullptr;
+      }
+      JsonPtr key = string_value();
+      if (key == nullptr) return nullptr;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        fail("expected ':'");
+        return nullptr;
+      }
+      ++pos_;
+      JsonPtr val = value();
+      if (val == nullptr) return nullptr;
+      v->obj[key->str] = val;
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or '}'");
+      return nullptr;
+    }
+  }
+
+  JsonPtr array() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonPtr item = value();
+      if (item == nullptr) return nullptr;
+      v->arr.push_back(item);
+      skip_ws();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or ']'");
+      return nullptr;
+    }
+  }
+
+  JsonPtr string_value() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kString;
+    ++pos_;  // '"'
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) {
+        const char esc = s_[pos_ + 1];
+        switch (esc) {
+          case 'n':
+            v->str.push_back('\n');
+            break;
+          case 't':
+            v->str.push_back('\t');
+            break;
+          case 'r':
+            v->str.push_back('\r');
+            break;
+          case 'u':
+            // Our emitters only \u-escape control chars; render as '?'.
+            v->str.push_back('?');
+            pos_ += 4 <= s_.size() - pos_ - 2 ? 4 : 0;
+            break;
+          default:
+            v->str.push_back(esc);
+        }
+        pos_ += 2;
+        continue;
+      }
+      v->str.push_back(s_[pos_]);
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) {
+      fail("unterminated string");
+      return nullptr;
+    }
+    ++pos_;  // closing '"'
+    return v;
+  }
+
+  JsonPtr bool_value() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v->b = true;
+      pos_ += 4;
+      return v;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      v->b = false;
+      pos_ += 5;
+      return v;
+    }
+    fail("bad literal");
+    return nullptr;
+  }
+
+  JsonPtr null_value() {
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return std::make_shared<JsonValue>();
+    }
+    fail("bad literal");
+    return nullptr;
+  }
+
+  JsonPtr number() {
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected value");
+      return nullptr;
+    }
+    auto v = std::make_shared<JsonValue>();
+    v->kind = JsonValue::Kind::kNumber;
+    try {
+      v->num = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+      return nullptr;
+    }
+    return v;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------
+// Locating the interesting arrays, wherever the file nests them: a
+// --flow-out sidecar has `links` at top level, a RepairReport has
+// `links`/`rounds` at top level, a bench sidecar nests both under
+// `repair` inside per-figure entries.
+
+void find_arrays(const JsonValue& v, const std::string& key,
+                 std::vector<const JsonValue*>& out) {
+  if (v.kind == JsonValue::Kind::kObject) {
+    for (const auto& [k, child] : v.obj) {
+      if (k == key && child->kind == JsonValue::Kind::kArray) {
+        out.push_back(child.get());
+      } else {
+        find_arrays(*child, key, out);
+      }
+    }
+  } else if (v.kind == JsonValue::Kind::kArray) {
+    for (const auto& child : v.arr) find_arrays(*child, key, out);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rendering.
+
+std::string fmt_bytes(double bytes) {
+  char buf[32];
+  if (bytes >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / 1e9);
+  } else if (bytes >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / 1e6);
+  } else if (bytes >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f kB", bytes / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+std::string fmt_rate(double bytes_per_sec) {
+  char buf[32];
+  // Display formatting, not a configuration boundary.
+  // fastpr-lint: allow(units)
+  std::snprintf(buf, sizeof(buf), "%.2f MB/s", bytes_per_sec / 1e6);
+  return buf;
+}
+
+/// ASCII bar, 20 cells, clamped at 100%.
+std::string util_bar(double frac) {
+  if (frac < 0) frac = 0;
+  const int cells = 20;
+  int filled = static_cast<int>(frac * cells + 0.5);
+  if (filled > cells) filled = cells;
+  std::string bar(static_cast<size_t>(filled), '#');
+  bar.append(static_cast<size_t>(cells - filled), '.');
+  return bar;
+}
+
+void render_links(const JsonValue& links) {
+  if (links.arr.empty()) return;
+  std::printf("  per-link flow (EWMA vs expected):\n");
+  std::printf("  %-9s %12s %12s %12s %12s %6s  %-20s %s\n", "link",
+              "tx", "rx", "ewma", "expected", "util", "", "flags");
+  int stragglers = 0;
+  for (const auto& l : links.arr) {
+    const int src = static_cast<int>(l->num_or("src", -1));
+    const int dst = static_cast<int>(l->num_or("dst", -1));
+    const double tx = l->num_or("tx_bytes", 0);
+    const double rx = l->num_or("rx_bytes", 0);
+    const double ewma = l->num_or("ewma_bytes_per_sec", 0);
+    const double expected = l->num_or("expected_bytes_per_sec", 0);
+    const double delay_us = l->num_or("injected_delay_us", 0);
+    const bool straggler = l->bool_or("straggler", false);
+    const double util = expected > 0 ? ewma / expected : 0;
+    std::string flags;
+    if (straggler) {
+      flags += "STRAGGLER ";
+      ++stragglers;
+    }
+    if (delay_us > 0) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "injected=%.1fms",
+                    delay_us / 1e3);
+      flags += buf;
+    }
+    char linkbuf[24];
+    std::snprintf(linkbuf, sizeof(linkbuf), "%d->%d", src, dst);
+    std::printf("  %-9s %12s %12s %12s %12s %5.0f%%  %-20s %s\n",
+                linkbuf, fmt_bytes(tx).c_str(), fmt_bytes(rx).c_str(),
+                fmt_rate(ewma).c_str(), fmt_rate(expected).c_str(),
+                util * 100, util_bar(util).c_str(), flags.c_str());
+  }
+  std::printf("  %zu link(s), %d straggler(s)\n", links.arr.size(),
+              stragglers);
+}
+
+void render_drift(const JsonValue& rounds) {
+  bool any_drift = false;
+  for (const auto& r : rounds.arr) {
+    if (r->get("drift") != nullptr) any_drift = true;
+  }
+  if (!any_drift) return;
+  std::printf("  prediction drift (measured / modelled):\n");
+  std::printf("  %5s %5s %5s %11s %11s %7s %8s %8s\n", "round", "cr",
+              "cm", "measured", "predicted", "ratio", "tr_ratio",
+              "tm_ratio");
+  for (const auto& r : rounds.arr) {
+    const JsonValue* drift = r->get("drift");
+    const JsonValue* pred = r->get("predicted");
+    if (drift == nullptr || pred == nullptr) continue;
+    const double ratio = drift->num_or("round_time_ratio", 0);
+    const double tr_ratio = drift->num_or("tr_ratio", 0);
+    const double tm_ratio = drift->num_or("tm_ratio", 0);
+    char trbuf[16] = "-";
+    char tmbuf[16] = "-";
+    if (tr_ratio > 0) {
+      std::snprintf(trbuf, sizeof(trbuf), "%.2f", tr_ratio);
+    }
+    if (tm_ratio > 0) {
+      std::snprintf(tmbuf, sizeof(tmbuf), "%.2f", tm_ratio);
+    }
+    std::printf("  %5d %5d %5d %10.3fs %10.3fs %6.2fx %8s %8s\n",
+                static_cast<int>(r->num_or("round", 0)),
+                static_cast<int>(r->num_or("cr", 0)),
+                static_cast<int>(r->num_or("cm", 0)),
+                r->num_or("duration_seconds", 0),
+                pred->num_or("duration_seconds", 0), ratio, trbuf,
+                tmbuf);
+  }
+}
+
+int render_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "fastpr_flamewatch: cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  JsonParser parser(text);
+  JsonPtr doc = parser.parse();
+  if (doc == nullptr) {
+    std::cerr << "fastpr_flamewatch: " << path << ": "
+              << parser.error() << "\n";
+    return 1;
+  }
+  std::printf("%s:\n", path.c_str());
+  std::vector<const JsonValue*> link_arrays;
+  std::vector<const JsonValue*> round_arrays;
+  find_arrays(*doc, "links", link_arrays);
+  find_arrays(*doc, "rounds", round_arrays);
+  bool rendered = false;
+  for (const JsonValue* links : link_arrays) {
+    // A trace file's Chrome `traceEvents` never collides here: only
+    // flow sidecars and repair reports carry a `links` array whose
+    // rows have src/dst.
+    if (!links->arr.empty() &&
+        links->arr.front()->get("src") == nullptr) {
+      continue;
+    }
+    render_links(*links);
+    rendered = rendered || !links->arr.empty();
+  }
+  for (const JsonValue* rounds : round_arrays) {
+    render_drift(*rounds);
+    if (!rounds->arr.empty()) rendered = true;
+  }
+  if (!rendered) {
+    std::printf(
+        "  no links/rounds telemetry found (telemetry off, or not a "
+        "flow/report JSON)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: fastpr_flamewatch <report-or-flow.json>...\n";
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (render_file(argv[i]) != 0) rc = 1;
+  }
+  return rc;
+}

@@ -32,6 +32,13 @@
 //                   how non-delivery is detected (DESIGN.md §7). The
 //                   marker may sit on the send line itself or on the
 //                   comment block immediately above it.
+//  * trace-context — span ids are minted by src/telemetry only: no
+//                   next_span_id() calls and no `span_id = ...`
+//                   assignments outside src/telemetry/. Hand-rolled
+//                   span ids break the causal parent/child chain the
+//                   cross-node trace merge depends on (DESIGN.md §5c);
+//                   propagate telemetry::current_trace_context()
+//                   through Message.trace instead.
 //  * condvar-predicate — CondVar waits must use the predicate overload:
 //                   `.wait(mu)` with one argument and `.wait_for(mu,
 //                   dur)` with two are lost-wakeup bait (the while
@@ -103,6 +110,32 @@ bool has_call(const std::string& s, const std::string& name) {
       ++end;
     }
     if (left_ok && end < s.size() && s[end] == '(') return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// Word-bounded `token` followed (after optional whitespace) by a
+/// single `=` — an assignment, not an `==` comparison. `!=`/`<=`/`>=`
+/// cannot match: their operator character sits where the `=` is
+/// required to be.
+bool has_assignment(const std::string& s, const std::string& token) {
+  size_t pos = 0;
+  const auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  };
+  while ((pos = s.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident(s[pos - 1]);
+    size_t end = pos + token.size();
+    const bool right_ok = end >= s.size() || !is_ident(s[end]);
+    if (left_ok && right_ok) {
+      size_t i = end;
+      while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+      if (i < s.size() && s[i] == '=' &&
+          (i + 1 >= s.size() || s[i + 1] != '=')) {
+        return true;
+      }
+    }
     pos += 1;
   }
   return false;
@@ -268,6 +301,19 @@ void check_line(const fs::path& rel, int lineno, const std::string& raw,
       out.push_back({rel.generic_string(), lineno, "raw-timing",
                      "no raw steady_clock in src/ outside telemetry; use "
                      "telemetry::trace_now() or a TraceSpan"});
+    }
+  }
+
+  // trace-context
+  if (!path_has_prefix(rel, "src/telemetry/") &&
+      !allowed("trace-context")) {
+    if (has_call(code, "next_span_id") ||
+        has_assignment(code, "span_id")) {
+      out.push_back({rel.generic_string(), lineno, "trace-context",
+                     "manual span-id construction outside "
+                     "src/telemetry breaks the causal trace chain; "
+                     "propagate telemetry::current_trace_context() "
+                     "via Message.trace"});
     }
   }
 
