@@ -121,6 +121,9 @@ void Agent::dispatch_loop() {
       case MessageType::kPing:
         handle_ping(*msg);
         break;
+      case MessageType::kLeaseGrant:
+        handle_lease_grant(*msg);
+        break;
       default:
         LOG_WARN("agent " << id_ << ": unexpected message type "
                           << static_cast<int>(msg->type));
@@ -247,8 +250,45 @@ void Agent::handle_ping(const Message& msg) {
   // The captured context carries our local clock in origin_ts_us; the
   // coordinator's ClockSync turns ping/pong pairs into offsets.
   pong.trace = telemetry::current_trace_context();
+  // Lease renewal piggybacks on the probe epoch: the pong's (otherwise
+  // unused) chunk_bytes/packet_bytes carry this node's foreground
+  // pressure, so every probe round-trip refreshes the throttler.
+  stamp_pressure(pong);
   // Reply to a liveness probe; the coordinator's probe state tracks it.
   transport_.send(std::move(pong));  // fastpr-lint: allow(ack-tracking)
+}
+
+void Agent::stamp_pressure(Message& msg) {
+  NodePressure pressure;
+  if (options_.pressure != nullptr) {
+    pressure = options_.pressure->sample(id_);
+  }
+  msg.chunk_bytes = static_cast<uint64_t>(
+      std::max(0.0, pressure.p99_seconds) * 1e9);  // p99 in ns
+  msg.packet_bytes =
+      static_cast<uint64_t>(std::max(0.0, pressure.fg_bytes_per_sec));
+}
+
+void Agent::handle_lease_grant(const Message& msg) {
+  if (options_.repair_budget != nullptr) {
+    // Seq-monotonic application makes re-sent / reordered grants inert:
+    // the budget only moves forward through the coordinator's sequence.
+    options_.repair_budget->apply_grant(
+        msg.task_id, static_cast<double>(msg.chunk_bytes),
+        static_cast<int64_t>(msg.packet_bytes), telemetry::trace_now_us());
+  }
+  Message report;
+  report.type = MessageType::kPressureReport;
+  report.from = id_;
+  report.to = msg.from;
+  report.task_id = options_.repair_budget != nullptr
+                       ? options_.repair_budget->applied_seq()
+                       : msg.task_id;
+  report.trace = telemetry::current_trace_context();
+  stamp_pressure(report);
+  // Lease-renewal reply; the coordinator's throttler consumes it (a
+  // lost report just means this lease renews on the next tick or pong).
+  transport_.send(std::move(report));  // fastpr-lint: allow(ack-tracking)
 }
 
 void Agent::enqueue_send(Message&& msg,
@@ -287,6 +327,17 @@ void Agent::sender_loop() {
       telemetry::ScopedTraceContext adopt(item.msg.trace, id_);
       FASTPR_TRACE_SPAN("agent.send_packet", "agent",
                         static_cast<int64_t>(item.msg.task_id), "task");
+      // Leased-budget enforcement (DESIGN.md §10): repair data blocks on
+      // the coordinator's lease before it ever touches the NIC, so
+      // foreground traffic keeps the un-leased remainder of the link.
+      // Control messages are exempt — throttling acks would deadlock
+      // repair against its own flow control. No locks held here.
+      if (options_.repair_budget != nullptr &&
+          net::is_data_packet(item.msg.type)) {
+        options_.repair_budget->acquire(
+            static_cast<int64_t>(item.msg.encoded_size()),
+            telemetry::trace_now_us());
+      }
       // Data packet tracked by its transfer's SendWindow (in_flight
       // slot released below); blocks on NIC shaping.
       transport_.send(std::move(item.msg));  // fastpr-lint: allow(ack-tracking)

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "agent/chunk_store.h"
+#include "agent/repair_budget.h"
 #include "cluster/types.h"
 #include "net/transport.h"
 #include "util/mutex.h"
@@ -54,6 +55,15 @@ struct AgentOptions {
   /// More than one so a destination with a saturated downlink does not
   /// head-of-line block streams this node sends to other destinations.
   size_t sender_threads = 4;
+  /// Coordinator-leased repair-bandwidth enforcement (DESIGN.md §10).
+  /// When set, every outgoing repair data packet blocks on this budget
+  /// before it touches the NIC, and kLeaseGrant messages re-rate it.
+  /// Null = legacy behavior (repair competes for the raw NIC share).
+  RepairBudget* repair_budget = nullptr;
+  /// Where this agent samples its node's foreground pressure for
+  /// kPressureReport replies and kPong piggybacks. Null = report zero
+  /// pressure (the throttler then simply ramps to its ceiling).
+  PressureSource* pressure = nullptr;
 };
 
 class Agent {
@@ -159,6 +169,11 @@ class Agent {
   void handle_chain_packet(net::Message&& msg);
   void handle_cancel_task(const net::Message& msg);
   void handle_ping(const net::Message& msg);
+  void handle_lease_grant(const net::Message& msg);
+
+  /// Samples the node's foreground pressure (zero without a source) and
+  /// stamps it into the message's lease-protocol fields.
+  void stamp_pressure(net::Message& msg);
 
   /// Runs as a reader task: hop 0 of a chain reads its chunk, scales
   /// each packet by its own coefficient and streams the seed partial

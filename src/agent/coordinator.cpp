@@ -1,6 +1,7 @@
 #include "agent/coordinator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 
 #include "telemetry/metrics.h"
@@ -495,6 +496,36 @@ void Coordinator::declare_stf_dead(NodeId node, ExecutionReport& report) {
            << node << " dead; predictive repair degrades to reactive");
 }
 
+double Coordinator::task_send_bytes(const PendingTask& task) const {
+  // Migration streams the chunk once; a reconstruction (fan-in or
+  // chain, which forwards once per hop) moves ~|sources| chunks.
+  const double chunk = static_cast<double>(options_.chunk_bytes);
+  if (task.is_migration) return chunk;
+  return chunk * static_cast<double>(std::max<size_t>(
+                     1, task.recon.sources.size()));
+}
+
+void Coordinator::lease_tick() {
+  if (options_.throttler == nullptr) return;
+  const auto grants = options_.throttler->tick(telemetry::trace_now_us());
+  for (const auto& grant : grants) {
+    Message msg;
+    msg.type = MessageType::kLeaseGrant;
+    msg.from = id_;
+    msg.to = grant.agent;
+    msg.task_id = grant.seq;  // lease protocol: seq rides in task_id
+    msg.chunk_bytes = static_cast<uint64_t>(std::max(0.0, grant.bytes_per_sec));
+    msg.packet_bytes = static_cast<uint64_t>(grant.ttl_us);
+    msg.trace = telemetry::current_trace_context();
+    // fastpr-lint: allow(ack-tracking) — renewal is the ack: a silent
+    // agent's lease expires back into the pool by design.
+    transport_.send(std::move(msg));
+  }
+  next_lease_tick_ = telemetry::TraceClock::now() +
+                     std::chrono::microseconds(
+                         options_.throttler->lease_ttl_us() / 3);
+}
+
 void Coordinator::collect_task_nodes(
     const PendingTask& task, std::unordered_set<NodeId>& out) const {
   if (task.is_migration) {
@@ -538,6 +569,35 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
   // the replan hook replaces the remaining rounds with a reactive plan.
   std::vector<core::RepairRound> rounds = plan.rounds;
   bool replanned = false;
+
+  // Estimated repair send bytes of a schedule tail — the denominator of
+  // the throttler's finish-time (panic) estimate.
+  const auto rounds_send_bytes = [&](const std::vector<core::RepairRound>& rs,
+                                     size_t from_idx) {
+    double bytes = 0;
+    const double chunk = static_cast<double>(options_.chunk_bytes);
+    for (size_t i = from_idx; i < rs.size(); ++i) {
+      for (const auto& t : rs[i].reconstructions) {
+        bytes += chunk * static_cast<double>(
+                             std::max<size_t>(1, t.sources.size()));
+      }
+      bytes += chunk * static_cast<double>(rs[i].migrations.size());
+    }
+    return bytes;
+  };
+
+  if (options_.throttler != nullptr) {
+    options_.throttler->reset(telemetry::trace_now_us(),
+                              rounds_send_bytes(rounds, 0));
+    if (options_.stf_deadline_seconds > 0) {
+      options_.throttler->set_deadline(
+          telemetry::trace_now_us() +
+          static_cast<int64_t>(options_.stf_deadline_seconds * 1e6));
+    }
+    // Initial grants before any data flows, so round 1 repair traffic
+    // starts under leased budget instead of a floor-rate stall.
+    lease_tick();
+  }
 
   for (size_t round_idx = 0; round_idx < rounds.size(); ++round_idx) {
     const core::RepairRound round = rounds[round_idx];
@@ -592,6 +652,11 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
         }
         if (all_replied || now >= probe_deadline_) finish_probe(report);
       }
+      // Lease cadence: re-grant every ttl/3 so healthy leases renew
+      // well before expiring and pressure shifts re-shape shares fast.
+      if (options_.throttler != nullptr && now >= next_lease_tick_) {
+        lease_tick();
+      }
       if (pending_.empty()) break;
 
       now = Clock::now();
@@ -631,6 +696,9 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
           retries_due_.begin()->first < next_event) {
         next_event = retries_due_.begin()->first;
       }
+      if (options_.throttler != nullptr && next_lease_tick_ < next_event) {
+        next_event = next_lease_tick_;
+      }
       auto budget = std::chrono::duration_cast<std::chrono::milliseconds>(
           next_event - now);
       if (budget < std::chrono::milliseconds(1)) {
@@ -645,6 +713,9 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
           const bool counted =
               pit != pending_.end() && pit->second.attempt == msg->attempt;
           const bool was_migration = counted && pit->second.is_migration;
+          if (counted && options_.throttler != nullptr) {
+            options_.throttler->on_progress(task_send_bytes(pit->second));
+          }
           handle_task_done(*msg, report);
           if (counted) {
             const double t = std::chrono::duration<double>(Clock::now() -
@@ -670,6 +741,27 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
           if (probe_active_ && msg->task_id == probe_epoch_) {
             const auto it = probe_outstanding_.find(msg->from);
             if (it != probe_outstanding_.end()) it->second = true;
+          }
+          if (options_.throttler != nullptr) {
+            // Lease renewal piggybacks on the probe epoch: the pong's
+            // chunk_bytes/packet_bytes carry the agent's foreground
+            // pressure (p99 ns, fg bytes/s).
+            options_.throttler->report_pressure(
+                msg->from, msg->task_id,
+                // ns→s wire decode, not a config. fastpr-lint: allow(units)
+                static_cast<double>(msg->chunk_bytes) / 1e9,
+                static_cast<double>(msg->packet_bytes),
+                telemetry::trace_now_us());
+          }
+          break;
+        case MessageType::kPressureReport:
+          if (options_.throttler != nullptr) {
+            options_.throttler->report_pressure(
+                msg->from, msg->task_id,
+                // ns→s wire decode, not a config. fastpr-lint: allow(units)
+                static_cast<double>(msg->chunk_bytes) / 1e9,
+                static_cast<double>(msg->packet_bytes),
+                telemetry::trace_now_us());
           }
           break;
         default:
@@ -737,12 +829,24 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
                                 "after STF death");
       }
     }
+
+    // Re-sync the throttler's outstanding-bytes estimate with the (by
+    // now possibly replanned) schedule tail, so drift from fallbacks
+    // and retries never skews the panic predicate.
+    if (options_.throttler != nullptr) {
+      options_.throttler->set_remaining(
+          rounds_send_bytes(rounds, round_idx + 1));
+    }
   }
 
   report.failed_nodes.assign(failed_nodes_.begin(), failed_nodes_.end());
   std::sort(report.failed_nodes.begin(), report.failed_nodes.end());
   report.success = report.unrepaired.empty();
   report.repair.degraded_at_round = report.degraded_at_round;
+  if (options_.throttler != nullptr) {
+    report.throttled = true;
+    report.throttle = options_.throttler->stats();
+  }
 
   // Per-member progress, chunk ownership resolved via the pre-repair
   // layout (fallback reconstructions count as reconstructed — the

@@ -32,6 +32,7 @@
 
 #include "cluster/stripe_layout.h"
 #include "core/repair_plan.h"
+#include "core/repair_throttler.h"
 #include "ec/erasure_code.h"
 #include "net/transport.h"
 #include "telemetry/clock_sync.h"
@@ -81,6 +82,17 @@ struct CoordinatorOptions {
   std::vector<cluster::NodeId> dest_candidates;
   /// Optional reactive replanner consulted once, when the STF node dies.
   ReplanFn replan;
+  /// Optional cluster-wide repair throttler (DESIGN.md §10). When set,
+  /// execute() ticks it on the lease cadence, relays its grants as
+  /// kLeaseGrant messages, feeds kPressureReport / kPong pressure back
+  /// into it, and reports its outcome. Not owned; must outlive the
+  /// coordinator's executions. Callers register the agent nodes
+  /// (RepairThrottler::add_agent) before execute().
+  core::RepairThrottler* throttler = nullptr;
+  /// Predicted STF remaining lifetime, measured from the start of
+  /// execute() (the predictor's estimate, or an explicit CLI deadline).
+  /// > 0 arms the throttler's panic mode. Ignored without a throttler.
+  double stf_deadline_seconds = 0;
 };
 
 /// One chunk actually repaired, with where it really landed — retries
@@ -142,6 +154,10 @@ struct ExecutionReport {
   int retries = 0;            // task reissues (incl. fallback conversions)
   int replans = 0;            // replan hook invocations (0 or 1)
   int round_extensions = 0;
+  /// Repair-throttle outcome (DESIGN.md §10); zeroed when the execution
+  /// ran without a throttler.
+  bool throttled = false;
+  core::ThrottlerStats throttle;
 
   int repaired() const { return migrated + reconstructed; }
   double per_chunk() const {
@@ -264,6 +280,12 @@ class Coordinator {
   /// Declares non-responders failed and reissues the stragglers.
   void finish_probe(ExecutionReport& report);
   void declare_stf_dead(cluster::NodeId node, ExecutionReport& report);
+  /// Estimated repair send bytes of one task's current form — what the
+  /// throttler's finish-time (panic) estimate is denominated in.
+  double task_send_bytes(const PendingTask& task) const;
+  /// Ticks the throttler and relays its grants as kLeaseGrant messages;
+  /// schedules the next tick at ttl/3 so healthy leases renew early.
+  void lease_tick();
   bool stf_node_dead(cluster::NodeId node) const {
     return stf_dead_set_.count(node) != 0;
   }
@@ -304,6 +326,8 @@ class Coordinator {
   telemetry::TraceClock::time_point probe_deadline_{};
   std::unordered_map<cluster::NodeId, bool> probe_outstanding_;
   std::vector<uint64_t> stragglers_;
+  /// Next lease re-grant (throttler configured only).
+  telemetry::TraceClock::time_point next_lease_tick_{};
 };
 
 }  // namespace fastpr::agent

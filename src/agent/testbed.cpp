@@ -140,6 +140,15 @@ Testbed::Testbed(const TestbedOptions& options, const ec::ErasureCode& code)
                                                      *options.fault_plan);
     // Chaos delays must not read as slow links (phantom stragglers).
     faulty_->set_flow_monitor(&flow_);
+    // Size slow-verb penalties against the shaped NIC rate, so factor=4
+    // means "4× the nominal transmit time" on this testbed's links.
+    if (options.net_bytes_per_sec > 0) {
+      faulty_->set_slow_base_rate(options.net_bytes_per_sec);
+    }
+  }
+
+  if (options.throttle.has_value()) {
+    throttler_ = std::make_unique<core::RepairThrottler>(*options.throttle);
   }
 
   Rng rng(options.seed);
@@ -166,6 +175,13 @@ Testbed::Testbed(const TestbedOptions& options, const ec::ErasureCode& code)
     stores_.push_back(std::make_unique<ChunkStore>(sopts, oracle_.get()));
     AgentOptions aopts;
     aopts.coordinator = coord;
+    if (throttler_ != nullptr) {
+      budgets_.push_back(std::make_unique<RepairBudget>(
+          RepairBudget::Options{}));
+      aopts.repair_budget = budgets_.back().get();
+      aopts.pressure = &pressure_;
+      throttler_->add_agent(node);
+    }
     agents_.push_back(std::make_unique<Agent>(node, transport(),
                                               *stores_.back(), aopts));
     agents_.back()->start();
@@ -180,6 +196,8 @@ Testbed::Testbed(const TestbedOptions& options, const ec::ErasureCode& code)
   copts.probe_timeout = options.probe_timeout;
   copts.max_round_extensions = options.max_round_extensions;
   copts.stf_failure_threshold = options.stf_failure_threshold;
+  copts.throttler = throttler_.get();
+  copts.stf_deadline_seconds = options.stf_deadline_seconds;
   // Retried tasks may retarget onto any agent-backed node, spares
   // included (they are idle, so the load-aware matcher prefers them).
   copts.dest_candidates.resize(static_cast<size_t>(coord));
@@ -191,6 +209,9 @@ Testbed::Testbed(const TestbedOptions& options, const ec::ErasureCode& code)
 }
 
 Testbed::~Testbed() {
+  // Unlimit leased budgets first: a sender blocked on a floor-rate
+  // lease must drain before its agent's stop() can join it.
+  for (auto& budget : budgets_) budget->release();
   for (auto& agent : agents_) agent->stop();
   transport_->shutdown();
 }
@@ -207,6 +228,16 @@ Agent& Testbed::agent(NodeId node) {
 ChunkStore& Testbed::store(NodeId node) {
   FASTPR_CHECK(node >= 0 && node < static_cast<int>(stores_.size()));
   return *stores_[static_cast<size_t>(node)];
+}
+
+RepairBudget* Testbed::repair_budget(NodeId node) {
+  if (budgets_.empty()) return nullptr;
+  FASTPR_CHECK(node >= 0 && node < static_cast<int>(budgets_.size()));
+  return budgets_[static_cast<size_t>(node)].get();
+}
+
+net::InprocTransport* Testbed::inproc() {
+  return dynamic_cast<net::InprocTransport*>(transport_.get());
 }
 
 NodeId Testbed::flag_stf() { return flag_stf_batch(1).front(); }

@@ -15,13 +15,16 @@
 #include "agent/agent.h"
 #include "agent/chunk_store.h"
 #include "agent/coordinator.h"
+#include "agent/repair_budget.h"
 #include "cluster/cluster_state.h"
 #include "cluster/stripe_layout.h"
 #include "core/fastpr.h"
 #include "core/multi_stf.h"
+#include "core/repair_throttler.h"
 #include "ec/erasure_code.h"
 #include "net/fault_plan.h"
 #include "net/faulty_transport.h"
+#include "net/inproc_transport.h"
 #include "net/transport.h"
 #include "telemetry/flow_monitor.h"
 
@@ -94,6 +97,14 @@ struct TestbedOptions {
   /// flag_stf(), which also applies the plan's read_error directives to
   /// the chunk stores.
   std::optional<net::FaultPlan> fault_plan;
+  /// When set, repair traffic runs under SLO-aware adaptive throttling
+  /// (DESIGN.md §10): the coordinator leases per-agent shares of this
+  /// budget and every agent's data sends block on its leased
+  /// RepairBudget instead of just the raw NIC.
+  std::optional<core::ThrottlerOptions> throttle;
+  /// Predicted STF death, seconds from execute() start (> 0 arms panic
+  /// mode; forwarded to CoordinatorOptions.stf_deadline_seconds).
+  double stf_deadline_seconds = 0;
 };
 
 class Testbed {
@@ -115,6 +126,25 @@ class Testbed {
   }
   /// The fault injector, or nullptr when no fault plan is configured.
   net::FaultyTransport* faulty() { return faulty_.get(); }
+
+  /// The adaptive throttler, or nullptr when `throttle` is not set.
+  core::RepairThrottler* throttler() { return throttler_.get(); }
+
+  /// One node's leased repair budget, or nullptr without throttling.
+  RepairBudget* repair_budget(cluster::NodeId node);
+
+  /// Retargets every agent's pressure sampling (the foreground
+  /// workload implements PressureSource). nullptr = zero pressure.
+  void set_pressure_source(PressureSource* source) {
+    pressure_.set_target(source);
+  }
+
+  /// The in-process transport, or nullptr under --use-tcp. Foreground
+  /// load uses its charge_tx/charge_rx to contend for the same NICs.
+  net::InprocTransport* inproc();
+
+  /// Ground-truth chunk contents (degraded-read verification).
+  const SyntheticOracle& oracle() const { return *oracle_; }
 
   /// Per-link flow telemetry the transports report into. Cleared at the
   /// top of each execute(); its snapshot lands in the report's `links`.
@@ -188,6 +218,11 @@ class Testbed {
   std::unique_ptr<cluster::StripeLayout> layout_;
   std::unique_ptr<cluster::ClusterState> cluster_;
   std::vector<std::unique_ptr<ChunkStore>> stores_;
+  /// Declared before the agents: sender workers acquire from these
+  /// until Agent::stop().
+  std::vector<std::unique_ptr<RepairBudget>> budgets_;
+  ForwardingPressureSource pressure_;
+  std::unique_ptr<core::RepairThrottler> throttler_;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::unique_ptr<Coordinator> coordinator_;
 };

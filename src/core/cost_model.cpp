@@ -41,28 +41,34 @@ CostModel::CostModel(const ModelParams& params) : params_(params) {
   }
   FASTPR_CHECK(params.packet_bytes >= 0);
   FASTPR_CHECK(params.chain_hop_overhead_seconds >= 0);
+  FASTPR_CHECK(params.repair_bw_fraction > 0 &&
+               params.repair_bw_fraction <= 1.0);
+}
+
+double CostModel::repair_net_bw() const {
+  return params_.net_bw * params_.repair_bw_fraction;
 }
 
 double CostModel::tm() const {
   const double c = params_.chunk_bytes;
-  return c / params_.disk_bw + c / params_.net_bw + c / params_.disk_bw;
+  return c / params_.disk_bw + c / repair_net_bw() + c / params_.disk_bw;
 }
 
 double CostModel::tr(double g) const {
   const double c = params_.chunk_bytes;
+  const double bn = repair_net_bw();
   // Effective helper traffic: k chunks for RS/LRC; MSR helpers each
   // ship helper_bytes_fraction of a chunk (sub-chunk reads, §II-A).
   const double k = params_.k_repair * params_.helper_bytes_fraction;
   if (params_.scenario == Scenario::kScattered) {
     // Eq. (5): parallel reads, k (effective) chunks into the
     // destination NIC, one write — independent of the round size.
-    return c / params_.disk_bw + k * c / params_.net_bw +
-           c / params_.disk_bw;
+    return c / params_.disk_bw + k * c / bn + c / params_.disk_bw;
   }
   // Eq. (6): the h spares absorb g·k received chunks and g writes.
   FASTPR_CHECK(g > 0);
   const double h = params_.hot_standby;
-  return c / params_.disk_bw + g * k * c / (h * params_.net_bw) +
+  return c / params_.disk_bw + g * k * c / (h * bn) +
          g * c / (h * params_.disk_bw);
 }
 
@@ -73,6 +79,7 @@ double CostModel::tr_chain(double g) const {
   const double p = std::min(params_.packet_bytes, c);
   const double k = params_.k_repair;
   const double o = params_.chain_hop_overhead_seconds;
+  const double bn = repair_net_bw();
   // Store-and-forward overhead: the paced hop forwards N = ceil(c/p)
   // packets and the pipeline fill adds k-1 more forward slots. A
   // one-helper "chain" is a plain coefficient-scaled stream, which pays
@@ -83,16 +90,15 @@ double CostModel::tr_chain(double g) const {
   if (params_.scenario == Scenario::kScattered) {
     // Single-transfer bound plus (k-1) per-hop packet latencies: every
     // link carries one chunk, the fill is one packet per extra hop.
-    return c / params_.disk_bw + c / params_.net_bw +
-           (k - 1.0) * p / params_.net_bw + overhead +
+    return c / params_.disk_bw + c / bn + (k - 1.0) * p / bn + overhead +
            c / params_.disk_bw;
   }
   // Hot-standby: the h spares absorb g single-chunk chain tails (vs
   // g·k fan-in streams in Eq. 6) and g writes.
   FASTPR_CHECK(g > 0);
   const double h = params_.hot_standby;
-  return c / params_.disk_bw + g * c / (h * params_.net_bw) +
-         (k - 1.0) * p / params_.net_bw + overhead +
+  return c / params_.disk_bw + g * c / (h * bn) +
+         (k - 1.0) * p / bn + overhead +
          g * c / (h * params_.disk_bw);
 }
 

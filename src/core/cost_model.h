@@ -69,6 +69,12 @@ struct ModelParams {
   /// (InprocOptions.chain_hop_overhead_seconds) so measurement and
   /// model agree; see bench_pipelining.
   double chain_hop_overhead_seconds = 0;
+  /// Fraction of bn the repair traffic is allowed to use (DESIGN.md
+  /// §10): under SLO-aware throttling, repair sees only its leased
+  /// share of each NIC while foreground keeps the rest. Scales every
+  /// network term; disk terms are unscaled (the throttler gates sends,
+  /// not reads/writes). 1.0 = unthrottled, exactly Equations 1–6.
+  double repair_bw_fraction = 1.0;
 };
 
 class CostModel {
@@ -156,6 +162,9 @@ class CostModel {
                           RepairStrategy strategy) const;
 
  private:
+  /// bn as repair actually experiences it: net_bw × repair_bw_fraction.
+  double repair_net_bw() const;
+
   ModelParams params_;
 };
 

@@ -72,6 +72,7 @@ CostModel FastPrPlanner::cost_model() const {
   params.scenario = options_.scenario;
   params.packet_bytes = options_.packet_bytes;
   params.chain_hop_overhead_seconds = options_.chain_hop_overhead_seconds;
+  params.repair_bw_fraction = options_.repair_bw_fraction;
   return CostModel(params);
 }
 

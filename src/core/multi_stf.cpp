@@ -153,6 +153,7 @@ CostModel MultiStfPlanner::cost_model() const {
   params.scenario = options_.scenario;
   params.packet_bytes = options_.packet_bytes;
   params.chain_hop_overhead_seconds = options_.chain_hop_overhead_seconds;
+  params.repair_bw_fraction = options_.repair_bw_fraction;
   return CostModel(params);
 }
 
@@ -169,6 +170,7 @@ CostModel MultiStfPlanner::member_cost_model(NodeId stf) const {
   params.scenario = options_.scenario;
   params.packet_bytes = options_.packet_bytes;
   params.chain_hop_overhead_seconds = options_.chain_hop_overhead_seconds;
+  params.repair_bw_fraction = options_.repair_bw_fraction;
   return CostModel(params);
 }
 

@@ -1,0 +1,47 @@
+#include "load/latency_window.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fastpr::load {
+
+LatencyWindow::LatencyWindow(size_t capacity) : capacity_(capacity) {
+  FASTPR_CHECK(capacity >= 1);
+}
+
+void LatencyWindow::observe(int64_t ns) {
+  MutexLock lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ns);
+  } else {
+    ring_[next_] = ns;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+int64_t LatencyWindow::count() const {
+  MutexLock lock(mutex_);
+  return total_;
+}
+
+double LatencyWindow::percentile(double q) const {
+  FASTPR_CHECK(q >= 0.0 && q <= 1.0);
+  std::vector<int64_t> samples;
+  {
+    MutexLock lock(mutex_);
+    if (ring_.empty()) return 0;
+    samples = ring_;  // snapshot; nth_element runs outside the lock
+  }
+  const size_t rank = std::min(
+      samples.size() - 1,
+      static_cast<size_t>(std::floor(q * static_cast<double>(samples.size()))));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<ptrdiff_t>(rank),
+                   samples.end());
+  return static_cast<double>(samples[rank]) / 1e9;
+}
+
+}  // namespace fastpr::load

@@ -1,0 +1,42 @@
+// Exact sliding-window latency percentiles.
+//
+// A fixed-capacity ring of the most recent per-op latencies, with
+// percentiles computed exactly (nth_element over a snapshot) rather
+// than from log-bucketed histograms: the SLO control loop compares p99
+// against a millisecond-scale target, where a 2× bucket boundary is
+// the difference between "breach" and "fine". Deliberately independent
+// of the telemetry library so foreground SLOs stay measurable under
+// -DFASTPR_TELEMETRY=OFF — the throttler's feedback signal must not
+// disappear with the observability build flag.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/mutex.h"
+
+namespace fastpr::load {
+
+class LatencyWindow {
+ public:
+  explicit LatencyWindow(size_t capacity = 1 << 14);
+
+  void observe(int64_t ns) FASTPR_EXCLUDES(mutex_);
+
+  /// Total observations ever (not just those still in the window).
+  int64_t count() const FASTPR_EXCLUDES(mutex_);
+
+  /// q-quantile (q in [0, 1]) of the samples currently in the window,
+  /// in seconds; 0 while empty. p99 = percentile(0.99).
+  double percentile(double q) const FASTPR_EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_{lock_order::kLoadWorkload};
+  std::vector<int64_t> ring_ FASTPR_GUARDED_BY(mutex_);
+  size_t capacity_;
+  size_t next_ FASTPR_GUARDED_BY(mutex_) = 0;
+  int64_t total_ FASTPR_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fastpr::load

@@ -77,6 +77,9 @@ void FaultPlan::resolve_stf(cluster::NodeId stf) {
   for (auto& f : flaky) {
     if (f.node == kStfSentinel) f.node = stf;
   }
+  for (auto& s : slow) {
+    if (s.node == kStfSentinel) s.node = stf;
+  }
 }
 
 FaultPlan FaultPlan::parse(const std::string& text) {
@@ -172,6 +175,45 @@ FaultPlan FaultPlan::parse(const std::string& text) {
         }
       }
       plan.flaky.push_back(flaky);
+    } else if (directive == "slow") {
+      Slow slow;
+      bool have_node = false;
+      bool have_factor = false;
+      std::string token;
+      while (tokens >> token) {
+        const auto [key, value] = split_kv(token);
+        if (key == "node") {
+          slow.node = parse_node(value);
+          have_node = true;
+        } else if (key == "factor") {
+          size_t used = 0;
+          double f = 0;
+          try {
+            f = std::stod(value, &used);
+          } catch (const std::exception&) {
+            used = 0;
+          }
+          FASTPR_CHECK_MSG(used == value.size() && f > 1.0,
+                           "fault plan line "
+                               << lineno << ": slow factor must be > 1, got '"
+                               << value << "'");
+          slow.factor = f;
+          have_factor = true;
+        } else if (key == "after_bytes") {
+          slow.after_bytes = parse_u64(value);
+        } else {
+          FASTPR_CHECK_MSG(false, "fault plan line "
+                                      << lineno << ": unknown slow key '"
+                                      << key << "'");
+        }
+      }
+      FASTPR_CHECK_MSG(have_node && slow.node != kAnyNode,
+                       "fault plan line " << lineno
+                                          << ": slow needs node=<id|stf>");
+      FASTPR_CHECK_MSG(have_factor,
+                       "fault plan line " << lineno
+                                          << ": slow needs factor=<f>");
+      plan.slow.push_back(slow);
     } else {
       FASTPR_CHECK_MSG(false, "fault plan line " << lineno
                                                  << ": unknown directive '"
@@ -206,6 +248,11 @@ std::string FaultPlan::to_string() const {
     if (f.max_drops != kUnlimited) os << " max_drops=" << f.max_drops;
     if (f.max_dups != kUnlimited) os << " max_dups=" << f.max_dups;
     if (f.max_delays != kUnlimited) os << " max_delays=" << f.max_delays;
+    os << "\n";
+  }
+  for (const auto& s : slow) {
+    os << "slow node=" << node_to_string(s.node) << " factor=" << s.factor;
+    if (s.after_bytes != 0) os << " after_bytes=" << s.after_bytes;
     os << "\n";
   }
   return os.str();

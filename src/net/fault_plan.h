@@ -67,12 +67,27 @@ struct FaultPlan {
     uint64_t max_delays = std::numeric_limits<uint64_t>::max();
   };
 
+  /// Bandwidth degradation (not a crash): once `node` has sent
+  /// `after_bytes` data-payload bytes, every later data packet it sends
+  /// takes `factor`× its nominal transmit time — FaultyTransport injects
+  /// the extra (factor − 1) share as a real sleep. Deliberately NOT
+  /// credited to the flow monitor as injected delay: a slowing node
+  /// SHOULD read as slow, it is exactly what the adaptive repair
+  /// throttler reacts to.
+  struct Slow {
+    cluster::NodeId node = cluster::kNoNode;
+    double factor = 1.0;  // > 1
+    uint64_t after_bytes = 0;
+  };
+
   std::vector<Crash> crashes;
   std::vector<ReadError> read_errors;
   std::vector<Flaky> flaky;
+  std::vector<Slow> slow;
 
   bool empty() const {
-    return crashes.empty() && read_errors.empty() && flaky.empty();
+    return crashes.empty() && read_errors.empty() && flaky.empty() &&
+           slow.empty();
   }
 
   /// Rewrites every kStfSentinel node id to `stf`.
@@ -88,6 +103,8 @@ struct FaultPlan {
   ///   read_error node=stf               # every chunk on the node
   ///   read_error node=4 stripe=7
   ///   flaky node=any drop=0.01 max_drops=4 dup=0.05 delay=0.05 delay_ms=2
+  ///   slow node=5 factor=4              # 4x slower sends, immediately
+  ///   slow node=stf factor=2 after_bytes=1048576
   static FaultPlan parse(const std::string& text);
 
   /// Inverse of parse (modulo comments); round-trips exactly.

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "telemetry/metrics.h"
+#include "util/units.h"
 
 namespace fastpr::net {
 
@@ -19,6 +20,7 @@ telemetry::Counter& fault_counter(const char* name) {
 FaultyTransport::FaultyTransport(Transport& inner, const FaultPlan& plan)
     : inner_(inner), plan_(plan), rng_(plan.seed) {
   MutexLock lock(mutex_);
+  slow_base_rate_ = Gbps(1);
   for (const auto& c : plan_.crashes) {
     if (c.node != kStfSentinel) arm_crash(c);
   }
@@ -30,6 +32,10 @@ FaultyTransport::FaultyTransport(Transport& inner, const FaultPlan& plan)
     state.dups_left = f.max_dups;
     state.delays_left = f.max_delays;
     flaky_.push_back(state);
+  }
+  for (const auto& s : plan_.slow) {
+    if (s.node == kStfSentinel) continue;
+    slow_[s.node] = SlowState{s.factor, s.after_bytes};
   }
 }
 
@@ -65,6 +71,15 @@ void FaultyTransport::resolve_stf(NodeId stf) {
     state.delays_left = f.max_delays;
     flaky_.push_back(state);
   }
+  for (const auto& s : plan_.slow) {
+    if (s.node != stf || slow_.count(stf) != 0) continue;
+    slow_[stf] = SlowState{s.factor, s.after_bytes};
+  }
+}
+
+void FaultyTransport::set_slow_base_rate(double bytes_per_sec) {
+  MutexLock lock(mutex_);
+  if (bytes_per_sec > 0) slow_base_rate_ = bytes_per_sec;
 }
 
 void FaultyTransport::crash(NodeId node) {
@@ -82,8 +97,27 @@ bool FaultyTransport::crashed(NodeId node) const {
   return it != crashes_.end() && it->second.dead;
 }
 
+std::chrono::nanoseconds FaultyTransport::slow_penalty(const Message& msg) {
+  if (!is_data_packet(msg.type)) return std::chrono::nanoseconds{0};
+  const auto it = slow_.find(msg.from);
+  if (it == slow_.end()) return std::chrono::nanoseconds{0};
+  SlowState& state = it->second;
+  const uint64_t bytes = msg.payload.size();
+  if (state.bytes_until_armed > 0) {
+    // The threshold packet itself still goes out at full speed — the
+    // node degrades after `after_bytes`, mirroring crash semantics.
+    state.bytes_until_armed -= std::min(state.bytes_until_armed, bytes);
+    return std::chrono::nanoseconds{0};
+  }
+  fault_counter("net.fault.slowed").add();
+  const double extra_s =
+      static_cast<double>(bytes) * (state.factor - 1.0) / slow_base_rate_;
+  return std::chrono::nanoseconds{static_cast<int64_t>(extra_s * 1e9)};
+}
+
 FaultyTransport::Action FaultyTransport::decide(
-    const Message& msg, std::chrono::milliseconds* delay) {
+    const Message& msg, std::chrono::milliseconds* delay,
+    std::chrono::nanoseconds* slow) {
   MutexLock lock(mutex_);
 
   // Crashed endpoints: a dead sender emits nothing, a dead receiver
@@ -120,6 +154,10 @@ FaultyTransport::Action FaultyTransport::decide(
     }
   }
 
+  // Slow ticks after the crash checks (a dead node sends nothing) but
+  // before flaky: a flaky-dropped packet still left the slow NIC.
+  *slow = slow_penalty(msg);
+
   for (auto& f : flaky_) {
     if (f.rule.node != kAnyNode && f.rule.node != msg.from) continue;
     if (f.rule.data_only && !is_data_packet(msg.type)) continue;
@@ -152,7 +190,13 @@ void FaultyTransport::send(Message msg) {
   }
 
   std::chrono::milliseconds delay{0};
-  const Action action = decide(msg, &delay);
+  std::chrono::nanoseconds slow{0};
+  const Action action = decide(msg, &delay, &slow);
+  // The slow verb stretches transmit time on the wire; unlike flaky
+  // delays it is NOT reported as injected — the link must read slow.
+  if (action != Action::kDrop && slow.count() > 0) {
+    std::this_thread::sleep_for(slow);
+  }
   switch (action) {
     case Action::kDrop:
       return;  // payload buffer recycles via ~Message

@@ -7,6 +7,12 @@
 //    exactly how a crashed DataNode looks to the coordinator's probes.
 //  * flaky  — matching messages are dropped, duplicated or delayed with
 //    seeded probabilities, each under its own event budget.
+//  * slow   — once a node crosses its byte threshold, every later data
+//    packet it sends takes factor× the nominal transmit time; the extra
+//    (factor − 1) share is injected as a real sleep. Unlike flaky
+//    delays, slow time is NOT excluded from the flow monitor: a slowing
+//    node should read as slow — that is exactly the signal the adaptive
+//    repair throttler reacts to.
 //
 // kShutdown is never faulted: agents stop themselves by sending a
 // shutdown message through the transport, and eating it would hang
@@ -56,6 +62,12 @@ class FaultyTransport final : public Transport {
     flow_monitor_ = monitor;
   }
 
+  /// Nominal per-node send rate (bytes/sec) used to size `slow`-verb
+  /// delays: a packet of B bytes from a node slowed by factor f sleeps
+  /// an extra B·(f−1)/rate seconds. The testbed wires its shaped NIC
+  /// rate here; defaults to 1 Gbps when nothing is configured.
+  void set_slow_base_rate(double bytes_per_sec);
+
  private:
   /// What to do with one message, decided under the lock, acted on
   /// outside it (inner_.send may block on NIC shaping).
@@ -76,9 +88,18 @@ class FaultyTransport final : public Transport {
     uint64_t delays_left = 0;
   };
 
+  struct SlowState {
+    double factor = 1.0;
+    uint64_t bytes_until_armed = 0;  // 0 = slow from the first packet
+  };
+
   void arm_crash(const FaultPlan::Crash& c) FASTPR_REQUIRES(mutex_);
-  Action decide(const Message& msg,
-                std::chrono::milliseconds* delay) FASTPR_EXCLUDES(mutex_);
+  /// Extra transmit time for this data packet under the slow verb, or
+  /// zero. Decided (and the arming byte count ticked) under the lock.
+  std::chrono::nanoseconds slow_penalty(const Message& msg)
+      FASTPR_REQUIRES(mutex_);
+  Action decide(const Message& msg, std::chrono::milliseconds* delay,
+                std::chrono::nanoseconds* slow) FASTPR_EXCLUDES(mutex_);
 
   Transport& inner_;
   FaultPlan plan_;  // unresolved sentinel entries live here until armed
@@ -89,6 +110,9 @@ class FaultyTransport final : public Transport {
   std::unordered_map<cluster::NodeId, CrashState> crashes_
       FASTPR_GUARDED_BY(mutex_);
   std::vector<FlakyState> flaky_ FASTPR_GUARDED_BY(mutex_);
+  std::unordered_map<cluster::NodeId, SlowState> slow_
+      FASTPR_GUARDED_BY(mutex_);
+  double slow_base_rate_ FASTPR_GUARDED_BY(mutex_);
 };
 
 }  // namespace fastpr::net

@@ -119,6 +119,18 @@ void InprocTransport::set_node_bandwidth(cluster::NodeId node,
   endpoints_[static_cast<size_t>(node)]->rx->set_rate(bytes_per_sec);
 }
 
+void InprocTransport::charge_tx(cluster::NodeId node, int64_t bytes) {
+  FASTPR_CHECK(node >= 0 && node < static_cast<int>(endpoints_.size()));
+  FASTPR_CHECK(bytes >= 0);
+  endpoints_[static_cast<size_t>(node)]->tx->acquire(bytes);
+}
+
+void InprocTransport::charge_rx(cluster::NodeId node, int64_t bytes) {
+  FASTPR_CHECK(node >= 0 && node < static_cast<int>(endpoints_.size()));
+  FASTPR_CHECK(bytes >= 0);
+  endpoints_[static_cast<size_t>(node)]->rx->acquire(bytes);
+}
+
 int64_t InprocTransport::total_bytes_sent() const {
   return bytes_sent_.load(std::memory_order_relaxed);
 }

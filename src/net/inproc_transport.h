@@ -56,6 +56,14 @@ class InprocTransport final : public Transport {
   /// Changes one node's NIC rate (Experiment B.4's Wonder Shaper role).
   void set_node_bandwidth(cluster::NodeId node, double bytes_per_sec);
 
+  /// Charges `bytes` against a node's TX / RX bucket without delivering
+  /// anything — foreground (client) traffic contending with repair on
+  /// the same NIC. Blocks until tokens are available, exactly like a
+  /// shaped send, so callers measure realistic queueing latency. No-op
+  /// on unlimited transports.
+  void charge_tx(cluster::NodeId node, int64_t bytes);
+  void charge_rx(cluster::NodeId node, int64_t bytes);
+
   /// Total bytes ever accepted for delivery (testing/teardown aid).
   int64_t total_bytes_sent() const;
 

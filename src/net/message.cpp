@@ -75,6 +75,8 @@ bool valid_message_type(uint8_t raw) {
     case MessageType::kCancelTask:
     case MessageType::kChainCmd:
     case MessageType::kChainPacket:
+    case MessageType::kLeaseGrant:
+    case MessageType::kPressureReport:
       return true;
   }
   return false;

@@ -33,6 +33,18 @@ enum class MessageType : uint8_t {
   kCancelTask = 10,     // coordinator → agent (drop a stale attempt)
   kChainCmd = 11,       // coordinator → chain hop (join a partial-sum chain)
   kChainPacket = 12,    // chain hop → next hop (running partial sum)
+  /// Repair-bandwidth lease (coordinator → agent, DESIGN.md §10).
+  /// Field reuse, no new wire fields: task_id = lease sequence number
+  /// (globally monotonic; agents apply only seq-increasing grants, so a
+  /// re-sent or reordered grant can never double-apply), chunk_bytes =
+  /// granted repair rate in bytes/s, packet_bytes = lease TTL in µs.
+  kLeaseGrant = 13,
+  /// Foreground-pressure report (agent → coordinator): task_id = highest
+  /// lease seq applied, chunk_bytes = observed foreground p99 latency in
+  /// ns, packet_bytes = observed foreground throughput in bytes/s.
+  /// Sent in reply to every kLeaseGrant; kPong piggybacks the same two
+  /// fields so probe round-trips refresh the throttler too.
+  kPressureReport = 14,
 };
 
 /// Payload-bearing repair traffic: what the transports shape against the

@@ -41,6 +41,14 @@ struct Rank {
 /// core::ReconSetCache entry install. Algorithm 1 runs outside the
 /// lock; holders only splice a computed entry, never call out.
 inline constexpr Rank kReconCache{10, "core.recon_cache"};
+/// core::RepairThrottler lease/AIMD state. The coordinator thread ticks
+/// it and agents' pressure reports fold into it; holders only update
+/// budget arithmetic, never send or block.
+inline constexpr Rank kCoreThrottler{14, "core.throttler"};
+/// load::ForegroundWorkload op log + latency windows. Client threads
+/// record completed ops under it; the shaped charges (store.chunks,
+/// util.token_bucket) happen outside by contract.
+inline constexpr Rank kLoadWorkload{16, "load.workload"};
 
 // -- agent data plane ----------------------------------------------------
 /// Agent::SendWindow per-transfer flow control. A reader task reserves
@@ -48,6 +56,10 @@ inline constexpr Rank kReconCache{10, "core.recon_cache"};
 /// enqueues under agent.send_queue; the ranks keep that sequence legal
 /// even if a future change nests them.
 inline constexpr Rank kAgentSendWindow{20, "agent.send_window"};
+/// agent::RepairBudget lease bookkeeping (seq / expiry / floor rate).
+/// Sender workers check lease freshness under it, release, and only
+/// then block on the underlying util.token_bucket.
+inline constexpr Rank kAgentRepairBudget{25, "agent.repair_budget"};
 /// Agent sender-worker queue (send_mutex_). Senders drop it before
 /// touching the transport.
 inline constexpr Rank kAgentSendQueue{30, "agent.send_queue"};

@@ -2,9 +2,24 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
 #include "util/check.h"
 
 namespace fastpr {
+
+namespace {
+
+/// Queueing visibility: total nanoseconds a single acquire() spent
+/// blocked (ticket wait + token deficit). Unblocked acquisitions are
+/// not recorded, so the histogram reads as "when shaping bites, by how
+/// much". No-op (like all metrics) under -DFASTPR_TELEMETRY=OFF.
+telemetry::Histogram& wait_histogram() {
+  static telemetry::Histogram& h =
+      telemetry::MetricsRegistry::global().histogram("tokenbucket.wait_ns");
+  return h;
+}
+
+}  // namespace
 
 TokenBucket::TokenBucket(double rate_bytes_per_sec, int64_t burst_bytes)
     : rate_(rate_bytes_per_sec),
@@ -24,30 +39,62 @@ void TokenBucket::refill_locked(Clock::time_point now) {
 
 void TokenBucket::acquire(int64_t bytes) {
   FASTPR_CHECK(bytes >= 0);
-  MutexLock lock(mutex_);
-  if (rate_ <= 0) return;  // unlimited
-  // Large requests are consumed in burst-sized slices so that several
-  // streams sharing one bucket interleave fairly instead of one stream
-  // draining minutes of tokens at once.
-  int64_t remaining = bytes;
-  while (remaining > 0) {
-    const int64_t slice = std::min(remaining, burst_);
-    refill_locked(Clock::now());
-    while (tokens_ < static_cast<double>(slice)) {
-      const double deficit = static_cast<double>(slice) - tokens_;
-      const auto wait = std::chrono::duration<double>(deficit / rate_);
-      // Deliberately predicate-less: the "condition" (enough tokens) is
-      // a function of elapsed time recomputed by refill_locked() each
-      // iteration, not a flag a notifier flips — a predicate would just
-      // duplicate the enclosing while. Spurious wakeups only re-check
-      // the deficit and sleep again. fastpr-lint: allow(condvar-predicate)
-      cv_.wait_for(mutex_,
-                   std::chrono::duration_cast<std::chrono::nanoseconds>(wait));
-      if (rate_ <= 0) return;  // became unlimited while waiting
+  auto& wait_ns = wait_histogram();
+  const auto entered = Clock::now();
+  bool blocked = false;
+  {
+    MutexLock lock(mutex_);
+    if (rate_ <= 0) return;  // unlimited
+    // Large requests are consumed in burst-sized slices so that several
+    // streams sharing one bucket interleave fairly instead of one stream
+    // draining minutes of tokens at once. Each slice takes its own FIFO
+    // ticket, so concurrent acquirers alternate slice-by-slice in
+    // arrival order — no waiter can be starved by luckier wakeups.
+    int64_t remaining = bytes;
+    while (remaining > 0) {
+      const int64_t slice = std::min(remaining, burst_);
+      const uint64_t ticket = next_ticket_++;
+      if (serving_ < ticket) {
+        blocked = true;
+        const auto my_turn = [&]() FASTPR_REQUIRES(mutex_) {
+          return serving_ >= ticket || rate_ <= 0;
+        };
+        cv_.wait(mutex_, my_turn);
+      }
+      if (rate_ <= 0) break;  // became unlimited while queued
       refill_locked(Clock::now());
+      while (tokens_ < static_cast<double>(slice)) {
+        blocked = true;
+        const double deficit = static_cast<double>(slice) - tokens_;
+        const auto wait = std::chrono::duration<double>(deficit / rate_);
+        // Deliberately predicate-less: the "condition" (enough tokens) is
+        // a function of elapsed time recomputed by refill_locked() each
+        // iteration, not a flag a notifier flips — a predicate would just
+        // duplicate the enclosing while. Spurious wakeups only re-check
+        // the deficit and sleep again. fastpr-lint: allow(condvar-predicate)
+        cv_.wait_for(mutex_,
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(wait));
+        if (rate_ <= 0) break;  // became unlimited while waiting
+        refill_locked(Clock::now());
+      }
+      if (rate_ <= 0) break;
+      tokens_ -= static_cast<double>(slice);
+      remaining -= slice;
+      if (serving_ <= ticket) serving_ = ticket + 1;
+      cv_.notify_all();
     }
-    tokens_ -= static_cast<double>(slice);
-    remaining -= slice;
+    if (rate_ <= 0) {
+      // Unlimited interval: retire every outstanding ticket (their
+      // holders bail through this same branch) so the ticket counter is
+      // consistent when the bucket is throttled again later.
+      serving_ = next_ticket_;
+      cv_.notify_all();
+    }
+  }
+  if (blocked) {
+    wait_ns.observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now() - entered)
+                        .count());
   }
 }
 

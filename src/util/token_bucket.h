@@ -16,6 +16,13 @@ namespace fastpr {
 /// Thread-safe token bucket. acquire(n) blocks the caller until n tokens
 /// (bytes) are available at the configured rate. A burst capacity bounds
 /// how far the bucket can fill while idle.
+///
+/// Waiters are served FIFO: each burst-sized slice takes a ticket, and
+/// tickets drain strictly in arrival order, so a stream of small
+/// acquirers cannot starve a large one (or vice versa) under contention.
+/// Time blocked in acquire() is exported as the
+/// `tokenbucket.wait_ns` histogram so throttle-induced queueing is
+/// visible in the metrics snapshot.
 class TokenBucket {
  public:
   /// rate_bytes_per_sec <= 0 means unlimited (acquire never blocks).
@@ -44,6 +51,12 @@ class TokenBucket {
   const int64_t burst_;                    // max accumulated tokens
   double tokens_ FASTPR_GUARDED_BY(mutex_);
   Clock::time_point last_refill_ FASTPR_GUARDED_BY(mutex_);
+  /// FIFO ticket lock over slices: a slice may drain tokens only when
+  /// serving_ has reached its ticket. serving_ can run ahead of
+  /// individual tickets after an unlimited interval bulk-retires the
+  /// queue, hence the >= comparisons at the wait sites.
+  uint64_t next_ticket_ FASTPR_GUARDED_BY(mutex_) = 0;
+  uint64_t serving_ FASTPR_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace fastpr

@@ -10,6 +10,9 @@ void dispatch(fastpr::net::MessageType type) {
     case fastpr::net::MessageType::kBeta:
       handle_beta();
       break;
+    case fastpr::net::MessageType::kEpsilon:
+      handle_epsilon();
+      break;
     default:
       break;
   }

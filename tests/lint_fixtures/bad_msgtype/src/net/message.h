@@ -1,9 +1,11 @@
 // Golden bad snippets for [msgtype-exhaustive]: kGamma is wired into
-// neither the dispatch switch nor serialization, and kDelta — modeled
-// on a streaming type like kChainPacket — made it into the codec but
-// was never dispatched. fastpr_analyze must flag both: serializing a
-// type no agent handles is exactly the silent-drop bug the rule exists
-// to prevent.
+// neither the dispatch switch nor serialization; kDelta — modeled on a
+// streaming type like kChainPacket — made it into the codec but was
+// never dispatched; kEpsilon — modeled on a control type like
+// kLeaseGrant/kPressureReport — is dispatched but missing from the
+// codec, so the transport would reject it as an invalid frame.
+// fastpr_analyze must flag all three: each direction is a silent-drop
+// bug the rule exists to prevent.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +17,7 @@ enum class MessageType : uint8_t {
   kBeta = 2,
   kGamma = 3,
   kDelta = 4,
+  kEpsilon = 5,
 };
 
 }  // namespace fastpr::net

@@ -15,7 +15,9 @@
 
 #include "agent/testbed.h"
 #include "core/repair_plan.h"
+#include "core/repair_throttler.h"
 #include "ec/rs_code.h"
+#include "load/foreground.h"
 #include "net/fault_plan.h"
 #include "telemetry/metrics.h"
 #include "util/units.h"
@@ -473,6 +475,131 @@ TEST(Chaos, UnrepairableChunksAreEnumeratedExactly) {
     }
     EXPECT_TRUE(reported);
   }
+}
+
+TEST(Chaos, SlowHelperStretchesTransfersButRepairCompletes) {
+  // `slow` verb behavior (DESIGN.md §7): once the victim crosses its
+  // byte threshold, every later data packet it sends really takes
+  // factor× the nominal transmit time — and unlike flaky delays the
+  // extra time is NOT credited as injected, because a genuinely slow
+  // NIC is exactly the signal the adaptive throttler and the straggler
+  // detector are supposed to see.
+  ec::RsCode code(6, 4);
+  const uint64_t seed = seed_base();
+  auto opts = chaos_options(seed);
+  // Generous round timeout: the stretched transfers must complete, not
+  // trip retries (liveness under a crash is the other scenarios' job).
+  opts.round_timeout = std::chrono::milliseconds(5000);
+
+  const auto scouted = scout_plan(opts, code, core::Scenario::kScattered);
+  ASSERT_FALSE(scouted.rounds.empty());
+  ASSERT_FALSE(scouted.rounds[0].reconstructions.empty());
+  const auto victim = scouted.rounds[0].reconstructions[0].sources[0].node;
+
+  // Arm after one chunk of sends, then every data packet pays 8× the
+  // nominal wire time (unthrottled testbed → 1 Gbps nominal, so a
+  // 16 KiB packet sleeps ~0.9 ms extra — measurable, wall-clock safe).
+  opts.fault_plan = net::FaultPlan::parse(
+      "slow node=" + std::to_string(victim) +
+      " factor=8 after_bytes=65536\n");
+  Testbed tb(opts, code);
+  tb.flag_stf();
+  const auto plan =
+      tb.make_planner(core::Scenario::kScattered).plan_fastpr();
+
+#if FASTPR_TELEMETRY_ENABLED
+  const int64_t slowed_before = telemetry::MetricsRegistry::global()
+                                    .counter("net.fault.slowed")
+                                    .value();
+#endif
+  const auto report = tb.execute(plan);
+  expect_full_recovery(tb, plan, report);
+  // A slow node is degraded, not dead: no retries, no failed nodes.
+  EXPECT_FALSE(contains_node(report.failed_nodes, victim));
+#if FASTPR_TELEMETRY_ENABLED
+  EXPECT_GT(telemetry::MetricsRegistry::global()
+                .counter("net.fault.slowed")
+                .value(),
+            slowed_before);
+#endif
+  // The slow time is deliberately uncredited: no link of the victim may
+  // carry injected-delay attribution (that channel is flaky-only).
+  for (const auto& l : report.repair.links) {
+    if (l.src == victim) {
+      EXPECT_EQ(l.injected_delay_us, 0);
+    }
+  }
+}
+
+TEST(Chaos, ForegroundSurvivesThrottledRepairUnderCompoundFaults) {
+  // The tentpole robustness scenario: SLO-aware adaptive throttling,
+  // live foreground traffic (with degraded reads off the STF node), a
+  // flaky network AND a mid-repair helper crash — all at once. The
+  // repair must still complete byte-verified, the foreground mix must
+  // keep a recorded p99 through the fault window with zero decode
+  // mismatches, and the lease machinery must have actually run.
+  ec::RsCode code(6, 4);
+  const uint64_t seed = seed_base() + 100;  // fresh schedule window
+  auto opts = chaos_options(seed);
+  // Mild shaping so foreground ops queue behind real buckets; small
+  // data volume keeps the wall clock bounded.
+  opts.disk_bytes_per_sec = MBps(200);
+  opts.net_bytes_per_sec = MBps(100);
+  opts.round_timeout = std::chrono::milliseconds(2000);
+
+  const auto scouted = scout_plan(opts, code, core::Scenario::kScattered);
+  ASSERT_FALSE(scouted.rounds.empty());
+  ASSERT_FALSE(scouted.rounds[0].reconstructions.empty());
+  const auto victim = scouted.rounds[0].reconstructions[0].sources[0].node;
+
+  opts.fault_plan = net::FaultPlan::parse(
+      "seed " + std::to_string(seed) + "\n" +
+      "crash node=" + std::to_string(victim) +
+      " after_packets=2\n"
+      "flaky node=any drop=0.03 max_drops=3 delay=0.1 delay_ms=2 "
+      "max_delays=40\n");
+  core::ThrottlerOptions throttle;
+  throttle.total_bytes_per_sec = MBps(40);
+  throttle.slo_p99_seconds = 0.050;
+  throttle.adaptive = true;
+  opts.throttle = throttle;
+
+  Testbed tb(opts, code);
+  const auto stf = tb.flag_stf();
+  const auto plan =
+      tb.make_planner(core::Scenario::kScattered).plan_fastpr();
+
+  load::WorkloadOptions wopts;
+  wopts.ops_per_sec = 400;
+  wopts.threads = 2;
+  wopts.op_bytes = 16 * kKiB;
+  wopts.seed = seed;
+  wopts.verify_degraded = true;
+  load::ForegroundWorkload fg(tb, code, wopts);
+  fg.set_degraded(stf);
+  tb.set_pressure_source(&fg);
+  fg.start();
+  const auto report = tb.execute(plan);
+  fg.stop();
+
+  expect_full_recovery(tb, plan, report);
+  EXPECT_GT(report.retries, 0);
+  EXPECT_TRUE(contains_node(report.failed_nodes, victim));
+
+  // Foreground kept flowing through the fault window, its degraded
+  // reads decoded byte-exactly, and its tail latency was recorded —
+  // LatencyWindow works with telemetry compiled out too.
+  const auto stats = fg.stats();
+  EXPECT_GT(stats.reads + stats.degraded_reads + stats.writes, 0);
+  EXPECT_GT(stats.degraded_reads, 0);
+  EXPECT_EQ(stats.verify_failures, 0);
+  EXPECT_GT(stats.p99_seconds, 0);
+
+  // The lease machinery really ran under the faults.
+  ASSERT_NE(tb.throttler(), nullptr);
+  const auto tstats = tb.throttler()->stats();
+  EXPECT_GT(tstats.leases_granted, 0);
+  EXPECT_GT(tstats.budget_bytes_per_sec, 0);
 }
 
 }  // namespace

@@ -43,6 +43,48 @@ TEST(FaultPlan, ParsesEveryDirective) {
   EXPECT_FALSE(plan.flaky[0].data_only);
 }
 
+TEST(FaultPlan, ParsesSlowDirective) {
+  const auto plan = FaultPlan::parse(
+      "slow node=5 factor=4\n"
+      "slow node=stf factor=2.5 after_bytes=1048576\n");
+  ASSERT_EQ(plan.slow.size(), 2u);
+  EXPECT_EQ(plan.slow[0].node, 5);
+  EXPECT_DOUBLE_EQ(plan.slow[0].factor, 4.0);
+  EXPECT_EQ(plan.slow[0].after_bytes, 0u);
+  EXPECT_EQ(plan.slow[1].node, kStfSentinel);
+  EXPECT_DOUBLE_EQ(plan.slow[1].factor, 2.5);
+  EXPECT_EQ(plan.slow[1].after_bytes, 1048576u);
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(FaultPlan, SlowRoundTripsAndResolvesStf) {
+  auto plan = FaultPlan::parse(
+      "seed 3\n"
+      "slow node=stf factor=8 after_bytes=4096\n"
+      "slow node=2 factor=1.5\n");
+  const auto reparsed = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(reparsed.to_string(), plan.to_string());
+  ASSERT_EQ(reparsed.slow.size(), 2u);
+  EXPECT_EQ(reparsed.slow[0].node, kStfSentinel);
+  EXPECT_DOUBLE_EQ(reparsed.slow[0].factor, 8.0);
+  EXPECT_EQ(reparsed.slow[0].after_bytes, 4096u);
+  EXPECT_DOUBLE_EQ(reparsed.slow[1].factor, 1.5);
+
+  plan.resolve_stf(6);
+  EXPECT_EQ(plan.slow[0].node, 6);
+  EXPECT_EQ(plan.slow[1].node, 2);
+}
+
+TEST(FaultPlan, RejectsMalformedSlow) {
+  EXPECT_THROW(FaultPlan::parse("slow factor=2\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("slow node=any factor=2\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("slow node=1\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("slow node=1 factor=1\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("slow node=1 factor=0.5\n"), CheckFailure);
+  EXPECT_THROW(FaultPlan::parse("slow node=1 factor=2 wat=3\n"),
+               CheckFailure);
+}
+
 TEST(FaultPlan, RoundTripsThroughToString) {
   const auto plan = FaultPlan::parse(
       "seed 7\n"

@@ -1,0 +1,180 @@
+// Foreground traffic generator (DESIGN.md §10): Zipf sampling, exact
+// sliding-window percentiles, the open-loop workload against a live
+// testbed, and degraded reads decoding byte-exactly through the codec.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "agent/testbed.h"
+#include "ec/rs_code.h"
+#include "load/foreground.h"
+#include "load/latency_window.h"
+#include "load/zipf.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace fastpr {
+namespace {
+
+TEST(ZipfSampler, DeterministicForSeed) {
+  load::ZipfSampler zipf(100, 0.99);
+  Rng a(7), b(7);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(zipf(a), zipf(b));
+}
+
+TEST(ZipfSampler, SkewFavorsLowRanks) {
+  load::ZipfSampler zipf(100, 0.99);
+  Rng rng(1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20'000; ++i) {
+    const size_t v = zipf(rng);
+    ASSERT_LT(v, 100u);
+    ++counts[v];
+  }
+  // YCSB-grade skew: rank 0 dwarfs the median rank.
+  EXPECT_GT(counts[0], 5 * std::max(1, counts[50]));
+  // And the tail is still reachable.
+  int tail = 0;
+  for (size_t i = 50; i < 100; ++i) tail += counts[i];
+  EXPECT_GT(tail, 0);
+}
+
+TEST(ZipfSampler, ThetaZeroIsUniform) {
+  load::ZipfSampler zipf(10, 0.0);
+  Rng rng(2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10'000; ++i) ++counts[zipf(rng)];
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(ZipfSampler, RejectsEmptyUniverse) {
+  EXPECT_THROW(load::ZipfSampler(0, 0.99), CheckFailure);
+}
+
+TEST(LatencyWindow, ExactPercentiles) {
+  load::LatencyWindow w(128);
+  EXPECT_DOUBLE_EQ(w.percentile(0.99), 0.0);  // empty
+  // 1..100 ms in nanoseconds.
+  for (int i = 1; i <= 100; ++i) w.observe(int64_t{i} * 1'000'000);
+  EXPECT_EQ(w.count(), 100);
+  EXPECT_NEAR(w.percentile(0.0), 0.001, 1e-9);
+  EXPECT_NEAR(w.percentile(0.50), 0.050, 0.002);
+  EXPECT_NEAR(w.percentile(0.99), 0.099, 0.002);
+  EXPECT_NEAR(w.percentile(1.0), 0.100, 1e-9);
+}
+
+TEST(LatencyWindow, RingKeepsOnlyRecentSamples) {
+  load::LatencyWindow w(16);
+  for (int i = 0; i < 16; ++i) w.observe(1'000'000'000);  // 1 s each
+  for (int i = 0; i < 16; ++i) w.observe(1'000'000);      // then 1 ms
+  // The old 1 s samples have been overwritten: even the max is 1 ms.
+  EXPECT_NEAR(w.percentile(1.0), 0.001, 1e-9);
+  EXPECT_EQ(w.count(), 32);  // count is cumulative, window is not
+}
+
+class ForegroundWorkloadTest : public ::testing::Test {
+ protected:
+  agent::TestbedOptions testbed_options() {
+    agent::TestbedOptions o;
+    o.num_storage = 8;
+    o.num_standby = 2;
+    o.disk_bytes_per_sec = MBps(400);
+    o.net_bytes_per_sec = MBps(400);
+    o.chunk_bytes = 256 * kKiB;
+    o.packet_bytes = 64 * kKiB;
+    o.num_stripes = 8;
+    o.seed = 11;
+    return o;
+  }
+  ec::RsCode code_{6, 4};
+};
+
+TEST_F(ForegroundWorkloadTest, GeneratesMixAndMeasuresLatency) {
+  agent::Testbed tb(testbed_options(), code_);
+  load::WorkloadOptions wopts;
+  wopts.ops_per_sec = 2000;
+  wopts.read_fraction = 0.8;
+  wopts.threads = 2;
+  wopts.seed = 3;
+  load::ForegroundWorkload fg(tb, code_, wopts);
+  fg.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  fg.stop();
+  const auto stats = fg.stats();
+  EXPECT_GT(stats.reads, 0);
+  EXPECT_GT(stats.writes, 0);
+  EXPECT_EQ(stats.failed_ops, 0);
+  EXPECT_EQ(stats.verify_failures, 0);
+  EXPECT_GT(stats.achieved_ops_per_sec, 100);
+  // Sub-µs ops can record 0 latency; the tail always shows scheduling
+  // overshoot and bucket queueing.
+  EXPECT_GE(stats.p50_seconds, 0);
+  EXPECT_GT(stats.p99_seconds, 0);
+  EXPECT_GE(stats.p999_seconds, stats.p99_seconds);
+  EXPECT_GE(stats.p99_seconds, stats.p50_seconds);
+}
+
+TEST_F(ForegroundWorkloadTest, SamplesPerNodePressure) {
+  agent::Testbed tb(testbed_options(), code_);
+  load::WorkloadOptions wopts;
+  wopts.ops_per_sec = 2000;
+  wopts.threads = 2;
+  load::ForegroundWorkload fg(tb, code_, wopts);
+  fg.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  fg.stop();
+  // With a Zipfian over every chunk and 8 nodes, a 300 ms burst at
+  // 2000 op/s touches every node; each touched node has pressure.
+  double total_fg = 0;
+  int nodes_with_latency = 0;
+  for (cluster::NodeId n = 0; n < 8; ++n) {
+    const auto p = fg.sample(n);
+    total_fg += p.fg_bytes_per_sec;
+    if (p.p99_seconds > 0) ++nodes_with_latency;
+  }
+  EXPECT_GT(total_fg, 0);
+  EXPECT_GT(nodes_with_latency, 4);
+}
+
+TEST_F(ForegroundWorkloadTest, DegradedReadsDecodeByteExactly) {
+  agent::Testbed tb(testbed_options(), code_);
+  const cluster::NodeId stf = tb.flag_stf();
+  load::WorkloadOptions wopts;
+  wopts.ops_per_sec = 2000;
+  wopts.read_fraction = 1.0;  // reads only: maximize degraded hits
+  wopts.threads = 2;
+  wopts.verify_degraded = true;
+  load::ForegroundWorkload fg(tb, code_, wopts);
+  fg.set_degraded(stf);
+  fg.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  fg.stop();
+  const auto stats = fg.stats();
+  // The STF node is the most loaded, so the Zipfian mix hits it often.
+  EXPECT_GT(stats.degraded_reads, 0);
+  EXPECT_EQ(stats.verify_failures, 0);
+  EXPECT_EQ(stats.failed_ops, 0);
+}
+
+TEST_F(ForegroundWorkloadTest, StopIsIdempotentAndRestartable) {
+  agent::Testbed tb(testbed_options(), code_);
+  load::ForegroundWorkload fg(tb, code_, load::WorkloadOptions{});
+  fg.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  fg.stop();
+  fg.stop();  // second stop is a no-op, not a crash
+  const int64_t before = fg.stats().reads + fg.stats().writes;
+  fg.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  fg.stop();
+  EXPECT_GE(fg.stats().reads + fg.stats().writes, before);
+}
+
+}  // namespace
+}  // namespace fastpr

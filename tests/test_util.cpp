@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/metrics.h"
 #include "util/check.h"
 #include "util/crc32c.h"
 #include "util/logging.h"
@@ -193,6 +194,70 @@ TEST(TokenBucket, SetRateUnblocksWaiters) {
   bucket.set_rate(0);  // unlimited
   waiter.join();
   EXPECT_TRUE(done.load());
+}
+
+TEST(TokenBucket, FifoCompletionOrderUnderContention) {
+  // Freeze the bucket, queue four burst-sized acquirers with staggered
+  // arrivals, then open the tap: the FIFO ticket lock must complete
+  // them strictly in arrival order — a later waiter can never overtake
+  // an earlier one on a lucky wakeup.
+  TokenBucket bucket(1.0, 1024);  // 1 byte/s: effectively frozen
+  bucket.acquire(1024);           // drain the initial burst
+  Mutex order_mutex{lock_order::kUtilLogging};
+  std::vector<int> completions;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] {
+      bucket.acquire(1024);
+      MutexLock lock(order_mutex);
+      completions.push_back(i);
+    });
+    // Stagger arrivals so ticket order matches thread index.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  bucket.set_rate(200'000);  // ~5 ms per queued slice
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(completions, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TokenBucket, LargeAcquireNotStarvedBySmallStream) {
+  // One 64 KiB acquirer races a stream of 4 KiB acquirers on a shared
+  // bucket. Slicing + FIFO tickets interleave them, so the large
+  // request finishes in bounded time instead of waiting for the stream
+  // to dry up.
+  TokenBucket bucket(MBps(2), 4 << 10);
+  bucket.acquire(4 << 10);  // drain the burst so everyone queues
+  std::atomic<bool> large_done{false};
+  std::thread large([&] {
+    bucket.acquire(64 << 10);
+    large_done.store(true);
+  });
+  std::thread small([&] {
+    // More small bytes than the large request; without fairness these
+    // could starve it indefinitely.
+    for (int i = 0; i < 64 && !large_done.load(); ++i) {
+      bucket.acquire(4 << 10);
+    }
+  });
+  large.join();
+  small.join();
+  EXPECT_TRUE(large_done.load());
+}
+
+TEST(TokenBucket, BlockedAcquireRecordsWaitHistogram) {
+  auto& h =
+      telemetry::MetricsRegistry::global().histogram("tokenbucket.wait_ns");
+  const auto before = h.snapshot();
+  TokenBucket bucket(MBps(10), 16 << 10);
+  bucket.acquire(16 << 10);  // drain the burst
+  bucket.acquire(256 << 10);  // ~25 ms of shaping — must block
+  const auto after = h.snapshot();
+#if FASTPR_TELEMETRY_ENABLED
+  EXPECT_GT(after.count, before.count);
+  EXPECT_GT(after.sum, before.sum);
+#else
+  EXPECT_EQ(after.count, before.count);
+#endif
 }
 
 TEST(ThreadPool, RunsAllTasks) {

@@ -41,6 +41,25 @@
 //                                # (paper default), partial-sum helper
 //                                # chains (repair pipelining), or the
 //                                # cost model's per-round pick.
+//   --repair-budget=<MBps>       # execute only: cap cluster-wide
+//                                # repair bandwidth; the coordinator
+//                                # leases per-agent shares (DESIGN.md
+//                                # §10) instead of letting repair use
+//                                # the full NIC.
+//   --slo-ms=<ms>                # execute only, with --repair-budget:
+//                                # foreground p99 SLO target; enables
+//                                # the AIMD budget ramp (needs
+//                                # --foreground-ops for the feedback
+//                                # signal).
+//   --stf-deadline=<seconds>     # execute only, with --repair-budget:
+//                                # predicted STF death this many
+//                                # seconds after execution starts;
+//                                # arms panic mode.
+//   --foreground-ops=<per_sec>   # execute only: run an open-loop
+//                                # foreground workload (reads/writes,
+//                                # degraded reads on the STF node) at
+//                                # this rate during the repair and
+//                                # report its latency percentiles.
 //
 // `execute` exit codes: 0 = every chunk repaired and byte-verified;
 // 3 = accounting consistent but some chunks abandoned as unrepairable
@@ -79,9 +98,11 @@
 
 #include "agent/testbed.h"
 #include "core/fastpr.h"
+#include "core/repair_throttler.h"
 #include "ec/lrc_code.h"
 #include "ec/rs_code.h"
 #include "lifetime/lifetime_sim.h"
+#include "load/foreground.h"
 #include "net/fault_plan.h"
 #include "sim/simulator.h"
 #include "telemetry/metrics.h"
@@ -123,6 +144,11 @@ struct Spec {
   int probe_timeout_ms = 250;
   int max_round_extensions = 3;
   int stf_failure_threshold = 3;
+  // Throttling / foreground knobs (flags, not spec keys).
+  double repair_budget_mbps = 0;  // 0 = unthrottled
+  double slo_ms = 0;              // 0 = no AIMD target
+  double stf_deadline_s = 0;      // 0 = no deadline (no panic mode)
+  double foreground_ops = 0;      // 0 = no foreground workload
 };
 
 bool parse_spec(const std::string& path, Spec& spec, std::string& error) {
@@ -426,6 +452,14 @@ int cmd_execute(const Spec& spec, const std::string& fault_plan_path,
   opts.probe_timeout = std::chrono::milliseconds(spec.probe_timeout_ms);
   opts.max_round_extensions = spec.max_round_extensions;
   opts.stf_failure_threshold = spec.stf_failure_threshold;
+  if (spec.repair_budget_mbps > 0) {
+    core::ThrottlerOptions throttle;
+    throttle.total_bytes_per_sec = MBps(spec.repair_budget_mbps);
+    throttle.slo_p99_seconds = spec.slo_ms / 1000.0;
+    throttle.adaptive = spec.slo_ms > 0;
+    opts.throttle = throttle;
+    opts.stf_deadline_seconds = spec.stf_deadline_s;
+  }
   if (!fault_plan_path.empty()) {
     std::ifstream in(fault_plan_path);
     if (!in.good()) {
@@ -461,8 +495,26 @@ int cmd_execute(const Spec& spec, const std::string& fault_plan_path,
   }
   std::printf("%s\n", plan.to_string().c_str());
 
+  // Optional open-loop foreground workload running beside the repair;
+  // its per-node pressure closes the throttler's AIMD loop.
+  std::unique_ptr<load::ForegroundWorkload> foreground;
+  if (spec.foreground_ops > 0) {
+    load::WorkloadOptions wopts;
+    wopts.ops_per_sec = spec.foreground_ops;
+    wopts.seed = spec.seed;
+    foreground =
+        std::make_unique<load::ForegroundWorkload>(tb, *spec.code, wopts);
+    for (const cluster::NodeId stf : batch) foreground->set_degraded(stf);
+    tb.set_pressure_source(foreground.get());
+    foreground->start();
+  }
+
   const auto report = tb.execute(plan);
-  const bool verified = tb.verify(report, plan);
+  if (foreground) foreground->stop();
+  // A degraded-read decode mismatch is a verification failure too.
+  const bool verified =
+      tb.verify(report, plan) &&
+      (foreground == nullptr || foreground->stats().verify_failures == 0);
   *clock_offsets = tb.clock_offsets();
   if (!flow_out.empty() &&
       !write_file(flow_out, "{\"links\":" +
@@ -514,6 +566,35 @@ int cmd_execute(const Spec& spec, const std::string& fault_plan_path,
   for (const auto& err : report.errors) {
     std::printf("  error: %s\n", err.c_str());
   }
+  if (tb.throttler() != nullptr) {
+    const auto ts = tb.throttler()->stats();
+    // Display conversion, not a configuration boundary.
+    std::printf("  repair budget            %.1f MB/s final%s\n",
+                ts.budget_bytes_per_sec / 1e6,  // fastpr-lint: allow(units)
+                ts.panic ? " (PANIC: deadline overrode SLO)" : "");
+    std::printf("  leases                   %lld granted, %lld expired, "
+                "%lld SLO breaches\n",
+                static_cast<long long>(ts.leases_granted),
+                static_cast<long long>(ts.leases_expired),
+                static_cast<long long>(ts.slo_breaches));
+  }
+  if (foreground) {
+    const auto fs = foreground->stats();
+    std::printf("  foreground               %lld reads (%lld degraded), "
+                "%lld writes, %lld failed\n",
+                static_cast<long long>(fs.reads),
+                static_cast<long long>(fs.degraded_reads),
+                static_cast<long long>(fs.writes),
+                static_cast<long long>(fs.failed_ops));
+    std::printf("  foreground latency       p50 %.1f ms, p99 %.1f ms, "
+                "p999 %.1f ms at %.0f op/s\n",
+                fs.p50_seconds * 1e3, fs.p99_seconds * 1e3,
+                fs.p999_seconds * 1e3, fs.achieved_ops_per_sec);
+    if (fs.verify_failures > 0) {
+      std::printf("  FOREGROUND VERIFY FAILURES %lld\n",
+                  static_cast<long long>(fs.verify_failures));
+    }
+  }
   std::printf("  byte verification        %s\n",
               verified ? "PASS" : "FAIL");
   if (!verified) return 1;
@@ -527,7 +608,9 @@ int usage() {
                "[--metrics-format=json|csv|prom] "
                "[--trace-out=<file.json>] [--flow-out=<file.json>] "
                "[--fault-plan <file>] [--stf=<id[,id...]>] "
-               "[--repair-strategy=fanin|chain|auto]\n"
+               "[--repair-strategy=fanin|chain|auto] "
+               "[--repair-budget=<MBps>] [--slo-ms=<ms>] "
+               "[--stf-deadline=<s>] [--foreground-ops=<per_sec>]\n"
                "       fastpr_cli trace merge <out.json> <in.json...>\n");
   return 2;
 }
@@ -583,6 +666,24 @@ int main(int argc, char** argv) {
   std::string fault_plan_path;
   core::StrategyChoice strategy = core::StrategyChoice::kFanIn;
   std::vector<int> stf_batch;
+  double repair_budget_mbps = 0;
+  double slo_ms = 0;
+  double stf_deadline_s = 0;
+  double foreground_ops = 0;
+  // Parses `--flag=<positive number>` into `out`; 0 and negatives are
+  // rejected (omit the flag to disable the feature).
+  auto parse_positive = [&](const std::string& arg, const char* flag,
+                            double* out) {
+    const std::string v = arg.substr(std::strlen(flag));
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (v.empty() || end == nullptr || *end != '\0' || parsed <= 0) {
+      std::fprintf(stderr, "error: bad %s value '%s'\n", flag, v.c_str());
+      return false;
+    }
+    *out = parsed;
+    return true;
+  };
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -630,6 +731,17 @@ int main(int argc, char** argv) {
                      v.c_str());
         return usage();
       }
+    } else if (arg.rfind("--repair-budget=", 0) == 0) {
+      if (!parse_positive(arg, "--repair-budget=", &repair_budget_mbps))
+        return usage();
+    } else if (arg.rfind("--slo-ms=", 0) == 0) {
+      if (!parse_positive(arg, "--slo-ms=", &slo_ms)) return usage();
+    } else if (arg.rfind("--stf-deadline=", 0) == 0) {
+      if (!parse_positive(arg, "--stf-deadline=", &stf_deadline_s))
+        return usage();
+    } else if (arg.rfind("--foreground-ops=", 0) == 0) {
+      if (!parse_positive(arg, "--foreground-ops=", &foreground_ops))
+        return usage();
     } else if (arg.rfind("--fault-plan=", 0) == 0) {
       fault_plan_path = arg.substr(std::strlen("--fault-plan="));
       if (fault_plan_path.empty()) return usage();
@@ -662,6 +774,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   spec.strategy = strategy;
+  spec.repair_budget_mbps = repair_budget_mbps;
+  spec.slo_ms = slo_ms;
+  spec.stf_deadline_s = stf_deadline_s;
+  spec.foreground_ops = foreground_ops;
   std::vector<std::pair<int, int64_t>> clock_offsets;
   int rc = 2;
   try {
