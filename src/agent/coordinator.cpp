@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "telemetry/metrics.h"
@@ -488,6 +490,11 @@ void Coordinator::declare_stf_dead(NodeId node, ExecutionReport& report) {
     report.degraded_to_reactive = true;
     report.degraded_at_round = current_round_;
     coord_counter("coordinator.degraded_executions").add();
+    if (options_.bandwidth_trigger != nullptr) {
+      // The predictive schedule this trigger was watching is being
+      // replaced by the reactive tail; drift against it is meaningless.
+      options_.bandwidth_trigger->disable();
+    }
   }
   report.errors.push_back(
       "STF node " + std::to_string(node) + " declared dead in round " +
@@ -827,6 +834,63 @@ ExecutionReport Coordinator::execute(const core::RepairPlan& plan) {
         report.errors.push_back("chunk " + chunk_str(chunk) +
                                 " unrepaired: fewer than k live chunks "
                                 "after STF death");
+      }
+    }
+
+    // Bandwidth drift: fold this round's worst measured/expected link
+    // ratio into the hysteresis trigger; when it fires, the remaining
+    // rounds are re-derived around the degraded links (DESIGN.md §11) —
+    // the bandwidth analog of the STF-death replan above, but the
+    // replacement tail is still predictive and may fire more than once
+    // (bounded by the trigger's max_replans). Skipped once degraded
+    // (the reactive tail is no longer the plan the ratios price) and
+    // for batch executions (the hook replans one member's chunks; a
+    // joint reshuffle would invalidate the others' still-valid rounds).
+    if (stf_batch_.size() == 1 && options_.bandwidth_trigger != nullptr &&
+        options_.flow_monitor != nullptr && options_.bandwidth_replan &&
+        !report.degraded_to_reactive && round_idx + 1 < rounds.size()) {
+      double worst = std::numeric_limits<double>::infinity();
+      std::vector<NodeId> slow;
+      for (const auto& link : options_.flow_monitor->snapshot()) {
+        if (link.expected_bytes_per_sec <= 0 ||
+            link.ewma_bytes_per_sec <= 0) {
+          continue;  // unpriced or idle link: no drift signal
+        }
+        worst = std::min(worst, link.ewma_bytes_per_sec /
+                                    link.expected_bytes_per_sec);
+        if (link.straggler) slow.push_back(link.src);
+      }
+      if (std::isfinite(worst) &&
+          options_.bandwidth_trigger->feed(current_round_, worst)) {
+        ++report.replans;
+        ++report.bandwidth_replans;
+        coord_counter("coordinator.bandwidth_replans").add();
+        BandwidthReplanRequest request;
+        request.worst_ratio = worst;
+        request.handled.reserve(report.completions.size() +
+                                report.unrepaired.size());
+        for (const auto& done : report.completions) {
+          request.handled.push_back(done.chunk);
+        }
+        for (const auto& chunk : report.unrepaired) {
+          request.handled.push_back(chunk);
+        }
+        request.failed_nodes.assign(failed_nodes_.begin(),
+                                    failed_nodes_.end());
+        std::sort(request.failed_nodes.begin(),
+                  request.failed_nodes.end());
+        std::sort(slow.begin(), slow.end());
+        slow.erase(std::unique(slow.begin(), slow.end()), slow.end());
+        request.slow_nodes = std::move(slow);
+        LOG_INFO("coordinator: bandwidth replan after round "
+                 << current_round_ << " (worst link ratio " << worst
+                 << ", " << request.slow_nodes.size()
+                 << " straggler nodes)");
+        core::RepairPlan tail = options_.bandwidth_replan(request);
+        rounds.resize(round_idx + 1);
+        for (auto& extra : tail.rounds) {
+          rounds.push_back(std::move(extra));
+        }
       }
     }
 

@@ -33,9 +33,11 @@
 #include "cluster/stripe_layout.h"
 #include "core/repair_plan.h"
 #include "core/repair_throttler.h"
+#include "core/replan_trigger.h"
 #include "ec/erasure_code.h"
 #include "net/transport.h"
 #include "telemetry/clock_sync.h"
+#include "telemetry/flow_monitor.h"
 #include "telemetry/repair_report.h"
 #include "telemetry/trace.h"
 
@@ -57,6 +59,24 @@ struct ReplanResult {
 };
 
 using ReplanFn = std::function<ReplanResult(const ReplanRequest&)>;
+
+/// Input of the bandwidth replan hook (DESIGN.md §11): fired when
+/// measured per-link throughput drifts below the rates the plan priced
+/// in. `slow_nodes` are the source endpoints of the straggler links —
+/// the planner deprioritizes them as helpers in the new tail.
+struct BandwidthReplanRequest {
+  std::vector<cluster::ChunkRef> handled;
+  std::vector<cluster::NodeId> failed_nodes;
+  std::vector<cluster::NodeId> slow_nodes;
+  /// The worst measured/expected link ratio of the round that fired.
+  double worst_ratio = 0;
+};
+
+/// The hook returns predictive rounds for the remaining chunks
+/// (typically FastPrPlanner::plan_fastpr_remaining) — unlike the
+/// STF-death replan, nothing becomes unrepairable from a slow link.
+using BandwidthReplanFn =
+    std::function<core::RepairPlan(const BandwidthReplanRequest&)>;
 
 struct CoordinatorOptions {
   uint64_t chunk_bytes = 0;
@@ -82,6 +102,20 @@ struct CoordinatorOptions {
   std::vector<cluster::NodeId> dest_candidates;
   /// Optional reactive replanner consulted once, when the STF node dies.
   ReplanFn replan;
+  /// Per-link flow telemetry the bandwidth replan trigger reads at each
+  /// round boundary (EWMA vs expected rates). Not owned. Without
+  /// telemetry compiled in, snapshot() is empty and the trigger never
+  /// sees a sample.
+  telemetry::FlowMonitor* flow_monitor = nullptr;
+  /// Hysteresis state machine deciding WHEN drift warrants a replan
+  /// (DESIGN.md §11). Not owned; must outlive the execution. Effective
+  /// only with flow_monitor and bandwidth_replan also set. Disarmed
+  /// permanently once the execution degrades to reactive — the plan
+  /// being monitored no longer exists.
+  core::BandwidthReplanTrigger* bandwidth_trigger = nullptr;
+  /// Replans the remaining rounds around the degraded links when the
+  /// trigger fires.
+  BandwidthReplanFn bandwidth_replan;
   /// Optional cluster-wide repair throttler (DESIGN.md §10). When set,
   /// execute() ticks it on the lease cadence, relays its grants as
   /// kLeaseGrant messages, feeds kPressureReport / kPong pressure back
@@ -152,7 +186,12 @@ struct ExecutionReport {
   bool degraded_to_reactive = false;
   int degraded_at_round = 0;  // 1-based; 0 = never degraded
   int retries = 0;            // task reissues (incl. fallback conversions)
-  int replans = 0;            // replan hook invocations (0 or 1)
+  /// Replan hook invocations of either kind: at most one STF-death
+  /// reactive replan plus however many bandwidth replans the trigger's
+  /// max_replans cap admits.
+  int replans = 0;
+  /// The subset of `replans` triggered by link-bandwidth drift.
+  int bandwidth_replans = 0;
   int round_extensions = 0;
   /// Repair-throttle outcome (DESIGN.md §10); zeroed when the execution
   /// ran without a throttler.
@@ -184,6 +223,11 @@ class Coordinator {
 
   /// Installs the mid-repair reactive replanner (see CoordinatorOptions).
   void set_replan(ReplanFn replan) { options_.replan = std::move(replan); }
+
+  /// Installs the bandwidth-drift replanner (see CoordinatorOptions).
+  void set_bandwidth_replan(BandwidthReplanFn replan) {
+    options_.bandwidth_replan = std::move(replan);
+  }
 
   /// Per-node clock offsets estimated from kPing/kPong probe pairs
   /// (cumulative across executions). Testbed::execute feeds these into

@@ -150,11 +150,28 @@ Testbed::Testbed(const TestbedOptions& options, const ec::ErasureCode& code)
   if (options.throttle.has_value()) {
     throttler_ = std::make_unique<core::RepairThrottler>(*options.throttle);
   }
+  if (options.bandwidth_replan.enabled) {
+    bandwidth_trigger_ = std::make_unique<core::BandwidthReplanTrigger>(
+        options.bandwidth_replan);
+  }
 
   Rng rng(options.seed);
-  layout_ = std::make_unique<cluster::StripeLayout>(
-      cluster::StripeLayout::random(options.num_storage, code.n(),
-                                    options.num_stripes, rng));
+  if (options.topology.has_value() && !options.topology->is_flat()) {
+    FASTPR_CHECK_MSG(
+        options.topology->num_nodes() == options.num_storage,
+        "topology must cover exactly the storage nodes: "
+            << options.topology->to_string() << " vs "
+            << options.num_storage
+            << " (spares and the coordinator live in overflow racks)");
+    layout_ = std::make_unique<cluster::StripeLayout>(
+        cluster::StripeLayout::random_racked(
+            options.num_storage, code.n(), options.num_stripes,
+            options.topology->nodes_per_rack(), rng));
+  } else {
+    layout_ = std::make_unique<cluster::StripeLayout>(
+        cluster::StripeLayout::random(options.num_storage, code.n(),
+                                      options.num_stripes, rng));
+  }
   // The cluster's bandwidth profile feeds the planner's cost model;
   // an unthrottled testbed (0 = no shaping) still needs positive model
   // bandwidths, so fall back to the paper's defaults there.
@@ -198,6 +215,10 @@ Testbed::Testbed(const TestbedOptions& options, const ec::ErasureCode& code)
   copts.stf_failure_threshold = options.stf_failure_threshold;
   copts.throttler = throttler_.get();
   copts.stf_deadline_seconds = options.stf_deadline_seconds;
+  if (bandwidth_trigger_ != nullptr) {
+    copts.flow_monitor = &flow_;
+    copts.bandwidth_trigger = bandwidth_trigger_.get();
+  }
   // Retried tasks may retarget onto any agent-backed node, spares
   // included (they are idle, so the load-aware matcher prefers them).
   copts.dest_candidates.resize(static_cast<size_t>(coord));
@@ -296,6 +317,7 @@ core::FastPrPlanner Testbed::make_planner(core::Scenario scenario) {
   popts.packet_bytes = static_cast<double>(options_.packet_bytes);
   popts.chain_hop_overhead_seconds = options_.chain_hop_overhead_seconds;
   popts.sched.strategy = options_.repair_strategy;
+  popts.topology = topology();
   return core::FastPrPlanner(*layout_, *cluster_, popts);
 }
 
@@ -308,6 +330,7 @@ core::MultiStfPlanner Testbed::make_multi_planner(core::Scenario scenario) {
   popts.packet_bytes = static_cast<double>(options_.packet_bytes);
   popts.chain_hop_overhead_seconds = options_.chain_hop_overhead_seconds;
   popts.sched.strategy = options_.repair_strategy;
+  popts.topology = topology();
   return core::MultiStfPlanner(*layout_, *cluster_, popts);
 }
 
@@ -337,6 +360,15 @@ ExecutionReport Testbed::execute(const core::RepairPlan& plan) {
     result.unrepairable = std::move(reactive.unrepairable);
     return result;
   });
+  // Bandwidth-drift hook (DESIGN.md §11): re-derive the predictive tail
+  // for whatever is left, with the straggler links' source endpoints
+  // deprioritized as helpers. Inert until a trigger is configured.
+  coordinator_->set_bandwidth_replan(
+      [this, scenario](const BandwidthReplanRequest& request) {
+        auto planner = make_planner(scenario);
+        return planner.plan_fastpr_remaining(request.handled,
+                                             request.slow_nodes);
+      });
 
   auto* inproc = dynamic_cast<net::InprocTransport*>(transport_.get());
   const int64_t before =

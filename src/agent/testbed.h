@@ -21,8 +21,10 @@
 #include "core/fastpr.h"
 #include "core/multi_stf.h"
 #include "core/repair_throttler.h"
+#include "core/replan_trigger.h"
 #include "ec/erasure_code.h"
 #include "net/fault_plan.h"
+#include "net/topology.h"
 #include "net/faulty_transport.h"
 #include "net/inproc_transport.h"
 #include "net/transport.h"
@@ -105,6 +107,18 @@ struct TestbedOptions {
   /// Predicted STF death, seconds from execute() start (> 0 arms panic
   /// mode; forwarded to CoordinatorOptions.stf_deadline_seconds).
   double stf_deadline_seconds = 0;
+  /// Rack/oversubscription model (DESIGN.md §11). When set (and not
+  /// flat), the stripe population is laid out rack-disjoint
+  /// (StripeLayout::random_racked) and the planners this testbed builds
+  /// become rack-aware. Must cover exactly the storage nodes — spares
+  /// and the coordinator land in overflow racks. Unset = flat network,
+  /// bit-identical to the pre-topology testbed.
+  std::optional<net::Topology> topology;
+  /// Mid-repair bandwidth replanning (DESIGN.md §11). enabled=true
+  /// builds a BandwidthReplanTrigger, points the coordinator at the
+  /// flow monitor, and installs a plan_fastpr_remaining hook in
+  /// execute().
+  core::BandwidthReplanOptions bandwidth_replan;
 };
 
 class Testbed {
@@ -129,6 +143,17 @@ class Testbed {
 
   /// The adaptive throttler, or nullptr when `throttle` is not set.
   core::RepairThrottler* throttler() { return throttler_.get(); }
+
+  /// The bandwidth replan trigger, or nullptr when bandwidth_replan is
+  /// not enabled. Its stats() expose samples/breaches/replans to tests.
+  core::BandwidthReplanTrigger* bandwidth_trigger() {
+    return bandwidth_trigger_.get();
+  }
+
+  /// The rack model the planners see, or nullptr for a flat testbed.
+  const net::Topology* topology() const {
+    return options_.topology.has_value() ? &*options_.topology : nullptr;
+  }
 
   /// One node's leased repair budget, or nullptr without throttling.
   RepairBudget* repair_budget(cluster::NodeId node);
@@ -223,6 +248,7 @@ class Testbed {
   std::vector<std::unique_ptr<RepairBudget>> budgets_;
   ForwardingPressureSource pressure_;
   std::unique_ptr<core::RepairThrottler> throttler_;
+  std::unique_ptr<core::BandwidthReplanTrigger> bandwidth_trigger_;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::unique_ptr<Coordinator> coordinator_;
 };

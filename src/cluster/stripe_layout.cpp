@@ -27,6 +27,32 @@ StripeLayout StripeLayout::random(int num_nodes, int chunks_per_stripe,
   return layout;
 }
 
+StripeLayout StripeLayout::random_racked(int num_nodes,
+                                         int chunks_per_stripe,
+                                         int num_stripes, int nodes_per_rack,
+                                         Rng& rng) {
+  FASTPR_CHECK(nodes_per_rack >= 1);
+  const int racks = num_nodes / nodes_per_rack;
+  FASTPR_CHECK_MSG(racks >= chunks_per_stripe,
+                   "rack-disjoint placement needs >= n racks: "
+                       << racks << " racks of " << nodes_per_rack
+                       << " for n=" << chunks_per_stripe);
+  StripeLayout layout(num_nodes, chunks_per_stripe);
+  for (int s = 0; s < num_stripes; ++s) {
+    const auto rack_picks = rng.sample_distinct(racks, chunks_per_stripe);
+    std::vector<NodeId> nodes;
+    nodes.reserve(static_cast<size_t>(chunks_per_stripe));
+    for (int rack : rack_picks) {
+      const int base = rack * nodes_per_rack;
+      // A partial trailing rack (num_nodes not divisible) is smaller.
+      const int size = std::min(nodes_per_rack, num_nodes - base);
+      nodes.push_back(base + static_cast<int>(rng.uniform(0, size - 1)));
+    }
+    layout.add_stripe(nodes);
+  }
+  return layout;
+}
+
 StripeId StripeLayout::add_stripe(const std::vector<NodeId>& nodes) {
   FASTPR_CHECK(static_cast<int>(nodes.size()) == chunks_per_stripe_);
   std::unordered_set<NodeId> distinct(nodes.begin(), nodes.end());

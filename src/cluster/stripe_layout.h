@@ -24,6 +24,16 @@ class StripeLayout {
   static StripeLayout random(int num_nodes, int chunks_per_stripe,
                              int num_stripes, Rng& rng);
 
+  /// Random rack-disjoint placement: like random(), but no two chunks
+  /// of a stripe land in the same rack of `nodes_per_rack` contiguous
+  /// nodes (the block mapping of net::Topology — this layer stays
+  /// net-agnostic and takes the rack size as a plain int). Requires at
+  /// least n racks. Each stripe picks n distinct racks uniformly, then
+  /// one node uniformly within each.
+  static StripeLayout random_racked(int num_nodes, int chunks_per_stripe,
+                                    int num_stripes, int nodes_per_rack,
+                                    Rng& rng);
+
   int num_nodes() const { return num_nodes_; }
   int chunks_per_stripe() const { return chunks_per_stripe_; }
   int num_stripes() const { return static_cast<int>(stripe_nodes_.size()); }

@@ -43,15 +43,34 @@ CostModel::CostModel(const ModelParams& params) : params_(params) {
   FASTPR_CHECK(params.chain_hop_overhead_seconds >= 0);
   FASTPR_CHECK(params.repair_bw_fraction > 0 &&
                params.repair_bw_fraction <= 1.0);
+  FASTPR_CHECK(params.oversubscription >= 1.0);
+  FASTPR_CHECK(params.cross_rack_helper_fraction >= 0 &&
+               params.cross_rack_helper_fraction <= 1.0);
+  FASTPR_CHECK(params.cross_rack_migration_fraction >= 0 &&
+               params.cross_rack_migration_fraction <= 1.0);
 }
 
 double CostModel::repair_net_bw() const {
   return params_.net_bw * params_.repair_bw_fraction;
 }
 
+double CostModel::helper_penalty() const {
+  // 1 + (f-1)·x is exactly 1.0 at f = 1 or x = 0, so multiplying a
+  // network term by it keeps the flat model bit-identical (DESIGN.md
+  // §11: differential tests rely on this).
+  return 1.0 + (params_.oversubscription - 1.0) *
+                   params_.cross_rack_helper_fraction;
+}
+
+double CostModel::migration_penalty() const {
+  return 1.0 + (params_.oversubscription - 1.0) *
+                   params_.cross_rack_migration_fraction;
+}
+
 double CostModel::tm() const {
   const double c = params_.chunk_bytes;
-  return c / params_.disk_bw + c / repair_net_bw() + c / params_.disk_bw;
+  return c / params_.disk_bw + migration_penalty() * (c / repair_net_bw()) +
+         c / params_.disk_bw;
 }
 
 double CostModel::tr(double g) const {
@@ -60,15 +79,18 @@ double CostModel::tr(double g) const {
   // Effective helper traffic: k chunks for RS/LRC; MSR helpers each
   // ship helper_bytes_fraction of a chunk (sub-chunk reads, §II-A).
   const double k = params_.k_repair * params_.helper_bytes_fraction;
+  const double hx = helper_penalty();
   if (params_.scenario == Scenario::kScattered) {
     // Eq. (5): parallel reads, k (effective) chunks into the
-    // destination NIC, one write — independent of the round size.
-    return c / params_.disk_bw + k * c / bn + c / params_.disk_bw;
+    // destination NIC, one write — independent of the round size. Under
+    // rack-disjoint placement every helper stream crosses racks, so the
+    // transfer term pays the oversubscription penalty.
+    return c / params_.disk_bw + hx * (k * c / bn) + c / params_.disk_bw;
   }
   // Eq. (6): the h spares absorb g·k received chunks and g writes.
   FASTPR_CHECK(g > 0);
   const double h = params_.hot_standby;
-  return c / params_.disk_bw + g * k * c / (h * bn) +
+  return c / params_.disk_bw + hx * (g * k * c / (h * bn)) +
          g * c / (h * params_.disk_bw);
 }
 
@@ -87,18 +109,21 @@ double CostModel::tr_chain(double g) const {
   const double packets = std::ceil(c / p);
   const double overhead =
       params_.k_repair >= 2 ? (packets + k - 1.0) * o : 0.0;
+  const double hx = helper_penalty();
   if (params_.scenario == Scenario::kScattered) {
     // Single-transfer bound plus (k-1) per-hop packet latencies: every
     // link carries one chunk, the fill is one packet per extra hop.
-    return c / params_.disk_bw + c / bn + (k - 1.0) * p / bn + overhead +
-           c / params_.disk_bw;
+    // Chain hops inherit the helper traffic's cross-rack fraction: a
+    // rack-disjoint stripe's chain crosses racks on every hop.
+    return c / params_.disk_bw + hx * (c / bn + (k - 1.0) * p / bn) +
+           overhead + c / params_.disk_bw;
   }
   // Hot-standby: the h spares absorb g single-chunk chain tails (vs
   // g·k fan-in streams in Eq. 6) and g writes.
   FASTPR_CHECK(g > 0);
   const double h = params_.hot_standby;
-  return c / params_.disk_bw + g * c / (h * bn) +
-         (k - 1.0) * p / bn + overhead +
+  return c / params_.disk_bw + hx * (g * c / (h * bn) +
+         (k - 1.0) * p / bn) + overhead +
          g * c / (h * params_.disk_bw);
 }
 

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "net/topology.h"
+
 namespace fastpr::core {
 
 enum class Scenario {
@@ -75,6 +77,24 @@ struct ModelParams {
   /// network term; disk terms are unscaled (the throttler gates sends,
   /// not reads/writes). 1.0 = unthrottled, exactly Equations 1–6.
   double repair_bw_fraction = 1.0;
+  /// Cross-rack oversubscription factor f of the topology (DESIGN.md
+  /// §11): a transfer crossing racks sees bn / f under the
+  /// saturated-uplink worst case the closed forms assume. Set via
+  /// net::Oversub at configuration boundaries. With the default 1.0
+  /// (or both cross-rack fractions 0) every term reduces exactly to
+  /// Equations 1–6.
+  double oversubscription = net::Oversub(1.0);
+  /// Fraction of helper (reconstruction-fetch) traffic that crosses
+  /// racks. Rack-disjoint placement pins this at 1.0 — every helper of
+  /// a stripe lives in a different failure domain than the repaired
+  /// chunk's destination; 0.0 (default) is the flat network.
+  double cross_rack_helper_fraction = 0.0;
+  /// Fraction of migration traffic that crosses racks. Rack-aware
+  /// placement prefers an in-rack destination for migrations (the
+  /// stripe's rack occupancy is unchanged by an in-rack move), driving
+  /// this to 0; flat planning on R racks of m nodes sees roughly
+  /// (M - m) / (M - 1).
+  double cross_rack_migration_fraction = 0.0;
 };
 
 class CostModel {
@@ -164,6 +184,11 @@ class CostModel {
  private:
   /// bn as repair actually experiences it: net_bw × repair_bw_fraction.
   double repair_net_bw() const;
+
+  /// Cross-rack multipliers on network terms (DESIGN.md §11):
+  /// 1 + (f - 1) · cross_rack_fraction, exactly 1.0 on a flat network.
+  double helper_penalty() const;
+  double migration_penalty() const;
 
   ModelParams params_;
 };

@@ -56,6 +56,7 @@ ReconSetOptions FastPrPlanner::effective_recon_options() const {
     opts.max_set_size =
         opts.max_set_size > 0 ? std::min(opts.max_set_size, cap) : cap;
   }
+  if (opts.topology == nullptr) opts.topology = options_.topology;
   return opts;
 }
 
@@ -73,6 +74,15 @@ CostModel FastPrPlanner::cost_model() const {
   params.packet_bytes = options_.packet_bytes;
   params.chain_hop_overhead_seconds = options_.chain_hop_overhead_seconds;
   params.repair_bw_fraction = options_.repair_bw_fraction;
+  if (options_.topology != nullptr && !options_.topology->is_flat()) {
+    // Rack-disjoint stripes put every helper in a foreign rack; rack-
+    // aware migrations stay in-rack while hot-standby spares live in an
+    // overflow rack every migration must cross into (DESIGN.md §11).
+    params.oversubscription = options_.topology->oversubscription();
+    params.cross_rack_helper_fraction = 1.0;
+    params.cross_rack_migration_fraction =
+        options_.scenario == Scenario::kHotStandby ? 1.0 : 0.0;
+  }
   return CostModel(params);
 }
 
@@ -141,7 +151,8 @@ RepairPlan FastPrPlanner::plan_fastpr() {
                                        options_.scenario, options_.k_repair,
                                        round, &standby_cursor,
                                        options_.code,
-                                       options_.balance_destinations));
+                                       options_.balance_destinations,
+                                       options_.topology));
   }
   return plan;
 }
@@ -164,7 +175,8 @@ RepairPlan FastPrPlanner::plan_reconstruction_only() {
                                        options_.scenario, options_.k_repair,
                                        round, &standby_cursor,
                                        options_.code,
-                                       options_.balance_destinations));
+                                       options_.balance_destinations,
+                                       options_.topology));
   }
   return plan;
 }
@@ -185,7 +197,8 @@ RepairPlan FastPrPlanner::plan_migration_only() {
                                        options_.scenario, options_.k_repair,
                                        round, &standby_cursor,
                                        options_.code,
-                                       options_.balance_destinations));
+                                       options_.balance_destinations,
+                                       options_.topology));
     return plan;
   }
 
@@ -202,7 +215,8 @@ RepairPlan FastPrPlanner::plan_migration_only() {
                                        options_.scenario, options_.k_repair,
                                        round, &standby_cursor,
                                        options_.code,
-                                       options_.balance_destinations));
+                                       options_.balance_destinations,
+                                       options_.topology));
   }
   return plan;
 }
@@ -235,6 +249,12 @@ ReactiveReplan FastPrPlanner::plan_reactive(
   reactive.chunk_bytes = options_.chunk_bytes;
   reactive.code = options_.code;
   reactive.recon = options_.recon;
+  // Reactive rounds keep the helper rack-spreading preference; the rack
+  // destination invariant is best-effort in degraded mode (survival
+  // beats placement quality once data is at risk).
+  if (reactive.recon.topology == nullptr) {
+    reactive.recon.topology = options_.topology;
+  }
   ReactivePlanner planner(layout_, cluster_, reactive);
   ReactiveResult result = planner.plan_chunks(remaining, dead);
   out.plan = std::move(result.plan);
@@ -242,6 +262,113 @@ ReactiveReplan FastPrPlanner::plan_reactive(
   out.unrepairable = std::move(result.unrecoverable);
   out.degraded_repairs = result.degraded_repairs;
   return out;
+}
+
+RepairPlan FastPrPlanner::plan_fastpr_remaining(
+    const std::vector<ChunkRef>& already_repaired,
+    const std::vector<NodeId>& deprioritized) {
+  FASTPR_TRACE_SPAN("planner.plan_fastpr_remaining", "planner");
+  std::unordered_set<ChunkRef, cluster::ChunkRefHash> handled(
+      already_repaired.begin(), already_repaired.end());
+  std::vector<ChunkRef> remaining;
+  for (ChunkRef chunk : layout_.chunks_on(stf_)) {
+    if (handled.count(chunk) == 0) remaining.push_back(chunk);
+  }
+
+  RepairPlan plan;
+  plan.stf_node = stf_;
+  if (remaining.empty()) return plan;
+
+  const auto sources = source_nodes();
+  const auto dests = dest_nodes();
+
+  const ReconSetOptions recon = effective_recon_options();
+  ReconSetStats stats;
+  std::vector<std::vector<ChunkRef>> sets;
+
+  // Stragglers are planned around structurally: chunks that can still
+  // reach k' helpers without the deprioritized nodes form their sets
+  // over the REDUCED source list, so those rounds are matchable with
+  // zero straggler reads by construction. Preference ordering alone
+  // cannot deliver that — Algorithm 1 packs rounds to the full node
+  // count's capacity, leaving the per-round matching too saturated to
+  // route around even one avoided node. Chunks whose stripes lost too
+  // many holders to the straggler set fall back to the full source
+  // list with the stragglers merely deprioritized.
+  std::vector<ChunkRef> tainted;
+  bool reduced = false;
+  if (!deprioritized.empty()) {
+    const std::unordered_set<NodeId> slow_set(deprioritized.begin(),
+                                              deprioritized.end());
+    std::vector<NodeId> fast_sources;
+    for (NodeId node : sources) {
+      if (slow_set.count(node) == 0) fast_sources.push_back(node);
+    }
+    if (static_cast<int>(fast_sources.size()) >= options_.k_repair) {
+      const std::unordered_set<NodeId> fast_set(fast_sources.begin(),
+                                                fast_sources.end());
+      const auto fast_helpers = [&](ChunkRef chunk) {
+        const auto& nodes = layout_.stripe_nodes(chunk.stripe);
+        int eligible = 0;
+        if (options_.code != nullptr) {
+          for (int idx : options_.code->helper_candidates(chunk.index)) {
+            if (fast_set.count(nodes[static_cast<size_t>(idx)]) > 0) {
+              ++eligible;
+            }
+          }
+        } else {
+          for (NodeId node : nodes) {
+            if (fast_set.count(node) > 0) ++eligible;
+          }
+        }
+        return eligible;
+      };
+      const auto fetch = [&](ChunkRef chunk) {
+        return options_.code != nullptr
+                   ? options_.code->repair_fetch_count(chunk.index)
+                   : options_.k_repair;
+      };
+      std::vector<ChunkRef> clean;
+      for (ChunkRef chunk : remaining) {
+        (fast_helpers(chunk) >= fetch(chunk) ? clean : tainted)
+            .push_back(chunk);
+      }
+      if (!clean.empty()) {
+        sets = find_reconstruction_sets_for(clean, layout_, fast_sources,
+                                            options_.k_repair, recon,
+                                            &stats, options_.code);
+      }
+      reduced = true;
+    }
+  }
+  if (!reduced) tainted = std::move(remaining);
+  if (!tainted.empty()) {
+    ReconSetOptions tainted_recon = recon;
+    tainted_recon.deprioritized = deprioritized;
+    auto tainted_sets =
+        find_reconstruction_sets_for(tainted, layout_, sources,
+                                     options_.k_repair, tainted_recon,
+                                     &stats, options_.code);
+    for (auto& set : tainted_sets) sets.push_back(std::move(set));
+  }
+
+  SchedulerOptions sched = options_.sched;
+  if (options_.scenario == Scenario::kScattered) {
+    sched.max_round_repairs = scattered_round_capacity();
+  }
+  const auto rounds = schedule_repair(std::move(sets), cost_model(), sched);
+
+  int standby_cursor = 0;
+  for (const auto& round : rounds) {
+    plan.rounds.push_back(assign_round(layout_, stf_, sources, dests,
+                                       options_.scenario, options_.k_repair,
+                                       round, &standby_cursor,
+                                       options_.code,
+                                       options_.balance_destinations,
+                                       options_.topology,
+                                       &deprioritized));
+  }
+  return plan;
 }
 
 }  // namespace fastpr::core

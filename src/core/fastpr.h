@@ -54,6 +54,13 @@ struct PlannerOptions {
   /// Load-aware scattered destinations (min-cost matching on current
   /// chunk counts) instead of an arbitrary maximum matching.
   bool balance_destinations = false;
+  /// Rack topology (DESIGN.md §11). When multi-rack, the cost model
+  /// charges cross-rack transfers the oversubscription penalty, helper
+  /// reads are rack-interleaved, and scattered placement turns
+  /// rack-aware (failure-domain invariant + in-rack migrations +
+  /// destination spreading). Null or single-rack: flat planning,
+  /// bit-identical to the legacy path. Must outlive the planner.
+  const net::Topology* topology = nullptr;
   ReconSetOptions recon;
   SchedulerOptions sched;
 };
@@ -83,6 +90,21 @@ class FastPrPlanner {
   ReactiveReplan plan_reactive(
       const std::vector<cluster::ChunkRef>& already_repaired,
       const std::vector<cluster::NodeId>& failed);
+
+  /// Mid-repair bandwidth replan (DESIGN.md §11): the STF node is still
+  /// alive but measured link bandwidth drifted far from the model, so
+  /// the remaining rounds are replanned from scratch. Re-runs Algorithm
+  /// 1 + 2 over the chunks not in `already_repaired`, planning around
+  /// the `deprioritized` nodes (the straggling-link endpoints)
+  /// structurally: chunks that can reach k' helpers without them form
+  /// their reconstruction sets over the reduced source list, so those
+  /// rounds carry zero straggler reads by construction; chunks whose
+  /// stripes need a straggler fall back to the full list with the
+  /// stragglers ordered last in every adjacency. Never sacrifices
+  /// repairability — only read placement.
+  RepairPlan plan_fastpr_remaining(
+      const std::vector<cluster::ChunkRef>& already_repaired,
+      const std::vector<cluster::NodeId>& deprioritized);
 
   /// The §III analysis instantiated for this cluster (U = chunks on the
   /// STF node, M = storage-node count, bandwidths from the cluster).

@@ -102,7 +102,17 @@ ReconSetOptions MultiStfPlanner::effective_recon_options() const {
     opts.max_set_size =
         opts.max_set_size > 0 ? std::min(opts.max_set_size, cap) : cap;
   }
+  if (opts.topology == nullptr) opts.topology = options_.topology;
   return opts;
+}
+
+void MultiStfPlanner::apply_topology(ModelParams& params) const {
+  if (options_.topology == nullptr || options_.topology->is_flat()) return;
+  // Same reasoning as FastPrPlanner::cost_model (DESIGN.md §11).
+  params.oversubscription = options_.topology->oversubscription();
+  params.cross_rack_helper_fraction = 1.0;
+  params.cross_rack_migration_fraction =
+      options_.scenario == Scenario::kHotStandby ? 1.0 : 0.0;
 }
 
 std::vector<ChunkRef> MultiStfPlanner::split_forced_migrations(
@@ -154,6 +164,7 @@ CostModel MultiStfPlanner::cost_model() const {
   params.packet_bytes = options_.packet_bytes;
   params.chain_hop_overhead_seconds = options_.chain_hop_overhead_seconds;
   params.repair_bw_fraction = options_.repair_bw_fraction;
+  apply_topology(params);
   return CostModel(params);
 }
 
@@ -171,6 +182,7 @@ CostModel MultiStfPlanner::member_cost_model(NodeId stf) const {
   params.packet_bytes = options_.packet_bytes;
   params.chain_hop_overhead_seconds = options_.chain_hop_overhead_seconds;
   params.repair_bw_fraction = options_.repair_bw_fraction;
+  apply_topology(params);
   return CostModel(params);
 }
 
@@ -212,7 +224,7 @@ RepairPlan MultiStfPlanner::plan_fastpr() {
         layout_, batch_, sources, dests, options_.scenario,
         options_.k_repair, round, &standby_cursor, options_.code,
         options_.balance_destinations, &placed,
-        options_.recon.helper_reads_per_node));
+        options_.recon.helper_reads_per_node, options_.topology));
   }
   return plan;
 }
@@ -246,7 +258,7 @@ RepairPlan MultiStfPlanner::plan_sequential() {
           layout_, batch_, sources, dests, options_.scenario,
           options_.k_repair, round, &standby_cursor, options_.code,
           options_.balance_destinations, &placed,
-          options_.recon.helper_reads_per_node));
+          options_.recon.helper_reads_per_node, options_.topology));
     }
   }
   return plan;

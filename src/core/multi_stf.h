@@ -60,6 +60,9 @@ class MultiStfPlanner {
   std::vector<cluster::ChunkRef> split_forced_migrations(
       std::vector<cluster::ChunkRef>& chunks) const;
   CostModel member_cost_model(cluster::NodeId stf) const;
+  /// Fills the ModelParams topology terms from options_.topology
+  /// (no-op for flat/absent topologies; DESIGN.md §11).
+  void apply_topology(ModelParams& params) const;
 
   const cluster::StripeLayout& layout_;
   const cluster::ClusterState& cluster_;

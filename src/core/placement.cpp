@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -42,10 +43,13 @@ RepairRound assign_round(const StripeLayout& layout, NodeId stf,
                          Scenario scenario, int k_repair,
                          const ScheduledRound& round, int* standby_cursor,
                          const ec::ErasureCode* code,
-                         bool balance_destinations) {
+                         bool balance_destinations,
+                         const net::Topology* topology,
+                         const std::vector<NodeId>* deprioritized) {
   return assign_round_multi(layout, {stf}, source_nodes, dest_nodes,
                             scenario, k_repair, round, standby_cursor, code,
-                            balance_destinations, nullptr, 1);
+                            balance_destinations, nullptr, 1, topology,
+                            deprioritized);
 }
 
 RepairRound assign_round_multi(const StripeLayout& layout,
@@ -58,9 +62,16 @@ RepairRound assign_round_multi(const StripeLayout& layout,
                                const ec::ErasureCode* code,
                                bool balance_destinations,
                                PlacedOverlay* placed,
-                               int helper_reads_per_node) {
+                               int helper_reads_per_node,
+                               const net::Topology* topology,
+                               const std::vector<NodeId>* deprioritized) {
   FASTPR_CHECK(!stf_batch.empty());
   FASTPR_CHECK(helper_reads_per_node >= 1);
+  const bool rack_aware = topology != nullptr && !topology->is_flat();
+  std::unordered_set<NodeId> avoid;
+  if (deprioritized != nullptr) {
+    avoid.insert(deprioritized->begin(), deprioritized->end());
+  }
   const std::unordered_set<NodeId> stf_set(stf_batch.begin(),
                                            stf_batch.end());
   RepairRound out;
@@ -78,26 +89,78 @@ RepairRound assign_round_multi(const StripeLayout& layout,
   matching::IncrementalMatcher matcher(
       static_cast<int>(source_nodes.size()), helper_reads_per_node);
   std::deque<std::vector<int>> adjacency_store;  // stable for the matcher
-  for (ChunkRef chunk : round.reconstruct) {
-    const auto& nodes = layout.stripe_nodes(chunk.stripe);
-    std::vector<int> adj;
-    auto consider = [&](NodeId node) {
-      if (stf_set.count(node) > 0) return;
-      const auto it = left_of_node.find(node);
-      if (it != left_of_node.end()) adj.push_back(it->second);
-    };
-    if (code != nullptr) {
-      for (int idx : code->helper_candidates(chunk.index)) {
-        consider(nodes[static_cast<size_t>(idx)]);
+  // Rack-aware helper bias (DESIGN.md §11): the matcher prefers earlier
+  // adjacency entries, so listing candidates from lightly-read racks
+  // first spreads the round's helper reads over rack uplinks. The
+  // counts are approximate (later augmenting paths may reroute earlier
+  // reads) — this is a preference, never a feasibility constraint.
+  //
+  // Deprioritized helpers (bandwidth-replan stragglers): one pass tries
+  // the whole round with the avoided nodes REMOVED from every adjacency
+  // — ordering alone is too weak once the round's matching saturates,
+  // because augmenting paths reroute onto whatever is left regardless
+  // of preference. Only if that round-wide attempt is infeasible does
+  // the round fall back to the full adjacency (avoided candidates
+  // last), keeping the preference-not-constraint contract.
+  const auto try_build = [&](bool filtered) -> bool {
+    std::unordered_map<int, int> rack_reads;
+    int rack_right = 0;
+    for (ChunkRef chunk : round.reconstruct) {
+      const auto& nodes = layout.stripe_nodes(chunk.stripe);
+      std::vector<int> adj;
+      auto consider = [&](NodeId node) {
+        if (stf_set.count(node) > 0) return;
+        if (filtered && avoid.count(node) > 0) return;
+        const auto it = left_of_node.find(node);
+        if (it != left_of_node.end()) adj.push_back(it->second);
+      };
+      if (code != nullptr) {
+        for (int idx : code->helper_candidates(chunk.index)) {
+          consider(nodes[static_cast<size_t>(idx)]);
+        }
+      } else {
+        for (NodeId node : nodes) consider(node);
       }
-    } else {
-      for (NodeId node : nodes) consider(node);
+      const int k_this = fetch_count(chunk);
+      if (filtered && static_cast<int>(adj.size()) < k_this) return false;
+      if (rack_aware || !avoid.empty()) {
+        const auto avoided = [&](int left) {
+          return avoid.count(source_nodes[static_cast<size_t>(left)]) > 0;
+        };
+        std::stable_sort(adj.begin(), adj.end(), [&](int a, int b) {
+          const bool av_a = avoided(a);
+          const bool av_b = avoided(b);
+          if (av_a != av_b) return !av_a;
+          if (!rack_aware) return false;
+          const int ra =
+              topology->rack_of(source_nodes[static_cast<size_t>(a)]);
+          const int rb =
+              topology->rack_of(source_nodes[static_cast<size_t>(b)]);
+          return rack_reads[ra] < rack_reads[rb];
+        });
+      }
+      adjacency_store.push_back(std::move(adj));
+      if (!matcher.try_add_group(adjacency_store.back(), k_this)) {
+        if (filtered) return false;
+        FASTPR_CHECK_MSG(
+            false,
+            "scheduled reconstruction set is not matchable — Algorithm 1 "
+            "invariant violated");
+      }
+      if (rack_aware) {
+        for (int t = 0; t < k_this; ++t, ++rack_right) {
+          const int left = matcher.matched_left(rack_right);
+          ++rack_reads[topology->rack_of(
+              source_nodes[static_cast<size_t>(left)])];
+        }
+      }
     }
-    adjacency_store.push_back(std::move(adj));
-    FASTPR_CHECK_MSG(
-        matcher.try_add_group(adjacency_store.back(), fetch_count(chunk)),
-        "scheduled reconstruction set is not matchable — Algorithm 1 "
-        "invariant violated");
+    return true;
+  };
+  if (avoid.empty() || !try_build(/*filtered=*/true)) {
+    matcher.reset();
+    adjacency_store.clear();
+    try_build(/*filtered=*/false);
   }
   // Extract the k helper reads per reconstructed chunk.
   {
@@ -169,6 +232,76 @@ RepairRound assign_round_multi(const StripeLayout& layout,
     if (placed != nullptr && placed->used(stripe, node)) return false;
     return true;
   };
+
+  if (rack_aware) {
+    // Rack-aware scattered destinations (DESIGN.md §11). The hard
+    // invariant — no rack ends up holding two chunks of one stripe —
+    // is per-(stripe, rack), which a node-level bipartite matching
+    // cannot express when one stripe is repaired twice in a round, so
+    // destinations are picked greedily: in-rack migrations first (the
+    // chunk vacates its rack's node, so staying keeps rack-disjointness
+    // and the transfer off the spine), then the rack with the fewest
+    // repaired chunks this round (spreading load over the shared rack
+    // downlinks), then the least-loaded node.
+    std::unordered_map<cluster::StripeId, std::unordered_set<int>>
+        round_racks;
+    std::unordered_set<NodeId> used_nodes;
+    std::unordered_map<int, int> rack_assigned;
+    const auto holder_racks = [&](cluster::StripeId stripe) {
+      // Racks holding a chunk of the stripe after the plan applies:
+      // batch members' chunks are lost (reconstruction) or vacating
+      // (migration), so their racks don't count.
+      std::unordered_set<int> racks;
+      for (NodeId node : layout.stripe_nodes(stripe)) {
+        if (stf_set.count(node) > 0) continue;
+        racks.insert(topology->rack_of(node));
+      }
+      return racks;
+    };
+    const auto pick_dest = [&](cluster::StripeId stripe,
+                               NodeId migration_src) {
+      const auto racks = holder_racks(stripe);
+      const auto& stripe_round_racks = round_racks[stripe];
+      NodeId best = cluster::kNoNode;
+      std::tuple<int, int, int, NodeId> best_key;
+      for (NodeId node : dest_nodes) {
+        if (!dest_eligible(stripe, node)) continue;
+        if (used_nodes.count(node) > 0) continue;
+        const int rack = topology->rack_of(node);
+        if (racks.count(rack) > 0) continue;
+        if (stripe_round_racks.count(rack) > 0) continue;
+        if (placed != nullptr && placed->used_rack(stripe, rack)) continue;
+        const int cross = migration_src != cluster::kNoNode &&
+                                  topology->same_rack(node, migration_src)
+                              ? 0
+                              : 1;
+        const auto key = std::make_tuple(cross, rack_assigned[rack],
+                                         layout.load(node), node);
+        if (best == cluster::kNoNode || key < best_key) {
+          best = node;
+          best_key = key;
+        }
+      }
+      FASTPR_CHECK_MSG(best != cluster::kNoNode,
+                       "no rack-disjoint destination exists for stripe "
+                           << stripe << " (need a rack holding none of "
+                                        "its chunks with a free node)");
+      const int rack = topology->rack_of(best);
+      used_nodes.insert(best);
+      ++rack_assigned[rack];
+      round_racks[stripe].insert(rack);
+      if (placed != nullptr) placed->record_rack(stripe, rack);
+      commit(stripe, best);
+      return best;
+    };
+    for (auto& task : out.reconstructions) {
+      task.dst = pick_dest(task.chunk.stripe, cluster::kNoNode);
+    }
+    for (auto& task : out.migrations) {
+      task.dst = pick_dest(task.chunk.stripe, task.src);
+    }
+    return out;
+  }
 
   if (balance_destinations) {
     // Load-aware variant: min-cost matching with cost = current chunk

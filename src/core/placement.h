@@ -18,6 +18,7 @@
 #include "core/repair_plan.h"
 #include "core/scheduler.h"
 #include "ec/erasure_code.h"
+#include "net/topology.h"
 
 namespace fastpr::core {
 
@@ -37,10 +38,23 @@ class PlacedOverlay {
     placed_[stripe].insert(node);
   }
 
+  /// Rack-level analog for topology-aware plans (DESIGN.md §11): racks
+  /// that already received a repaired chunk of `stripe` earlier in the
+  /// plan. Recorded only by the rack-aware scattered path; hot-standby
+  /// spares are exempt from the rack invariant.
+  bool used_rack(cluster::StripeId stripe, int rack) const {
+    const auto it = racks_.find(stripe);
+    return it != racks_.end() && it->second.count(rack) > 0;
+  }
+  void record_rack(cluster::StripeId stripe, int rack) {
+    racks_[stripe].insert(rack);
+  }
+
  private:
   std::unordered_map<cluster::StripeId,
                      std::unordered_set<cluster::NodeId>>
       placed_;
+  std::unordered_map<cluster::StripeId, std::unordered_set<int>> racks_;
 };
 
 /// Assigns sources and destinations for one scheduled round.
@@ -52,6 +66,12 @@ class PlacedOverlay {
 /// `balance_destinations`: pick the scattered destination matching that
 /// minimizes total destination load (min-cost matching over current
 /// chunk counts) instead of an arbitrary maximum matching.
+/// `deprioritized` (optional, DESIGN.md §11): nodes whose helper reads
+/// the matching should avoid when any alternative exists — degraded
+/// links reported by the bandwidth replan trigger. A preference, never
+/// a feasibility constraint: a chunk whose only eligible helpers are
+/// deprioritized still gets them. Null/empty leaves the assignment
+/// bit-identical.
 RepairRound assign_round(const cluster::StripeLayout& layout,
                          cluster::NodeId stf,
                          const std::vector<cluster::NodeId>& source_nodes,
@@ -59,7 +79,10 @@ RepairRound assign_round(const cluster::StripeLayout& layout,
                          Scenario scenario, int k_repair,
                          const ScheduledRound& round, int* standby_cursor,
                          const ec::ErasureCode* code = nullptr,
-                         bool balance_destinations = false);
+                         bool balance_destinations = false,
+                         const net::Topology* topology = nullptr,
+                         const std::vector<cluster::NodeId>* deprioritized =
+                             nullptr);
 
 /// Multi-STF generalization (DESIGN.md §8): every node in `stf_batch` is
 /// excluded from sources and destinations, each migration's src is the
@@ -68,6 +91,17 @@ RepairRound assign_round(const cluster::StripeLayout& layout,
 /// records this round's assignments, and source nodes may each serve
 /// `helper_reads_per_node` reads. A one-node batch with no overlay and
 /// one read per node is exactly assign_round.
+///
+/// `topology` (optional, DESIGN.md §11) activates rack-aware placement
+/// when it names more than one rack: scattered destinations additionally
+/// honor the failure-domain invariant (no rack ends up with two chunks
+/// of one stripe after the plan applies) and are chosen greedily to
+/// prefer in-rack migrations and to spread each round's repaired chunks
+/// across racks (balancing the shared rack downlinks); helper reads are
+/// biased toward racks with fewer scheduled reads this round. Flat or
+/// single-rack topologies take the exact legacy code path, bit-identical
+/// plans included. Hot-standby spares stay exempt from the rack
+/// invariant (they live in an overflow rack of their own).
 RepairRound assign_round_multi(
     const cluster::StripeLayout& layout,
     const std::vector<cluster::NodeId>& stf_batch,
@@ -76,6 +110,8 @@ RepairRound assign_round_multi(
     int k_repair, const ScheduledRound& round, int* standby_cursor,
     const ec::ErasureCode* code = nullptr,
     bool balance_destinations = false, PlacedOverlay* placed = nullptr,
-    int helper_reads_per_node = 1);
+    int helper_reads_per_node = 1,
+    const net::Topology* topology = nullptr,
+    const std::vector<cluster::NodeId>* deprioritized = nullptr);
 
 }  // namespace fastpr::core

@@ -1,7 +1,9 @@
 #include "core/recon_sets.h"
 
 #include <algorithm>
+#include <map>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "matching/incremental_matching.h"
 #include "util/check.h"
@@ -21,14 +23,17 @@ class MatchContext {
   MatchContext(const StripeLayout& layout, NodeId stf,
                const std::vector<NodeId>& healthy, int k_repair,
                int max_set_size, int helper_reads_per_node,
-               ReconSetStats* stats, const ec::ErasureCode* code)
+               ReconSetStats* stats, const ec::ErasureCode* code,
+               const net::Topology* topology = nullptr,
+               const std::vector<NodeId>* deprioritized = nullptr)
       : layout_(layout),
         stf_(stf),
         k_(k_repair),
         max_set_size_(max_set_size),
         reads_(helper_reads_per_node),
         stats_(stats),
-        code_(code) {
+        code_(code),
+        healthy_(healthy) {
     FASTPR_CHECK(helper_reads_per_node >= 1);
     left_of_node_.reserve(healthy.size());
     for (size_t i = 0; i < healthy.size(); ++i) {
@@ -36,6 +41,10 @@ class MatchContext {
       left_of_node_[healthy[i]] = static_cast<int>(i);
     }
     left_count_ = static_cast<int>(healthy.size());
+    if (topology != nullptr && !topology->is_flat()) topology_ = topology;
+    if (deprioritized != nullptr && !deprioritized->empty()) {
+      deprioritized_.insert(deprioritized->begin(), deprioritized->end());
+    }
   }
 
   int left_count() const { return left_count_; }
@@ -85,6 +94,7 @@ class MatchContext {
     FASTPR_CHECK_MSG(static_cast<int>(adj.size()) >= fetch_count(chunk),
                      "stripe " << chunk.stripe
                                << " has fewer than k' healthy sources");
+    reorder_preference(adj);
     return chunk_adj_.emplace(chunk, std::move(adj)).first->second;
   }
 
@@ -103,6 +113,45 @@ class MatchContext {
   }
 
  private:
+  /// Preference-only adjacency reorder (DESIGN.md §11): deprioritized
+  /// helpers sink to the back; with a rack topology the rest are
+  /// round-robin interleaved by rack so the matcher's earlier-first
+  /// preference spreads reads over rack uplinks. No entry is ever added
+  /// or dropped, and with neither knob set the list is left untouched —
+  /// flat runs stay bit-identical.
+  void reorder_preference(std::vector<int>& adj) const {
+    if (topology_ == nullptr && deprioritized_.empty()) return;
+    const auto avoided = [&](int left) {
+      return deprioritized_.count(healthy_[static_cast<size_t>(left)]) > 0;
+    };
+    std::stable_partition(adj.begin(), adj.end(),
+                          [&](int left) { return !avoided(left); });
+    if (topology_ == nullptr) return;
+    const auto preferred_end =
+        std::find_if(adj.begin(), adj.end(), avoided);
+    // Bucket the preferred prefix by rack (stable), then deal the
+    // buckets out round-robin.
+    std::map<int, std::vector<int>> by_rack;
+    for (auto it = adj.begin(); it != preferred_end; ++it) {
+      by_rack[topology_->rack_of(healthy_[static_cast<size_t>(*it)])]
+          .push_back(*it);
+    }
+    auto out = adj.begin();
+    size_t depth = 0;
+    bool emitted = true;
+    while (emitted) {
+      emitted = false;
+      for (auto& [rack, lefts] : by_rack) {
+        (void)rack;
+        if (depth < lefts.size()) {
+          *out++ = lefts[depth];
+          emitted = true;
+        }
+      }
+      ++depth;
+    }
+  }
+
   const StripeLayout& layout_;
   NodeId stf_;
   int k_;
@@ -110,6 +159,9 @@ class MatchContext {
   int reads_;
   ReconSetStats* stats_;
   const ec::ErasureCode* code_;
+  std::vector<NodeId> healthy_;
+  const net::Topology* topology_ = nullptr;
+  std::unordered_set<NodeId> deprioritized_;
   int left_count_ = 0;
   std::unordered_map<NodeId, int> left_of_node_;
   std::unordered_map<ChunkRef, std::vector<int>, cluster::ChunkRefHash>
@@ -270,7 +322,7 @@ std::vector<std::vector<ChunkRef>> find_reconstruction_sets_for(
 
   MatchContext ctx(layout, cluster::kNoNode, healthy_sources, k_repair,
                    options.max_set_size, options.helper_reads_per_node,
-                   stats, code);
+                   stats, code, options.topology, &options.deprioritized);
 
   std::vector<std::vector<ChunkRef>> sets;
 

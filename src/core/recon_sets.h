@@ -14,6 +14,7 @@
 #include "cluster/stripe_layout.h"
 #include "cluster/types.h"
 #include "ec/erasure_code.h"
+#include "net/topology.h"
 
 namespace fastpr::core {
 
@@ -33,6 +34,19 @@ struct ReconSetOptions {
   /// fixes this at 1; the multi-STF planner can relax it to trade round
   /// count against per-node read contention.
   int helper_reads_per_node = 1;
+  /// Rack topology (DESIGN.md §11). When it names more than one rack,
+  /// each chunk's helper candidates are rack-interleaved (round-robin
+  /// over racks) so the matcher — which prefers earlier adjacency
+  /// entries — spreads a set's helper reads over rack uplinks. Pure
+  /// preference: the candidate SET is unchanged, so feasibility and
+  /// maximality of Algorithm 1 are untouched, and a flat/absent
+  /// topology leaves the ordering bit-identical to the legacy code.
+  const net::Topology* topology = nullptr;
+  /// Helpers to avoid when possible (e.g. nodes behind a degraded link
+  /// at bandwidth-replan time): ordered last in every adjacency list, so
+  /// they serve reads only when no other candidate keeps the matching
+  /// saturating. Preference only, same guarantee as `topology`.
+  std::vector<cluster::NodeId> deprioritized;
 };
 
 /// Counters for the microbenchmarks.

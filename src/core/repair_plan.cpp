@@ -35,7 +35,8 @@ std::string RepairPlan::to_string() const {
 void validate_plan(const RepairPlan& plan,
                    const cluster::StripeLayout& layout,
                    const cluster::ClusterState& cluster, int k_repair,
-                   const ec::ErasureCode* code, int helper_reads_per_node) {
+                   const ec::ErasureCode* code, int helper_reads_per_node,
+                   const net::Topology* topology) {
   using cluster::ChunkRef;
   using cluster::ChunkRefHash;
   using cluster::NodeId;
@@ -69,6 +70,28 @@ void validate_plan(const RepairPlan& plan,
                                                       << dst);
   };
 
+  // Rack-level failure-domain invariant (DESIGN.md §11). Spares are
+  // exempt like the node-level checks below; `land_rack` is called only
+  // for scattered destinations.
+  const bool rack_checks = topology != nullptr && !topology->is_flat();
+  std::unordered_map<cluster::StripeId, std::unordered_set<int>>
+      landed_racks;
+  const auto land_rack = [&](ChunkRef chunk, NodeId dst) {
+    if (!rack_checks) return;
+    const int rack = topology->rack_of(dst);
+    for (NodeId holder : layout.stripe_nodes(chunk.stripe)) {
+      if (stf_set.count(holder) > 0) continue;  // lost or vacating
+      FASTPR_CHECK_MSG(topology->rack_of(holder) != rack,
+                       "repaired chunk of stripe "
+                           << chunk.stripe << " lands in rack " << rack
+                           << ", which still holds a chunk on node "
+                           << holder);
+    }
+    FASTPR_CHECK_MSG(landed_racks[chunk.stripe].insert(rack).second,
+                     "two repaired chunks of stripe "
+                         << chunk.stripe << " land in rack " << rack);
+  };
+
   for (const auto& round : plan.rounds) {
     std::unordered_map<NodeId, int> round_source_reads;
     std::unordered_set<NodeId> round_destinations;
@@ -88,6 +111,7 @@ void validate_plan(const RepairPlan& plan,
                        "migration breaks stripe distinctness");
       FASTPR_CHECK_MSG(round_destinations.insert(task.dst).second,
                        "scattered destination reused within a round");
+      land_rack(task.chunk, task.dst);
     }
 
     for (const auto& task : round.reconstructions) {
@@ -124,6 +148,7 @@ void validate_plan(const RepairPlan& plan,
                        "reconstruction breaks stripe distinctness");
       FASTPR_CHECK_MSG(round_destinations.insert(task.dst).second,
                        "scattered destination reused within a round");
+      land_rack(task.chunk, task.dst);
     }
   }
 

@@ -10,6 +10,7 @@
 #include "cluster/types.h"
 #include "core/cost_model.h"
 #include "ec/erasure_code.h"
+#include "net/topology.h"
 
 namespace fastpr::core {
 
@@ -80,10 +81,17 @@ struct RepairPlan {
 ///    spare nodes; across the WHOLE plan no destination receives two
 ///    repaired chunks of one stripe (multi-STF cross-round §IV-A).
 /// `code`, when given, supplies per-chunk helper counts (LRC).
+/// `topology`, when given and multi-rack (DESIGN.md §11), additionally
+/// enforces the failure-domain invariant: after the plan applies, no
+/// rack holds two chunks of one stripe — checked against the surviving
+/// holders' racks and across every round's destinations. Hot-standby
+/// spares are exempt (dedicated overflow rack), mirroring the node-level
+/// exemption above.
 void validate_plan(const RepairPlan& plan,
                    const cluster::StripeLayout& layout,
                    const cluster::ClusterState& cluster, int k_repair,
                    const ec::ErasureCode* code = nullptr,
-                   int helper_reads_per_node = 1);
+                   int helper_reads_per_node = 1,
+                   const net::Topology* topology = nullptr);
 
 }  // namespace fastpr::core

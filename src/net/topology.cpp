@@ -1,0 +1,61 @@
+#include "net/topology.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fastpr::net {
+
+double Oversub(double factor) {
+  FASTPR_CHECK_MSG(factor >= 1.0,
+                   "oversubscription factor must be >= 1, got " << factor);
+  return factor;
+}
+
+Topology::Topology(int racks, int nodes_per_rack, double oversubscription)
+    : racks_(racks),
+      nodes_per_rack_(nodes_per_rack),
+      oversubscription_(Oversub(oversubscription)) {
+  FASTPR_CHECK(racks >= 1);
+  FASTPR_CHECK(nodes_per_rack >= 1);
+}
+
+Topology Topology::flat(int num_nodes) {
+  FASTPR_CHECK(num_nodes >= 1);
+  return Topology(1, num_nodes, Oversub(1.0));
+}
+
+Topology Topology::parse(const std::string& spec,
+                         double oversubscription) {
+  const size_t x = spec.find('x');
+  FASTPR_CHECK_MSG(x != std::string::npos && x > 0 && x + 1 < spec.size(),
+                   "topology spec must be <racks>x<nodes>, got '" << spec
+                                                                  << "'");
+  const auto parse_int = [&](const std::string& part) {
+    FASTPR_CHECK_MSG(!part.empty() &&
+                         part.find_first_not_of("0123456789") ==
+                             std::string::npos,
+                     "bad topology spec component '" << part << "' in '"
+                                                     << spec << "'");
+    return std::stoi(part);
+  };
+  const int racks = parse_int(spec.substr(0, x));
+  const int nodes = parse_int(spec.substr(x + 1));
+  FASTPR_CHECK_MSG(racks >= 1 && nodes >= 1,
+                   "topology spec '" << spec << "' needs positive counts");
+  return Topology(racks, nodes, oversubscription);
+}
+
+int Topology::rack_of(cluster::NodeId node) const {
+  FASTPR_CHECK(node >= 0);
+  return static_cast<int>(node) / nodes_per_rack_;
+}
+
+std::string Topology::to_string() const {
+  std::ostringstream os;
+  os << racks_ << "x" << nodes_per_rack_ << " oversub="
+     << oversubscription_;
+  return os.str();
+}
+
+}  // namespace fastpr::net

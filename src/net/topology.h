@@ -1,0 +1,85 @@
+// Hierarchical network topology (DESIGN.md §11): node → rack → spine.
+//
+// The cluster's nodes are partitioned into racks of equal size by a
+// block mapping — rack_of(node) = node / nodes_per_rack — so a rack is
+// a contiguous id range and the mapping needs no per-node table. Node
+// ids beyond racks() * nodes_per_rack() (hot-standby spares and the
+// coordinator in the testbed's id scheme) map through the same formula
+// into overflow racks of their own: spares typically sit in a dedicated
+// rack, and the coordinator's control traffic is negligible either way.
+//
+// Bandwidth semantics: links inside one rack run at the full NIC rate
+// bn. All traffic between racks funnels through the rack's uplink into
+// the spine, whose capacity is the rack's aggregate NIC rate divided by
+// the oversubscription factor f — nodes_per_rack · bn / f. f = 1 is a
+// full-bisection (rearrangeably non-blocking) fabric; production
+// fabrics commonly run f in 2..8. The cost model charges cross-rack
+// transfer terms f× (saturated-uplink worst case); the simulator
+// accounts the shared uplink/downlink per rack from the actual plan.
+#pragma once
+
+#include <string>
+
+#include "cluster/types.h"
+
+namespace fastpr::net {
+
+/// Names a cross-rack oversubscription ratio at a configuration
+/// boundary (units.h style: raw magnitudes never flow straight into
+/// config fields — the fastpr_lint `oversub` rule enforces it). Also
+/// validates the ratio: f < 1 would mean the spine is faster than the
+/// racks it aggregates, which no parameter here can represent.
+double Oversub(double factor);
+
+class Topology {
+ public:
+  /// `racks` racks of `nodes_per_rack` nodes each; `oversubscription`
+  /// from Oversub(). A single rack is the flat network regardless of f
+  /// (no traffic ever crosses the spine).
+  Topology(int racks, int nodes_per_rack, double oversubscription);
+
+  /// The flat (paper) network: every node in one rack, f = 1.
+  static Topology flat(int num_nodes);
+
+  /// Parses a "<racks>x<nodes>" spec, e.g. "4x6" = 4 racks of 6 nodes.
+  /// Throws CheckFailure on malformed input.
+  static Topology parse(const std::string& spec, double oversubscription);
+
+  int racks() const { return racks_; }
+  int nodes_per_rack() const { return nodes_per_rack_; }
+  double oversubscription() const { return oversubscription_; }
+  /// Storage capacity of the described racks (ids beyond it still map
+  /// via rack_of into overflow racks).
+  int num_nodes() const { return racks_ * nodes_per_rack_; }
+
+  /// Block mapping; never fails for node >= 0 (overflow racks).
+  int rack_of(cluster::NodeId node) const;
+  bool same_rack(cluster::NodeId a, cluster::NodeId b) const {
+    return rack_of(a) == rack_of(b);
+  }
+
+  /// True when no plan-visible rack structure exists: one rack, where
+  /// cross-rack terms cannot arise. Rack-aware planning no-ops here so
+  /// single-rack topologies stay bit-identical to the flat planner.
+  bool is_flat() const { return racks_ <= 1; }
+
+  /// Multiplier on the network time of one transfer that crosses racks,
+  /// under the saturated-uplink worst case the closed forms assume.
+  double cross_rack_penalty() const { return oversubscription_; }
+
+  /// Shared spine capacity of one rack's uplink (and downlink),
+  /// bytes/sec, given the per-node NIC rate.
+  double rack_link_capacity(double net_bytes_per_sec) const {
+    return static_cast<double>(nodes_per_rack_) * net_bytes_per_sec /
+           oversubscription_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  int racks_;
+  int nodes_per_rack_;
+  double oversubscription_;
+};
+
+}  // namespace fastpr::net

@@ -124,6 +124,61 @@ double resource_round_time(const core::RepairRound& round,
   return std::max(busiest, floor_time);
 }
 
+/// Lower bound from the shared rack links: every cross-rack byte of a
+/// rack funnels through its uplink (tx) or downlink (rx) of capacity
+/// nodes_per_rack · bn / f, so the round lasts at least as long as the
+/// busiest such link needs. Chain rounds are charged hop-to-hop over the
+/// helper path (each hop forwards a whole chunk); fan-in rounds charge
+/// each helper→destination stream.
+double rack_round_time(const core::RepairRound& round, const SimParams& p) {
+  struct RackLoad {
+    double up_bytes = 0;    // leaving the rack
+    double down_bytes = 0;  // entering the rack
+  };
+  const auto rack_of = [&](NodeId node) {
+    return static_cast<int>(node) / p.topo_nodes_per_rack;
+  };
+  std::unordered_map<int, RackLoad> racks;
+  const double c = p.chunk_bytes;
+  const auto charge = [&](NodeId src, NodeId dst, double bytes) {
+    const int sr = rack_of(src);
+    const int dr = rack_of(dst);
+    if (sr == dr) return;
+    racks[sr].up_bytes += bytes;
+    racks[dr].down_bytes += bytes;
+  };
+
+  for (const auto& task : round.migrations) {
+    charge(task.src, task.dst, c);
+  }
+  const bool chain = round.strategy == core::RepairStrategy::kChain;
+  for (const auto& task : round.reconstructions) {
+    if (chain) {
+      // Partial sums traverse h0 → h1 → … → dst, one chunk per hop.
+      NodeId prev = task.sources.empty() ? task.dst : task.sources[0].node;
+      for (size_t i = 1; i < task.sources.size(); ++i) {
+        charge(prev, task.sources[i].node, c);
+        prev = task.sources[i].node;
+      }
+      charge(prev, task.dst, c);
+    } else {
+      for (const auto& read : task.sources) {
+        charge(read.node, task.dst, c * p.helper_bytes_fraction);
+      }
+    }
+  }
+
+  const double link_bw = static_cast<double>(p.topo_nodes_per_rack) *
+                         p.net_bw / p.oversubscription;
+  double busiest = 0;
+  for (const auto& [rack, load] : racks) {
+    (void)rack;
+    busiest = std::max(
+        busiest, std::max(load.up_bytes, load.down_bytes) / link_bw);
+  }
+  return busiest;
+}
+
 }  // namespace
 
 SimResult simulate(const core::RepairPlan& plan, const SimParams& raw) {
@@ -131,6 +186,9 @@ SimResult simulate(const core::RepairPlan& plan, const SimParams& raw) {
   FASTPR_CHECK(raw.disk_bw > 0 && raw.net_bw > 0);
   FASTPR_CHECK(raw.k_repair >= 1);
   FASTPR_CHECK(raw.repair_bw_fraction > 0 && raw.repair_bw_fraction <= 1.0);
+  FASTPR_CHECK(raw.topo_racks >= 1);
+  FASTPR_CHECK(raw.oversubscription >= 1.0);
+  if (raw.topo_racks > 1) FASTPR_CHECK(raw.topo_nodes_per_rack >= 1);
 
   // Throttling scales every network term and nothing else, so fold it
   // into the effective NIC rate once — both timing models inherit it.
@@ -138,11 +196,16 @@ SimResult simulate(const core::RepairPlan& plan, const SimParams& raw) {
   params.net_bw *= params.repair_bw_fraction;
   params.repair_bw_fraction = 1.0;
 
+  // Single rack (or full bisection): no traffic ever contends for a
+  // rack link, skip the term entirely so flat runs stay bit-identical.
+  const bool racked = params.topo_racks > 1 && params.oversubscription > 1.0;
+
   SimResult result;
   for (const auto& round : plan.rounds) {
-    const double t = params.model == TimingModel::kPaperModel
-                         ? paper_round_time(round, params)
-                         : resource_round_time(round, params);
+    double t = params.model == TimingModel::kPaperModel
+                   ? paper_round_time(round, params)
+                   : resource_round_time(round, params);
+    if (racked) t = std::max(t, rack_round_time(round, params));
     result.round_times.push_back(t);
     result.total_time += t;
     result.migrated += static_cast<int>(round.migrations.size());

@@ -19,6 +19,7 @@
 
 #include "core/cost_model.h"
 #include "core/repair_plan.h"
+#include "net/topology.h"
 
 namespace fastpr::sim {
 
@@ -44,6 +45,17 @@ struct SimParams {
   /// core::ModelParams::repair_bw_fraction). Scales every network term
   /// of both timing models; disk terms are unscaled.
   double repair_bw_fraction = 1.0;
+  /// Rack topology (DESIGN.md §11). With topo_racks > 1 and
+  /// oversubscription > 1, each round additionally pays for the busiest
+  /// rack uplink/downlink: all cross-rack bytes of a rack share
+  /// topo_nodes_per_rack · net_bw / oversubscription, and the round
+  /// lasts at least as long as the busiest shared link. Racks are the
+  /// block mapping node / topo_nodes_per_rack (net::Topology). The
+  /// defaults (single rack, factor 1) leave every round time
+  /// bit-identical to the flat simulator.
+  int topo_racks = 1;
+  int topo_nodes_per_rack = 0;
+  double oversubscription = net::Oversub(1.0);
 };
 
 struct SimResult {

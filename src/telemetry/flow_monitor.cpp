@@ -50,7 +50,18 @@ void FlowMonitor::on_rx(int src, int dst, int64_t bytes, int64_t now_us) {
   MutexLock lock(mutex_);
   Link& l = link(src, dst);
   l.rx_bytes += bytes;
-  if (l.window_start_us < 0) l.window_start_us = now_us;
+  if (l.window_start_us < 0) {
+    l.window_start_us = now_us;
+  } else if (l.last_rx_us >= 0) {
+    // Idle gaps (nothing scheduled on the link, e.g. the barrier
+    // between rounds) are excluded from active time exactly like
+    // injected delay — only sub-gap pacing counts toward the rate.
+    const int64_t gap_us = now_us - l.last_rx_us;
+    if (gap_us > static_cast<int64_t>(options_.idle_gap_seconds * 1e6)) {
+      l.window_injected_us += gap_us;
+    }
+  }
+  l.last_rx_us = now_us;
   l.window_bytes += bytes;
   fold_window(l, now_us);
 }

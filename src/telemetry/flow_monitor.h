@@ -53,6 +53,14 @@ class FlowMonitor {
     /// A link is a straggler when its EWMA estimate runs below
     /// straggler_factor * expected rate (and both are known).
     double straggler_factor = 0.5;
+    /// A receive gap longer than this is idle time (the link simply had
+    /// nothing scheduled — e.g. the round barrier between repair
+    /// rounds), excluded from the window's active duration like
+    /// injected delay. Without it a bursty-but-healthy link reads as a
+    /// straggler: bytes / (burst + idle) can fall arbitrarily far below
+    /// the plan rate. Must sit above the slowest plausible genuine
+    /// packet interval — a truly degraded link's gaps stay active.
+    double idle_gap_seconds = 0.1;
   };
 
   FlowMonitor() = default;
@@ -82,6 +90,7 @@ class FlowMonitor {
     int64_t tx_bytes = 0;
     int64_t rx_bytes = 0;
     int64_t window_start_us = -1;  // -1: window not open yet
+    int64_t last_rx_us = -1;
     int64_t window_bytes = 0;
     int64_t window_injected_us = 0;
     int64_t total_injected_us = 0;
@@ -108,6 +117,7 @@ class FlowMonitor {
     double window_seconds = 0.02;
     double ewma_alpha = 0.3;
     double straggler_factor = 0.5;
+    double idle_gap_seconds = 0.1;
   };
 
   FlowMonitor() = default;

@@ -45,6 +45,10 @@ inline constexpr Rank kReconCache{10, "core.recon_cache"};
 /// it and agents' pressure reports fold into it; holders only update
 /// budget arithmetic, never send or block.
 inline constexpr Rank kCoreThrottler{14, "core.throttler"};
+/// core::BandwidthReplanTrigger hysteresis state (DESIGN.md §11). The
+/// coordinator thread feeds end-of-round drift ratios and tests the
+/// trigger; holders only update counters, never call out.
+inline constexpr Rank kCoreReplanTrigger{15, "core.replan_trigger"};
 /// load::ForegroundWorkload op log + latency windows. Client threads
 /// record completed ops under it; the shaped charges (store.chunks,
 /// util.token_bucket) happen outside by contract.

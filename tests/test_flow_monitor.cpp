@@ -128,6 +128,36 @@ TEST(FlowMonitor, InjectedDelayIsExcludedFromRate) {
   EXPECT_TRUE(csnap[0].straggler);
 }
 
+TEST(FlowMonitor, IdleGapsAreExcludedFromActiveTime) {
+  // A receive gap longer than idle_gap_seconds (default 0.1 s) means
+  // the link had nothing scheduled — the round barrier, not slowness —
+  // and is credited like injected delay. Two 40000-byte bursts, each
+  // paced at 2 MB/s, separated by half a second of idle: the folded
+  // rate must be the 4 MB/s of the pacing, not bytes / wall time.
+  FlowMonitor fm;
+  fm.set_expected_rate(1, 2, MBps(4));
+  fm.on_rx(1, 2, 20000, 0);
+  fm.on_rx(1, 2, 20000, 10000);
+  fm.on_rx(1, 2, 20000, 510000);  // 500 ms gap: idle, not slowness
+  fm.on_rx(1, 2, 20000, 520000);  // 20 ms active -> window folds
+  const auto snap = fm.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap[0].ewma_bytes_per_sec, 4e6);
+  EXPECT_FALSE(snap[0].straggler);
+  // The credit is window-local bookkeeping, not reported injection.
+  EXPECT_EQ(snap[0].injected_delay_us, 0);
+
+  // A gap at or below the threshold stays ACTIVE: genuine slow pacing
+  // on a degraded link is still measured and still flags.
+  FlowMonitor slow;
+  slow.set_expected_rate(1, 2, MBps(4));
+  slow.on_rx(1, 2, 20000, 0);
+  slow.on_rx(1, 2, 20000, 100000);  // exactly 0.1 s: not idle
+  const auto sslow = slow.snapshot();
+  EXPECT_DOUBLE_EQ(sslow[0].ewma_bytes_per_sec, 4e5);  // 40000 B / 0.1 s
+  EXPECT_TRUE(sslow[0].straggler);
+}
+
 TEST(FlowMonitor, ShortWindowStaysOpen) {
   FlowMonitor fm;
   fm.on_rx(0, 1, 1000, 0);

@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
@@ -30,6 +31,7 @@
 #include "core/recon_sets.h"
 #include "core/repair_plan.h"
 #include "matching/brute_force.h"
+#include "net/topology.h"
 #include "util/rng.h"
 #include "util/units.h"
 
@@ -238,6 +240,63 @@ TEST(AlgorithmOneProperties, HelperCapacityTwoSetsFeasibleAndMaximal) {
   }
 }
 
+TEST(AlgorithmOneProperties, RackAwareSetsFeasibleAndMaximal) {
+  // Rack-interleaved adjacency (ReconSetOptions.topology, DESIGN.md
+  // §11) is pure preference: it reorders each chunk's helper
+  // candidates but never removes one, so Algorithm 1's output must
+  // stay feasible and maximal per the exponential oracle.
+  for (int s = 0; s < seed_count(); ++s) {
+    const uint64_t seed = seed_base() + static_cast<uint64_t>(s);
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " (override with FASTPR_PROPERTY_SEED_BASE)");
+    Rng rng(seed);
+    const auto layout = cluster::StripeLayout::random_racked(
+        /*num_nodes=*/10, /*chunks_per_stripe=*/5, /*num_stripes=*/20,
+        /*nodes_per_rack=*/2, rng);
+    const NodeId stf = most_loaded(layout, 1).front();
+    const auto healthy = healthy_except(10, {stf});
+    const int k_repair = 3;
+    const net::Topology topo(5, 2, net::Oversub(4.0));
+
+    core::ReconSetOptions options;
+    options.topology = &topo;
+    const auto sets = core::find_reconstruction_sets(layout, stf, healthy,
+                                                     k_repair, options);
+    expect_exact_cover(sets, layout.chunks_on(stf));
+    for (const auto& set : sets) {
+      EXPECT_TRUE(core::is_valid_reconstruction_set(layout, stf, healthy,
+                                                    k_repair, set));
+    }
+    expect_feasible_and_maximal(layout, healthy, k_repair,
+                                /*reads_per_node=*/1, /*cap=*/0, sets);
+  }
+}
+
+TEST(AlgorithmOneProperties, DeprioritizedSetsFeasibleAndMaximal) {
+  // Deprioritized helpers (bandwidth-replan stragglers) are ordered
+  // LAST in every adjacency, never excluded — same guarantee: the sets
+  // keep the exact cover, feasibility, and maximality.
+  for (int s = 0; s < seed_count(); ++s) {
+    const uint64_t seed = seed_base() + static_cast<uint64_t>(s);
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " (override with FASTPR_PROPERTY_SEED_BASE)");
+    Rng rng(seed);
+    const auto layout = cluster::StripeLayout::random(
+        /*num_nodes=*/8, /*chunks_per_stripe=*/5, /*num_stripes=*/20, rng);
+    const NodeId stf = most_loaded(layout, 1).front();
+    const auto healthy = healthy_except(8, {stf});
+    const int k_repair = 3;
+
+    core::ReconSetOptions options;
+    options.deprioritized = {healthy[0], healthy[1]};
+    const auto sets = core::find_reconstruction_sets(layout, stf, healthy,
+                                                     k_repair, options);
+    expect_exact_cover(sets, layout.chunks_on(stf));
+    expect_feasible_and_maximal(layout, healthy, k_repair,
+                                /*reads_per_node=*/1, /*cap=*/0, sets);
+  }
+}
+
 /// §IV-A across the whole plan: destinations legal, never two repaired
 /// chunks of one stripe on one node, sources and destinations never
 /// batch members, migrations read from the member that owns the chunk.
@@ -321,6 +380,91 @@ TEST_P(PlacementPropertyTest, PlanNeverColocatesStripeChunks) {
         core::validate_plan(plan, layout, state, options.k_repair);
         expect_placement_invariants(plan, layout, batch, scenario,
                                     num_storage, /*num_standby=*/3);
+      }
+    }
+  }
+}
+
+/// Independent failure-domain check (DESIGN.md §11), deliberately NOT
+/// via validate_plan: applies the plan's destinations to the layout and
+/// asserts no rack ends up with two chunks of one stripe. Hot-standby
+/// spares (ids >= num_storage) are exempt — dedicated overflow rack.
+void expect_rack_disjoint_after_plan(const core::RepairPlan& plan,
+                                     const cluster::StripeLayout& layout,
+                                     const std::vector<NodeId>& batch,
+                                     const net::Topology& topo,
+                                     int num_storage) {
+  const std::set<NodeId> batch_set(batch.begin(), batch.end());
+  std::map<std::pair<int, int>, NodeId> dst;  // (stripe, index) -> dest
+  for (const auto& round : plan.rounds) {
+    for (const auto& task : round.migrations) {
+      dst[{task.chunk.stripe, task.chunk.index}] = task.dst;
+    }
+    for (const auto& task : round.reconstructions) {
+      dst[{task.chunk.stripe, task.chunk.index}] = task.dst;
+    }
+  }
+  for (int stripe = 0; stripe < layout.num_stripes(); ++stripe) {
+    std::set<int> racks;
+    for (int index = 0; index < layout.chunks_per_stripe(); ++index) {
+      const ChunkRef chunk{stripe, index};
+      NodeId node = layout.node_of(chunk);
+      if (batch_set.count(node) != 0) {
+        const auto it = dst.find({stripe, index});
+        ASSERT_NE(it, dst.end()) << "chunk (" << stripe << "," << index
+                                 << ") of a batch member not repaired";
+        node = it->second;
+      }
+      if (node >= num_storage) continue;  // spare: overflow rack, exempt
+      EXPECT_TRUE(racks.insert(topo.rack_of(node)).second)
+          << "stripe " << stripe << " has two chunks in rack "
+          << topo.rack_of(node) << " after the plan applies";
+    }
+  }
+}
+
+TEST_P(PlacementPropertyTest, RackedPlanKeepsStripesRackDisjoint) {
+  const core::Scenario scenario = GetParam();
+  for (int s = 0; s < seed_count(); ++s) {
+    const uint64_t seed = seed_base() + static_cast<uint64_t>(s);
+    for (int batch_size = 1; batch_size <= 3; ++batch_size) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " batch=" +
+                   std::to_string(batch_size) +
+                   " (override with FASTPR_PROPERTY_SEED_BASE)");
+      Rng rng(seed);
+      // 12 racks x 2 with n=6: every stripe leaves 6 racks (12 nodes)
+      // free, enough slack for the per-round greedy destination pick
+      // even when a batch of 3 repairs several chunks of one stripe at
+      // once; batch 3 on k'=4 still drives the forced-migration path.
+      const int num_storage = 24;
+      auto layout = cluster::StripeLayout::random_racked(
+          num_storage, /*chunks_per_stripe=*/6, /*num_stripes=*/30,
+          /*nodes_per_rack=*/2, rng);
+      cluster::ClusterState state(
+          num_storage, /*num_hot_standby=*/3,
+          cluster::BandwidthProfile{MBps(100), Gbps(1)});
+      const auto batch = most_loaded(layout, batch_size);
+      for (NodeId member : batch) {
+        state.set_health(member, cluster::NodeHealth::kSoonToFail);
+      }
+      const net::Topology topo(12, 2, net::Oversub(4.0));
+      core::PlannerOptions options;
+      options.scenario = scenario;
+      options.k_repair = 4;
+      options.chunk_bytes = static_cast<double>(MB(4));
+      options.topology = &topo;
+      core::MultiStfPlanner planner(layout, state, options);
+      for (const auto& plan :
+           {planner.plan_fastpr(), planner.plan_sequential()}) {
+        core::validate_plan(plan, layout, state, options.k_repair,
+                            /*code=*/nullptr, /*helper_reads_per_node=*/1,
+                            &topo);
+        expect_placement_invariants(plan, layout, batch, scenario,
+                                    num_storage, /*num_standby=*/3);
+        if (scenario == core::Scenario::kScattered) {
+          expect_rack_disjoint_after_plan(plan, layout, batch, topo,
+                                          num_storage);
+        }
       }
     }
   }

@@ -60,6 +60,14 @@
 //                                # degraded reads on the STF node) at
 //                                # this rate during the repair and
 //                                # report its latency percentiles.
+//   --topology=<racks>x<nodes>   # rack model (DESIGN.md §11): storage
+//                                # nodes grouped into racks of <nodes>;
+//                                # racks*nodes must equal the spec's
+//                                # node count. Layouts become rack-
+//                                # disjoint and the planners rack-aware.
+//   --oversub=<factor>           # cross-rack oversubscription factor
+//                                # (>= 1; requires --topology). The
+//                                # rack uplink shares nodes*net/factor.
 //
 // `execute` exit codes: 0 = every chunk repaired and byte-verified;
 // 3 = accounting consistent but some chunks abandoned as unrepairable
@@ -93,6 +101,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -104,6 +113,7 @@
 #include "lifetime/lifetime_sim.h"
 #include "load/foreground.h"
 #include "net/fault_plan.h"
+#include "net/topology.h"
 #include "sim/simulator.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -149,6 +159,12 @@ struct Spec {
   double slo_ms = 0;              // 0 = no AIMD target
   double stf_deadline_s = 0;      // 0 = no deadline (no panic mode)
   double foreground_ops = 0;      // 0 = no foreground workload
+  // Rack model (--topology / --oversub flags). Unset = flat network.
+  std::optional<net::Topology> topology;
+
+  const net::Topology* topology_ptr() const {
+    return topology.has_value() ? &*topology : nullptr;
+  }
 };
 
 bool parse_spec(const std::string& path, Spec& spec, std::string& error) {
@@ -263,8 +279,18 @@ struct World {
 
 World build_world(const Spec& spec) {
   Rng rng(spec.seed);
-  World w{cluster::StripeLayout::random(spec.nodes, spec.code->n(),
-                                        spec.stripes, rng),
+  const bool racked =
+      spec.topology.has_value() && !spec.topology->is_flat();
+  if (racked && spec.topology->num_nodes() != spec.nodes) {
+    throw std::runtime_error("--topology " + spec.topology->to_string() +
+                             " must cover exactly the spec's " +
+                             std::to_string(spec.nodes) + " nodes");
+  }
+  World w{racked ? cluster::StripeLayout::random_racked(
+                       spec.nodes, spec.code->n(), spec.stripes,
+                       spec.topology->nodes_per_rack(), rng)
+                 : cluster::StripeLayout::random(
+                       spec.nodes, spec.code->n(), spec.stripes, rng),
           cluster::ClusterState(
               spec.nodes, spec.standby,
               cluster::BandwidthProfile{spec.disk_bw, spec.net_bw}),
@@ -289,6 +315,7 @@ core::FastPrPlanner make_planner(const Spec& spec, World& w) {
   opts.packet_bytes = spec.packet_kb * static_cast<double>(kKiB);
   opts.chain_hop_overhead_seconds = spec.chain_hop_overhead_seconds;
   opts.sched.strategy = spec.strategy;
+  opts.topology = spec.topology_ptr();
   return core::FastPrPlanner(w.layout, w.state, opts);
 }
 
@@ -303,6 +330,12 @@ int cmd_analyze(const Spec& spec) {
   p.k_repair = spec.code->repair_fetch_count(0);
   p.hot_standby = std::max(1, spec.standby);
   p.scenario = spec.scenario;
+  if (spec.topology.has_value() && !spec.topology->is_flat()) {
+    p.oversubscription = spec.topology->oversubscription();
+    p.cross_rack_helper_fraction = 1.0;
+    p.cross_rack_migration_fraction =
+        spec.scenario == core::Scenario::kHotStandby ? 1.0 : 0.0;
+  }
   const core::CostModel m(p);
   std::printf("cost model (%s, %s, U=%d chunks):\n",
               spec.code->name().c_str(),
@@ -328,7 +361,8 @@ int cmd_plan(const Spec& spec) {
   auto planner = make_planner(spec, w);
   const auto plan = planner.plan_fastpr();
   core::validate_plan(plan, w.layout, w.state,
-                      spec.code->repair_fetch_count(0), spec.code.get());
+                      spec.code->repair_fetch_count(0), spec.code.get(), 1,
+                      spec.topology_ptr());
   std::printf("STF node %d holds %d chunks; %s\n\n", w.stf,
               w.layout.load(w.stf), plan.to_string().c_str());
   Table t({"round", "reconstructed", "migrated", "example task"});
@@ -368,6 +402,11 @@ int cmd_simulate(const Spec& spec) {
   sp.scenario = spec.scenario;
   sp.packet_bytes = spec.packet_kb * static_cast<double>(kKiB);
   sp.chain_hop_overhead_seconds = spec.chain_hop_overhead_seconds;
+  if (spec.topology.has_value() && !spec.topology->is_flat()) {
+    sp.topo_racks = spec.topology->racks();
+    sp.topo_nodes_per_rack = spec.topology->nodes_per_rack();
+    sp.oversubscription = spec.topology->oversubscription();
+  }
 
   Table t({"strategy", "total (s)", "per chunk (s)", "traffic (chunks)"});
   auto row = [&](const std::string& name, const core::RepairPlan& plan) {
@@ -452,6 +491,7 @@ int cmd_execute(const Spec& spec, const std::string& fault_plan_path,
   opts.probe_timeout = std::chrono::milliseconds(spec.probe_timeout_ms);
   opts.max_round_extensions = spec.max_round_extensions;
   opts.stf_failure_threshold = spec.stf_failure_threshold;
+  opts.topology = spec.topology;
   if (spec.repair_budget_mbps > 0) {
     core::ThrottlerOptions throttle;
     throttle.total_bytes_per_sec = MBps(spec.repair_budget_mbps);
@@ -610,7 +650,8 @@ int usage() {
                "[--fault-plan <file>] [--stf=<id[,id...]>] "
                "[--repair-strategy=fanin|chain|auto] "
                "[--repair-budget=<MBps>] [--slo-ms=<ms>] "
-               "[--stf-deadline=<s>] [--foreground-ops=<per_sec>]\n"
+               "[--stf-deadline=<s>] [--foreground-ops=<per_sec>] "
+               "[--topology=<racks>x<nodes>] [--oversub=<factor>]\n"
                "       fastpr_cli trace merge <out.json> <in.json...>\n");
   return 2;
 }
@@ -670,6 +711,8 @@ int main(int argc, char** argv) {
   double slo_ms = 0;
   double stf_deadline_s = 0;
   double foreground_ops = 0;
+  std::string topology_spec;
+  double oversub_factor = net::Oversub(1.0);
   // Parses `--flag=<positive number>` into `out`; 0 and negatives are
   // rejected (omit the flag to disable the feature).
   auto parse_positive = [&](const std::string& arg, const char* flag,
@@ -742,6 +785,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--foreground-ops=", 0) == 0) {
       if (!parse_positive(arg, "--foreground-ops=", &foreground_ops))
         return usage();
+    } else if (arg.rfind("--topology=", 0) == 0) {
+      topology_spec = arg.substr(std::strlen("--topology="));
+      if (topology_spec.empty()) return usage();
+    } else if (arg.rfind("--oversub=", 0) == 0) {
+      if (!parse_positive(arg, "--oversub=", &oversub_factor))
+        return usage();
     } else if (arg.rfind("--fault-plan=", 0) == 0) {
       fault_plan_path = arg.substr(std::strlen("--fault-plan="));
       if (fault_plan_path.empty()) return usage();
@@ -778,6 +827,19 @@ int main(int argc, char** argv) {
   spec.slo_ms = slo_ms;
   spec.stf_deadline_s = stf_deadline_s;
   spec.foreground_ops = foreground_ops;
+  if (!topology_spec.empty()) {
+    try {
+      spec.topology = net::Topology::parse(topology_spec,
+                                           net::Oversub(oversub_factor));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: bad --topology/--oversub: %s\n",
+                   e.what());
+      return usage();
+    }
+  } else if (oversub_factor != 1.0) {
+    std::fprintf(stderr, "error: --oversub requires --topology\n");
+    return usage();
+  }
   std::vector<std::pair<int, int64_t>> clock_offsets;
   int rc = 2;
   try {

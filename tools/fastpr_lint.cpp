@@ -39,6 +39,14 @@
 //                   cross-node trace merge depends on (DESIGN.md §5c);
 //                   propagate telemetry::current_trace_context()
 //                   through Message.trace instead.
+//  * oversub      — a numeric literal assigned to an identifier
+//                   containing "oversub" must flow through the
+//                   net::Oversub() named constructor (units-rule
+//                   discipline for the cross-rack oversubscription
+//                   factor: Oversub validates f >= 1 at every
+//                   configuration boundary, DESIGN.md §11).
+//                   Comparisons (==, >=) and variable-to-variable
+//                   copies are not configuration and do not match.
 //  * condvar-predicate — CondVar waits must use the predicate overload:
 //                   `.wait(mu)` with one argument and `.wait_for(mu,
 //                   dur)` with two are lost-wakeup bait (the while
@@ -272,6 +280,44 @@ void check_line(const fs::path& rel, int lineno, const std::string& raw,
                        "raw size/bandwidth literal at a configuration "
                        "boundary; use util/units.h (MB/MBps/Gbps/kMiB)"});
       }
+    }
+  }
+
+  // oversub: `<ident-containing-oversub> = <numeric literal>` without
+  // net::Oversub() on the line. The lowercase search cannot collide
+  // with the `Oversub(` helper itself (capital O), and `==`/`>=` fail
+  // the single-`=` test below. src/net/topology.* defines the helper.
+  if (!path_has_prefix(rel, "src/net/topology") && !allowed("oversub")) {
+    const auto is_ident = [](char c) {
+      return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+    };
+    size_t pos = code.find("oversub");
+    bool raw_literal = false;
+    while (pos != std::string::npos && !raw_literal) {
+      size_t end = pos + 7;
+      while (end < code.size() && is_ident(code[end])) ++end;
+      size_t i = end;
+      while (i < code.size() && (code[i] == ' ' || code[i] == '\t')) ++i;
+      if (i < code.size() && code[i] == '=' &&
+          (i + 1 >= code.size() || code[i + 1] != '=')) {
+        ++i;
+        while (i < code.size() && (code[i] == ' ' || code[i] == '\t')) ++i;
+        const bool literal =
+            i < code.size() &&
+            (std::isdigit(static_cast<unsigned char>(code[i])) != 0 ||
+             (code[i] == '.' && i + 1 < code.size() &&
+              std::isdigit(static_cast<unsigned char>(code[i + 1])) != 0));
+        if (literal && code.find("Oversub(") == std::string::npos) {
+          raw_literal = true;
+        }
+      }
+      pos = code.find("oversub", pos + 1);
+    }
+    if (raw_literal) {
+      out.push_back({rel.generic_string(), lineno, "oversub",
+                     "raw oversubscription literal at a configuration "
+                     "boundary; wrap it in net::Oversub() so f >= 1 is "
+                     "validated"});
     }
   }
 
